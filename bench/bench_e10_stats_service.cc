@@ -1,0 +1,84 @@
+// E10 — paper Section 4: the Statistics Service must itself be cheap;
+// sampling trades summary accuracy for profiling overhead and storage.
+#include <cmath>
+
+#include "bench_util.h"
+#include "stats/statistics_service.h"
+#include "tuning/predictor.h"
+#include "workload/trace.h"
+
+using namespace costdb;
+using namespace costdb::bench;
+
+int main() {
+  PrintHeader("E10: Statistics Service overhead vs summary accuracy",
+              "Claim (S4): vary the sampling rate to balance the cost of\n"
+              "generating statistics against their comprehensiveness.");
+  BenchContext ctx = BenchContext::Make(0.005);
+
+  // A 7-day workload trace with a diurnal pattern.
+  TraceOptions trace_opts;
+  trace_opts.duration = 7.0 * kSecondsPerDay;
+  trace_opts.queries_per_hour = 120.0;
+  trace_opts.diurnal_amplitude = 0.6;
+  trace_opts.template_weights = {{"Q3", 5.0}, {"Q4", 3.0}, {"Q6", 2.0},
+                                 {"Q10", 1.0}};
+  auto trace = GenerateTrace(trace_opts);
+
+  // Pre-bind the templates once.
+  Binder binder(&ctx.meta);
+  std::map<std::string, BoundQuery> bound;
+  for (const auto& id : {"Q3", "Q4", "Q6", "Q10"}) {
+    auto q = binder.BindSql(FindQuery(id).sql);
+    if (q.ok()) bound.emplace(id, std::move(*q));
+  }
+
+  // Reference summaries at full sampling.
+  auto ingest_all = [&](StatisticsService* stats) {
+    for (const auto& ev : trace) {
+      auto it = bound.find(ev.query_id);
+      if (it == bound.end()) continue;
+      stats->Ingest(MakeExecutionRecord(ev.query_id, ev.at, it->second, 2.0,
+                                        16.0, 0.01));
+    }
+  };
+  StatisticsService reference;
+  ingest_all(&reference);
+  WorkloadPredictor predictor;
+  double ref_rate = predictor.Predict(reference.HourlyArrivals("Q3"))
+                        .arrivals_per_hour;
+
+  TablePrinter t({"sampling", "profiling ovhd", "join-graph err",
+                  "Q3 rate err", "hot records", "cold buckets"});
+  for (double rate : {1.0, 0.3, 0.1, 0.03, 0.01}) {
+    StatisticsService::Options opts;
+    opts.sampling_rate = rate;
+    StatisticsService stats(opts);
+    ingest_all(&stats);
+    // Join-graph relative error vs the reference, averaged over edges.
+    double err_sum = 0.0;
+    size_t n = 0;
+    for (const auto& [edge, weight] : reference.join_graph()) {
+      auto it = stats.join_graph().find(edge);
+      double est = it == stats.join_graph().end() ? 0.0 : it->second;
+      err_sum += std::abs(est - weight) / weight;
+      ++n;
+    }
+    double rate_est = predictor.Predict(stats.HourlyArrivals("Q3"))
+                          .arrivals_per_hour;
+    t.AddRow({StrFormat("%.0f%%", rate * 100),
+              StrFormat("%.2f%%", stats.ProfilingOverhead(100.0)),
+              StrFormat("%.1f%%", n ? 100.0 * err_sum / n : 0.0),
+              StrFormat("%.1f%%",
+                        100.0 * std::abs(rate_est - ref_rate) /
+                            std::max(ref_rate, 1e-9)),
+              std::to_string(stats.hot_record_count()),
+              std::to_string(stats.cold_bucket_count())});
+  }
+  std::printf("trace: %zu queries over 7 days, diurnal mixture\n%s",
+              trace.size(), t.ToString().c_str());
+  std::printf(
+      "\nProfiling overhead shrinks ~linearly with the sampling rate while\n"
+      "summary errors grow slowly -- the knob the paper calls for.\n");
+  return 0;
+}

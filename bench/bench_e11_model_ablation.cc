@@ -1,0 +1,85 @@
+// E11 — paper Section 3.1: simple analytic formulas suffice for most
+// operators; pre-trained regression models close the gap on exchange-
+// heavy ones — no opaque ML needed.
+#include "bench_util.h"
+#include "common/stats_math.h"
+
+using namespace costdb;
+using namespace costdb::bench;
+
+int main() {
+  PrintHeader("E11: analytic vs regression operator models",
+              "Claim (S3.1): closed-form models for scan/filter/agg;\n"
+              "regression pre-trained on synthetic workloads for the\n"
+              "exchange-heavy operators; explainable by construction.");
+  BenchContext ctx = BenchContext::Make();
+
+  // Ground truth for a shuffle stage: the simulator's duration (analytic
+  // model + skew + quantization effects the formulas do not know about).
+  auto prepared = ctx.Prepare(FindQuery("Q6").sql, UserConstraint::Sla(1e9));
+  if (!prepared.ok()) return 1;
+  // Find the shuffle-bearing probe pipeline.
+  const Pipeline* probe = nullptr;
+  for (const auto& p : prepared->planned.pipelines.pipelines) {
+    for (const auto* op : p.operators) {
+      if (op->kind == PhysicalPlan::Kind::kExchange &&
+          op->exchange_kind == ExchangeKind::kShuffle) {
+        probe = &p;
+      }
+    }
+  }
+  if (probe == nullptr) {
+    std::printf("no shuffle pipeline found\n");
+    return 1;
+  }
+
+  // Pre-train the regression on synthetic (volume, dop) samples labeled by
+  // the simulator — the paper's "synthetic workloads that cover the
+  // parameter space".
+  std::vector<RegressionOperatorModel::Sample> samples;
+  for (double volume_scale : {0.25, 0.5, 1.0, 2.0}) {
+    VolumeMap scaled = prepared->truth;
+    for (auto& [node, v] : scaled) {
+      v.out_rows *= volume_scale;
+      v.out_bytes *= volume_scale;
+      v.source_rows *= volume_scale;
+      v.scanned_bytes *= volume_scale;
+    }
+    for (int dop : {1, 2, 4, 8, 16, 32, 64}) {
+      RegressionOperatorModel::Sample s;
+      s.workload.rows_in = prepared->truth.at(probe->source).out_rows *
+                           volume_scale;
+      s.workload.bytes_in = prepared->truth.at(probe->source).out_bytes *
+                            volume_scale;
+      s.dop = dop;
+      s.observed_time = ctx.simulator->TrueDuration(*probe, dop, scaled);
+      samples.push_back(s);
+    }
+  }
+  RegressionOperatorModel regression("q6_probe_pipeline");
+  bool fitted = regression.Fit(samples);
+
+  CostEstimator analytic(&ctx.hw, &ctx.node);
+
+  TablePrinter t({"dop", "true (sim)", "analytic", "q-err", "regression",
+                  "q-err"});
+  std::vector<double> qe_analytic, qe_hybrid;
+  for (int dop : {3, 6, 12, 24, 48}) {  // unseen DOPs
+    Seconds truth = ctx.simulator->TrueDuration(*probe, dop, prepared->truth);
+    Seconds a = analytic.PipelineDuration(*probe, dop, prepared->truth);
+    StageWorkload w;
+    w.rows_in = prepared->truth.at(probe->source).out_rows;
+    w.bytes_in = prepared->truth.at(probe->source).out_bytes;
+    Seconds h = fitted ? regression.StageTime(w, dop) : a;
+    qe_analytic.push_back(QError(a, truth));
+    qe_hybrid.push_back(QError(h, truth));
+    t.AddRow({std::to_string(dop), FormatSeconds(truth), FormatSeconds(a),
+              StrFormat("%.2f", QError(a, truth)), FormatSeconds(h),
+              StrFormat("%.2f", QError(h, truth))});
+  }
+  std::printf("shuffle-heavy pipeline of Q6 (regression %s):\n%s",
+              fitted ? "fitted" : "NOT fitted", t.ToString().c_str());
+  std::printf("\nmean q-error: analytic %.2f, with regression %.2f\n",
+              Mean(qe_analytic), Mean(qe_hybrid));
+  return 0;
+}

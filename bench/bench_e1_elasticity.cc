@@ -1,0 +1,51 @@
+// E1 — paper Section 2: "executing a task on 1 machine for 100 minutes
+// costs the same as 100 machines for 1 minute" — true for embarrassingly
+// parallel operators (scan), false for exchange-heavy ones, where
+// over-scaling wastes money AND can hurt latency.
+#include "bench_util.h"
+
+using namespace costdb;
+using namespace costdb::bench;
+
+namespace {
+void Sweep(BenchContext* ctx, const std::string& label,
+           const std::string& sql) {
+  auto prepared = ctx->Prepare(sql, UserConstraint::Sla(1e9));
+  if (!prepared.ok()) return;
+  TablePrinter t({"dop", "latency", "machine-time", "bill",
+                  "latency x1 / latency"});
+  Seconds lat1 = 0.0;
+  for (int dop = 1; dop <= 256; dop *= 2) {
+    DopMap dops;
+    for (const auto& p : prepared->planned.pipelines.pipelines) {
+      dops[p.id] = dop;
+    }
+    auto est = ctx->estimator->EstimatePlan(prepared->planned.pipelines, dops,
+                                            prepared->planned.volumes);
+    if (dop == 1) lat1 = est.latency;
+    t.AddRow({std::to_string(dop), FormatSeconds(est.latency),
+              FormatSeconds(est.machine_seconds), FormatDollars(est.cost),
+              StrFormat("%.1fx", lat1 / est.latency)});
+  }
+  std::printf("\n%s\n%s", label.c_str(), t.ToString().c_str());
+}
+}  // namespace
+
+int main() {
+  PrintHeader("E1: resource elasticity per operator family",
+              "Claim (S2): scans scale to ~free speedups at equal cost;\n"
+              "distributed joins/aggregations have a finite cost-optimal\n"
+              "DOP and over-scaling hurts both bill and latency.");
+  BenchContext ctx = BenchContext::Make();
+  Sweep(&ctx, "scan-aggregate (Q1: no data exchange)", FindQuery("Q1").sql);
+  Sweep(&ctx,
+        "distributed join + group-by (Q6: shuffle-heavy)",
+        FindQuery("Q6").sql);
+  std::printf(
+      "\nPerfect-elasticity identity on the scan query: the machine-time\n"
+      "column stays ~flat while latency drops ~linearly -- 100 machines\n"
+      "for 1 minute really do cost the same as 1 machine for 100 minutes.\n"
+      "On the shuffle-heavy query the bill grows with DOP and latency\n"
+      "eventually rises again: the paper's over-provisioning hazard.\n");
+  return 0;
+}

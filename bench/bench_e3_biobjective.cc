@@ -1,0 +1,61 @@
+// E3 — paper Section 3.2: downgrading full multi-objective (Pareto-set)
+// optimization to constrained single-objective search keeps plan quality
+// while shrinking optimizer effort by orders of magnitude.
+#include <chrono>
+
+#include "bench_util.h"
+
+using namespace costdb;
+using namespace costdb::bench;
+
+int main() {
+  PrintHeader("E3: constrained search vs full Pareto enumeration",
+              "Claim (S3.2): users state one constraint, so the optimizer\n"
+              "can solve a constrained single-objective problem at\n"
+              "classic-optimizer complexity instead of materializing the\n"
+              "whole frontier.");
+  BenchContext ctx = BenchContext::Make();
+
+  TablePrinter t({"query", "pipelines", "oracle states", "oracle ms",
+                  "greedy states", "greedy ms", "cost vs oracle"});
+  for (const auto& qid : {"Q3", "Q5", "Q7"}) {
+    auto prepared =
+        ctx.Prepare(FindQuery(qid).sql, UserConstraint::Sla(1e9));
+    if (!prepared.ok()) continue;
+    DopPlannerOptions opts;
+    opts.max_dop = 16;  // keeps the oracle tractable on 5-6 pipelines
+    DopPlanner planner(ctx.estimator.get(), opts);
+
+    auto t0 = std::chrono::steady_clock::now();
+    int oracle_states = 0;
+    auto frontier = planner.EnumeratePareto(prepared->planned.pipelines,
+                                            prepared->planned.volumes,
+                                            &oracle_states);
+    auto t1 = std::chrono::steady_clock::now();
+    if (frontier.empty()) continue;
+    Seconds sla = frontier[frontier.size() / 2].latency * 1.01;
+    Dollars oracle_cost = 1e18;
+    for (const auto& f : frontier) {
+      if (f.latency <= sla) oracle_cost = std::min(oracle_cost, f.cost);
+    }
+    auto t2 = std::chrono::steady_clock::now();
+    auto greedy = planner.Plan(prepared->planned.pipelines,
+                               prepared->planned.volumes,
+                               UserConstraint::Sla(sla));
+    auto t3 = std::chrono::steady_clock::now();
+    double oracle_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    double greedy_ms = std::chrono::duration<double, std::milli>(t3 - t2).count();
+    t.AddRow({qid,
+              std::to_string(prepared->planned.pipelines.pipelines.size()),
+              std::to_string(oracle_states), StrFormat("%.1f", oracle_ms),
+              std::to_string(greedy.states_explored),
+              StrFormat("%.1f", greedy_ms),
+              StrFormat("%.2fx", greedy.estimate.cost / oracle_cost)});
+  }
+  std::printf("%s", t.ToString().c_str());
+  std::printf(
+      "\nThe greedy constrained search visits a small fraction of the\n"
+      "oracle's states and stays within a small factor of the frontier-\n"
+      "optimal cost at the same SLA.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// F1 — paper Figure 1 / Section 2: fixed "T-shirt" warehouse sizes force
+// users to over- or under-provision; per-query cost-intelligent deployment
+// meets the same latency target at lower cost.
+#include "bench_util.h"
+
+using namespace costdb;
+using namespace costdb::bench;
+
+int main() {
+  PrintHeader("F1: T-shirt sizing vs cost-intelligent deployment",
+              "Claim (S2): one-shot fixed cluster sizes waste money; the\n"
+              "warehouse should size each query's pipelines itself.");
+  BenchContext ctx = BenchContext::Make();
+
+  const std::vector<std::pair<std::string, int>> tshirts = {
+      {"XS", 1}, {"S", 2}, {"M", 4}, {"L", 8},
+      {"XL", 16}, {"2XL", 32}, {"3XL", 64}};
+  const std::vector<std::string> queries = {"Q1", "Q3", "Q5", "Q7", "Q10"};
+
+  for (const auto& qid : queries) {
+    const std::string sql = FindQuery(qid).sql;
+    // Reference latency target: what the "M" warehouse achieves.
+    Seconds target = 0.0;
+    TablePrinter t({"config", "nodes", "latency", "bill", "SLA met"});
+    std::vector<std::string> auto_row;
+    for (const auto& [name, nodes] : tshirts) {
+      UserConstraint loose = UserConstraint::Sla(1e9);
+      auto prepared = ctx.Prepare(sql, loose);
+      if (!prepared.ok()) continue;
+      // A T-shirt user runs every pipeline on the whole fixed cluster.
+      for (auto& [id, dop] : prepared->planned.dops) dop = nodes;
+      StaticPolicy policy;
+      SimResult r =
+          SimulateQuery(*prepared, *ctx.simulator, &policy, loose);
+      if (name == "M") target = r.latency;
+      t.AddRow({name, std::to_string(nodes), FormatSeconds(r.latency),
+                FormatDollars(r.cost),
+                target > 0.0 && r.latency <= target * 1.05 ? "yes" : "-"});
+    }
+    // Cost-intelligent: give the optimizer the M-sized latency as the SLA.
+    UserConstraint sla = UserConstraint::Sla(target);
+    auto prepared = ctx.Prepare(sql, sla);
+    if (prepared.ok()) {
+      StaticPolicy policy;
+      SimResult r = SimulateQuery(*prepared, *ctx.simulator, &policy, sla);
+      t.AddRow({"auto(SLA=M)", "per-pipeline", FormatSeconds(r.latency),
+                FormatDollars(r.cost), r.sla_met ? "yes" : "NO"});
+    }
+    std::printf("\n%s (SLA target = M-size latency %s)\n%s", qid.c_str(),
+                FormatSeconds(target).c_str(), t.ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,85 @@
+// F2 — paper Figure 2: the performance-cost plane. Manual configurations
+// scatter above the Pareto frontier; the cost-intelligent optimizer's
+// constrained search lands on (or near) the frontier for any user
+// preference point.
+#include <algorithm>
+
+#include "bench_util.h"
+
+using namespace costdb;
+using namespace costdb::bench;
+
+int main() {
+  PrintHeader("F2: Pareto frontier of performance vs cost",
+              "Claim (S2, Fig.2): a cost-intelligent warehouse self-\n"
+              "configures onto the Pareto frontier; users pick trade-offs\n"
+              "by constraint, not by cluster size.");
+  BenchContext ctx = BenchContext::Make();
+  const std::string sql = FindQuery("Q7").sql;
+
+  // The full configuration space: per-pipeline DOP grid (oracle).
+  UserConstraint loose = UserConstraint::Sla(1e9);
+  auto prepared = ctx.Prepare(sql, loose);
+  if (!prepared.ok()) {
+    std::printf("prepare failed: %s\n", prepared.status().ToString().c_str());
+    return 1;
+  }
+  DopPlannerOptions grid_opts;
+  grid_opts.max_dop = 64;
+  DopPlanner planner(ctx.estimator.get(), grid_opts);
+  int states = 0;
+  auto frontier = planner.EnumeratePareto(prepared->planned.pipelines,
+                                          prepared->planned.volumes, &states);
+  std::printf("\nconfiguration space: %d DOP assignments evaluated\n", states);
+  TablePrinter t({"frontier point", "latency", "cost"});
+  for (size_t i = 0; i < frontier.size(); i += std::max<size_t>(1, frontier.size() / 12)) {
+    t.AddRow({StrFormat("#%zu", i), FormatSeconds(frontier[i].latency),
+              FormatDollars(frontier[i].cost)});
+  }
+  std::printf("%s", t.ToString().c_str());
+
+  // Manual T-shirt points (uniform DOP) vs the frontier.
+  TablePrinter manual({"manual config", "latency", "cost",
+                       "above frontier by"});
+  for (int nodes : {2, 8, 32}) {
+    DopMap dops;
+    for (const auto& p : prepared->planned.pipelines.pipelines) {
+      dops[p.id] = nodes;
+    }
+    auto est = ctx.estimator->EstimatePlan(prepared->planned.pipelines, dops,
+                                           prepared->planned.volumes);
+    Dollars frontier_cost = 1e18;
+    for (const auto& f : frontier) {
+      if (f.latency <= est.latency) {
+        frontier_cost = std::min(frontier_cost, f.cost);
+      }
+    }
+    manual.AddRow({StrFormat("%d nodes uniform", nodes),
+                   FormatSeconds(est.latency), FormatDollars(est.cost),
+                   StrFormat("%.1f%%",
+                             100.0 * (est.cost / frontier_cost - 1.0))});
+  }
+  std::printf("\n%s", manual.ToString().c_str());
+
+  // Auto-configuration at three user preference points.
+  TablePrinter autos({"user constraint", "latency", "cost",
+                      "above frontier by"});
+  Seconds lo = frontier.front().latency;
+  Seconds hi = frontier.back().latency;
+  for (double f : {0.15, 0.4, 0.8}) {
+    Seconds sla = lo + f * (hi - lo);
+    auto planned = ctx.Prepare(sql, UserConstraint::Sla(sla));
+    if (!planned.ok()) continue;
+    const auto& est = planned->planned.estimate;
+    Dollars frontier_cost = 1e18;
+    for (const auto& pt : frontier) {
+      if (pt.latency <= sla) frontier_cost = std::min(frontier_cost, pt.cost);
+    }
+    autos.AddRow({"SLA " + FormatSeconds(sla), FormatSeconds(est.latency),
+                  FormatDollars(est.cost),
+                  StrFormat("%.1f%%",
+                            100.0 * (est.cost / frontier_cost - 1.0))});
+  }
+  std::printf("\n%s", autos.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/table_printer.h"
+#include "runtime/policies.h"
+#include "sim/harness.h"
+#include "workload/ssb.h"
+
+namespace costdb {
+namespace bench {
+
+/// Shared setup for the experiment binaries: a small in-process SSB
+/// instance whose *fact* tables are virtually scaled to warehouse size
+/// (DESIGN.md §2 and §5 explain the device), plus the estimator, the
+/// distributed simulator, and the bi-objective optimizer wired together.
+struct BenchContext {
+  MetadataService meta;
+  HardwareCalibration hw;
+  InstanceType node;
+  std::unique_ptr<CostEstimator> estimator;
+  std::unique_ptr<DistributedSimulator> simulator;
+  std::unique_ptr<BiObjectiveOptimizer> optimizer;
+
+  static BenchContext Make(double scale = 0.01,
+                           double fact_virtual_scale = 2e5,
+                           size_t row_group_size = 512) {
+    BenchContext ctx;
+    SsbOptions opts;
+    opts.scale = scale;
+    opts.row_group_size = row_group_size;
+    LoadSsb(&ctx.meta, opts);
+    ctx.meta.SetVirtualScale("lineorder", fact_virtual_scale);
+    ctx.meta.SetVirtualScale("shipments", fact_virtual_scale);
+    // Dimensions grow more slowly than facts (SSB keeps dates fixed and
+    // scales customer/supplier/part sublinearly); a 10x smaller factor
+    // preserves realistic star-schema proportions.
+    ctx.meta.SetVirtualScale("customer", fact_virtual_scale / 10.0);
+    ctx.meta.SetVirtualScale("supplier", fact_virtual_scale / 10.0);
+    ctx.meta.SetVirtualScale("part", fact_virtual_scale / 10.0);
+    ctx.node = PricingCatalog::Default().default_node();
+    ctx.estimator = std::make_unique<CostEstimator>(&ctx.hw, &ctx.node);
+    ctx.simulator = std::make_unique<DistributedSimulator>(ctx.estimator.get());
+    ctx.optimizer =
+        std::make_unique<BiObjectiveOptimizer>(&ctx.meta, ctx.estimator.get());
+    return ctx;
+  }
+
+  /// Prepare + re-derive truth (used after changing stats error factors).
+  Result<PreparedQuery> Prepare(const std::string& sql,
+                                const UserConstraint& c) {
+    auto prepared = PrepareQuery(&meta, *optimizer, sql, c);
+    if (!prepared.ok()) return prepared;
+    CardinalityEstimator truth(&meta, &prepared->query.relations, true);
+    prepared->truth = ComputeVolumes(prepared->planned.plan.get(), truth);
+    return prepared;
+  }
+};
+
+inline void PrintHeader(const std::string& id, const std::string& claim) {
+  std::printf("==========================================================\n");
+  std::printf("%s\n", id.c_str());
+  std::printf("%s\n", claim.c_str());
+  std::printf("==========================================================\n");
+}
+
+}  // namespace bench
+}  // namespace costdb

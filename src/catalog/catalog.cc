@@ -1,0 +1,133 @@
+#include "catalog/catalog.h"
+
+namespace costdb {
+
+void MetadataService::RegisterTable(std::shared_ptr<Table> table) {
+  tables_[table->name()] = std::move(table);
+}
+
+Result<std::shared_ptr<Table>> MetadataService::GetTable(
+    const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no table " + name);
+  return it->second;
+}
+
+Status MetadataService::DropTable(const std::string& name) {
+  if (tables_.erase(name) == 0) return Status::NotFound("no table " + name);
+  true_stats_.erase(name);
+  stats_.erase(name);
+  true_served_.erase(name);
+  return Status::OK();
+}
+
+Status MetadataService::Analyze(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no table " + name);
+  true_stats_[name] = TableStats::Analyze(*it->second);
+  stats_.erase(name);  // invalidate served copies
+  true_served_.erase(name);
+  return Status::OK();
+}
+
+void MetadataService::AnalyzeAll() {
+  for (const auto& [name, table] : tables_) {
+    true_stats_[name] = TableStats::Analyze(*table);
+  }
+  stats_.clear();
+  true_served_.clear();
+}
+
+namespace {
+/// A scaled table is modeled as a uniformly grown/shrunk one. Near-unique
+/// (key-like) columns keep their uniqueness, so their NDV scales with the
+/// row count; non-unique columns (foreign keys into fixed dimensions,
+/// value domains like quantity or region) keep their original domain size.
+/// Both stay bounded by the new row count.
+TableStats ScaleStats(const TableStats& stats, double factor) {
+  TableStats out = stats;
+  out.row_count *= factor;
+  for (auto& [col, cs] : out.columns) {
+    const bool key_like =
+        stats.row_count > 0.0 && cs.ndv >= 0.5 * stats.row_count;
+    if (key_like) {
+      cs.ndv = std::min(cs.ndv * factor, out.row_count);
+    } else {
+      cs.ndv = std::min(cs.ndv, out.row_count);
+    }
+  }
+  return out;
+}
+}  // namespace
+
+const TableStats* MetadataService::GetStats(const std::string& name) const {
+  auto it = true_stats_.find(name);
+  if (it == true_stats_.end()) return nullptr;
+  auto cached = stats_.find(name);
+  if (cached != stats_.end()) return &cached->second;
+  double factor = virtual_scale(name) * stats_error_factor(name);
+  auto [pos, _] = stats_.emplace(name, ScaleStats(it->second, factor));
+  return &pos->second;
+}
+
+const TableStats* MetadataService::GetTrueStats(
+    const std::string& name) const {
+  auto it = true_stats_.find(name);
+  if (it == true_stats_.end()) return nullptr;
+  double scale = virtual_scale(name);
+  if (scale == 1.0) return &it->second;
+  auto cached = true_served_.find(name);
+  if (cached != true_served_.end()) return &cached->second;
+  auto [pos, _] = true_served_.emplace(name, ScaleStats(it->second, scale));
+  return &pos->second;
+}
+
+void MetadataService::SetStatsErrorFactor(const std::string& table,
+                                          double factor) {
+  error_factors_[table] = factor;
+  stats_.erase(table);
+}
+
+double MetadataService::stats_error_factor(const std::string& table) const {
+  auto it = error_factors_.find(table);
+  return it == error_factors_.end() ? 1.0 : it->second;
+}
+
+void MetadataService::SetVirtualScale(const std::string& table,
+                                      double scale) {
+  virtual_scales_[table] = scale;
+  stats_.erase(table);
+  true_served_.erase(table);
+}
+
+double MetadataService::virtual_scale(const std::string& table) const {
+  auto it = virtual_scales_.find(table);
+  return it == virtual_scales_.end() ? 1.0 : it->second;
+}
+
+void MetadataService::SyncToObjectStore(CloudEnv* env) const {
+  for (const auto& [name, table] : tables_) {
+    const auto& groups = table->row_groups();
+    double bytes_per_group =
+        groups.empty() ? 0.0
+                       : table->EstimateBytes() /
+                             static_cast<double>(groups.size());
+    for (size_t g = 0; g < groups.size(); ++g) {
+      env->object_store()->Put(name + "/part-" + std::to_string(g),
+                               bytes_per_group);
+    }
+  }
+}
+
+void MetadataService::RegisterMaterializedView(MaterializedViewInfo info) {
+  mvs_.push_back(std::move(info));
+}
+
+std::vector<std::string> MetadataService::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) out.push_back(name);
+  return out;
+}
+
+}  // namespace costdb

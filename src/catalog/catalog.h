@@ -1,0 +1,95 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/table_stats.h"
+#include "cloud/cloud_env.h"
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace costdb {
+
+/// Descriptor of a materialized view registered by the auto-tuner: the view
+/// is a regular table plus the join fingerprint it can substitute for.
+struct MaterializedViewInfo {
+  std::string name;
+  /// Sorted "table.column=table.column" equi-join edges the MV covers.
+  std::vector<std::string> join_edges;
+  /// Base tables folded into the view.
+  std::vector<std::string> base_tables;
+  /// Rows written per maintenance refresh (drives the update cost).
+  double refresh_rows = 0.0;
+};
+
+/// The metadata service of paper Figure 3: catalog of tables, their
+/// statistics, and registered materialized views, with low-latency lookup
+/// for query planning. Also the injection point for the stats-error
+/// experiments.
+class MetadataService {
+ public:
+  /// Register a table; replaces an existing one with the same name.
+  void RegisterTable(std::shared_ptr<Table> table);
+
+  Result<std::shared_ptr<Table>> GetTable(const std::string& name) const;
+
+  bool HasTable(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+
+  Status DropTable(const std::string& name);
+
+  /// ANALYZE one table (rebuild statistics).
+  Status Analyze(const std::string& name);
+
+  /// ANALYZE every registered table.
+  void AnalyzeAll();
+
+  /// Statistics as the optimizer sees them: true stats scaled by the
+  /// configured error factor. Returns nullptr when the table is unknown or
+  /// not analyzed.
+  const TableStats* GetStats(const std::string& name) const;
+
+  /// Ground-truth statistics (no error injection) — what the execution
+  /// simulator uses as reality.
+  const TableStats* GetTrueStats(const std::string& name) const;
+
+  /// Scale the *served* row counts of `table` by `factor` (1.0 = truthful).
+  /// Lets experiments reproduce cardinality misestimation without touching
+  /// data.
+  void SetStatsErrorFactor(const std::string& table, double factor);
+  double stats_error_factor(const std::string& table) const;
+
+  /// Pretend `table` is `scale`x its in-process size — applied to BOTH the
+  /// true and the served statistics (key NDVs scale along, bounded by the
+  /// row count). This is how experiments run warehouse-sized workloads on
+  /// the simulator while keeping in-process data small; the error factor
+  /// then injects *disagreement* on top.
+  void SetVirtualScale(const std::string& table, double scale);
+  double virtual_scale(const std::string& table) const;
+
+  /// Mirror every table as objects in the cloud object store so storage
+  /// rent accrues (one object per row group, Parquet-file style).
+  void SyncToObjectStore(CloudEnv* env) const;
+
+  /// Materialized views (registered by the background tuner).
+  void RegisterMaterializedView(MaterializedViewInfo info);
+  const std::vector<MaterializedViewInfo>& materialized_views() const {
+    return mvs_;
+  }
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::map<std::string, std::shared_ptr<Table>> tables_;
+  mutable std::map<std::string, TableStats> stats_;       // served copies
+  mutable std::map<std::string, TableStats> true_served_;  // scaled truth
+  std::map<std::string, TableStats> true_stats_;           // as analyzed
+  std::map<std::string, double> error_factors_;
+  std::map<std::string, double> virtual_scales_;
+  std::vector<MaterializedViewInfo> mvs_;
+};
+
+}  // namespace costdb

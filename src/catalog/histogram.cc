@@ -1,0 +1,87 @@
+#include "catalog/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace costdb {
+
+EquiDepthHistogram EquiDepthHistogram::Build(std::vector<double> values,
+                                             size_t num_buckets) {
+  EquiDepthHistogram h;
+  if (values.empty() || num_buckets == 0) return h;
+  std::sort(values.begin(), values.end());
+  const size_t n = values.size();
+  num_buckets = std::min(num_buckets, n);
+  h.total_count_ = static_cast<double>(n);
+  h.bounds_.push_back(values.front());
+  size_t start = 0;
+  for (size_t b = 0; b < num_buckets; ++b) {
+    size_t end = (b + 1) * n / num_buckets;  // exclusive
+    if (end <= start) continue;
+    h.bounds_.push_back(values[end - 1]);
+    h.counts_.push_back(static_cast<double>(end - start));
+    start = end;
+  }
+  return h;
+}
+
+double EquiDepthHistogram::SelectivityLessThan(double constant,
+                                               bool inclusive) const {
+  if (empty()) return 0.5;
+  if (constant < bounds_.front()) return 0.0;
+  if (constant > bounds_.back()) return 1.0;
+  double acc = 0.0;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    double lo = bounds_[b];
+    double hi = bounds_[b + 1];
+    if (constant >= hi) {
+      acc += counts_[b];
+      continue;
+    }
+    // Partially covered bucket: interpolate.
+    double width = hi - lo;
+    double frac;
+    if (width <= 0.0) {
+      frac = inclusive ? 1.0 : 0.0;
+    } else {
+      frac = (constant - lo) / width;
+    }
+    acc += counts_[b] * std::clamp(frac, 0.0, 1.0);
+    break;
+  }
+  return acc / total_count_;
+}
+
+double EquiDepthHistogram::EstimateSelectivity(CompareOp op,
+                                               double constant) const {
+  if (empty()) return 0.5;
+  switch (op) {
+    case CompareOp::kLt:
+      return SelectivityLessThan(constant, /*inclusive=*/false);
+    case CompareOp::kLe:
+      return SelectivityLessThan(constant, /*inclusive=*/true);
+    case CompareOp::kGt:
+      return 1.0 - SelectivityLessThan(constant, /*inclusive=*/true);
+    case CompareOp::kGe:
+      return 1.0 - SelectivityLessThan(constant, /*inclusive=*/false);
+    case CompareOp::kEq: {
+      // Width of an epsilon-slice around the constant, bounded below by a
+      // uniform within-bucket guess.
+      if (constant < bounds_.front() || constant > bounds_.back()) return 0.0;
+      for (size_t b = 0; b < counts_.size(); ++b) {
+        if (constant <= bounds_[b + 1]) {
+          double width = bounds_[b + 1] - bounds_[b];
+          double rows = counts_[b];
+          double distinct_guess = width <= 0.0 ? 1.0 : std::max(1.0, width);
+          return std::min(1.0, rows / distinct_guess / total_count_);
+        }
+      }
+      return 0.0;
+    }
+    case CompareOp::kNe:
+      return 1.0 - EstimateSelectivity(CompareOp::kEq, constant);
+  }
+  return 0.5;
+}
+
+}  // namespace costdb

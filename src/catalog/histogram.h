@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/zone_map.h"
+
+namespace costdb {
+
+/// Equi-depth histogram over a numeric column. The explainable statistic
+/// the cost estimator leans on for predicate selectivity — the paper trades
+/// black-box ML accuracy for estimators engineers can reason about.
+class EquiDepthHistogram {
+ public:
+  /// Build with ~`num_buckets` buckets from (unsorted) values.
+  static EquiDepthHistogram Build(std::vector<double> values,
+                                  size_t num_buckets = 64);
+
+  /// Fraction of rows satisfying `x op constant`, in [0, 1]. Uses linear
+  /// interpolation within buckets.
+  double EstimateSelectivity(CompareOp op, double constant) const;
+
+  bool empty() const { return total_count_ == 0; }
+  size_t num_buckets() const { return bounds_.empty() ? 0 : bounds_.size() - 1; }
+  double min() const { return bounds_.empty() ? 0.0 : bounds_.front(); }
+  double max() const { return bounds_.empty() ? 0.0 : bounds_.back(); }
+
+ private:
+  double SelectivityLessThan(double constant, bool inclusive) const;
+
+  // bounds_[i], bounds_[i+1] delimit bucket i; counts_[i] rows in bucket i.
+  std::vector<double> bounds_;
+  std::vector<double> counts_;
+  double total_count_ = 0;
+};
+
+}  // namespace costdb

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace costdb {
+
+/// HyperLogLog distinct-count sketch (p = 12, 4096 registers, ~1.6% typical
+/// error). Backs the NDV statistics the optimizer's join cardinality model
+/// and the tuning advisors rely on.
+class HyperLogLog {
+ public:
+  explicit HyperLogLog(int precision = 12);
+
+  void AddInt(int64_t v);
+  void AddDouble(double v);
+  void AddString(const std::string& v);
+  void AddHash(uint64_t hash);
+
+  /// Estimated number of distinct values added.
+  double Estimate() const;
+
+  /// Merge another sketch (same precision) into this one.
+  void Merge(const HyperLogLog& other);
+
+  int precision() const { return precision_; }
+
+ private:
+  int precision_;
+  uint64_t num_registers_;
+  std::vector<uint8_t> registers_;
+};
+
+/// 64-bit mix hash used by the sketch and the join hash tables.
+uint64_t HashInt64(int64_t v);
+uint64_t HashDouble(double v);
+uint64_t HashString(const std::string& v);
+uint64_t HashCombine(uint64_t a, uint64_t b);
+
+}  // namespace costdb

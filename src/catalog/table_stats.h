@@ -1,0 +1,39 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "catalog/histogram.h"
+#include "catalog/hll.h"
+#include "storage/table.h"
+
+namespace costdb {
+
+/// Optimizer-facing statistics of one column.
+struct ColumnStats {
+  double ndv = 0.0;          // distinct values (HLL estimate)
+  Value min;
+  Value max;
+  double avg_width = 8.0;    // bytes per value
+  EquiDepthHistogram histogram;  // numeric columns only
+  bool has_histogram = false;
+};
+
+/// Optimizer-facing statistics of one table. Built by ANALYZE
+/// (TableStats::Analyze) and served by the metadata service. Experiments
+/// inject cardinality misestimation by scaling `row_count` (see
+/// MetadataService::SetStatsErrorFactor) — precisely the failure mode the
+/// paper's DOP monitor exists to absorb.
+struct TableStats {
+  double row_count = 0.0;
+  std::map<std::string, ColumnStats> columns;
+
+  static TableStats Analyze(const Table& table, size_t histogram_buckets = 64);
+
+  const ColumnStats* Find(const std::string& column) const {
+    auto it = columns.find(column);
+    return it == columns.end() ? nullptr : &it->second;
+  }
+};
+
+}  // namespace costdb

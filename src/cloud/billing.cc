@@ -1,0 +1,44 @@
+#include "cloud/billing.h"
+
+#include <algorithm>
+
+namespace costdb {
+
+void BillingMeter::Charge(const UsageRecord& record) {
+  UsageRecord billed = record;
+  billed.duration = std::max(billed.duration, min_increment_);
+  records_.push_back(billed);
+  total_ += billed.dollars();
+  machine_seconds_ += billed.machine_seconds();
+}
+
+void BillingMeter::ChargeFlat(const std::string& label, Dollars amount) {
+  flat_charges_[label] += amount;
+  total_ += amount;
+}
+
+Dollars BillingMeter::TotalForPrefix(const std::string& prefix) const {
+  Dollars sum = 0.0;
+  for (const auto& r : records_) {
+    if (r.label.rfind(prefix, 0) == 0) sum += r.dollars();
+  }
+  for (const auto& [label, amount] : flat_charges_) {
+    if (label.rfind(prefix, 0) == 0) sum += amount;
+  }
+  return sum;
+}
+
+std::map<std::string, Dollars> BillingMeter::Breakdown() const {
+  std::map<std::string, Dollars> out = flat_charges_;
+  for (const auto& r : records_) out[r.label] += r.dollars();
+  return out;
+}
+
+void BillingMeter::Reset() {
+  total_ = 0.0;
+  machine_seconds_ = 0.0;
+  records_.clear();
+  flat_charges_.clear();
+}
+
+}  // namespace costdb

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace costdb {
+
+/// One billed interval of machine time. The paper is explicit that the
+/// user-observable cost is proportional to *total machine time*, not CPU
+/// time: nodes blocked waiting for input are still charged.
+struct UsageRecord {
+  std::string label;          // e.g. "query:Q5", "tuning:mv_build", "storage"
+  Seconds start = 0.0;
+  Seconds duration = 0.0;
+  int node_count = 0;
+  Dollars price_per_node_second = 0.0;
+
+  Dollars dollars() const {
+    return duration * node_count * price_per_node_second;
+  }
+  Seconds machine_seconds() const { return duration * node_count; }
+};
+
+/// Accumulates the cloud bill of a tenant across foreground queries,
+/// background tuning jobs, and storage. The per-label breakdown is what the
+/// What-If Service's dollar reports are built from.
+class BillingMeter {
+ public:
+  /// Minimum billed duration per usage record (public clouds round up;
+  /// 0 keeps billing exactly linear, 60 models per-minute minimums).
+  explicit BillingMeter(Seconds min_billing_increment = 0.0)
+      : min_increment_(min_billing_increment) {}
+
+  void Charge(const UsageRecord& record);
+
+  /// Flat storage charge (already converted to dollars by the caller).
+  void ChargeFlat(const std::string& label, Dollars amount);
+
+  Dollars total() const { return total_; }
+  Seconds total_machine_seconds() const { return machine_seconds_; }
+
+  /// Bill for one label prefix, e.g. "tuning:" sums all tuning jobs.
+  Dollars TotalForPrefix(const std::string& prefix) const;
+
+  const std::vector<UsageRecord>& records() const { return records_; }
+
+  /// label -> dollars, aggregated.
+  std::map<std::string, Dollars> Breakdown() const;
+
+  void Reset();
+
+ private:
+  Seconds min_increment_;
+  Dollars total_ = 0.0;
+  Seconds machine_seconds_ = 0.0;
+  std::vector<UsageRecord> records_;
+  std::map<std::string, Dollars> flat_charges_;
+};
+
+}  // namespace costdb

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <memory>
+
+#include "cloud/billing.h"
+#include "cloud/cluster.h"
+#include "cloud/object_store.h"
+#include "cloud/pricing.h"
+
+namespace costdb {
+
+/// Bundles the simulated provider: price list, bill, object storage, and
+/// elastic compute. One CloudEnv per tenant/experiment; everything in it is
+/// deterministic.
+class CloudEnv {
+ public:
+  explicit CloudEnv(ClusterOptions cluster_options = ClusterOptions())
+      : pricing_(PricingCatalog::Default()),
+        billing_(),
+        object_store_(&pricing_),
+        clusters_(&pricing_, &billing_, cluster_options) {}
+
+  const PricingCatalog& pricing() const { return pricing_; }
+  PricingCatalog* mutable_pricing() { return &pricing_; }
+  BillingMeter* billing() { return &billing_; }
+  const BillingMeter& billing() const { return billing_; }
+  SimulatedObjectStore* object_store() { return &object_store_; }
+  ClusterManager* clusters() { return &clusters_; }
+
+ private:
+  PricingCatalog pricing_;
+  BillingMeter billing_;
+  SimulatedObjectStore object_store_;
+  ClusterManager clusters_;
+};
+
+}  // namespace costdb

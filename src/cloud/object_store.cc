@@ -1,0 +1,50 @@
+#include "cloud/object_store.h"
+
+namespace costdb {
+
+void SimulatedObjectStore::Put(const std::string& key, double bytes) {
+  auto it = objects_.find(key);
+  if (it != objects_.end()) {
+    total_bytes_ -= it->second;
+    it->second = bytes;
+  } else {
+    objects_[key] = bytes;
+  }
+  total_bytes_ += bytes;
+  ++put_requests_;
+}
+
+Result<double> SimulatedObjectStore::Size(const std::string& key) const {
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return Status::NotFound("no object: " + key);
+  return it->second;
+}
+
+void SimulatedObjectStore::Delete(const std::string& key) {
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return;
+  total_bytes_ -= it->second;
+  objects_.erase(it);
+}
+
+Dollars SimulatedObjectStore::StorageRent(Seconds duration) const {
+  const double gib_months =
+      (total_bytes_ / kGiB) * (duration / (30.0 * kSecondsPerDay));
+  return gib_months * pricing_->storage_per_gib_month;
+}
+
+Dollars SimulatedObjectStore::RequestCharges() const {
+  return static_cast<double>(get_requests_) / 1000.0 *
+             pricing_->per_1k_get_requests +
+         static_cast<double>(put_requests_) / 1000.0 *
+             pricing_->per_1k_put_requests;
+}
+
+Seconds SimulatedObjectStore::ScanTime(double bytes, const InstanceType& node,
+                                       int node_count) const {
+  if (node_count <= 0) return 0.0;
+  const double aggregate_gbps = node.scan_gbps * node_count;
+  return bytes / (aggregate_gbps * kGiB);
+}
+
+}  // namespace costdb

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "cloud/billing.h"
+#include "cloud/pricing.h"
+#include "common/result.h"
+#include "common/units.h"
+
+namespace costdb {
+
+/// Simulated S3-like object store. It does not hold real bytes — table data
+/// lives in the in-process column store — it accounts for the *economics*
+/// and *bandwidth* of the storage layer that the disaggregated architecture
+/// (paper Figure 3) rests on: object sizes, request counts, storage rent,
+/// and the per-node scan bandwidth that bounds table-scan throughput.
+class SimulatedObjectStore {
+ public:
+  explicit SimulatedObjectStore(const PricingCatalog* pricing)
+      : pricing_(pricing) {}
+
+  /// Create or replace an object of the given size.
+  void Put(const std::string& key, double bytes);
+
+  /// Size of an object, or NotFound.
+  Result<double> Size(const std::string& key) const;
+
+  void Delete(const std::string& key);
+
+  bool Exists(const std::string& key) const {
+    return objects_.count(key) > 0;
+  }
+
+  double total_bytes() const { return total_bytes_; }
+  int64_t get_requests() const { return get_requests_; }
+  int64_t put_requests() const { return put_requests_; }
+
+  /// Record `n` GET requests (issued by scans; charged per 1000).
+  void CountGets(int64_t n) { get_requests_ += n; }
+
+  /// Storage rent for holding the current bytes for `duration` seconds.
+  Dollars StorageRent(Seconds duration) const;
+
+  /// Request charges accumulated so far.
+  Dollars RequestCharges() const;
+
+  /// Time for `node_count` nodes of shape `node` to cooperatively read
+  /// `bytes` from the store (bandwidth scales with nodes; the store itself
+  /// is assumed not to be the bottleneck, which matches S3 at warehouse
+  /// scale).
+  Seconds ScanTime(double bytes, const InstanceType& node,
+                   int node_count) const;
+
+ private:
+  const PricingCatalog* pricing_;
+  std::map<std::string, double> objects_;
+  double total_bytes_ = 0.0;
+  int64_t get_requests_ = 0;
+  int64_t put_requests_ = 0;
+};
+
+}  // namespace costdb

@@ -1,0 +1,32 @@
+#include "cloud/pricing.h"
+
+namespace costdb {
+
+PricingCatalog PricingCatalog::Default() {
+  PricingCatalog c;
+  // Shape progression doubles compute, memory, and NIC per step, with a
+  // linear price ladder: the paper's "1 machine x 100 min == 100 machines x
+  // 1 min" arithmetic requires price linear in capacity.
+  c.AddInstanceType({"c8", 8, 32.0, 10.0, 1.0, 0.40});
+  c.AddInstanceType({"c16", 16, 64.0, 12.5, 1.8, 0.80});
+  c.AddInstanceType({"c32", 32, 128.0, 16.0, 3.2, 1.60});
+  c.AddInstanceType({"c64", 64, 256.0, 25.0, 5.5, 3.20});
+  return c;
+}
+
+void PricingCatalog::AddInstanceType(InstanceType type) {
+  types_.push_back(std::move(type));
+}
+
+Result<InstanceType> PricingCatalog::Find(const std::string& name) const {
+  for (const auto& t : types_) {
+    if (t.name == name) return t;
+  }
+  return Status::NotFound("unknown instance type: " + name);
+}
+
+const InstanceType& PricingCatalog::default_node() const {
+  return types_.front();
+}
+
+}  // namespace costdb

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/units.h"
+
+namespace costdb {
+
+/// A purchasable VM shape. The paper assumes symmetric nodes within a
+/// cluster; the catalog still carries several shapes so calibration and the
+/// instance-selection hooks (out of the paper's scope, see Leis &
+/// Kuschewski [19]) have something to work with.
+struct InstanceType {
+  std::string name;
+  int vcpus = 0;
+  double memory_gib = 0.0;
+  double network_gbps = 0.0;     // per-node NIC bandwidth
+  double scan_gbps = 0.0;        // per-node sustainable scan rate from object store
+  Dollars price_per_hour = 0.0;
+
+  Dollars price_per_second() const { return price_per_hour / kSecondsPerHour; }
+};
+
+/// Price list for the simulated provider. Prices are modeled on typical
+/// public-cloud on-demand rates circa the paper (general-purpose 8 vCPU
+/// node ~ $0.40/h); absolute values only scale the dollar axis of every
+/// experiment, relative values are what the trade-offs depend on.
+class PricingCatalog {
+ public:
+  /// Catalog with the default node shapes ("c8", "c16", "c32", "c64").
+  static PricingCatalog Default();
+
+  void AddInstanceType(InstanceType type);
+
+  Result<InstanceType> Find(const std::string& name) const;
+
+  const std::vector<InstanceType>& instance_types() const { return types_; }
+
+  /// The symmetric node shape used by the elastic compute layer unless a
+  /// caller overrides it.
+  const InstanceType& default_node() const;
+
+  /// Object storage rates (S3-like).
+  Dollars storage_per_gib_month = 0.023;
+  Dollars per_1k_get_requests = 0.0004;
+  Dollars per_1k_put_requests = 0.005;
+
+ private:
+  std::vector<InstanceType> types_;
+};
+
+}  // namespace costdb

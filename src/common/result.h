@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace costdb {
+
+/// Holds either a value of type T or an error Status. Arrow-style companion
+/// to Status for functions that produce a value.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}            // NOLINT(implicit)
+  Result(Status status) : status_(std::move(status)) {     // NOLINT(implicit)
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when this result holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assign an OK result's value to `lhs`, or return its error status.
+#define COSTDB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value();
+
+#define COSTDB_ASSIGN_OR_RETURN(lhs, expr)                                 \
+  COSTDB_ASSIGN_OR_RETURN_IMPL(                                            \
+      COSTDB_CONCAT_(_result_tmp_, __LINE__), lhs, expr)
+
+#define COSTDB_CONCAT_INNER_(a, b) a##b
+#define COSTDB_CONCAT_(a, b) COSTDB_CONCAT_INNER_(a, b)
+
+}  // namespace costdb

@@ -1,0 +1,101 @@
+#include "common/rng.h"
+
+#include <algorithm>
+
+#include <cmath>
+
+namespace costdb {
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// splitmix64 for seeding.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  if (lo >= hi) return lo;
+  uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(Next() % range);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::Normal(double mean, double stddev) {
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  return mean + stddev * z;
+}
+
+double Rng::Exponential(double lambda) {
+  double u = NextDouble();
+  if (u < 1e-300) u = 1e-300;
+  return -std::log(u) / lambda;
+}
+
+int64_t Rng::Poisson(double mean) {
+  if (mean <= 0.0) return 0;
+  if (mean > 64.0) {
+    double v = Normal(mean, std::sqrt(mean));
+    return v < 0.0 ? 0 : static_cast<int64_t>(v + 0.5);
+  }
+  const double limit = std::exp(-mean);
+  double prod = NextDouble();
+  int64_t n = 0;
+  while (prod > limit) {
+    ++n;
+    prod *= NextDouble();
+  }
+  return n;
+}
+
+int64_t Rng::Zipf(int64_t n, double theta) {
+  if (n <= 1) return 1;
+  if (theta <= 0.0) return UniformInt(1, n);
+  if (n != zipf_n_ || theta != zipf_theta_) {
+    zipf_n_ = n;
+    zipf_theta_ = theta;
+    zipf_cdf_.resize(static_cast<size_t>(n));
+    double sum = 0.0;
+    for (int64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+      zipf_cdf_[static_cast<size_t>(i - 1)] = sum;
+    }
+    for (auto& c : zipf_cdf_) c /= sum;
+  }
+  double u = NextDouble();
+  auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+  return 1 + static_cast<int64_t>(it - zipf_cdf_.begin());
+}
+
+}  // namespace costdb

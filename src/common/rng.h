@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace costdb {
+
+/// Deterministic PRNG (xoshiro256**) used everywhere randomness is needed.
+/// All simulations, data generators, and workload traces are seeded so that
+/// every experiment in bench/ prints identical numbers across runs.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform real in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller.
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Exponential with rate lambda (mean 1/lambda).
+  double Exponential(double lambda);
+
+  /// Poisson-distributed count with the given mean (Knuth for small means,
+  /// normal approximation above 64).
+  int64_t Poisson(double mean);
+
+  /// Zipf-distributed integer in [1, n] with skew parameter `theta`
+  /// (theta = 0 is uniform). The CDF is precomputed per (n, theta) pair and
+  /// sampled by binary search, so repeated draws are O(log n).
+  int64_t Zipf(int64_t n, double theta);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+  // Cached Zipf CDF: recomputed when (n, theta) changes.
+  int64_t zipf_n_ = -1;
+  double zipf_theta_ = -1.0;
+  std::vector<double> zipf_cdf_;
+};
+
+}  // namespace costdb

@@ -1,0 +1,132 @@
+#include "common/stats_math.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace costdb {
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
+double StdDev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  double m = Mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(v.size()));
+}
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  if (p <= 0.0) return v.front();
+  if (p >= 100.0) return v.back();
+  double rank = p / 100.0 * static_cast<double>(v.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= v.size()) return v.back();
+  return v[lo] * (1.0 - frac) + v[lo + 1] * frac;
+}
+
+double GeoMean(const std::vector<double>& v) {
+  double log_sum = 0.0;
+  size_t n = 0;
+  for (double x : v) {
+    if (x > 0.0) {
+      log_sum += std::log(x);
+      ++n;
+    }
+  }
+  if (n == 0) return 0.0;
+  return std::exp(log_sum / static_cast<double>(n));
+}
+
+double QError(double estimate, double truth, double eps) {
+  double e = std::max(std::abs(estimate), eps);
+  double t = std::max(std::abs(truth), eps);
+  return std::max(e / t, t / e);
+}
+
+bool LeastSquares(const std::vector<double>& x_rowmajor, size_t cols,
+                  const std::vector<double>& y, std::vector<double>* beta) {
+  if (cols == 0 || y.empty()) return false;
+  size_t rows = y.size();
+  if (x_rowmajor.size() != rows * cols) return false;
+
+  // Normal equations: (X^T X) beta = X^T y.
+  std::vector<double> xtx(cols * cols, 0.0);
+  std::vector<double> xty(cols, 0.0);
+  for (size_t r = 0; r < rows; ++r) {
+    const double* xr = &x_rowmajor[r * cols];
+    for (size_t i = 0; i < cols; ++i) {
+      xty[i] += xr[i] * y[r];
+      for (size_t j = 0; j < cols; ++j) xtx[i * cols + j] += xr[i] * xr[j];
+    }
+  }
+
+  // Gaussian elimination with partial pivoting on the augmented system.
+  std::vector<double> a(xtx);
+  std::vector<double> b(xty);
+  for (size_t col = 0; col < cols; ++col) {
+    size_t pivot = col;
+    for (size_t r = col + 1; r < cols; ++r) {
+      if (std::abs(a[r * cols + col]) > std::abs(a[pivot * cols + col])) {
+        pivot = r;
+      }
+    }
+    if (std::abs(a[pivot * cols + col]) < 1e-12) return false;
+    if (pivot != col) {
+      for (size_t j = 0; j < cols; ++j) {
+        std::swap(a[col * cols + j], a[pivot * cols + j]);
+      }
+      std::swap(b[col], b[pivot]);
+    }
+    for (size_t r = col + 1; r < cols; ++r) {
+      double f = a[r * cols + col] / a[col * cols + col];
+      for (size_t j = col; j < cols; ++j) a[r * cols + j] -= f * a[col * cols + j];
+      b[r] -= f * b[col];
+    }
+  }
+  beta->assign(cols, 0.0);
+  for (size_t i = cols; i-- > 0;) {
+    double acc = b[i];
+    for (size_t j = i + 1; j < cols; ++j) acc -= a[i * cols + j] * (*beta)[j];
+    (*beta)[i] = acc / a[i * cols + i];
+  }
+  return true;
+}
+
+double RSquared(const std::vector<double>& predicted,
+                const std::vector<double>& observed) {
+  if (predicted.size() != observed.size() || observed.empty()) return 0.0;
+  double mean_obs = Mean(observed);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    ss_res += (observed[i] - predicted[i]) * (observed[i] - predicted[i]);
+    ss_tot += (observed[i] - mean_obs) * (observed[i] - mean_obs);
+  }
+  if (ss_tot < 1e-12) return ss_res < 1e-12 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double Autocorrelation(const std::vector<double>& series, size_t lag) {
+  if (lag == 0 || series.size() <= lag) return 0.0;
+  double m = Mean(series);
+  double num = 0.0;
+  double den = 0.0;
+  for (size_t i = 0; i < series.size(); ++i) {
+    den += (series[i] - m) * (series[i] - m);
+  }
+  if (den < 1e-12) return 0.0;
+  for (size_t i = lag; i < series.size(); ++i) {
+    num += (series[i] - m) * (series[i - lag] - m);
+  }
+  return num / den;
+}
+
+}  // namespace costdb

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace costdb {
+
+/// Descriptive statistics and small numeric kernels shared by the cost
+/// estimator (regression fitting), the statistics service, and the
+/// experiment harnesses in bench/.
+
+/// Arithmetic mean; 0 for an empty input.
+double Mean(const std::vector<double>& v);
+
+/// Population standard deviation; 0 for fewer than two samples.
+double StdDev(const std::vector<double>& v);
+
+/// p-th percentile (p in [0,100]) with linear interpolation; input need not
+/// be sorted. Returns 0 for empty input.
+double Percentile(std::vector<double> v, double p);
+
+/// Geometric mean; ignores non-positive entries. 0 for empty input.
+double GeoMean(const std::vector<double>& v);
+
+/// Q-error of an estimate vs. a true value: max(est/true, true/est), the
+/// standard cardinality/cost estimation accuracy metric. Values are clamped
+/// to be at least `eps` to avoid division by zero.
+double QError(double estimate, double truth, double eps = 1e-9);
+
+/// Ordinary least squares for y ~ X*beta. X is row-major with `cols`
+/// features per row (include a 1-column for the intercept yourself).
+/// Solves the normal equations with Gaussian elimination and partial
+/// pivoting. Returns false when the system is singular.
+bool LeastSquares(const std::vector<double>& x_rowmajor, size_t cols,
+                  const std::vector<double>& y, std::vector<double>* beta);
+
+/// Coefficient of determination R^2 of predictions vs. observations.
+double RSquared(const std::vector<double>& predicted,
+                const std::vector<double>& observed);
+
+/// Pearson autocorrelation of a series at the given lag (for the workload
+/// predictor's periodicity detection). Returns 0 when undefined.
+double Autocorrelation(const std::vector<double>& series, size_t lag);
+
+}  // namespace costdb

@@ -1,0 +1,41 @@
+#include "common/status.h"
+
+namespace costdb {
+
+namespace {
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Status::Code::kNotFound:
+      return "NotFound";
+    case Status::Code::kAlreadyExists:
+      return "AlreadyExists";
+    case Status::Code::kNotSupported:
+      return "NotSupported";
+    case Status::Code::kOutOfRange:
+      return "OutOfRange";
+    case Status::Code::kResourceExhausted:
+      return "ResourceExhausted";
+    case Status::Code::kSlaViolation:
+      return "SlaViolation";
+    case Status::Code::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace costdb

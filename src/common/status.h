@@ -1,0 +1,85 @@
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace costdb {
+
+/// RocksDB-style status object used for error handling throughout the
+/// warehouse. Core paths never throw; every fallible function returns a
+/// Status (or a Result<T>, see result.h).
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kAlreadyExists,
+    kNotSupported,
+    kOutOfRange,
+    kResourceExhausted,  // budget/cluster capacity exceeded
+    kSlaViolation,       // latency SLA cannot be met
+    kInternal,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
+  static Status SlaViolation(std::string msg) {
+    return Status(Code::kSlaViolation, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
+  bool IsResourceExhausted() const {
+    return code_ == Code::kResourceExhausted;
+  }
+  bool IsSlaViolation() const { return code_ == Code::kSlaViolation; }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>" for logs and test failure output.
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Propagate a non-OK status to the caller (RocksDB/Arrow idiom).
+#define COSTDB_RETURN_NOT_OK(expr)            \
+  do {                                        \
+    ::costdb::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+}  // namespace costdb

@@ -1,0 +1,52 @@
+#include "common/table_printer.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace costdb {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row, std::string* out) {
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : "";
+      *out += "  ";
+      *out += cell;
+      out->append(widths[c] - cell.size(), ' ');
+    }
+    *out += "\n";
+  };
+  std::string out;
+  emit_row(headers_, &out);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  out.append(total, '-');
+  out += "\n";
+  for (const auto& row : rows_) emit_row(row, &out);
+  return out;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  return buf;
+}
+
+}  // namespace costdb

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace costdb {
+
+/// Fixed-width ASCII table writer used by every experiment binary in bench/
+/// to print the rows/series a paper figure or claim is reproduced from.
+///
+///   TablePrinter t({"dop", "latency", "cost"});
+///   t.AddRow({"4", "12.3 s", "$0.0123"});
+///   std::cout << t.ToString();
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table with a header rule and right-padded columns.
+  std::string ToString() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style convenience for building table cells.
+std::string StrFormat(const char* fmt, ...);
+
+}  // namespace costdb

@@ -1,0 +1,45 @@
+#include "common/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace costdb {
+
+namespace {
+std::string FormatF(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+}  // namespace
+
+std::string FormatDollars(Dollars d) {
+  if (std::abs(d) >= 100.0) return "$" + FormatF("%.2f", d);
+  return "$" + FormatF("%.4f", d);
+}
+
+std::string FormatSeconds(Seconds s) {
+  if (s < 1e-3) return FormatF("%.1f", s * 1e6) + " us";
+  if (s < 1.0) return FormatF("%.1f", s * 1e3) + " ms";
+  if (s < 120.0) return FormatF("%.2f", s) + " s";
+  if (s < 2.0 * kSecondsPerHour) return FormatF("%.1f", s / 60.0) + " min";
+  if (s < 2.0 * kSecondsPerDay) return FormatF("%.1f", s / kSecondsPerHour) + " h";
+  return FormatF("%.1f", s / kSecondsPerDay) + " d";
+}
+
+std::string FormatBytes(double bytes) {
+  if (bytes < kKiB) return FormatF("%.0f", bytes) + " B";
+  if (bytes < kMiB) return FormatF("%.1f", bytes / kKiB) + " KiB";
+  if (bytes < kGiB) return FormatF("%.1f", bytes / kMiB) + " MiB";
+  if (bytes < kTiB) return FormatF("%.2f", bytes / kGiB) + " GiB";
+  return FormatF("%.2f", bytes / kTiB) + " TiB";
+}
+
+std::string FormatCount(double count) {
+  if (count < 1e3) return FormatF("%.0f", count);
+  if (count < 1e6) return FormatF("%.1f", count / 1e3) + "K";
+  if (count < 1e9) return FormatF("%.2f", count / 1e6) + "M";
+  return FormatF("%.2f", count / 1e9) + "B";
+}
+
+}  // namespace costdb

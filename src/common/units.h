@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace costdb {
+
+/// Units used across the warehouse. Time is virtual seconds (the simulator
+/// clock), money is US dollars, data is bytes. Plain doubles keep the
+/// arithmetic natural; the formatting helpers make experiment output and
+/// tuning reports readable.
+
+using Seconds = double;
+using Dollars = double;
+
+constexpr double kKiB = 1024.0;
+constexpr double kMiB = 1024.0 * 1024.0;
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+constexpr double kTiB = kGiB * 1024.0;
+
+constexpr double kSecondsPerHour = 3600.0;
+constexpr double kSecondsPerDay = 86400.0;
+
+/// "$1.2345" with four decimals (sub-cent amounts matter for per-query cost).
+std::string FormatDollars(Dollars d);
+
+/// "12.3 s", "4.5 min", "2.1 h" — picks the natural scale.
+std::string FormatSeconds(Seconds s);
+
+/// "1.5 GiB" etc.
+std::string FormatBytes(double bytes);
+
+/// "1.23M", "456K" — compact row counts for experiment tables.
+std::string FormatCount(double count);
+
+}  // namespace costdb

@@ -1,0 +1,41 @@
+#pragma once
+
+#include "common/units.h"
+
+namespace costdb {
+
+/// Hardware parameters the scalability models refer to, "calibrated before
+/// the service starts" (paper Section 3.1). Rates are per node of the
+/// default shape; the defaults below correspond to an 8-vCPU node and were
+/// chosen so relative operator costs mirror a vectorized engine (scans are
+/// storage-bound, exchanges network-bound, hash operators CPU-bound).
+struct HardwareCalibration {
+  // Storage / network.
+  double scan_gibps_per_node = 1.0;      // object-store scan bandwidth
+  double network_gibps_per_node = 1.25;  // NIC bandwidth (10 Gbps)
+
+  // CPU rates, rows per second per node.
+  double filter_rows_per_sec = 400e6;
+  double project_rows_per_sec = 500e6;
+  double hash_build_rows_per_sec = 50e6;
+  double hash_probe_rows_per_sec = 80e6;
+  double agg_rows_per_sec = 60e6;
+  double agg_merge_groups_per_sec = 20e6;
+  double sort_rows_per_sec = 15e6;       // per comparison-merge unit
+  double exchange_rows_per_sec = 100e6;  // partitioning CPU cost
+
+  // Parallel-efficiency decay: effective speedup of a data-exchange-heavy
+  // operator at dop d is d / (1 + alpha * log2(d)).
+  double parallel_alpha = 0.12;
+
+  // Fixed coordination cost per node involved in a shuffle (barrier /
+  // connection setup); this is what eventually makes *latency* rise when a
+  // pipeline is over-scaled, the paper's over-provisioning hazard.
+  Seconds shuffle_sync_per_node = 0.01;
+
+  // Fixed pipeline startup: scheduling, code distribution, and the warm-
+  // pool acquire latency the elastic compute layer charges per pipeline.
+  Seconds pipeline_startup = 0.55;
+};
+
+}  // namespace costdb

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cloud/pricing.h"
+#include "cost/operator_models.h"
+#include "cost/volumes.h"
+#include "plan/pipeline.h"
+
+namespace costdb {
+
+/// DOP assignment: pipeline id -> number of nodes.
+using DopMap = std::map<int, int>;
+
+/// Estimated execution profile of one pipeline.
+struct PipelineEstimate {
+  int pipeline_id = 0;
+  int dop = 1;
+  Seconds duration = 0.0;   // processing time at this DOP
+  Seconds start = 0.0;      // schedule (filled by the query simulator)
+  Seconds finish = 0.0;
+  Seconds release = 0.0;    // nodes held until the consumer starts
+  double source_rows = 0.0;
+  double output_rows = 0.0;
+};
+
+/// Whole-plan prediction: the two quantities the bi-objective optimizer
+/// trades off.
+struct PlanCostEstimate {
+  Seconds latency = 0.0;           // makespan of the pipeline schedule
+  Seconds machine_seconds = 0.0;   // billed node-time (includes blocking)
+  Seconds blocked_machine_seconds = 0.0;  // waste from pipeline waiting
+  Dollars cost = 0.0;
+  std::vector<PipelineEstimate> pipelines;
+};
+
+/// The cost estimator of paper Section 3.1: per-operator scalability
+/// models + a query-level simulator over the pipeline DAG. Given a
+/// physical plan, per-node volumes (estimated or true), and a DOP
+/// assignment, predicts query latency and dollar cost. Lightweight by
+/// construction (closed-form models, no data access), explainable (each
+/// pipeline's time decomposes into named operator stages).
+class CostEstimator {
+ public:
+  CostEstimator(const HardwareCalibration* hw, const InstanceType* node_type)
+      : hw_(hw), node_type_(node_type) {}
+
+  /// Time for `pipeline` to run at `dop` with the given volumes.
+  Seconds PipelineDuration(const Pipeline& pipeline, int dop,
+                           const VolumeMap& volumes) const;
+
+  /// Full prediction: durations per pipeline + dependency-aware schedule +
+  /// machine-time billing. Missing DopMap entries default to 1.
+  PlanCostEstimate EstimatePlan(const PipelineGraph& graph,
+                                const DopMap& dops,
+                                const VolumeMap& volumes) const;
+
+  /// Per-operator stage workload of a pipeline (exposed for the DOP
+  /// planner's throughput queries and for explainability output).
+  StageWorkload SinkWorkload(const Pipeline& pipeline,
+                             const VolumeMap& volumes) const;
+
+  const HardwareCalibration& hardware() const { return *hw_; }
+  const InstanceType& node_type() const { return *node_type_; }
+
+  /// Install a pre-trained regression model for an exchange kind; used by
+  /// the model-ablation experiment (E11). Analytic formulas remain the
+  /// default.
+  void SetShuffleRegression(std::shared_ptr<RegressionOperatorModel> model) {
+    shuffle_regression_ = std::move(model);
+  }
+
+ private:
+  Seconds StageTimeFor(const PhysicalPlan& op, const StageWorkload& w,
+                       int dop) const;
+
+  const HardwareCalibration* hw_;
+  const InstanceType* node_type_;
+  std::shared_ptr<RegressionOperatorModel> shuffle_regression_;
+};
+
+/// Dependency-aware ASAP schedule of pipeline durations. Nodes of a
+/// pipeline are held from its start until its consumer starts (concurrent
+/// sibling pipelines that finish early keep paying — the waste the paper's
+/// co-termination heuristic minimizes).
+void SchedulePipelines(const PipelineGraph& graph,
+                       const std::map<int, Seconds>& durations,
+                       const DopMap& dops, PlanCostEstimate* out);
+
+}  // namespace costdb

@@ -1,0 +1,224 @@
+#include "cost/operator_models.h"
+
+#include <cmath>
+
+#include "common/stats_math.h"
+
+namespace costdb {
+
+double EffectiveParallelism(int dop, double alpha) {
+  if (dop <= 1) return 1.0;
+  return static_cast<double>(dop) /
+         (1.0 + alpha * std::log2(static_cast<double>(dop)));
+}
+
+namespace {
+
+class ScanModel : public OperatorModel {
+ public:
+  explicit ScanModel(const HardwareCalibration* hw) : hw_(hw) {}
+  Seconds StageTime(const StageWorkload& w, int dop) const override {
+    // Object-store scans are embarrassingly parallel: bandwidth scales
+    // linearly with nodes (the paper's canonical elastic operator).
+    return w.bytes_in / (hw_->scan_gibps_per_node * kGiB * dop);
+  }
+  const char* name() const override { return "scan"; }
+
+ private:
+  const HardwareCalibration* hw_;
+};
+
+class FilterModel : public OperatorModel {
+ public:
+  FilterModel(const HardwareCalibration* hw, double rate)
+      : hw_(hw), rate_(rate) {}
+  Seconds StageTime(const StageWorkload& w, int dop) const override {
+    (void)hw_;
+    return w.rows_in / (rate_ * dop);
+  }
+  const char* name() const override { return "filter"; }
+
+ private:
+  const HardwareCalibration* hw_;
+  double rate_;
+};
+
+class HashBuildModel : public OperatorModel {
+ public:
+  explicit HashBuildModel(const HardwareCalibration* hw) : hw_(hw) {}
+  Seconds StageTime(const StageWorkload& w, int dop) const override {
+    double eff = EffectiveParallelism(dop, hw_->parallel_alpha);
+    return w.rows_in / (hw_->hash_build_rows_per_sec * eff);
+  }
+  const char* name() const override { return "hash_build"; }
+
+ private:
+  const HardwareCalibration* hw_;
+};
+
+class HashProbeModel : public OperatorModel {
+ public:
+  explicit HashProbeModel(const HardwareCalibration* hw) : hw_(hw) {}
+  Seconds StageTime(const StageWorkload& w, int dop) const override {
+    double eff = EffectiveParallelism(dop, hw_->parallel_alpha);
+    double work = w.rows_in + 0.5 * w.rows_out;  // matches cost extra emits
+    return work / (hw_->hash_probe_rows_per_sec * eff);
+  }
+  const char* name() const override { return "hash_probe"; }
+
+ private:
+  const HardwareCalibration* hw_;
+};
+
+class AggregateModel : public OperatorModel {
+ public:
+  explicit AggregateModel(const HardwareCalibration* hw) : hw_(hw) {}
+  Seconds StageTime(const StageWorkload& w, int dop) const override {
+    // Local aggregation parallelizes; merging per-node partial tables does
+    // not — each extra node adds another partial of `groups` entries. This
+    // term is why aggregation has a finite cost-optimal DOP.
+    Seconds local = w.rows_in / (hw_->agg_rows_per_sec * dop);
+    Seconds merge =
+        w.groups * std::max(0, dop - 1) / hw_->agg_merge_groups_per_sec;
+    return local + merge;
+  }
+  const char* name() const override { return "aggregate"; }
+
+ private:
+  const HardwareCalibration* hw_;
+};
+
+class SortModel : public OperatorModel {
+ public:
+  explicit SortModel(const HardwareCalibration* hw) : hw_(hw) {}
+  Seconds StageTime(const StageWorkload& w, int dop) const override {
+    double n = std::max(w.rows_in, 2.0);
+    double log_n = std::log2(n);
+    Seconds local = n * log_n / (hw_->sort_rows_per_sec * dop);
+    // Final merge of dop sorted runs happens on one node.
+    Seconds merge = dop > 1 ? n * std::log2(static_cast<double>(dop)) /
+                                  hw_->sort_rows_per_sec
+                            : 0.0;
+    return local + merge;
+  }
+  const char* name() const override { return "sort"; }
+
+ private:
+  const HardwareCalibration* hw_;
+};
+
+class ShuffleModel : public OperatorModel {
+ public:
+  explicit ShuffleModel(const HardwareCalibration* hw) : hw_(hw) {}
+  Seconds StageTime(const StageWorkload& w, int dop) const override {
+    // Hash partitioning: every row is hashed (CPU), and (dop-1)/dop of the
+    // bytes cross the network whose aggregate bandwidth scales sublinearly.
+    // The per-node sync term makes latency *rise* again at large DOP —
+    // over-scaling a distributed exchange hurts both cost and latency.
+    double cpu = w.rows_in / (hw_->exchange_rows_per_sec * dop);
+    double frac_remote =
+        dop <= 1 ? 0.0 : static_cast<double>(dop - 1) / dop;
+    double eff = EffectiveParallelism(dop, hw_->parallel_alpha);
+    double net = w.bytes_in * frac_remote /
+                 (hw_->network_gibps_per_node * kGiB * eff);
+    return std::max(cpu, net) + hw_->shuffle_sync_per_node * dop;
+  }
+  const char* name() const override { return "shuffle"; }
+
+ private:
+  const HardwareCalibration* hw_;
+};
+
+class BroadcastModel : public OperatorModel {
+ public:
+  explicit BroadcastModel(const HardwareCalibration* hw) : hw_(hw) {}
+  Seconds StageTime(const StageWorkload& w, int dop) const override {
+    // Each consumer must receive the whole input: total bytes on the wire
+    // grow linearly with dop, so broadcast *time* is constant-to-rising in
+    // dop (tree distribution amortizes some of it).
+    double per_node = w.bytes_in / (hw_->network_gibps_per_node * kGiB);
+    double fanout_penalty =
+        1.0 + 0.1 * std::log2(std::max(1.0, static_cast<double>(dop)));
+    return per_node * fanout_penalty + hw_->shuffle_sync_per_node * dop;
+  }
+  const char* name() const override { return "broadcast"; }
+
+ private:
+  const HardwareCalibration* hw_;
+};
+
+class GatherModel : public OperatorModel {
+ public:
+  explicit GatherModel(const HardwareCalibration* hw) : hw_(hw) {}
+  Seconds StageTime(const StageWorkload& w, int dop) const override {
+    (void)dop;  // single receiver NIC is the bottleneck
+    return w.bytes_in / (hw_->network_gibps_per_node * kGiB);
+  }
+  const char* name() const override { return "gather"; }
+
+ private:
+  const HardwareCalibration* hw_;
+};
+
+}  // namespace
+
+std::unique_ptr<OperatorModel> MakeAnalyticModel(
+    const PhysicalPlan& op, const HardwareCalibration* hw) {
+  switch (op.kind) {
+    case PhysicalPlan::Kind::kTableScan:
+      return std::make_unique<ScanModel>(hw);
+    case PhysicalPlan::Kind::kFilter:
+      return std::make_unique<FilterModel>(hw, hw->filter_rows_per_sec);
+    case PhysicalPlan::Kind::kProject:
+    case PhysicalPlan::Kind::kLimit:
+      return std::make_unique<FilterModel>(hw, hw->project_rows_per_sec);
+    case PhysicalPlan::Kind::kHashJoin:
+      return std::make_unique<HashProbeModel>(hw);
+    case PhysicalPlan::Kind::kHashAggregate:
+      return std::make_unique<AggregateModel>(hw);
+    case PhysicalPlan::Kind::kSort:
+      return std::make_unique<SortModel>(hw);
+    case PhysicalPlan::Kind::kExchange:
+      switch (op.exchange_kind) {
+        case ExchangeKind::kShuffle:
+          return std::make_unique<ShuffleModel>(hw);
+        case ExchangeKind::kBroadcast:
+          return std::make_unique<BroadcastModel>(hw);
+        case ExchangeKind::kGather:
+          return std::make_unique<GatherModel>(hw);
+      }
+  }
+  return std::make_unique<FilterModel>(hw, hw->project_rows_per_sec);
+}
+
+std::vector<double> RegressionOperatorModel::Features(const StageWorkload& w,
+                                                      int dop) {
+  double ld = std::log(static_cast<double>(std::max(dop, 1)));
+  return {1.0, std::log1p(w.rows_in), std::log1p(w.bytes_in), ld, ld * ld};
+}
+
+bool RegressionOperatorModel::Fit(const std::vector<Sample>& samples) {
+  if (samples.size() < 8) return false;
+  std::vector<double> x;
+  std::vector<double> y;
+  for (const auto& s : samples) {
+    if (s.observed_time <= 0.0) continue;
+    auto f = Features(s.workload, s.dop);
+    x.insert(x.end(), f.begin(), f.end());
+    y.push_back(std::log(s.observed_time));
+  }
+  if (y.size() < 6) return false;
+  fitted_ = LeastSquares(x, 5, y, &beta_);
+  return fitted_;
+}
+
+Seconds RegressionOperatorModel::StageTime(const StageWorkload& w,
+                                           int dop) const {
+  if (!fitted_) return 0.0;
+  auto f = Features(w, dop);
+  double log_t = 0.0;
+  for (size_t i = 0; i < f.size(); ++i) log_t += beta_[i] * f[i];
+  return std::exp(log_t);
+}
+
+}  // namespace costdb

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cost/calibration.h"
+#include "plan/physical_plan.h"
+
+namespace costdb {
+
+/// Work arriving at one operator stage of a pipeline.
+struct StageWorkload {
+  double rows_in = 0.0;
+  double bytes_in = 0.0;
+  double rows_out = 0.0;
+  double groups = 1.0;  // aggregate output groups / sort runs
+};
+
+/// Per-operator scalability model: time for the stage to process a
+/// workload at a given degree of parallelism. Simple closed-form formulas
+/// per the paper ("simple mathematical formulas are good enough for most
+/// physical operators"), explainable by construction.
+class OperatorModel {
+ public:
+  virtual ~OperatorModel() = default;
+  virtual Seconds StageTime(const StageWorkload& w, int dop) const = 0;
+  virtual const char* name() const = 0;
+};
+
+/// d / (1 + alpha log2 d): sublinear speedup of exchange-heavy operators.
+double EffectiveParallelism(int dop, double alpha);
+
+/// Factory for the analytic model of a physical operator. `hw` must
+/// outlive the returned model.
+std::unique_ptr<OperatorModel> MakeAnalyticModel(
+    const PhysicalPlan& op, const HardwareCalibration* hw);
+
+/// Pre-trained regression model for exchange-heavy operators (paper: "we
+/// pre-train regression models for them with synthetic workloads that
+/// cover the parameter space"). Log-linear in (rows, bytes, dop):
+///   log t = b0 + b1 log(1+rows) + b2 log(1+bytes) + b3 log d + b4 log^2 d
+class RegressionOperatorModel : public OperatorModel {
+ public:
+  struct Sample {
+    StageWorkload workload;
+    int dop = 1;
+    Seconds observed_time = 0.0;
+  };
+
+  explicit RegressionOperatorModel(std::string name)
+      : name_(std::move(name)) {}
+
+  /// Least-squares fit; returns false with insufficient/degenerate data.
+  bool Fit(const std::vector<Sample>& samples);
+
+  bool fitted() const { return fitted_; }
+
+  Seconds StageTime(const StageWorkload& w, int dop) const override;
+  const char* name() const override { return name_.c_str(); }
+
+ private:
+  static std::vector<double> Features(const StageWorkload& w, int dop);
+
+  std::string name_;
+  std::vector<double> beta_;
+  bool fitted_ = false;
+};
+
+}  // namespace costdb

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <map>
+
+#include "optimizer/cardinality.h"
+#include "plan/physical_plan.h"
+
+namespace costdb {
+
+/// Data volumes flowing through one plan node.
+struct NodeVolumes {
+  double out_rows = 0.0;
+  double out_bytes = 0.0;     // out_rows x row width
+  double source_rows = 0.0;   // scans: rows fed to filters (post-pruning)
+  double scanned_bytes = 0.0; // scans: bytes pulled from object storage
+};
+
+using VolumeMap = std::map<const PhysicalPlan*, NodeVolumes>;
+
+/// Recompute the volumes of every node in a physical plan with the given
+/// cardinality estimator. Two uses:
+///   - estimator view: `cards` built on served (possibly error-injected)
+///     statistics — what the optimizer believes;
+///   - ground truth: `cards` built with use_true_stats — what the
+///     execution simulator charges and times against.
+/// The same derivation rules are used for both, so estimate-vs-truth gaps
+/// come only from the statistics, exactly as in a real warehouse.
+VolumeMap ComputeVolumes(const PhysicalPlan* root,
+                         const CardinalityEstimator& cards);
+
+}  // namespace costdb

@@ -1,0 +1,603 @@
+#include "exec/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+
+#include "catalog/hll.h"
+#include "exec/evaluator.h"
+
+namespace costdb {
+
+namespace {
+
+constexpr size_t kMorselRows = 4096;
+
+/// Running state of one aggregate function for one group.
+struct AggState {
+  int64_t count = 0;
+  int64_t isum = 0;
+  double dsum = 0.0;
+  Value min;
+  Value max;
+  bool has_value = false;
+};
+
+struct GroupState {
+  std::vector<Value> group_values;
+  std::vector<AggState> aggs;
+};
+
+/// Hash a row of evaluated key vectors, numerics normalized so that an
+/// int64 key joins correctly against a double key.
+uint64_t HashKeyRow(const std::vector<ColumnVector>& keys, size_t row,
+                    const std::vector<bool>& as_double) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (size_t k = 0; k < keys.size(); ++k) {
+    uint64_t hk;
+    switch (keys[k].physical_type()) {
+      case PhysicalType::kString:
+        hk = HashString(keys[k].GetString(row));
+        break;
+      case PhysicalType::kDouble:
+        hk = HashDouble(keys[k].GetDouble(row));
+        break;
+      case PhysicalType::kInt64:
+      default:
+        hk = as_double[k]
+                 ? HashDouble(static_cast<double>(keys[k].GetInt(row)))
+                 : HashInt64(keys[k].GetInt(row));
+        break;
+    }
+    h = HashCombine(h, hk);
+  }
+  return h;
+}
+
+bool KeysEqual(const std::vector<ColumnVector>& a, size_t ra,
+               const std::vector<ColumnVector>& b, size_t rb) {
+  for (size_t k = 0; k < a.size(); ++k) {
+    const bool a_str = a[k].physical_type() == PhysicalType::kString;
+    const bool b_str = b[k].physical_type() == PhysicalType::kString;
+    if (a_str != b_str) return false;
+    if (a_str) {
+      if (a[k].GetString(ra) != b[k].GetString(rb)) return false;
+      continue;
+    }
+    auto num = [](const ColumnVector& v, size_t i) {
+      return v.physical_type() == PhysicalType::kDouble
+                 ? v.GetDouble(i)
+                 : static_cast<double>(v.GetInt(i));
+    };
+    if (num(a[k], ra) != num(b[k], rb)) return false;
+  }
+  return true;
+}
+
+/// Serialized group key (type-tagged, '\x01' separated).
+std::string EncodeGroupKey(const std::vector<ColumnVector>& groups,
+                           size_t row) {
+  std::string key;
+  for (const auto& g : groups) {
+    switch (g.physical_type()) {
+      case PhysicalType::kInt64:
+        key += 'i';
+        key += std::to_string(g.GetInt(row));
+        break;
+      case PhysicalType::kDouble:
+        key += 'd';
+        key += std::to_string(g.GetDouble(row));
+        break;
+      case PhysicalType::kString:
+        key += 's';
+        key += g.GetString(row);
+        break;
+    }
+    key += '\x01';
+  }
+  return key;
+}
+
+}  // namespace
+
+std::string QueryResult::ToString(int64_t limit) const {
+  std::string out;
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) out += " | ";
+    out += names[i];
+  }
+  out += "\n";
+  out += chunk.ToString(limit);
+  return out;
+}
+
+/// Materialized output and/or join hash table of a pipeline breaker.
+struct LocalEngine::BreakerState {
+  // Join build.
+  DataChunk build_data;
+  std::vector<ColumnVector> build_key_vectors;
+  std::unordered_multimap<uint64_t, uint32_t> build_index;
+  std::vector<bool> keys_as_double;
+  // Aggregate / sort output.
+  DataChunk materialized;
+  bool materialized_valid = false;
+};
+
+struct LocalEngine::ExecContext {
+  std::map<const PhysicalPlan*, BreakerState> breakers;
+  DataChunk result;
+  bool result_valid = false;
+};
+
+namespace {
+
+/// Schema (column names) flowing *into* each streaming operator is the
+/// output schema of whatever preceded it; we track it as we apply ops.
+struct MorselProcessor {
+  const Pipeline* pipeline;
+  LocalEngine::ExecContext* ctx;  // breaker states (read-only during probe)
+  std::map<const PhysicalPlan*, LocalEngine::BreakerState>* breakers;
+
+  /// Apply all streaming operators to `chunk` (schema `names` updated in
+  /// place). Returns an error or the transformed chunk (possibly empty).
+  Status Apply(DataChunk* chunk, std::vector<std::string>* names) const {
+    for (const PhysicalPlan* op : pipeline->operators) {
+      if (chunk->num_rows() == 0 &&
+          op->kind != PhysicalPlan::Kind::kHashJoin) {
+        *names = op->output_names;
+        DataChunk empty(op->output_types);
+        *chunk = std::move(empty);
+        continue;
+      }
+      switch (op->kind) {
+        case PhysicalPlan::Kind::kFilter: {
+          Evaluator ev(names);
+          std::vector<uint32_t> sel;
+          COSTDB_ASSIGN_OR_RETURN(sel,
+                                  ev.EvaluateSelection(*op->predicate, *chunk));
+          chunk->Slice(sel);
+          break;
+        }
+        case PhysicalPlan::Kind::kProject: {
+          Evaluator ev(names);
+          DataChunk out;
+          for (const auto& p : op->projections) {
+            ColumnVector v;
+            COSTDB_ASSIGN_OR_RETURN(v, ev.Evaluate(*p, *chunk));
+            out.AddColumn(std::move(v));
+          }
+          *chunk = std::move(out);
+          *names = op->output_names;
+          break;
+        }
+        case PhysicalPlan::Kind::kExchange:
+          break;  // no network locally
+        case PhysicalPlan::Kind::kLimit:
+          break;  // applied at result finalization
+        case PhysicalPlan::Kind::kHashJoin: {
+          COSTDB_RETURN_NOT_OK(Probe(op, chunk, names));
+          break;
+        }
+        default:
+          return Status::Internal("unexpected streaming operator");
+      }
+    }
+    return Status::OK();
+  }
+
+  Status Probe(const PhysicalPlan* join, DataChunk* chunk,
+               std::vector<std::string>* names) const {
+    auto it = breakers->find(join);
+    if (it == breakers->end()) {
+      return Status::Internal("probe before build");
+    }
+    const LocalEngine::BreakerState& bs = it->second;
+    Evaluator ev(names);
+    std::vector<ColumnVector> probe_keys;
+    for (const auto& k : join->probe_keys) {
+      ColumnVector v;
+      COSTDB_ASSIGN_OR_RETURN(v, ev.Evaluate(*k, *chunk));
+      probe_keys.push_back(std::move(v));
+    }
+    DataChunk out(join->output_types);
+    const size_t probe_cols = chunk->num_columns();
+    for (size_t r = 0; r < chunk->num_rows(); ++r) {
+      uint64_t h = HashKeyRow(probe_keys, r, bs.keys_as_double);
+      auto range = bs.build_index.equal_range(h);
+      for (auto m = range.first; m != range.second; ++m) {
+        uint32_t build_row = m->second;
+        if (!KeysEqual(probe_keys, r, bs.build_key_vectors, build_row)) {
+          continue;
+        }
+        // probe columns then build columns, matching output schema.
+        for (size_t c = 0; c < probe_cols; ++c) {
+          out.column(c).AppendFrom(chunk->column(c), r);
+        }
+        for (size_t c = 0; c < bs.build_data.num_columns(); ++c) {
+          out.column(probe_cols + c).AppendFrom(bs.build_data.column(c),
+                                                build_row);
+        }
+      }
+    }
+    *chunk = std::move(out);
+    *names = join->output_names;
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+LocalEngine::LocalEngine(size_t num_threads) : pool_(num_threads) {}
+
+Status LocalEngine::RunPipeline(const Pipeline& pipeline, ExecContext* ctx) {
+  // ---- 1. Build the morsel list ----
+  struct Morsel {
+    const DataChunk* source_chunk = nullptr;  // row group or materialized
+    size_t begin = 0;
+    size_t end = 0;  // rows [begin, end)
+    const RowGroup* row_group = nullptr;
+  };
+  std::vector<Morsel> morsels;
+  std::vector<std::string> source_names;
+  const PhysicalPlan* src = pipeline.source;
+  if (src == nullptr) return Status::Internal("pipeline without source");
+
+  if (!pipeline.source_is_breaker) {
+    // TableScan source: one morsel per non-pruned row group.
+    source_names = src->output_names;
+    for (const auto& group : src->table->row_groups()) {
+      bool prunable = false;
+      for (const auto& f : src->scan_filters) {
+        std::string col;
+        CompareOp op;
+        Value constant;
+        if (!MatchColumnCompareConstant(f, &col, &op, &constant)) continue;
+        // Strip the alias qualifier to find the base column.
+        auto dot = col.find('.');
+        std::string base = dot == std::string::npos ? col : col.substr(dot + 1);
+        auto idx = src->table->ColumnIndex(base);
+        if (!idx.ok()) continue;
+        if (!group.zones[*idx].MayMatch(op, constant)) {
+          prunable = true;
+          break;
+        }
+      }
+      if (prunable) continue;
+      Morsel m;
+      m.row_group = &group;
+      m.begin = 0;
+      m.end = group.num_rows();
+      morsels.push_back(m);
+    }
+  } else {
+    auto it = ctx->breakers.find(src);
+    if (it == ctx->breakers.end() || !it->second.materialized_valid) {
+      return Status::Internal("pipeline source not materialized");
+    }
+    source_names = src->output_names;
+    const DataChunk& data = it->second.materialized;
+    for (size_t begin = 0; begin < data.num_rows(); begin += kMorselRows) {
+      Morsel m;
+      m.source_chunk = &data;
+      m.begin = begin;
+      m.end = std::min(begin + kMorselRows, data.num_rows());
+      morsels.push_back(m);
+    }
+    if (data.num_rows() == 0) {
+      Morsel m;
+      m.source_chunk = &data;
+      morsels.push_back(m);  // empty morsel keeps global aggregates alive
+    }
+  }
+
+  // ---- 2. Process morsels in parallel, collecting per-slot outputs ----
+  std::vector<DataChunk> slot_outputs(morsels.size());
+  std::vector<Status> slot_status(morsels.size());
+  std::vector<std::string> final_names;  // schema after all streaming ops
+  std::mutex agg_mu;
+  std::map<std::string, GroupState> agg_groups;  // aggregate sink state
+
+  MorselProcessor processor{&pipeline, ctx, &ctx->breakers};
+  const PhysicalPlan* sink = pipeline.sink;
+  const bool agg_sink =
+      sink != nullptr && sink->kind == PhysicalPlan::Kind::kHashAggregate &&
+      !pipeline.sink_is_build_side;
+
+  auto process_one = [&](size_t slot) {
+    const Morsel& m = morsels[slot];
+    // Assemble the source chunk.
+    DataChunk chunk;
+    std::vector<std::string> names = source_names;
+    if (m.row_group != nullptr) {
+      DataChunk projected;
+      for (size_t idx : src->scan_column_indices) {
+        projected.AddColumn(m.row_group->data.column(idx));
+      }
+      // Scan filters apply before anything else.
+      if (!src->scan_filters.empty()) {
+        Evaluator ev(&names);
+        std::vector<uint32_t> sel;
+        sel.reserve(projected.num_rows());
+        ExprPtr combined = CombineConjuncts(src->scan_filters);
+        auto sel_result = ev.EvaluateSelection(*combined, projected);
+        if (!sel_result.ok()) {
+          slot_status[slot] = sel_result.status();
+          return;
+        }
+        projected.Slice(*sel_result);
+      }
+      chunk = std::move(projected);
+    } else {
+      DataChunk sliced(m.source_chunk->Types());
+      for (size_t r = m.begin; r < m.end; ++r) {
+        sliced.AppendRowFrom(*m.source_chunk, r);
+      }
+      chunk = std::move(sliced);
+    }
+    Status st = processor.Apply(&chunk, &names);
+    if (!st.ok()) {
+      slot_status[slot] = st;
+      return;
+    }
+    if (slot == 0) final_names = names;
+    if (agg_sink) {
+      // Fold this chunk into the shared aggregation state.
+      Evaluator ev(&names);
+      std::vector<ColumnVector> group_vecs;
+      for (const auto& g : sink->group_by) {
+        auto v = ev.Evaluate(*g, chunk);
+        if (!v.ok()) {
+          slot_status[slot] = v.status();
+          return;
+        }
+        group_vecs.push_back(std::move(*v));
+      }
+      std::vector<ColumnVector> agg_inputs;
+      for (const auto& a : sink->aggregates) {
+        if (a->children.empty()) {
+          agg_inputs.emplace_back();  // COUNT(*) has no input
+          continue;
+        }
+        auto v = ev.Evaluate(*a->children[0], chunk);
+        if (!v.ok()) {
+          slot_status[slot] = v.status();
+          return;
+        }
+        agg_inputs.push_back(std::move(*v));
+      }
+      std::lock_guard<std::mutex> lock(agg_mu);
+      for (size_t r = 0; r < chunk.num_rows(); ++r) {
+        std::string key = EncodeGroupKey(group_vecs, r);
+        GroupState& gs = agg_groups[key];
+        if (gs.aggs.empty()) {
+          gs.aggs.resize(sink->aggregates.size());
+          for (const auto& g : group_vecs) {
+            gs.group_values.push_back(g.GetValue(r));
+          }
+        }
+        for (size_t a = 0; a < sink->aggregates.size(); ++a) {
+          AggState& st_a = gs.aggs[a];
+          const Expr& agg = *sink->aggregates[a];
+          if (agg.agg == AggFunc::kCountStar) {
+            ++st_a.count;
+            continue;
+          }
+          const ColumnVector& in = agg_inputs[a];
+          ++st_a.count;
+          switch (agg.agg) {
+            case AggFunc::kSum:
+            case AggFunc::kAvg:
+              if (in.physical_type() == PhysicalType::kInt64) {
+                st_a.isum += in.GetInt(r);
+                st_a.dsum += static_cast<double>(in.GetInt(r));
+              } else {
+                st_a.dsum += in.GetDouble(r);
+              }
+              break;
+            case AggFunc::kMin:
+            case AggFunc::kMax: {
+              Value v = in.GetValue(r);
+              if (!st_a.has_value) {
+                st_a.min = v;
+                st_a.max = v;
+                st_a.has_value = true;
+              } else {
+                if (v < st_a.min) st_a.min = v;
+                if (st_a.max < v) st_a.max = v;
+              }
+              break;
+            }
+            default:
+              break;
+          }
+        }
+      }
+      return;  // nothing materialized per slot
+    }
+    slot_outputs[slot] = std::move(chunk);
+  };
+
+  if (pool_.num_threads() > 1 && morsels.size() > 1) {
+    for (size_t slot = 0; slot < morsels.size(); ++slot) {
+      pool_.Submit([&, slot] { process_one(slot); });
+    }
+    pool_.WaitIdle();
+  } else {
+    for (size_t slot = 0; slot < morsels.size(); ++slot) process_one(slot);
+  }
+  for (const auto& st : slot_status) {
+    COSTDB_RETURN_NOT_OK(st);
+  }
+
+  // ---- 3. Finalize the sink ----
+  // Concatenate slot outputs in morsel order (deterministic).
+  auto concatenate = [&](std::vector<LogicalType> types) {
+    DataChunk all(std::move(types));
+    for (auto& s : slot_outputs) {
+      if (s.num_columns() == all.num_columns()) all.Append(s);
+    }
+    return all;
+  };
+
+  if (sink == nullptr) {
+    // Result sink. The streamed schema is the root's output schema.
+    std::vector<LogicalType> types = pipeline.operators.empty()
+                                         ? src->output_types
+                                         : pipeline.operators.back()->output_types;
+    ctx->result = concatenate(types);
+    // Apply any LIMIT in this pipeline (root-level semantics).
+    for (const PhysicalPlan* op : pipeline.operators) {
+      if (op->kind == PhysicalPlan::Kind::kLimit && op->limit >= 0 &&
+          static_cast<int64_t>(ctx->result.num_rows()) > op->limit) {
+        std::vector<uint32_t> head(static_cast<size_t>(op->limit));
+        for (size_t i = 0; i < head.size(); ++i) head[i] = static_cast<uint32_t>(i);
+        ctx->result.Slice(head);
+      }
+    }
+    ctx->result_valid = true;
+    return Status::OK();
+  }
+
+  if (pipeline.sink_is_build_side) {
+    BreakerState& bs = ctx->breakers[sink];
+    bs.build_data = concatenate(sink->children[1]->output_types);
+    // Evaluate build keys and index them.
+    std::vector<std::string> build_names = sink->children[1]->output_names;
+    Evaluator ev(&build_names);
+    bs.keys_as_double.clear();
+    for (size_t k = 0; k < sink->build_keys.size(); ++k) {
+      bool as_double = sink->build_keys[k]->type == LogicalType::kDouble ||
+                       sink->probe_keys[k]->type == LogicalType::kDouble;
+      bs.keys_as_double.push_back(as_double);
+    }
+    for (const auto& k : sink->build_keys) {
+      ColumnVector v;
+      COSTDB_ASSIGN_OR_RETURN(v, ev.Evaluate(*k, bs.build_data));
+      bs.build_key_vectors.push_back(std::move(v));
+    }
+    const size_t rows = bs.build_data.num_rows();
+    bs.build_index.reserve(rows * 2);
+    for (size_t r = 0; r < rows; ++r) {
+      uint64_t h = HashKeyRow(bs.build_key_vectors, r, bs.keys_as_double);
+      bs.build_index.emplace(h, static_cast<uint32_t>(r));
+    }
+    return Status::OK();
+  }
+
+  if (sink->kind == PhysicalPlan::Kind::kHashAggregate) {
+    BreakerState& bs = ctx->breakers[sink];
+    DataChunk out(sink->output_types);
+    if (agg_groups.empty() && sink->group_by.empty()) {
+      // Global aggregate over empty input: one row of type-appropriate
+      // zero values (no NULL semantics in this engine).
+      std::vector<Value> row;
+      for (const auto& a : sink->aggregates) {
+        switch (PhysicalTypeOf(a->type)) {
+          case PhysicalType::kDouble:
+            row.push_back(Value(0.0));
+            break;
+          case PhysicalType::kString:
+            row.push_back(Value(std::string()));
+            break;
+          case PhysicalType::kInt64:
+            row.push_back(Value(int64_t{0}));
+            break;
+        }
+      }
+      out.AppendRow(row);
+    }
+    for (const auto& [key, gs] : agg_groups) {
+      std::vector<Value> row = gs.group_values;
+      for (size_t a = 0; a < sink->aggregates.size(); ++a) {
+        const Expr& agg = *sink->aggregates[a];
+        const AggState& st = gs.aggs[a];
+        switch (agg.agg) {
+          case AggFunc::kCountStar:
+          case AggFunc::kCount:
+            row.push_back(Value(st.count));
+            break;
+          case AggFunc::kSum:
+            if (agg.type == LogicalType::kInt64) {
+              row.push_back(Value(st.isum));
+            } else {
+              row.push_back(Value(st.dsum));
+            }
+            break;
+          case AggFunc::kAvg:
+            row.push_back(Value(st.count == 0
+                                    ? 0.0
+                                    : st.dsum / static_cast<double>(st.count)));
+            break;
+          case AggFunc::kMin:
+            row.push_back(st.min);
+            break;
+          case AggFunc::kMax:
+            row.push_back(st.max);
+            break;
+        }
+      }
+      out.AppendRow(row);
+    }
+    bs.materialized = std::move(out);
+    bs.materialized_valid = true;
+    return Status::OK();
+  }
+
+  if (sink->kind == PhysicalPlan::Kind::kSort) {
+    BreakerState& bs = ctx->breakers[sink];
+    DataChunk all = concatenate(sink->output_types);
+    std::vector<std::string> names = sink->output_names;
+    Evaluator ev(&names);
+    std::vector<ColumnVector> key_vecs;
+    for (const auto& k : sink->sort_keys) {
+      ColumnVector v;
+      COSTDB_ASSIGN_OR_RETURN(v, ev.Evaluate(*k.expr, all));
+      key_vecs.push_back(std::move(v));
+    }
+    std::vector<uint32_t> order(all.num_rows());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<uint32_t>(i);
+    std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      for (size_t k = 0; k < key_vecs.size(); ++k) {
+        Value va = key_vecs[k].GetValue(a);
+        Value vb = key_vecs[k].GetValue(b);
+        if (va == vb) continue;
+        bool less = va < vb;
+        return sink->sort_keys[k].descending ? !less : less;
+      }
+      return false;
+    });
+    all.Slice(order);
+    bs.materialized = std::move(all);
+    bs.materialized_valid = true;
+    return Status::OK();
+  }
+
+  return Status::Internal("unknown sink kind");
+}
+
+Result<QueryResult> LocalEngine::Execute(const PhysicalPlan* root) {
+  PipelineGraph graph = BuildPipelines(root);
+  ExecContext ctx;
+  timings_.clear();
+  for (const auto& pipeline : graph.pipelines) {
+    auto start = std::chrono::steady_clock::now();
+    COSTDB_RETURN_NOT_OK(RunPipeline(pipeline, &ctx));
+    auto end = std::chrono::steady_clock::now();
+    PipelineTiming t;
+    t.pipeline_id = pipeline.id;
+    t.seconds = std::chrono::duration<double>(end - start).count();
+    timings_.push_back(t);
+  }
+  if (!ctx.result_valid) {
+    return Status::Internal("query produced no result sink");
+  }
+  QueryResult result;
+  result.names = root->output_names;
+  result.types = root->output_types;
+  result.chunk = std::move(ctx.result);
+  return result;
+}
+
+}  // namespace costdb

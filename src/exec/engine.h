@@ -1,0 +1,65 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "plan/pipeline.h"
+
+namespace costdb {
+
+/// Materialized query output.
+struct QueryResult {
+  std::vector<std::string> names;
+  std::vector<LogicalType> types;
+  DataChunk chunk;
+
+  std::string ToString(int64_t limit = 20) const;
+};
+
+/// Wall-clock measurement of one pipeline run, used to calibrate the cost
+/// estimator's per-operator throughput parameters.
+struct PipelineTiming {
+  int pipeline_id = 0;
+  double seconds = 0.0;
+  double source_rows = 0.0;
+  double output_rows = 0.0;
+};
+
+/// Morsel-driven, push-style local execution engine. Executes a physical
+/// plan correctly on in-process tables; pipelines run in dependency order,
+/// each parallelized over morsels (row groups for scans, fixed slices for
+/// materialized inputs) on a worker pool. Morsel outputs are reassembled in
+/// morsel order, so results are deterministic for any thread count.
+///
+/// Exchange operators are no-ops here: locally there is no network. Their
+/// cost lives in the cost estimator and the distributed simulator, which
+/// share this engine's pipeline decomposition.
+class LocalEngine {
+ public:
+  explicit LocalEngine(size_t num_threads = 8);
+
+  Result<QueryResult> Execute(const PhysicalPlan* root);
+
+  /// Per-pipeline wall time of the previous Execute call.
+  const std::vector<PipelineTiming>& last_timings() const {
+    return timings_;
+  }
+
+  size_t num_threads() const { return pool_.num_threads(); }
+
+  // Execution state shared across the pipelines of one query; public so the
+  // morsel-processing helpers in engine.cc can see it.
+  struct BreakerState;
+  struct ExecContext;
+
+ private:
+  Status RunPipeline(const Pipeline& pipeline, ExecContext* ctx);
+
+  ThreadPool pool_;
+  std::vector<PipelineTiming> timings_;
+};
+
+}  // namespace costdb

@@ -1,0 +1,211 @@
+#include "exec/evaluator.h"
+
+namespace costdb {
+
+bool LikeMatch(const std::string& text, const std::string& pattern) {
+  // Iterative glob match with backtracking on the last '%'.
+  size_t t = 0, p = 0;
+  size_t star_p = std::string::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+Result<size_t> Evaluator::ResolveColumn(const std::string& name) const {
+  for (size_t i = 0; i < schema_->size(); ++i) {
+    if ((*schema_)[i] == name) return i;
+  }
+  return Status::Internal("executor cannot resolve column " + name);
+}
+
+namespace {
+
+/// Numeric view over an int64 or double vector.
+double NumericAt(const ColumnVector& v, size_t i) {
+  return v.physical_type() == PhysicalType::kDouble
+             ? v.GetDouble(i)
+             : static_cast<double>(v.GetInt(i));
+}
+
+bool BothInts(const ColumnVector& a, const ColumnVector& b) {
+  return a.physical_type() == PhysicalType::kInt64 &&
+         b.physical_type() == PhysicalType::kInt64;
+}
+
+int64_t CompareResult(CompareOp op, int cmp3) {
+  switch (op) {
+    case CompareOp::kEq:
+      return cmp3 == 0;
+    case CompareOp::kNe:
+      return cmp3 != 0;
+    case CompareOp::kLt:
+      return cmp3 < 0;
+    case CompareOp::kLe:
+      return cmp3 <= 0;
+    case CompareOp::kGt:
+      return cmp3 > 0;
+    case CompareOp::kGe:
+      return cmp3 >= 0;
+  }
+  return 0;
+}
+
+}  // namespace
+
+Result<ColumnVector> Evaluator::Evaluate(const Expr& expr,
+                                         const DataChunk& chunk) const {
+  const size_t n = chunk.num_rows();
+  switch (expr.kind) {
+    case Expr::Kind::kColumn: {
+      size_t idx = 0;
+      COSTDB_ASSIGN_OR_RETURN(idx, ResolveColumn(expr.column));
+      return chunk.column(idx);  // copy
+    }
+    case Expr::Kind::kConstant: {
+      ColumnVector out(expr.type);
+      out.Reserve(n);
+      for (size_t i = 0; i < n; ++i) out.AppendValue(expr.constant);
+      return out;
+    }
+    case Expr::Kind::kCompare: {
+      ColumnVector l, r;
+      COSTDB_ASSIGN_OR_RETURN(l, Evaluate(*expr.children[0], chunk));
+      COSTDB_ASSIGN_OR_RETURN(r, Evaluate(*expr.children[1], chunk));
+      ColumnVector out(LogicalType::kBool);
+      out.Reserve(n);
+      const bool strings = l.physical_type() == PhysicalType::kString;
+      if (strings != (r.physical_type() == PhysicalType::kString)) {
+        return Status::Internal("comparing string with non-string");
+      }
+      if (strings) {
+        for (size_t i = 0; i < n; ++i) {
+          int cmp3 = l.GetString(i).compare(r.GetString(i));
+          out.AppendInt(CompareResult(expr.cmp, cmp3 < 0 ? -1 : cmp3 > 0 ? 1 : 0));
+        }
+      } else if (BothInts(l, r)) {
+        for (size_t i = 0; i < n; ++i) {
+          int64_t a = l.GetInt(i), b = r.GetInt(i);
+          out.AppendInt(CompareResult(expr.cmp, a < b ? -1 : a > b ? 1 : 0));
+        }
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          double a = NumericAt(l, i), b = NumericAt(r, i);
+          out.AppendInt(CompareResult(expr.cmp, a < b ? -1 : a > b ? 1 : 0));
+        }
+      }
+      return out;
+    }
+    case Expr::Kind::kAnd:
+    case Expr::Kind::kOr: {
+      ColumnVector acc;
+      COSTDB_ASSIGN_OR_RETURN(acc, Evaluate(*expr.children[0], chunk));
+      for (size_t c = 1; c < expr.children.size(); ++c) {
+        ColumnVector next;
+        COSTDB_ASSIGN_OR_RETURN(next, Evaluate(*expr.children[c], chunk));
+        auto& a = acc.ints();
+        const auto& b = next.ints();
+        if (expr.kind == Expr::Kind::kAnd) {
+          for (size_t i = 0; i < n; ++i) a[i] = a[i] && b[i];
+        } else {
+          for (size_t i = 0; i < n; ++i) a[i] = a[i] || b[i];
+        }
+      }
+      return acc;
+    }
+    case Expr::Kind::kNot: {
+      ColumnVector v;
+      COSTDB_ASSIGN_OR_RETURN(v, Evaluate(*expr.children[0], chunk));
+      for (auto& x : v.ints()) x = !x;
+      return v;
+    }
+    case Expr::Kind::kArith: {
+      ColumnVector l, r;
+      COSTDB_ASSIGN_OR_RETURN(l, Evaluate(*expr.children[0], chunk));
+      COSTDB_ASSIGN_OR_RETURN(r, Evaluate(*expr.children[1], chunk));
+      if (expr.type == LogicalType::kInt64 && BothInts(l, r) &&
+          expr.arith_op != '/') {
+        ColumnVector out(LogicalType::kInt64);
+        out.Reserve(n);
+        const auto& a = l.ints();
+        const auto& b = r.ints();
+        switch (expr.arith_op) {
+          case '+':
+            for (size_t i = 0; i < n; ++i) out.AppendInt(a[i] + b[i]);
+            break;
+          case '-':
+            for (size_t i = 0; i < n; ++i) out.AppendInt(a[i] - b[i]);
+            break;
+          case '*':
+            for (size_t i = 0; i < n; ++i) out.AppendInt(a[i] * b[i]);
+            break;
+        }
+        return out;
+      }
+      ColumnVector out(LogicalType::kDouble);
+      out.Reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        double a = NumericAt(l, i), b = NumericAt(r, i);
+        switch (expr.arith_op) {
+          case '+':
+            out.AppendDouble(a + b);
+            break;
+          case '-':
+            out.AppendDouble(a - b);
+            break;
+          case '*':
+            out.AppendDouble(a * b);
+            break;
+          case '/':
+            out.AppendDouble(b == 0.0 ? 0.0 : a / b);
+            break;
+        }
+      }
+      return out;
+    }
+    case Expr::Kind::kLike: {
+      ColumnVector input;
+      COSTDB_ASSIGN_OR_RETURN(input, Evaluate(*expr.children[0], chunk));
+      const std::string& pattern = expr.children[1]->constant.AsString();
+      ColumnVector out(LogicalType::kBool);
+      out.Reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        out.AppendInt(LikeMatch(input.GetString(i), pattern) ? 1 : 0);
+      }
+      return out;
+    }
+    case Expr::Kind::kAgg:
+      return Status::Internal(
+          "aggregate expression reached the evaluator; the binder should "
+          "have extracted it");
+  }
+  return Status::Internal("unreachable expression kind");
+}
+
+Result<std::vector<uint32_t>> Evaluator::EvaluateSelection(
+    const Expr& predicate, const DataChunk& chunk) const {
+  ColumnVector mask;
+  COSTDB_ASSIGN_OR_RETURN(mask, Evaluate(predicate, chunk));
+  std::vector<uint32_t> sel;
+  const auto& bits = mask.ints();
+  sel.reserve(bits.size());
+  for (uint32_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) sel.push_back(i);
+  }
+  return sel;
+}
+
+}  // namespace costdb

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "plan/expression.h"
+#include "storage/data_chunk.h"
+
+namespace costdb {
+
+/// Vectorized expression evaluation over a DataChunk. Column references are
+/// resolved by name against the provided schema (positional names of the
+/// chunk's columns).
+class Evaluator {
+ public:
+  explicit Evaluator(const std::vector<std::string>* schema)
+      : schema_(schema) {}
+
+  /// Evaluate `expr` over every row of `chunk`; the result vector has
+  /// chunk.num_rows() entries (booleans are int64 0/1).
+  Result<ColumnVector> Evaluate(const Expr& expr, const DataChunk& chunk) const;
+
+  /// Evaluate a boolean predicate and return the selected row indices.
+  Result<std::vector<uint32_t>> EvaluateSelection(const Expr& predicate,
+                                                  const DataChunk& chunk) const;
+
+ private:
+  Result<size_t> ResolveColumn(const std::string& name) const;
+
+  const std::vector<std::string>* schema_;
+};
+
+/// SQL LIKE with % (any run) and _ (any single char); case-sensitive.
+bool LikeMatch(const std::string& text, const std::string& pattern);
+
+}  // namespace costdb

@@ -1,0 +1,82 @@
+#include "optimizer/bi_objective.h"
+
+namespace costdb {
+
+Result<PlannedQuery> BiObjectiveOptimizer::PlanShaped(
+    const BoundQuery& query, const LogicalPlanPtr& logical,
+    const UserConstraint& constraint) const {
+  PlannedQuery out;
+  PhysicalPlanner physical(meta_, &query.relations, options_.physical);
+  COSTDB_ASSIGN_OR_RETURN(out.plan, physical.Plan(logical));
+  out.pipelines = BuildPipelines(out.plan.get());
+  CardinalityEstimator cards(meta_, &query.relations);
+  out.volumes = ComputeVolumes(out.plan.get(), cards);
+  DopPlanner dop_planner(estimator_, options_.dop);
+  DopPlanResult dop = dop_planner.Plan(out.pipelines, out.volumes, constraint);
+  out.dops = dop.dops;
+  out.estimate = dop.estimate;
+  out.feasible = dop.feasible;
+  out.states_explored = dop.states_explored;
+  return out;
+}
+
+Result<PlannedQuery> BiObjectiveOptimizer::Plan(
+    const BoundQuery& query, const UserConstraint& constraint) const {
+  std::vector<BushyVariant> variants;
+  if (options_.explore_bushy) {
+    BushyRewriter rewriter(meta_);
+    COSTDB_ASSIGN_OR_RETURN(variants,
+                            rewriter.MakeVariants(query,
+                                                  options_.max_bushy_depth));
+  } else {
+    DagPlanner dag(meta_);
+    LogicalPlanPtr plan;
+    COSTDB_ASSIGN_OR_RETURN(plan, dag.Plan(query));
+    variants.push_back({std::move(plan), 0});
+  }
+
+  bool have_best = false;
+  PlannedQuery best;
+  int total_states = 0;
+  for (const auto& variant : variants) {
+    auto planned = PlanShaped(query, variant.plan, constraint);
+    if (!planned.ok()) continue;
+    planned->bushiness = variant.bushiness;
+    total_states += planned->states_explored;
+    if (!have_best) {
+      best = std::move(*planned);
+      have_best = true;
+      continue;
+    }
+    // Prefer feasible over infeasible; then the constrained objective.
+    if (planned->feasible && !best.feasible) {
+      best = std::move(*planned);
+      continue;
+    }
+    if (!planned->feasible && best.feasible) continue;
+    bool better;
+    if (constraint.mode == UserConstraint::Mode::kMinCostUnderSla) {
+      better = planned->feasible
+                   ? planned->estimate.cost < best.estimate.cost
+                   : planned->estimate.latency < best.estimate.latency;
+    } else {
+      better = planned->estimate.latency < best.estimate.latency;
+    }
+    if (better) best = std::move(*planned);
+  }
+  if (!have_best) {
+    return Status::Internal("no plan variant could be planned");
+  }
+  best.states_explored = total_states;
+  return best;
+}
+
+Result<PlannedQuery> BiObjectiveOptimizer::PlanSql(
+    const std::string& sql, const UserConstraint& constraint) const {
+  Binder binder(meta_);
+  BoundQuery query;
+  COSTDB_ASSIGN_OR_RETURN(query, binder.BindSql(sql));
+  return Plan(query, constraint);
+}
+
+}  // namespace costdb

@@ -1,0 +1,68 @@
+#pragma once
+
+#include "optimizer/bushy_rewriter.h"
+#include "optimizer/dop_planner.h"
+#include "optimizer/physical_planner.h"
+
+namespace costdb {
+
+/// Everything the bi-objective optimizer decides for one query: the plan
+/// shape, the pipeline decomposition, the DOP per pipeline, and the
+/// predicted time/cost. PhysicalPlanPtr keeps the tree alive for the
+/// pipeline/volume pointers.
+struct PlannedQuery {
+  PhysicalPlanPtr plan;
+  PipelineGraph pipelines;
+  DopMap dops;
+  PlanCostEstimate estimate;
+  VolumeMap volumes;        // the optimizer's believed volumes
+  int bushiness = 0;
+  bool feasible = true;
+  int states_explored = 0;
+};
+
+struct BiObjectiveOptions {
+  DopPlannerOptions dop;
+  PhysicalPlannerOptions physical;
+  int max_bushy_depth = 2;
+  bool explore_bushy = true;
+};
+
+/// The paper's two-stage bi-objective optimizer (Section 3.2):
+///   stage 1 (DAG planning) fixes a left-deep shape;
+///   stage 2 (DOP planning) assigns per-pipeline parallelism under the
+///   user's latency-SLA or budget constraint, exploring a ladder of
+///   increasingly bushy variants of the chosen join order and keeping the
+///   best shape under the constraint.
+/// The Pareto problem is deliberately downgraded to constrained
+/// single-objective search to keep optimizer complexity near a classic
+/// cost-based optimizer (experiment E3 quantifies this).
+class BiObjectiveOptimizer {
+ public:
+  BiObjectiveOptimizer(const MetadataService* meta,
+                       const CostEstimator* estimator,
+                       BiObjectiveOptions options = BiObjectiveOptions())
+      : meta_(meta), estimator_(estimator), options_(options) {}
+
+  Result<PlannedQuery> Plan(const BoundQuery& query,
+                            const UserConstraint& constraint) const;
+
+  Result<PlannedQuery> PlanSql(const std::string& sql,
+                               const UserConstraint& constraint) const;
+
+  /// Plan one already-shaped logical plan (no bushy exploration) — used by
+  /// experiments that pin the shape.
+  Result<PlannedQuery> PlanShaped(const BoundQuery& query,
+                                  const LogicalPlanPtr& logical,
+                                  const UserConstraint& constraint) const;
+
+  const MetadataService* meta() const { return meta_; }
+  const CostEstimator* estimator() const { return estimator_; }
+
+ private:
+  const MetadataService* meta_;
+  const CostEstimator* estimator_;
+  BiObjectiveOptions options_;
+};
+
+}  // namespace costdb

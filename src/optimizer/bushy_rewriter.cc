@@ -1,0 +1,144 @@
+#include "optimizer/bushy_rewriter.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace costdb {
+
+namespace {
+
+/// Collect the left-deep spine order: leaves of the join tree, leftmost
+/// relation first.
+void CollectSpine(const LogicalPlanPtr& node,
+                  std::vector<LogicalPlanPtr>* leaves) {
+  if (node->kind == LogicalPlan::Kind::kScan) {
+    leaves->push_back(node);
+    return;
+  }
+  for (const auto& c : node->children) CollectSpine(c, leaves);
+}
+
+struct TreeBuilder {
+  const JoinGraph* graph;
+  const CardinalityEstimator* cards;
+  const std::vector<size_t>* order;  // relation indices in join order
+  double expansion_limit = 1.5;
+
+  uint32_t MaskOf(size_t begin, size_t end) const {
+    uint32_t m = 0;
+    for (size_t i = begin; i < end; ++i) m |= 1u << (*order)[i];
+    return m;
+  }
+
+  /// Left-deep tree over order[begin, end).
+  LogicalPlanPtr LeftDeep(size_t begin, size_t end) const {
+    LogicalPlanPtr plan = graph->scans[(*order)[begin]];
+    uint32_t accumulated = 1u << (*order)[begin];
+    for (size_t i = begin + 1; i < end; ++i) {
+      uint32_t next = 1u << (*order)[i];
+      auto keys = graph->EdgesBetween(accumulated, next);
+      double rows = keys.empty()
+                        ? plan->est_rows * graph->scans[(*order)[i]]->est_rows
+                        : cards->EstimateJoinRows(
+                              plan->est_rows,
+                              graph->scans[(*order)[i]]->est_rows, keys);
+      plan = LogicalPlan::MakeJoin(plan, graph->scans[(*order)[i]], keys);
+      plan->est_rows = rows;
+      accumulated |= next;
+    }
+    return plan;
+  }
+
+  /// Recursive splitter: depth 0 -> left-deep; otherwise try to split
+  /// order[begin, end) into two connected halves joined by an edge, with a
+  /// non-expanding top join. Falls back to left-deep when no valid split
+  /// exists.
+  LogicalPlanPtr Build(size_t begin, size_t end, int depth) const {
+    const size_t len = end - begin;
+    if (depth <= 0 || len < 3) return LeftDeep(begin, end);
+    // Candidate split points, preferring balanced halves by estimated
+    // subtree volume.
+    size_t best_split = 0;
+    double best_imbalance = 0.0;
+    bool found = false;
+    for (size_t split = begin + 1; split + 1 < end; ++split) {
+      uint32_t left = MaskOf(begin, split + 1);
+      uint32_t right = MaskOf(split + 1, end);
+      if (!graph->Connected(left) || !graph->Connected(right)) continue;
+      auto keys = graph->EdgesBetween(left, right);
+      if (keys.empty()) continue;
+      double left_vol = 0.0, right_vol = 0.0;
+      for (size_t i = begin; i <= split; ++i) {
+        left_vol += graph->scans[(*order)[i]]->est_rows;
+      }
+      for (size_t i = split + 1; i < end; ++i) {
+        right_vol += graph->scans[(*order)[i]]->est_rows;
+      }
+      double imbalance = std::abs(left_vol - right_vol);
+      if (!found || imbalance < best_imbalance) {
+        best_imbalance = imbalance;
+        best_split = split;
+        found = true;
+      }
+    }
+    if (!found) return LeftDeep(begin, end);
+
+    LogicalPlanPtr left = Build(begin, best_split + 1, depth - 1);
+    LogicalPlanPtr right = Build(best_split + 1, end, depth - 1);
+    auto keys = graph->EdgesBetween(MaskOf(begin, best_split + 1),
+                                    MaskOf(best_split + 1, end));
+    double rows = cards->EstimateJoinRows(left->est_rows, right->est_rows,
+                                          keys);
+    // Non-expanding guard: reject splits whose top join blows up.
+    if (rows > expansion_limit * std::max(left->est_rows, right->est_rows)) {
+      return LeftDeep(begin, end);
+    }
+    auto plan = LogicalPlan::MakeJoin(std::move(left), std::move(right), keys);
+    plan->est_rows = rows;
+    return plan;
+  }
+};
+
+}  // namespace
+
+Result<std::vector<BushyVariant>> BushyRewriter::MakeVariants(
+    const BoundQuery& query, int max_depth) const {
+  CardinalityEstimator cards(meta_, &query.relations);
+  JoinGraph graph;
+  COSTDB_ASSIGN_OR_RETURN(graph, BuildJoinGraph(query, cards));
+  DagPlanner dag(meta_);
+  LogicalPlanPtr left_deep_tree;
+  COSTDB_ASSIGN_OR_RETURN(left_deep_tree, dag.PlanJoinTree(query, graph));
+
+  std::vector<BushyVariant> variants;
+  variants.push_back({dag.FinishPlan(query, graph, left_deep_tree), 0});
+
+  if (query.relations.size() < 3) return variants;
+
+  // Extract the DP's join order from the left-deep spine.
+  std::vector<LogicalPlanPtr> leaves;
+  CollectSpine(left_deep_tree, &leaves);
+  std::vector<size_t> order;
+  for (const auto& leaf : leaves) {
+    for (size_t i = 0; i < query.relations.size(); ++i) {
+      if (query.relations[i].alias == leaf->alias) {
+        order.push_back(i);
+        break;
+      }
+    }
+  }
+  if (order.size() != query.relations.size()) return variants;
+
+  TreeBuilder builder{&graph, &cards, &order};
+  std::string prev_shape = left_deep_tree->ToString();
+  for (int depth = 1; depth <= max_depth; ++depth) {
+    LogicalPlanPtr tree = builder.Build(0, order.size(), depth);
+    std::string shape = tree->ToString();
+    if (shape == prev_shape) break;  // no bushier shape exists
+    prev_shape = shape;
+    variants.push_back({dag.FinishPlan(query, graph, tree), depth});
+  }
+  return variants;
+}
+
+}  // namespace costdb

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <vector>
+
+#include "optimizer/dag_planner.h"
+
+namespace costdb {
+
+/// One join-shape variant produced by the rewriter.
+struct BushyVariant {
+  LogicalPlanPtr plan;   // full plan (finishing stages applied)
+  int bushiness = 0;     // 0 = the original left-deep plan
+};
+
+/// The paper's bushy-plan exploration, run at DOP-planning time: starting
+/// from the left-deep join order chosen by DAG planning, reorganize the
+/// spine into a ladder of increasingly bushy trees. A split is admitted
+/// only when the two halves are internally connected, an equi-join edge
+/// crosses them, and the resulting join is non-expanding (bounded
+/// cardinality, cf. MemSQL-style safe bushy joins). Bushier trees expose
+/// more concurrent pipelines — potentially lower latency at a (bounded)
+/// machine-time premium; the DOP planner prices each rung and the
+/// bi-objective controller picks under the user constraint.
+class BushyRewriter {
+ public:
+  explicit BushyRewriter(const MetadataService* meta) : meta_(meta) {}
+
+  /// Variants[0] is always the left-deep plan; deeper entries split the
+  /// spine recursively up to `max_depth` times.
+  Result<std::vector<BushyVariant>> MakeVariants(const BoundQuery& query,
+                                                 int max_depth) const;
+
+ private:
+  const MetadataService* meta_;
+};
+
+}  // namespace costdb

@@ -1,0 +1,153 @@
+#include "optimizer/cardinality.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace costdb {
+
+namespace {
+constexpr double kDefaultSelectivity = 0.25;   // unknown predicate shapes
+constexpr double kEqualityFallback = 0.01;     // equality without stats
+constexpr double kLikeSelectivity = 0.1;
+}  // namespace
+
+CardinalityEstimator::CardinalityEstimator(
+    const MetadataService* meta, const std::vector<BoundRelation>* relations,
+    bool use_true_stats)
+    : meta_(meta), use_true_stats_(use_true_stats) {
+  for (const auto& rel : *relations) {
+    alias_to_table_[rel.alias] = rel.table;
+  }
+}
+
+const TableStats* CardinalityEstimator::StatsFor(
+    const std::string& table) const {
+  return use_true_stats_ ? meta_->GetTrueStats(table) : meta_->GetStats(table);
+}
+
+const ColumnStats* CardinalityEstimator::FindColumn(
+    const std::string& qualified, double* table_rows) const {
+  auto dot = qualified.find('.');
+  if (dot == std::string::npos) return nullptr;
+  std::string alias = qualified.substr(0, dot);
+  std::string column = qualified.substr(dot + 1);
+  auto it = alias_to_table_.find(alias);
+  // Unknown aliases fall back to direct table names: materialized-view
+  // scans introduced by plan rewrites are not part of the original query's
+  // relation list.
+  const std::string& table = it == alias_to_table_.end() ? alias : it->second;
+  const TableStats* stats = StatsFor(table);
+  if (stats == nullptr) return nullptr;
+  if (table_rows != nullptr) *table_rows = stats->row_count;
+  return stats->Find(column);
+}
+
+double CardinalityEstimator::BaseRows(const std::string& alias) const {
+  auto it = alias_to_table_.find(alias);
+  const std::string& table = it == alias_to_table_.end() ? alias : it->second;
+  const TableStats* stats = StatsFor(table);
+  return stats == nullptr ? 0.0 : stats->row_count;
+}
+
+double CardinalityEstimator::ColumnNdv(const std::string& qualified,
+                                       double fallback) const {
+  const ColumnStats* cs = FindColumn(qualified, nullptr);
+  return cs == nullptr || cs->ndv <= 0.0 ? fallback : cs->ndv;
+}
+
+double CardinalityEstimator::ColumnWidth(const std::string& qualified) const {
+  const ColumnStats* cs = FindColumn(qualified, nullptr);
+  return cs == nullptr ? 8.0 : cs->avg_width;
+}
+
+double CardinalityEstimator::Selectivity(const ExprPtr& predicate) const {
+  if (!predicate) return 1.0;
+  switch (predicate->kind) {
+    case Expr::Kind::kAnd: {
+      double s = 1.0;
+      for (const auto& c : predicate->children) s *= Selectivity(c);
+      return s;
+    }
+    case Expr::Kind::kOr: {
+      // Inclusion-exclusion under independence.
+      double keep = 1.0;
+      for (const auto& c : predicate->children) keep *= 1.0 - Selectivity(c);
+      return 1.0 - keep;
+    }
+    case Expr::Kind::kNot:
+      return 1.0 - Selectivity(predicate->children[0]);
+    case Expr::Kind::kLike:
+      return kLikeSelectivity;
+    case Expr::Kind::kCompare: {
+      std::string column;
+      CompareOp op;
+      Value constant;
+      if (MatchColumnCompareConstant(predicate, &column, &op, &constant)) {
+        const ColumnStats* cs = FindColumn(column, nullptr);
+        if (cs == nullptr) {
+          return op == CompareOp::kEq ? kEqualityFallback
+                                      : kDefaultSelectivity;
+        }
+        if (cs->has_histogram && !constant.is_string()) {
+          return cs->histogram.EstimateSelectivity(op, constant.AsDouble());
+        }
+        // NDV-based fallback (strings and statless columns).
+        double eq = cs->ndv > 0.0 ? 1.0 / cs->ndv : kEqualityFallback;
+        switch (op) {
+          case CompareOp::kEq:
+            return eq;
+          case CompareOp::kNe:
+            return 1.0 - eq;
+          default:
+            return kDefaultSelectivity;
+        }
+      }
+      // column-to-column (non-join context) or expression compare.
+      return kDefaultSelectivity;
+    }
+    default:
+      return kDefaultSelectivity;
+  }
+}
+
+double CardinalityEstimator::EstimateScanRows(
+    const std::string& alias, const std::vector<ExprPtr>& filters) const {
+  double rows = BaseRows(alias);
+  for (const auto& f : filters) rows *= Selectivity(f);
+  return std::max(rows, 0.0);
+}
+
+double CardinalityEstimator::EstimateJoinRows(
+    double left_rows, double right_rows,
+    const std::vector<std::pair<ExprPtr, ExprPtr>>& keys) const {
+  double rows = left_rows * right_rows;
+  for (const auto& [l, r] : keys) {
+    double ndv_l = l->kind == Expr::Kind::kColumn
+                       ? ColumnNdv(l->column, left_rows)
+                       : left_rows;
+    double ndv_r = r->kind == Expr::Kind::kColumn
+                       ? ColumnNdv(r->column, right_rows)
+                       : right_rows;
+    double denom = std::max(1.0, std::max(ndv_l, ndv_r));
+    rows /= denom;
+  }
+  return std::max(rows, 1.0);
+}
+
+double CardinalityEstimator::EstimateGroupCount(
+    double input_rows, const std::vector<ExprPtr>& group_by) const {
+  if (group_by.empty()) return 1.0;
+  double groups = 1.0;
+  for (const auto& g : group_by) {
+    groups *= g->kind == Expr::Kind::kColumn ? ColumnNdv(g->column, 100.0)
+                                             : 100.0;
+  }
+  // Groups cannot exceed input rows; apply the classic sqrt damping for
+  // multi-column keys to avoid wild overestimates.
+  if (group_by.size() > 1) {
+    groups = std::min(groups, input_rows / 2.0 + 1.0);
+  }
+  return std::max(1.0, std::min(groups, input_rows));
+}
+
+}  // namespace costdb

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "plan/expression.h"
+#include "sql/binder.h"
+
+namespace costdb {
+
+/// Classic statistics-driven cardinality estimation: histogram selectivity
+/// for numeric predicates, 1/NDV for equality, independence across
+/// conjuncts, and |L||R| / max(ndv) for equi-joins. Deliberately simple and
+/// explainable — the paper's position is that estimation errors are
+/// inevitable and should be absorbed at run time by the DOP monitor, not
+/// fought with opaque models.
+class CardinalityEstimator {
+ public:
+  /// `meta` provides the (possibly error-injected) statistics that the
+  /// optimizer sees. With `use_true_stats`, ground-truth statistics are
+  /// consulted instead — that is how the execution simulator derives the
+  /// reality the optimizer's estimates are judged against.
+  CardinalityEstimator(const MetadataService* meta,
+                       const std::vector<BoundRelation>* relations,
+                       bool use_true_stats = false);
+
+  /// Selectivity in [0,1] of one bound predicate over its relation(s).
+  double Selectivity(const ExprPtr& predicate) const;
+
+  /// Rows surviving a scan of `alias` with the given pushed filters.
+  double EstimateScanRows(const std::string& alias,
+                          const std::vector<ExprPtr>& filters) const;
+
+  /// Raw row count of the relation behind `alias` (as served by stats).
+  double BaseRows(const std::string& alias) const;
+
+  /// Join cardinality for `left_rows x right_rows` with equi-key pairs.
+  double EstimateJoinRows(
+      double left_rows, double right_rows,
+      const std::vector<std::pair<ExprPtr, ExprPtr>>& keys) const;
+
+  /// Number of groups produced by grouping `input_rows` on `group_cols`.
+  double EstimateGroupCount(double input_rows,
+                            const std::vector<ExprPtr>& group_by) const;
+
+  /// NDV of a qualified column ("alias.col"), falling back to `fallback`.
+  double ColumnNdv(const std::string& qualified, double fallback) const;
+
+  /// Average width in bytes of a qualified column.
+  double ColumnWidth(const std::string& qualified) const;
+
+ private:
+  const ColumnStats* FindColumn(const std::string& qualified,
+                                double* table_rows) const;
+  const TableStats* StatsFor(const std::string& table) const;
+
+  const MetadataService* meta_;
+  bool use_true_stats_;
+  std::map<std::string, std::string> alias_to_table_;
+};
+
+}  // namespace costdb

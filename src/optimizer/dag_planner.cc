@@ -1,0 +1,151 @@
+#include "optimizer/dag_planner.h"
+
+#include <algorithm>
+#include <set>
+
+namespace costdb {
+
+namespace {
+/// Left-deep DP state for a relation subset (bitmask).
+struct DpEntry {
+  double cost = 0.0;  // sum of intermediate cardinalities (C_out)
+  double rows = 0.0;
+  LogicalPlanPtr plan;
+};
+}  // namespace
+
+Result<LogicalPlanPtr> DagPlanner::Plan(const BoundQuery& query) const {
+  CardinalityEstimator cards(meta_, &query.relations);
+  JoinGraph graph;
+  COSTDB_ASSIGN_OR_RETURN(graph, BuildJoinGraph(query, cards));
+  LogicalPlanPtr joined;
+  COSTDB_ASSIGN_OR_RETURN(joined, PlanJoinTree(query, graph));
+  return FinishPlan(query, graph, std::move(joined));
+}
+
+Result<LogicalPlanPtr> DagPlanner::PlanJoinTree(const BoundQuery& query,
+                                                const JoinGraph& graph) const {
+  const size_t n = query.relations.size();
+  if (n == 0) return Status::InvalidArgument("query without relations");
+  if (n > 20) {
+    return Status::NotSupported("more than 20 relations in one query");
+  }
+  CardinalityEstimator cards(meta_, &query.relations);
+  if (n == 1) return graph.scans[0];
+
+  const uint32_t full = (1u << n) - 1;
+  std::vector<DpEntry> dp(1u << n);
+  std::vector<bool> has(1u << n, false);
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t s = 1u << i;
+    dp[s] = {0.0, graph.scans[i]->est_rows, graph.scans[i]};
+    has[s] = true;
+  }
+  for (uint32_t size = 2; size <= n; ++size) {
+    for (uint32_t s = 1; s <= full; ++s) {
+      if (static_cast<uint32_t>(__builtin_popcount(s)) != size) continue;
+      for (size_t r = 0; r < n; ++r) {
+        if (!(s & (1u << r))) continue;
+        uint32_t rest = s & ~(1u << r);
+        if (!has[rest]) continue;
+        auto keys = graph.EdgesBetween(rest, 1u << r);
+        // Cross products only as a last resort for disconnected graphs.
+        if (keys.empty() && size < n) continue;
+        double rows =
+            keys.empty()
+                ? dp[rest].rows * graph.scans[r]->est_rows
+                : cards.EstimateJoinRows(dp[rest].rows,
+                                         graph.scans[r]->est_rows, keys);
+        double cost = dp[rest].cost + rows;
+        if (!has[s] || cost < dp[s].cost) {
+          auto plan = LogicalPlan::MakeJoin(dp[rest].plan, graph.scans[r],
+                                            keys);
+          plan->est_rows = rows;
+          dp[s] = {cost, rows, plan};
+          has[s] = true;
+        }
+      }
+    }
+  }
+  if (has[full]) return dp[full].plan;
+
+  // Disconnected join graph: stitch with cross joins in alias order.
+  LogicalPlanPtr joined = graph.scans[0];
+  double rows = graph.scans[0]->est_rows;
+  for (size_t i = 1; i < n; ++i) {
+    auto keys = graph.EdgesBetween((1u << i) - 1, 1u << i);
+    joined = LogicalPlan::MakeJoin(joined, graph.scans[i], keys);
+    rows = keys.empty()
+               ? rows * graph.scans[i]->est_rows
+               : cards.EstimateJoinRows(rows, graph.scans[i]->est_rows, keys);
+    joined->est_rows = rows;
+  }
+  return joined;
+}
+
+LogicalPlanPtr DagPlanner::FinishPlan(const BoundQuery& query,
+                                      const JoinGraph& graph,
+                                      LogicalPlanPtr joined) const {
+  CardinalityEstimator cards(meta_, &query.relations);
+  LogicalPlanPtr plan = std::move(joined);
+
+  if (!graph.residual_filters.empty()) {
+    ExprPtr pred = CombineConjuncts(graph.residual_filters);
+    double sel = cards.Selectivity(pred);
+    double in_rows = plan->est_rows;
+    plan = LogicalPlan::MakeFilter(plan, pred);
+    plan->est_rows = std::max(1.0, in_rows * sel);
+  }
+
+  if (query.is_aggregate()) {
+    double input_rows = plan->est_rows;
+    auto agg = LogicalPlan::MakeAggregate(plan, query.group_by,
+                                          query.aggregates, query.agg_names);
+    agg->est_rows = cards.EstimateGroupCount(input_rows, query.group_by);
+    plan = agg;
+    if (query.having) {
+      auto hav = LogicalPlan::MakeFilter(plan, query.having);
+      hav->est_rows =
+          std::max(1.0, plan->est_rows * cards.Selectivity(query.having));
+      plan = hav;
+    }
+  }
+
+  // ORDER BY keys referencing select-list names sort after the projection;
+  // keys referencing pre-projection columns sort before it.
+  bool sort_after_project = true;
+  {
+    std::set<std::string> out_names(query.select_names.begin(),
+                                    query.select_names.end());
+    for (const auto& o : query.order_by) {
+      std::vector<std::string> cols;
+      o.expr->CollectColumns(&cols);
+      for (const auto& c : cols) {
+        if (!out_names.count(c)) sort_after_project = false;
+      }
+    }
+  }
+  if (!query.order_by.empty() && !sort_after_project) {
+    auto sort = LogicalPlan::MakeSort(plan, query.order_by);
+    sort->est_rows = plan->est_rows;
+    plan = sort;
+  }
+  auto project = LogicalPlan::MakeProject(plan, query.select_exprs,
+                                          query.select_names);
+  project->est_rows = plan->est_rows;
+  plan = project;
+  if (!query.order_by.empty() && sort_after_project) {
+    auto sort = LogicalPlan::MakeSort(plan, query.order_by);
+    sort->est_rows = plan->est_rows;
+    plan = sort;
+  }
+  if (query.limit >= 0) {
+    auto limit = LogicalPlan::MakeLimit(plan, query.limit);
+    limit->est_rows =
+        std::min(plan->est_rows, static_cast<double>(query.limit));
+    plan = limit;
+  }
+  return plan;
+}
+
+}  // namespace costdb

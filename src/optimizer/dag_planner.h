@@ -1,0 +1,35 @@
+#pragma once
+
+#include "common/result.h"
+#include "optimizer/join_graph.h"
+
+namespace costdb {
+
+/// The paper's "DAG planning" stage: traditional single-machine query
+/// optimization. Pushes filters into scans, prunes columns, and orders
+/// joins with a left-deep dynamic program over the join graph (bushy
+/// shapes are deliberately *not* explored here — the paper defers them to
+/// DOP planning, see optimizer/bushy_rewriter.h). Produces a logical plan
+/// annotated with cardinality estimates.
+class DagPlanner {
+ public:
+  explicit DagPlanner(const MetadataService* meta) : meta_(meta) {}
+
+  /// Full pipeline: join graph -> left-deep join tree -> finishing stages.
+  Result<LogicalPlanPtr> Plan(const BoundQuery& query) const;
+
+  /// Left-deep DP over the join graph (exposed for the bushy rewriter,
+  /// which re-shapes this tree's spine).
+  Result<LogicalPlanPtr> PlanJoinTree(const BoundQuery& query,
+                                      const JoinGraph& graph) const;
+
+  /// Apply residual filters, aggregation, HAVING, projection, ORDER BY and
+  /// LIMIT on top of a join tree.
+  LogicalPlanPtr FinishPlan(const BoundQuery& query, const JoinGraph& graph,
+                            LogicalPlanPtr joined) const;
+
+ private:
+  const MetadataService* meta_;
+};
+
+}  // namespace costdb

@@ -1,0 +1,196 @@
+#include "optimizer/dop_planner.h"
+
+#include <algorithm>
+#include <map>
+
+namespace costdb {
+
+std::vector<int> DopPlanner::CandidateDops() const {
+  std::vector<int> dops;
+  for (int d = 1; d <= options_.max_dop; d *= 2) dops.push_back(d);
+  return dops;
+}
+
+void DopPlanner::CoTerminate(const PipelineGraph& graph,
+                             const VolumeMap& volumes, DopMap* dops,
+                             int* states) const {
+  // Sibling groups: pipelines sharing a consumer.
+  std::map<int, std::vector<const Pipeline*>> groups;
+  for (const auto& p : graph.pipelines) {
+    for (int dep : p.dependencies) {
+      for (const auto& q : graph.pipelines) {
+        if (q.id == dep) groups[p.id].push_back(&q);
+      }
+    }
+  }
+  auto candidates = CandidateDops();
+  for (auto& [consumer, siblings] : groups) {
+    if (siblings.size() < 2) continue;
+    // Slowest sibling at current DOPs sets the group target.
+    Seconds target = 0.0;
+    for (const auto* s : siblings) {
+      Seconds t = estimator_->PipelineDuration(*s, (*dops)[s->id], volumes);
+      ++*states;
+      target = std::max(target, t);
+    }
+    // Every other sibling shrinks to the smallest DOP that still finishes
+    // by the target: C_i / T_i(d_i) aligned across the group.
+    for (const auto* s : siblings) {
+      for (int d : candidates) {
+        Seconds t = estimator_->PipelineDuration(*s, d, volumes);
+        ++*states;
+        if (t <= target * 1.05) {
+          if (d < (*dops)[s->id]) (*dops)[s->id] = d;
+          break;
+        }
+      }
+    }
+  }
+}
+
+DopPlanResult DopPlanner::Plan(const PipelineGraph& graph,
+                               const VolumeMap& volumes,
+                               const UserConstraint& constraint) const {
+  DopPlanResult result;
+  int states = 0;
+  auto candidates = CandidateDops();
+  DopMap dops;
+  for (const auto& p : graph.pipelines) dops[p.id] = 1;
+
+  auto evaluate = [&](const DopMap& d) {
+    ++states;
+    return estimator_->EstimatePlan(graph, d, volumes);
+  };
+  PlanCostEstimate current = evaluate(dops);
+
+  auto objective_met = [&](const PlanCostEstimate& e) {
+    return constraint.mode == UserConstraint::Mode::kMinCostUnderSla
+               ? e.latency <= constraint.latency_sla
+               : e.cost <= constraint.budget;
+  };
+
+  // Phase 1 — greedy escalation: repeatedly take the single-pipeline DOP
+  // increase with the best latency gain per extra dollar.
+  const int kMaxMoves = 256;
+  for (int move = 0; move < kMaxMoves; ++move) {
+    bool need_speed =
+        constraint.mode == UserConstraint::Mode::kMinCostUnderSla
+            ? current.latency > constraint.latency_sla
+            : true;
+    if (!need_speed) break;
+    int best_pipeline = -1;
+    int best_dop = 0;
+    double best_ratio = 0.0;
+    PlanCostEstimate best_estimate;
+    for (const auto& p : graph.pipelines) {
+      int cur = dops[p.id];
+      auto it = std::find(candidates.begin(), candidates.end(), cur);
+      if (it == candidates.end() || it + 1 == candidates.end()) continue;
+      int next = *(it + 1);
+      DopMap trial = dops;
+      trial[p.id] = next;
+      PlanCostEstimate est = evaluate(trial);
+      double latency_gain = current.latency - est.latency;
+      if (latency_gain <= 1e-12) continue;
+      if (constraint.mode == UserConstraint::Mode::kMinLatencyUnderBudget &&
+          est.cost > constraint.budget) {
+        continue;
+      }
+      double extra_cost = std::max(est.cost - current.cost, 1e-12);
+      double ratio = latency_gain / extra_cost;
+      if (est.cost <= current.cost) ratio = 1e18 + latency_gain;  // free win
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best_pipeline = p.id;
+        best_dop = next;
+        best_estimate = est;
+      }
+    }
+    if (best_pipeline < 0) break;  // no improving move
+    dops[best_pipeline] = best_dop;
+    current = best_estimate;
+  }
+
+  // Phase 2 — co-termination rebalancing of concurrent siblings.
+  if (options_.use_cotermination) {
+    CoTerminate(graph, volumes, &dops, &states);
+    current = evaluate(dops);
+  }
+
+  // Phase 3 — cost trimming: lower any DOP whose reduction keeps the
+  // constraint satisfied and strictly reduces cost.
+  bool improved = options_.use_trim_phase;
+  while (improved) {
+    improved = false;
+    for (const auto& p : graph.pipelines) {
+      int cur = dops[p.id];
+      if (cur <= 1) continue;
+      auto it = std::find(candidates.begin(), candidates.end(), cur);
+      if (it == candidates.begin() || it == candidates.end()) continue;
+      DopMap trial = dops;
+      trial[p.id] = *(it - 1);
+      PlanCostEstimate est = evaluate(trial);
+      bool ok = constraint.mode == UserConstraint::Mode::kMinCostUnderSla
+                    ? est.latency <= constraint.latency_sla
+                    : est.cost <= constraint.budget &&
+                          est.latency <= current.latency * 1.001;
+      if (ok && est.cost < current.cost) {
+        dops = trial;
+        current = est;
+        improved = true;
+      }
+    }
+  }
+
+  result.dops = dops;
+  result.estimate = current;
+  result.feasible = objective_met(current);
+  result.states_explored = states;
+  return result;
+}
+
+std::vector<PlanCostEstimate> DopPlanner::EnumeratePareto(
+    const PipelineGraph& graph, const VolumeMap& volumes,
+    int* states_explored) const {
+  auto candidates = CandidateDops();
+  std::vector<int> ids;
+  for (const auto& p : graph.pipelines) ids.push_back(p.id);
+  std::vector<PlanCostEstimate> all;
+  int states = 0;
+  // Odometer over the full cartesian space.
+  std::vector<size_t> idx(ids.size(), 0);
+  while (true) {
+    DopMap dops;
+    for (size_t i = 0; i < ids.size(); ++i) dops[ids[i]] = candidates[idx[i]];
+    all.push_back(estimator_->EstimatePlan(graph, dops, volumes));
+    ++states;
+    size_t k = 0;
+    while (k < idx.size()) {
+      if (++idx[k] < candidates.size()) break;
+      idx[k] = 0;
+      ++k;
+    }
+    if (k == idx.size()) break;
+  }
+  if (states_explored != nullptr) *states_explored = states;
+  // Pareto filter on (latency, cost).
+  std::vector<PlanCostEstimate> frontier;
+  for (const auto& e : all) {
+    bool dominated = false;
+    for (const auto& o : all) {
+      if (o.latency <= e.latency && o.cost <= e.cost &&
+          (o.latency < e.latency || o.cost < e.cost)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) frontier.push_back(e);
+  }
+  std::sort(frontier.begin(), frontier.end(),
+            [](const PlanCostEstimate& a, const PlanCostEstimate& b) {
+              return a.latency < b.latency;
+            });
+  return frontier;
+}
+
+}  // namespace costdb

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <limits>
+
+#include "cost/cost_model.h"
+
+namespace costdb {
+
+/// What the user asks for instead of a T-shirt size (paper Section 2):
+/// either a latency SLA (minimize dollars subject to it) or a cloud budget
+/// (minimize latency subject to it).
+struct UserConstraint {
+  enum class Mode {
+    kMinCostUnderSla,
+    kMinLatencyUnderBudget,
+  };
+  Mode mode = Mode::kMinCostUnderSla;
+  Seconds latency_sla = std::numeric_limits<double>::infinity();
+  Dollars budget = std::numeric_limits<double>::infinity();
+
+  static UserConstraint Sla(Seconds sla) {
+    UserConstraint c;
+    c.mode = Mode::kMinCostUnderSla;
+    c.latency_sla = sla;
+    return c;
+  }
+  static UserConstraint Budget(Dollars budget) {
+    UserConstraint c;
+    c.mode = Mode::kMinLatencyUnderBudget;
+    c.budget = budget;
+    return c;
+  }
+};
+
+struct DopPlannerOptions {
+  int max_dop = 256;  // per-pipeline node cap
+  /// Co-termination pruning (paper Section 3.2): concurrent sibling
+  /// pipelines are rebalanced so C1/T1(d1) ~= C2/T2(d2) instead of being
+  /// searched independently.
+  bool use_cotermination = true;
+  /// Exhaustive per-pipeline downsizing sweep after the greedy escalation.
+  /// More estimator calls; the co-termination heuristic recovers most of
+  /// its waste reduction at a fraction of the states (ablation E5).
+  bool use_trim_phase = true;
+};
+
+struct DopPlanResult {
+  DopMap dops;
+  PlanCostEstimate estimate;
+  bool feasible = true;       // constraint achievable?
+  int states_explored = 0;    // cost-estimator invocations (search effort)
+};
+
+/// The second stage of the paper's two-stage optimizer: assign a DOP to
+/// every pipeline of an already-shaped plan so that the user constraint is
+/// met at minimal cost (or minimal latency within budget). Greedy
+/// steepest-descent over per-pipeline DOP moves, with optional
+/// co-termination rebalancing of concurrent siblings.
+class DopPlanner {
+ public:
+  DopPlanner(const CostEstimator* estimator,
+             DopPlannerOptions options = DopPlannerOptions())
+      : estimator_(estimator), options_(options) {}
+
+  DopPlanResult Plan(const PipelineGraph& graph, const VolumeMap& volumes,
+                     const UserConstraint& constraint) const;
+
+  /// Exhaustive grid search over per-pipeline DOP candidates; returns the
+  /// Pareto frontier of (latency, cost). Exponential — the baseline the
+  /// paper argues against (E3) and the oracle for small plans.
+  std::vector<PlanCostEstimate> EnumeratePareto(const PipelineGraph& graph,
+                                                const VolumeMap& volumes,
+                                                int* states_explored) const;
+
+  /// Apply only the co-termination rebalancing to an existing assignment
+  /// (exposed for the E5 ablation and for the DOP monitor's replans).
+  void CoTerminateForTest(const PipelineGraph& graph, const VolumeMap& volumes,
+                          DopMap* dops, int* states) const {
+    CoTerminate(graph, volumes, dops, states);
+  }
+
+ private:
+  std::vector<int> CandidateDops() const;
+
+  /// Rebalance concurrent sibling groups: shrink every sibling to the
+  /// smallest DOP whose duration still matches the group's slowest member.
+  void CoTerminate(const PipelineGraph& graph, const VolumeMap& volumes,
+                   DopMap* dops, int* states) const;
+
+  const CostEstimator* estimator_;
+  DopPlannerOptions options_;
+};
+
+}  // namespace costdb

@@ -1,0 +1,120 @@
+#include "optimizer/join_graph.h"
+
+#include <map>
+#include <set>
+
+namespace costdb {
+
+namespace {
+std::string AliasOf(const std::string& qualified) {
+  auto dot = qualified.find('.');
+  return dot == std::string::npos ? qualified : qualified.substr(0, dot);
+}
+}  // namespace
+
+std::vector<std::pair<ExprPtr, ExprPtr>> JoinGraph::EdgesBetween(
+    uint32_t left, uint32_t right) const {
+  std::vector<std::pair<ExprPtr, ExprPtr>> keys;
+  for (const auto& e : edges) {
+    uint32_t l = 1u << e.left_rel;
+    uint32_t r = 1u << e.right_rel;
+    if ((left & l) && (right & r)) {
+      keys.emplace_back(e.left_key, e.right_key);
+    } else if ((left & r) && (right & l)) {
+      keys.emplace_back(e.right_key, e.left_key);
+    }
+  }
+  return keys;
+}
+
+bool JoinGraph::Connected(uint32_t set) const {
+  if (set == 0) return false;
+  uint32_t seed = set & static_cast<uint32_t>(-static_cast<int32_t>(set));
+  uint32_t reached = seed;
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (const auto& e : edges) {
+      uint32_t l = 1u << e.left_rel;
+      uint32_t r = 1u << e.right_rel;
+      if (!(set & l) || !(set & r)) continue;
+      if ((reached & l) && !(reached & r)) {
+        reached |= r;
+        grew = true;
+      } else if ((reached & r) && !(reached & l)) {
+        reached |= l;
+        grew = true;
+      }
+    }
+  }
+  return reached == set;
+}
+
+Result<JoinGraph> BuildJoinGraph(const BoundQuery& query,
+                                 const CardinalityEstimator& cards) {
+  const size_t n = query.relations.size();
+  JoinGraph graph;
+  std::map<std::string, size_t> alias_index;
+  for (size_t i = 0; i < n; ++i) alias_index[query.relations[i].alias] = i;
+
+  std::vector<std::vector<ExprPtr>> pushed(n);
+  for (const auto& f : query.filters) {
+    std::vector<std::string> cols;
+    f->CollectColumns(&cols);
+    std::set<std::string> aliases;
+    for (const auto& c : cols) aliases.insert(AliasOf(c));
+    if (aliases.size() <= 1) {
+      size_t rel = aliases.empty() ? 0 : alias_index.at(*aliases.begin());
+      pushed[rel].push_back(f);
+      continue;
+    }
+    std::string lcol, rcol;
+    if (aliases.size() == 2 && MatchEquiJoin(f, &lcol, &rcol)) {
+      JoinGraphEdge e;
+      e.left_rel = alias_index.at(AliasOf(lcol));
+      e.right_rel = alias_index.at(AliasOf(rcol));
+      const auto& rel_l = query.relations[e.left_rel];
+      std::string base = lcol.substr(lcol.find('.') + 1);
+      LogicalType lt = LogicalType::kInt64;
+      auto idx = rel_l.handle->ColumnIndex(base);
+      if (idx.ok()) lt = rel_l.handle->columns()[*idx].type;
+      e.left_key = Expr::MakeColumn(lcol, lt);
+      e.right_key = Expr::MakeColumn(rcol, lt);
+      graph.edges.push_back(std::move(e));
+      continue;
+    }
+    graph.residual_filters.push_back(f);
+  }
+
+  // Column pruning.
+  std::vector<std::string> used;
+  auto collect = [&used](const ExprPtr& e) {
+    if (e) e->CollectColumns(&used);
+  };
+  for (const auto& f : query.filters) collect(f);
+  for (const auto& e : query.select_exprs) collect(e);
+  for (const auto& g : query.group_by) collect(g);
+  for (const auto& a : query.aggregates) collect(a);
+  collect(query.having);
+  for (const auto& o : query.order_by) collect(o.expr);
+  std::set<std::string> used_set(used.begin(), used.end());
+
+  graph.scans.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const auto& rel = query.relations[i];
+    std::vector<std::string> columns;
+    for (const auto& col : rel.handle->columns()) {
+      std::string q = rel.alias + "." + col.name;
+      if (used_set.count(q)) columns.push_back(q);
+    }
+    if (columns.empty() && !rel.handle->columns().empty()) {
+      columns.push_back(rel.alias + "." + rel.handle->columns()[0].name);
+    }
+    graph.scans[i] =
+        LogicalPlan::MakeScan(rel.handle, rel.alias, columns, pushed[i]);
+    graph.scans[i]->est_rows = cards.EstimateScanRows(rel.alias, pushed[i]);
+  }
+  return graph;
+}
+
+}  // namespace costdb

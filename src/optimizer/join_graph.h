@@ -1,0 +1,42 @@
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "optimizer/cardinality.h"
+#include "plan/logical_plan.h"
+
+namespace costdb {
+
+/// One equi-join edge of the query graph.
+struct JoinGraphEdge {
+  size_t left_rel = 0;
+  size_t right_rel = 0;
+  ExprPtr left_key;
+  ExprPtr right_key;
+};
+
+/// The query graph the join-ordering stages work on: per-relation scan
+/// plans (filters pushed, columns pruned, cardinalities estimated), the
+/// equi-join edges, and whatever predicates remain for post-join filtering.
+struct JoinGraph {
+  std::vector<LogicalPlanPtr> scans;  // aligned with BoundQuery::relations
+  std::vector<JoinGraphEdge> edges;
+  std::vector<ExprPtr> residual_filters;
+
+  /// All key pairs connecting relation subsets `left` and `right`
+  /// (bitmasks); keys oriented left-to-right.
+  std::vector<std::pair<ExprPtr, ExprPtr>> EdgesBetween(uint32_t left,
+                                                        uint32_t right) const;
+
+  /// True when the relations in `set` form a connected subgraph.
+  bool Connected(uint32_t set) const;
+};
+
+/// Build the join graph of a bound query: classify predicates into pushed
+/// single-relation filters, equi-join edges, and residuals; prune columns;
+/// estimate scan cardinalities.
+Result<JoinGraph> BuildJoinGraph(const BoundQuery& query,
+                                 const CardinalityEstimator& cards);
+
+}  // namespace costdb

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+
+#include "optimizer/dag_planner.h"
+#include "optimizer/physical_planner.h"
+#include "sql/binder.h"
+
+namespace costdb {
+
+/// Front door of the DAG-planning stage: SQL (or a bound query) in,
+/// distributed physical plan out. DOP planning — the second stage of the
+/// paper's two-stage optimizer — lives in optimizer/dop_planner.h and runs
+/// on the plan this produces.
+class Optimizer {
+ public:
+  explicit Optimizer(const MetadataService* meta,
+                     PhysicalPlannerOptions physical_options =
+                         PhysicalPlannerOptions())
+      : meta_(meta), physical_options_(physical_options) {}
+
+  Result<PhysicalPlanPtr> OptimizeQuery(const BoundQuery& query) const {
+    DagPlanner dag(meta_);
+    LogicalPlanPtr logical;
+    COSTDB_ASSIGN_OR_RETURN(logical, dag.Plan(query));
+    PhysicalPlanner physical(meta_, &query.relations, physical_options_);
+    return physical.Plan(logical);
+  }
+
+  /// Parse + bind + plan.
+  Result<PhysicalPlanPtr> OptimizeSql(const std::string& sql) const {
+    Binder binder(meta_);
+    BoundQuery query;
+    COSTDB_ASSIGN_OR_RETURN(query, binder.BindSql(sql));
+    return OptimizeQuery(query);
+  }
+
+  const MetadataService* meta() const { return meta_; }
+
+ private:
+  const MetadataService* meta_;
+  PhysicalPlannerOptions physical_options_;
+};
+
+}  // namespace costdb

@@ -1,0 +1,38 @@
+#pragma once
+
+#include "common/result.h"
+#include "optimizer/cardinality.h"
+#include "plan/physical_plan.h"
+
+namespace costdb {
+
+struct PhysicalPlannerOptions {
+  /// Build sides estimated below this many bytes are broadcast instead of
+  /// shuffled (both sides).
+  double broadcast_threshold_bytes = 64.0 * kMiB;
+};
+
+/// Lowers an annotated logical plan to a distributed physical plan:
+/// hash-join/hash-aggregate operator selection, exchange placement
+/// (shuffle / broadcast / gather), schema propagation, and byte-size
+/// estimates for the cost model.
+class PhysicalPlanner {
+ public:
+  PhysicalPlanner(const MetadataService* meta,
+                  const std::vector<BoundRelation>* relations,
+                  PhysicalPlannerOptions options = PhysicalPlannerOptions())
+      : cards_(meta, relations), options_(options) {}
+
+  Result<PhysicalPlanPtr> Plan(const LogicalPlanPtr& logical) const;
+
+ private:
+  Result<PhysicalPlanPtr> Lower(const LogicalPlanPtr& node) const;
+  PhysicalPlanPtr WrapExchange(PhysicalPlanPtr child, ExchangeKind kind) const;
+  double RowBytes(const std::vector<std::string>& names,
+                  const std::vector<LogicalType>& types) const;
+
+  CardinalityEstimator cards_;
+  PhysicalPlannerOptions options_;
+};
+
+}  // namespace costdb

@@ -1,0 +1,237 @@
+#include "plan/expression.h"
+
+#include <algorithm>
+
+namespace costdb {
+
+const char* AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCountStar:
+      return "count(*)";
+    case AggFunc::kCount:
+      return "count";
+    case AggFunc::kSum:
+      return "sum";
+    case AggFunc::kMin:
+      return "min";
+    case AggFunc::kMax:
+      return "max";
+    case AggFunc::kAvg:
+      return "avg";
+  }
+  return "?";
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case Kind::kColumn:
+      return column;
+    case Kind::kConstant:
+      return constant.is_string() ? "'" + constant.ToString() + "'"
+                                  : constant.ToString();
+    case Kind::kCompare:
+      return "(" + children[0]->ToString() + " " + CompareOpName(cmp) + " " +
+             children[1]->ToString() + ")";
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::string sep = kind == Kind::kAnd ? " AND " : " OR ";
+      std::string out = "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += sep;
+        out += children[i]->ToString();
+      }
+      return out + ")";
+    }
+    case Kind::kNot:
+      return "NOT " + children[0]->ToString();
+    case Kind::kArith:
+      return "(" + children[0]->ToString() + " " + arith_op + " " +
+             children[1]->ToString() + ")";
+    case Kind::kAgg:
+      if (agg == AggFunc::kCountStar) return "count(*)";
+      return std::string(AggFuncName(agg)) + "(" + children[0]->ToString() +
+             ")";
+    case Kind::kLike:
+      return children[0]->ToString() + " LIKE " + children[1]->ToString();
+  }
+  return "?";
+}
+
+void Expr::CollectColumns(std::vector<std::string>* out) const {
+  if (kind == Kind::kColumn) out->push_back(column);
+  for (const auto& c : children) {
+    if (c) c->CollectColumns(out);
+  }
+}
+
+ExprPtr Expr::Clone() const {
+  auto e = std::make_shared<Expr>(*this);
+  for (auto& c : e->children) {
+    if (c) c = c->Clone();
+  }
+  return e;
+}
+
+ExprPtr Expr::MakeColumn(std::string name, LogicalType type) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kColumn;
+  e->column = std::move(name);
+  e->type = type;
+  return e;
+}
+
+ExprPtr Expr::MakeConstant(Value v, LogicalType type) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kConstant;
+  e->constant = std::move(v);
+  e->type = type;
+  return e;
+}
+
+ExprPtr Expr::MakeCompare(CompareOp op, ExprPtr l, ExprPtr r) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kCompare;
+  e->cmp = op;
+  e->type = LogicalType::kBool;
+  e->children = {std::move(l), std::move(r)};
+  return e;
+}
+
+ExprPtr Expr::MakeAnd(std::vector<ExprPtr> children) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kAnd;
+  e->type = LogicalType::kBool;
+  e->children = std::move(children);
+  return e;
+}
+
+ExprPtr Expr::MakeOr(std::vector<ExprPtr> children) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kOr;
+  e->type = LogicalType::kBool;
+  e->children = std::move(children);
+  return e;
+}
+
+ExprPtr Expr::MakeNot(ExprPtr child) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kNot;
+  e->type = LogicalType::kBool;
+  e->children = {std::move(child)};
+  return e;
+}
+
+ExprPtr Expr::MakeArith(char op, ExprPtr l, ExprPtr r) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kArith;
+  e->arith_op = op;
+  // Integer arithmetic stays integral except division; anything touching a
+  // double widens.
+  bool any_double = l->type == LogicalType::kDouble ||
+                    r->type == LogicalType::kDouble || op == '/';
+  e->type = any_double ? LogicalType::kDouble : LogicalType::kInt64;
+  e->children = {std::move(l), std::move(r)};
+  return e;
+}
+
+ExprPtr Expr::MakeAgg(AggFunc f, ExprPtr arg) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kAgg;
+  e->agg = f;
+  if (arg) {
+    e->children = {arg};
+  }
+  switch (f) {
+    case AggFunc::kCountStar:
+    case AggFunc::kCount:
+      e->type = LogicalType::kInt64;
+      break;
+    case AggFunc::kAvg:
+      e->type = LogicalType::kDouble;
+      break;
+    case AggFunc::kSum:
+      e->type = arg && arg->type == LogicalType::kInt64 ? LogicalType::kInt64
+                                                        : LogicalType::kDouble;
+      break;
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      e->type = arg ? arg->type : LogicalType::kInt64;
+      break;
+  }
+  return e;
+}
+
+ExprPtr Expr::MakeLike(ExprPtr input, std::string pattern) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kLike;
+  e->type = LogicalType::kBool;
+  e->children = {std::move(input),
+                 MakeConstant(Value(std::move(pattern)), LogicalType::kVarchar)};
+  return e;
+}
+
+void SplitConjuncts(const ExprPtr& e, std::vector<ExprPtr>* out) {
+  if (!e) return;
+  if (e->kind == Expr::Kind::kAnd) {
+    for (const auto& c : e->children) SplitConjuncts(c, out);
+    return;
+  }
+  out->push_back(e);
+}
+
+ExprPtr CombineConjuncts(std::vector<ExprPtr> conjuncts) {
+  if (conjuncts.empty()) return nullptr;
+  if (conjuncts.size() == 1) return conjuncts[0];
+  return Expr::MakeAnd(std::move(conjuncts));
+}
+
+bool ReferencesOnlyPrefix(const ExprPtr& e, const std::string& prefix) {
+  std::vector<std::string> cols;
+  e->CollectColumns(&cols);
+  if (cols.empty()) return true;
+  return std::all_of(cols.begin(), cols.end(), [&](const std::string& c) {
+    return c.rfind(prefix, 0) == 0;
+  });
+}
+
+bool MatchColumnCompareConstant(const ExprPtr& e, std::string* column,
+                                CompareOp* op, Value* constant) {
+  if (!e || e->kind != Expr::Kind::kCompare) return false;
+  const ExprPtr& l = e->children[0];
+  const ExprPtr& r = e->children[1];
+  if (l->kind == Expr::Kind::kColumn && r->kind == Expr::Kind::kConstant) {
+    *column = l->column;
+    *op = e->cmp;
+    *constant = r->constant;
+    return true;
+  }
+  if (r->kind == Expr::Kind::kColumn && l->kind == Expr::Kind::kConstant) {
+    *column = r->column;
+    *op = SwapCompareOp(e->cmp);
+    *constant = l->constant;
+    return true;
+  }
+  return false;
+}
+
+bool MatchEquiJoin(const ExprPtr& e, std::string* left_col,
+                   std::string* right_col) {
+  if (!e || e->kind != Expr::Kind::kCompare || e->cmp != CompareOp::kEq) {
+    return false;
+  }
+  const ExprPtr& l = e->children[0];
+  const ExprPtr& r = e->children[1];
+  if (l->kind != Expr::Kind::kColumn || r->kind != Expr::Kind::kColumn) {
+    return false;
+  }
+  auto prefix = [](const std::string& qualified) {
+    auto dot = qualified.find('.');
+    return dot == std::string::npos ? qualified : qualified.substr(0, dot);
+  };
+  if (prefix(l->column) == prefix(r->column)) return false;
+  *left_col = l->column;
+  *right_col = r->column;
+  return true;
+}
+
+}  // namespace costdb

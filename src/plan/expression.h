@@ -1,0 +1,92 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+#include "storage/zone_map.h"
+
+namespace costdb {
+
+/// Aggregate functions supported by the engine.
+enum class AggFunc {
+  kCountStar,
+  kCount,
+  kSum,
+  kMin,
+  kMax,
+  kAvg,
+};
+
+const char* AggFuncName(AggFunc f);
+
+struct Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+/// Bound expression tree. Columns are referenced by their unique name
+/// ("alias.column", or a derived name after aggregation/projection); the
+/// executor resolves names to indices against the concrete input schema
+/// when a physical pipeline is instantiated.
+struct Expr {
+  enum class Kind {
+    kColumn,    // column reference by unique name
+    kConstant,  // literal
+    kCompare,   // children[0] cmp children[1]
+    kAnd,       // n-ary conjunction
+    kOr,        // n-ary disjunction
+    kNot,       // child negation
+    kArith,     // children[0] op children[1], op in + - * /
+    kAgg,       // aggregate over children[0] (none for COUNT(*))
+    kLike,      // children[0] LIKE pattern (constant child[1])
+  };
+
+  Kind kind = Kind::kConstant;
+  LogicalType type = LogicalType::kInt64;  // result type
+
+  std::string column;   // kColumn
+  Value constant;       // kConstant
+  CompareOp cmp = CompareOp::kEq;  // kCompare
+  char arith_op = '+';  // kArith
+  AggFunc agg = AggFunc::kCountStar;  // kAgg
+  std::vector<ExprPtr> children;
+
+  std::string ToString() const;
+
+  /// All column names referenced anywhere in this tree.
+  void CollectColumns(std::vector<std::string>* out) const;
+
+  /// Deep copy.
+  ExprPtr Clone() const;
+
+  // ---- constructors ----
+  static ExprPtr MakeColumn(std::string name, LogicalType type);
+  static ExprPtr MakeConstant(Value v, LogicalType type);
+  static ExprPtr MakeCompare(CompareOp op, ExprPtr l, ExprPtr r);
+  static ExprPtr MakeAnd(std::vector<ExprPtr> children);
+  static ExprPtr MakeOr(std::vector<ExprPtr> children);
+  static ExprPtr MakeNot(ExprPtr child);
+  static ExprPtr MakeArith(char op, ExprPtr l, ExprPtr r);
+  static ExprPtr MakeAgg(AggFunc f, ExprPtr arg);  // arg may be nullptr
+  static ExprPtr MakeLike(ExprPtr input, std::string pattern);
+};
+
+/// Splits a predicate into its top-level AND conjuncts.
+void SplitConjuncts(const ExprPtr& e, std::vector<ExprPtr>* out);
+
+/// AND-combine conjuncts (nullptr when empty, the single conjunct when one).
+ExprPtr CombineConjuncts(std::vector<ExprPtr> conjuncts);
+
+/// True if the expression references only columns with the given prefix
+/// ("alias." qualified names), i.e. can be pushed below a join to that side.
+bool ReferencesOnlyPrefix(const ExprPtr& e, const std::string& prefix);
+
+/// Matches `column <op> constant` (possibly reversed); fills outputs.
+bool MatchColumnCompareConstant(const ExprPtr& e, std::string* column,
+                                CompareOp* op, Value* constant);
+
+/// Matches `colA = colB` across two different table prefixes.
+bool MatchEquiJoin(const ExprPtr& e, std::string* left_col,
+                   std::string* right_col);
+
+}  // namespace costdb

@@ -1,0 +1,142 @@
+#include "plan/logical_plan.h"
+
+#include <algorithm>
+
+namespace costdb {
+
+namespace {
+void MergeRelationSets(const LogicalPlanPtr& l, const LogicalPlanPtr& r,
+                       std::vector<std::string>* out) {
+  *out = l->relation_set;
+  out->insert(out->end(), r->relation_set.begin(), r->relation_set.end());
+  std::sort(out->begin(), out->end());
+}
+}  // namespace
+
+std::string LogicalPlan::ToString(int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string out = pad;
+  switch (kind) {
+    case Kind::kScan: {
+      out += "Scan " + alias;
+      if (!pushed_filters.empty()) {
+        out += " [";
+        for (size_t i = 0; i < pushed_filters.size(); ++i) {
+          if (i > 0) out += " AND ";
+          out += pushed_filters[i]->ToString();
+        }
+        out += "]";
+      }
+      break;
+    }
+    case Kind::kJoin: {
+      out += "Join";
+      for (const auto& [l, r] : join_keys) {
+        out += " " + l->ToString() + "=" + r->ToString();
+      }
+      break;
+    }
+    case Kind::kFilter:
+      out += "Filter " + predicate->ToString();
+      break;
+    case Kind::kAggregate: {
+      out += "Aggregate groups=" + std::to_string(group_by.size()) +
+             " aggs=" + std::to_string(aggregates.size());
+      break;
+    }
+    case Kind::kProject:
+      out += "Project " + std::to_string(projections.size()) + " exprs";
+      break;
+    case Kind::kSort:
+      out += "Sort";
+      break;
+    case Kind::kLimit:
+      out += "Limit " + std::to_string(limit);
+      break;
+  }
+  out += " (est " + std::to_string(static_cast<int64_t>(est_rows)) + " rows)\n";
+  for (const auto& c : children) out += c->ToString(indent + 1);
+  return out;
+}
+
+LogicalPlanPtr LogicalPlan::MakeScan(std::shared_ptr<Table> table,
+                                     std::string alias,
+                                     std::vector<std::string> columns,
+                                     std::vector<ExprPtr> filters) {
+  auto p = std::make_shared<LogicalPlan>();
+  p->kind = Kind::kScan;
+  p->table = std::move(table);
+  p->alias = alias;
+  p->scan_columns = std::move(columns);
+  p->pushed_filters = std::move(filters);
+  p->relation_set = {std::move(alias)};
+  return p;
+}
+
+LogicalPlanPtr LogicalPlan::MakeJoin(
+    LogicalPlanPtr left, LogicalPlanPtr right,
+    std::vector<std::pair<ExprPtr, ExprPtr>> keys) {
+  auto p = std::make_shared<LogicalPlan>();
+  p->kind = Kind::kJoin;
+  MergeRelationSets(left, right, &p->relation_set);
+  p->children = {std::move(left), std::move(right)};
+  p->join_keys = std::move(keys);
+  return p;
+}
+
+LogicalPlanPtr LogicalPlan::MakeFilter(LogicalPlanPtr child,
+                                       ExprPtr predicate) {
+  auto p = std::make_shared<LogicalPlan>();
+  p->kind = Kind::kFilter;
+  p->relation_set = child->relation_set;
+  p->children = {std::move(child)};
+  p->predicate = std::move(predicate);
+  return p;
+}
+
+LogicalPlanPtr LogicalPlan::MakeAggregate(LogicalPlanPtr child,
+                                          std::vector<ExprPtr> group_by,
+                                          std::vector<ExprPtr> aggregates,
+                                          std::vector<std::string> agg_names) {
+  auto p = std::make_shared<LogicalPlan>();
+  p->kind = Kind::kAggregate;
+  p->relation_set = child->relation_set;
+  p->children = {std::move(child)};
+  p->group_by = std::move(group_by);
+  p->aggregates = std::move(aggregates);
+  p->agg_names = std::move(agg_names);
+  return p;
+}
+
+LogicalPlanPtr LogicalPlan::MakeProject(LogicalPlanPtr child,
+                                        std::vector<ExprPtr> projections,
+                                        std::vector<std::string> names) {
+  auto p = std::make_shared<LogicalPlan>();
+  p->kind = Kind::kProject;
+  p->relation_set = child->relation_set;
+  p->children = {std::move(child)};
+  p->projections = std::move(projections);
+  p->projection_names = std::move(names);
+  return p;
+}
+
+LogicalPlanPtr LogicalPlan::MakeSort(LogicalPlanPtr child,
+                                     std::vector<BoundOrderItem> keys) {
+  auto p = std::make_shared<LogicalPlan>();
+  p->kind = Kind::kSort;
+  p->relation_set = child->relation_set;
+  p->children = {std::move(child)};
+  p->sort_keys = std::move(keys);
+  return p;
+}
+
+LogicalPlanPtr LogicalPlan::MakeLimit(LogicalPlanPtr child, int64_t limit) {
+  auto p = std::make_shared<LogicalPlan>();
+  p->kind = Kind::kLimit;
+  p->relation_set = child->relation_set;
+  p->children = {std::move(child)};
+  p->limit = limit;
+  return p;
+}
+
+}  // namespace costdb

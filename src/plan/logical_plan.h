@@ -1,0 +1,91 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sql/binder.h"
+#include "storage/table.h"
+
+namespace costdb {
+
+struct LogicalPlan;
+using LogicalPlanPtr = std::shared_ptr<LogicalPlan>;
+
+/// Logical operator tree — the working representation of the optimizer's
+/// DAG-planning stage (join ordering, filter pushdown) and of the bushy
+/// rewriter, before physical operators, exchanges, and DOP enter the
+/// picture.
+struct LogicalPlan {
+  enum class Kind {
+    kScan,       // base table with pushed-down filters + column pruning
+    kJoin,       // inner equi-join
+    kFilter,     // residual predicate
+    kAggregate,  // hash aggregation
+    kProject,    // final projection
+    kSort,
+    kLimit,
+  };
+
+  Kind kind = Kind::kScan;
+  std::vector<LogicalPlanPtr> children;
+
+  // kScan
+  std::shared_ptr<Table> table;
+  std::string alias;
+  std::vector<std::string> scan_columns;  // qualified output names
+  std::vector<ExprPtr> pushed_filters;
+
+  // kJoin: equi-key pairs (left side expr, right side expr)
+  std::vector<std::pair<ExprPtr, ExprPtr>> join_keys;
+
+  // kFilter
+  ExprPtr predicate;
+
+  // kAggregate
+  std::vector<ExprPtr> group_by;
+  std::vector<ExprPtr> aggregates;
+  std::vector<std::string> agg_names;
+
+  // kProject
+  std::vector<ExprPtr> projections;
+  std::vector<std::string> projection_names;
+
+  // kSort
+  std::vector<BoundOrderItem> sort_keys;
+
+  // kLimit
+  int64_t limit = -1;
+
+  /// Estimated output cardinality, filled by the optimizer's cardinality
+  /// module during planning.
+  double est_rows = 0.0;
+
+  /// Set of relation aliases contributing to this subtree (join ordering
+  /// bookkeeping).
+  std::vector<std::string> relation_set;
+
+  /// Indented tree rendering for EXPLAIN-style output and tests.
+  std::string ToString(int indent = 0) const;
+
+  static LogicalPlanPtr MakeScan(std::shared_ptr<Table> table,
+                                 std::string alias,
+                                 std::vector<std::string> columns,
+                                 std::vector<ExprPtr> filters);
+  static LogicalPlanPtr MakeJoin(
+      LogicalPlanPtr left, LogicalPlanPtr right,
+      std::vector<std::pair<ExprPtr, ExprPtr>> keys);
+  static LogicalPlanPtr MakeFilter(LogicalPlanPtr child, ExprPtr predicate);
+  static LogicalPlanPtr MakeAggregate(LogicalPlanPtr child,
+                                      std::vector<ExprPtr> group_by,
+                                      std::vector<ExprPtr> aggregates,
+                                      std::vector<std::string> agg_names);
+  static LogicalPlanPtr MakeProject(LogicalPlanPtr child,
+                                    std::vector<ExprPtr> projections,
+                                    std::vector<std::string> names);
+  static LogicalPlanPtr MakeSort(LogicalPlanPtr child,
+                                 std::vector<BoundOrderItem> keys);
+  static LogicalPlanPtr MakeLimit(LogicalPlanPtr child, int64_t limit);
+};
+
+}  // namespace costdb

@@ -1,0 +1,89 @@
+#include "plan/physical_plan.h"
+
+#include "common/table_printer.h"
+
+namespace costdb {
+
+const char* ExchangeKindName(ExchangeKind k) {
+  switch (k) {
+    case ExchangeKind::kShuffle:
+      return "Shuffle";
+    case ExchangeKind::kBroadcast:
+      return "Broadcast";
+    case ExchangeKind::kGather:
+      return "Gather";
+  }
+  return "?";
+}
+
+const char* PhysicalPlan::KindName() const {
+  switch (kind) {
+    case Kind::kTableScan:
+      return "TableScan";
+    case Kind::kFilter:
+      return "Filter";
+    case Kind::kProject:
+      return "Project";
+    case Kind::kHashJoin:
+      return "HashJoin";
+    case Kind::kHashAggregate:
+      return "HashAggregate";
+    case Kind::kSort:
+      return "Sort";
+    case Kind::kLimit:
+      return "Limit";
+    case Kind::kExchange:
+      return "Exchange";
+  }
+  return "?";
+}
+
+std::string PhysicalPlan::ToString(int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string out = pad + KindName();
+  switch (kind) {
+    case Kind::kTableScan: {
+      out += " " + alias;
+      if (!scan_filters.empty()) {
+        out += " [";
+        for (size_t i = 0; i < scan_filters.size(); ++i) {
+          if (i > 0) out += " AND ";
+          out += scan_filters[i]->ToString();
+        }
+        out += "]";
+      }
+      break;
+    }
+    case Kind::kFilter:
+      out += " " + predicate->ToString();
+      break;
+    case Kind::kHashJoin: {
+      for (size_t i = 0; i < probe_keys.size(); ++i) {
+        out += " " + probe_keys[i]->ToString() + "=" +
+               build_keys[i]->ToString();
+      }
+      break;
+    }
+    case Kind::kExchange:
+      out += std::string(" ") + ExchangeKindName(exchange_kind);
+      break;
+    case Kind::kLimit:
+      out += " " + std::to_string(limit);
+      break;
+    default:
+      break;
+  }
+  out += StrFormat(" (est %.0f rows)", est_rows);
+  out += "\n";
+  for (const auto& c : children) out += c->ToString(indent + 1);
+  return out;
+}
+
+size_t PhysicalPlan::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < output_names.size(); ++i) {
+    if (output_names[i] == name) return i;
+  }
+  return static_cast<size_t>(-1);
+}
+
+}  // namespace costdb

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "plan/logical_plan.h"
+
+namespace costdb {
+
+struct PhysicalPlan;
+using PhysicalPlanPtr = std::shared_ptr<PhysicalPlan>;
+
+/// Data movement between pipeline stages of the distributed plan.
+enum class ExchangeKind {
+  kShuffle,    // hash-partition rows on a key set across consumer nodes
+  kBroadcast,  // replicate the (small) input to every consumer node
+  kGather,     // funnel everything to one node (final result / global sort)
+};
+
+const char* ExchangeKindName(ExchangeKind k);
+
+/// Physical operator tree. Conventions:
+///   - kHashJoin: children[0] = probe side, children[1] = build side.
+///   - Expressions reference columns by unique name; the executor resolves
+///     them against the child's output_names when a pipeline runs.
+///   - est_rows / est_bytes are optimizer estimates used by the cost
+///     estimator; the simulator replaces them with true values.
+struct PhysicalPlan {
+  enum class Kind {
+    kTableScan,
+    kFilter,
+    kProject,
+    kHashJoin,
+    kHashAggregate,
+    kSort,
+    kLimit,
+    kExchange,
+  };
+
+  Kind kind = Kind::kTableScan;
+  std::vector<PhysicalPlanPtr> children;
+
+  /// Output schema: unique column names and their types, positionally.
+  std::vector<std::string> output_names;
+  std::vector<LogicalType> output_types;
+
+  /// Optimizer estimates.
+  double est_rows = 0.0;
+  double est_row_bytes = 8.0;  // average bytes per output row
+
+  // kTableScan
+  std::shared_ptr<Table> table;
+  std::string alias;
+  std::vector<size_t> scan_column_indices;  // into the table's schema
+  std::vector<ExprPtr> scan_filters;
+  double est_scanned_bytes = 0.0;  // after zone-map pruning, before filters
+  double est_source_rows = 0.0;    // rows fed to the filters (post-pruning)
+  double prune_keep_fraction = 1.0;  // share of row groups zone maps keep
+
+  // kFilter
+  ExprPtr predicate;
+
+  // kProject
+  std::vector<ExprPtr> projections;
+
+  // kHashJoin: probe-side and build-side key expressions, pairwise.
+  std::vector<ExprPtr> probe_keys;
+  std::vector<ExprPtr> build_keys;
+
+  // kHashAggregate
+  std::vector<ExprPtr> group_by;
+  std::vector<ExprPtr> aggregates;
+  std::vector<std::string> agg_names;
+
+  // kSort
+  std::vector<BoundOrderItem> sort_keys;
+
+  // kLimit
+  int64_t limit = -1;
+
+  // kExchange
+  ExchangeKind exchange_kind = ExchangeKind::kShuffle;
+
+  const char* KindName() const;
+
+  /// EXPLAIN-style indented rendering.
+  std::string ToString(int indent = 0) const;
+
+  /// Position of `name` in output_names, or npos.
+  size_t FindColumn(const std::string& name) const;
+};
+
+}  // namespace costdb

@@ -1,0 +1,125 @@
+#include "plan/pipeline.h"
+
+#include <functional>
+#include <map>
+
+namespace costdb {
+
+namespace {
+
+class PipelineBuilder {
+ public:
+  PipelineGraph Build(const PhysicalPlan* root) {
+    PipelineGraph graph;
+    graph.root = root;
+    Pipeline result;
+    result.id = next_id_++;
+    BuildInto(root, &result);
+    pipelines_.push_back(std::move(result));
+    // Topologically order: dependencies before dependents (stable).
+    std::map<int, Pipeline*> by_id;
+    for (auto& p : pipelines_) by_id[p.id] = &p;
+    std::vector<int> order;
+    std::map<int, bool> visited;
+    std::function<void(int)> visit = [&](int id) {
+      if (visited[id]) return;
+      visited[id] = true;
+      for (int dep : by_id[id]->dependencies) visit(dep);
+      order.push_back(id);
+    };
+    for (auto& p : pipelines_) visit(p.id);
+    for (int id : order) graph.pipelines.push_back(*by_id[id]);
+    return graph;
+  }
+
+ private:
+  /// Stream `op`'s subtree into `current`; creates child pipelines at
+  /// breakers and records them as dependencies.
+  void BuildInto(const PhysicalPlan* op, Pipeline* current) {
+    switch (op->kind) {
+      case PhysicalPlan::Kind::kTableScan:
+        current->source = op;
+        current->source_is_breaker = false;
+        return;
+      case PhysicalPlan::Kind::kFilter:
+      case PhysicalPlan::Kind::kProject:
+      case PhysicalPlan::Kind::kExchange:
+      case PhysicalPlan::Kind::kLimit:
+        BuildInto(op->children[0].get(), current);
+        current->operators.push_back(op);
+        return;
+      case PhysicalPlan::Kind::kHashJoin: {
+        // Build side becomes its own pipeline sinking into this join.
+        Pipeline build;
+        build.id = next_id_++;
+        BuildInto(op->children[1].get(), &build);
+        build.sink = op;
+        build.sink_is_build_side = true;
+        int build_id = build.id;
+        pipelines_.push_back(std::move(build));
+        // Probe side streams through this pipeline.
+        BuildInto(op->children[0].get(), current);
+        current->operators.push_back(op);
+        current->dependencies.push_back(build_id);
+        return;
+      }
+      case PhysicalPlan::Kind::kHashAggregate:
+      case PhysicalPlan::Kind::kSort: {
+        Pipeline feeder;
+        feeder.id = next_id_++;
+        BuildInto(op->children[0].get(), &feeder);
+        feeder.sink = op;
+        int feeder_id = feeder.id;
+        pipelines_.push_back(std::move(feeder));
+        current->source = op;
+        current->source_is_breaker = true;
+        current->dependencies.push_back(feeder_id);
+        return;
+      }
+    }
+  }
+
+  int next_id_ = 0;
+  std::vector<Pipeline> pipelines_;
+};
+
+}  // namespace
+
+PipelineGraph BuildPipelines(const PhysicalPlan* root) {
+  PipelineBuilder builder;
+  return builder.Build(root);
+}
+
+std::string PipelineGraph::ToString() const {
+  std::string out;
+  for (const auto& p : pipelines) {
+    out += "pipeline " + std::to_string(p.id) + ": ";
+    if (p.source) {
+      out += p.source->KindName();
+      if (p.source->kind == PhysicalPlan::Kind::kTableScan) {
+        out += "(" + p.source->alias + ")";
+      }
+      if (p.source_is_breaker) out += "*";
+    }
+    for (const auto* op : p.operators) {
+      out += " -> ";
+      out += op->KindName();
+    }
+    out += " => ";
+    if (p.sink) {
+      out += p.sink->KindName();
+      if (p.sink_is_build_side) out += "(build)";
+    } else {
+      out += "Result";
+    }
+    if (!p.dependencies.empty()) {
+      out += " [deps:";
+      for (int d : p.dependencies) out += " " + std::to_string(d);
+      out += "]";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace costdb

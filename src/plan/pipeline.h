@@ -1,0 +1,49 @@
+#pragma once
+
+#include <vector>
+
+#include "plan/physical_plan.h"
+
+namespace costdb {
+
+/// One execution pipeline: rows stream from `source` through `operators`
+/// into `sink`. Pipelines are broken at hash-join builds, aggregations, and
+/// sorts; exchanges stay inside a pipeline (streaming repartition — the
+/// paper contrasts this with BigQuery-style materialized "clean cuts").
+struct Pipeline {
+  int id = 0;
+
+  /// Where rows come from: a TableScan node, or a breaker node
+  /// (aggregate/sort output, when source_is_breaker) materialized by an
+  /// earlier pipeline.
+  const PhysicalPlan* source = nullptr;
+  bool source_is_breaker = false;
+
+  /// Streaming operators applied in order (filters, projections, exchange
+  /// marks, probe side of hash joins, limit).
+  std::vector<const PhysicalPlan*> operators;
+
+  /// Terminal: a breaker whose state this pipeline populates. For a hash
+  /// join, sink_is_build_side marks the build; nullptr = query result.
+  const PhysicalPlan* sink = nullptr;
+  bool sink_is_build_side = false;
+
+  /// Pipelines that must finish before this one can run.
+  std::vector<int> dependencies;
+};
+
+/// Dependency-ordered pipeline decomposition of a physical plan.
+struct PipelineGraph {
+  std::vector<Pipeline> pipelines;  // topological order: deps come first
+  const PhysicalPlan* root = nullptr;
+
+  std::string ToString() const;
+};
+
+/// Decompose a physical plan into its pipeline DAG. The same decomposition
+/// drives the local engine, the cost estimator's query simulator, and the
+/// distributed execution simulator, so their pipeline structures agree by
+/// construction.
+PipelineGraph BuildPipelines(const PhysicalPlan* root);
+
+}  // namespace costdb

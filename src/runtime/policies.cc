@@ -1,0 +1,136 @@
+#include "runtime/policies.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace costdb {
+
+namespace {
+const Pipeline* FindPipeline(const PipelineGraph& graph, int id) {
+  for (const auto& p : graph.pipelines) {
+    if (p.id == id) return &p;
+  }
+  return nullptr;
+}
+}  // namespace
+
+int MinDopMeetingDeadline(const PolicyContext& ctx, const Pipeline& pipeline,
+                          const VolumeMap& volumes, Seconds budget) {
+  if (budget <= 0.0) return ctx.max_dop;
+  int best = ctx.max_dop;
+  for (int d = 1; d <= ctx.max_dop; d *= 2) {
+    Seconds t = ctx.estimator->PipelineDuration(pipeline, d, volumes);
+    if (t <= budget) {
+      best = d;
+      break;
+    }
+  }
+  return best;
+}
+
+int PipelineDopMonitor::OnPipelineStart(const PolicyContext& ctx,
+                                        const PipelineRunView& run) {
+  (void)ctx;
+  auto it = replanned_.find(run.pipeline_id);
+  if (it != replanned_.end()) return std::max(1, it->second);
+  return run.planned_dop;
+}
+
+int PipelineDopMonitor::OnTick(const PolicyContext& ctx,
+                               const PipelineRunView& run) {
+  if (run.progress < opts_.warmup_progress || run.progress >= 1.0) {
+    return run.dop;
+  }
+  if (run.planned_duration <= 0.0 || run.observed_duration <= 0.0) {
+    return run.dop;
+  }
+  double deviation = run.observed_duration / run.planned_duration;
+  if (std::abs(deviation - 1.0) <= opts_.small_threshold) return run.dop;
+  auto last = last_resize_.find(run.pipeline_id);
+  if (last != last_resize_.end() &&
+      ctx.now - last->second < opts_.resize_cooldown) {
+    return run.dop;
+  }
+
+  // Substantial systemic deviation: replan every future pipeline with the
+  // observed (true) volumes so their budgets stay consistent.
+  if ((deviation > opts_.replan_threshold ||
+       deviation < 1.0 / opts_.replan_threshold) &&
+      replanned_.empty()) {
+    DopPlanner planner(ctx.estimator);
+    UserConstraint c = ctx.constraint;
+    if (c.mode == UserConstraint::Mode::kMinCostUnderSla) {
+      c.latency_sla = std::max(1e-3, ctx.query_deadline - ctx.now);
+    }
+    auto result = planner.Plan(*ctx.graph, *ctx.truth, c);
+    replanned_ = result.dops;
+    ++replans_;
+  }
+
+  // Correct only this pipeline: pick the smallest DOP that still meets its
+  // planned finish time stretched by the SLA slack, per the scalability
+  // models.
+  const Pipeline* pipeline = FindPipeline(*ctx.graph, run.pipeline_id);
+  if (pipeline == nullptr) return run.dop;
+  // Safety margins absorb skew and the resize latency itself; trimming
+  // uses a stricter margin than growing to avoid oscillation.
+  Seconds window = run.planned_finish * ctx.SlackFactor() - ctx.now;
+  // Extrapolate durations at other DOPs from the *observed* rate: the
+  // model supplies the scaling shape, the measured duration anchors it
+  // (this is what flow-rate monitoring buys over pure prediction).
+  Seconds model_current =
+      ctx.estimator->PipelineDuration(*pipeline, run.dop, *ctx.truth);
+  double anchor = run.observed_duration > 0.0 && model_current > 0.0
+                      ? run.observed_duration / model_current
+                      : 1.0;
+  auto fits = [&](int d, double margin) {
+    Seconds t =
+        ctx.estimator->PipelineDuration(*pipeline, d, *ctx.truth) * anchor;
+    return (1.0 - run.progress) * t <= window * margin;
+  };
+  int best = ctx.max_dop;
+  for (int d = 1; d <= ctx.max_dop; d *= 2) {
+    if (fits(d, best < run.dop || d < run.dop ? opts_.trim_margin
+                                              : opts_.grow_margin)) {
+      best = d;
+      break;
+    }
+  }
+  if (best == run.dop) return run.dop;
+  if (best < run.dop && !fits(best, opts_.trim_margin)) return run.dop;
+  last_resize_[run.pipeline_id] = ctx.now;
+  return best;
+}
+
+int WholeClusterIntervalPolicy::OnTick(const PolicyContext& ctx,
+                                       const PipelineRunView& run) {
+  auto [it, inserted] = last_action_.emplace(run.pipeline_id, run.started_at);
+  if (!inserted && ctx.now - it->second < interval_) return run.dop;
+  it->second = ctx.now;
+  // Progress check against the absolute deadline: estimated remaining time
+  // at the current configuration vs time left, applied uniformly.
+  Seconds time_left = ctx.query_deadline - ctx.now;
+  double factor = 1.0;
+  if (run.observed_duration > 0.0 && time_left > 0.0) {
+    Seconds remaining = (1.0 - run.progress) * run.observed_duration;
+    factor = std::clamp(remaining / time_left, 0.25, 8.0);
+  } else if (time_left <= 0.0) {
+    factor = 2.0;  // behind schedule: scale out
+  }
+  double target = run.dop * factor;
+  int dop = 1;
+  while (dop < target && dop < ctx.max_dop) dop *= 2;
+  return dop;
+}
+
+int StageBoundaryPolicy::OnPipelineStart(const PolicyContext& ctx,
+                                         const PipelineRunView& run) {
+  // Cardinalities of finished (materialized) inputs are exact, so derive
+  // the DOP from true volumes against this pipeline's planned duration.
+  const Pipeline* pipeline = FindPipeline(*ctx.graph, run.pipeline_id);
+  if (pipeline == nullptr) return run.planned_dop;
+  Seconds budget = std::max(run.planned_duration, 1e-3);
+  return MinDopMeetingDeadline(ctx, *pipeline, *ctx.truth, budget);
+}
+
+}  // namespace costdb

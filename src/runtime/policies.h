@@ -1,0 +1,92 @@
+#pragma once
+
+#include "runtime/resize_policy.h"
+
+namespace costdb {
+
+/// The paper's DOP monitor (Section 3.3): pipeline-granular correction.
+/// Once a pipeline's observed flow rate deviates from the statically
+/// planned duration beyond `small_threshold`, only *this* pipeline's DOP
+/// is adjusted (using the scalability models) so it still meets its
+/// planned finish time; beyond `replan_threshold` the deviation is treated
+/// as systemic and future pipelines are replanned against the observed
+/// cardinalities.
+struct DopMonitorOptions {
+  double warmup_progress = 0.05;  // observe before acting
+  double small_threshold = 0.15;  // relative deviation triggering a fix
+  double replan_threshold = 4.0;  // deviation ratio triggering replan
+  Seconds resize_cooldown = 1.5;  // min time between resizes of a pipeline
+  double grow_margin = 0.85;      // budget safety when scaling out
+  double trim_margin = 0.6;       // stricter safety before scaling in
+};
+
+class PipelineDopMonitor : public ResizePolicy {
+ public:
+  using Options = DopMonitorOptions;
+
+  explicit PipelineDopMonitor(Options options = Options()) : opts_(options) {}
+
+  const char* name() const override { return "dop_monitor"; }
+  int OnPipelineStart(const PolicyContext& ctx,
+                      const PipelineRunView& run) override;
+  int OnTick(const PolicyContext& ctx, const PipelineRunView& run) override;
+
+  int replans() const { return replans_; }
+
+ private:
+  Options opts_;
+  // Updated DOPs for not-yet-started pipelines after a replan.
+  DopMap replanned_;
+  std::map<int, Seconds> last_resize_;
+  int replans_ = 0;
+};
+
+/// Jockey-style whole-cluster interval scaling: every `interval` seconds,
+/// compare overall progress against the SLA deadline and scale *every*
+/// running pipeline by the same factor. Works for embarrassingly parallel
+/// jobs; wastes money on pipelines that do not need the boost (the paper's
+/// criticism).
+class WholeClusterIntervalPolicy : public ResizePolicy {
+ public:
+  explicit WholeClusterIntervalPolicy(Seconds interval = 2.0)
+      : interval_(interval) {}
+
+  const char* name() const override { return "whole_cluster"; }
+  int OnTick(const PolicyContext& ctx, const PipelineRunView& run) override;
+
+ private:
+  Seconds interval_;
+  std::map<int, Seconds> last_action_;  // per pipeline
+};
+
+/// BigQuery-style stage-boundary scaling: intermediate results are
+/// materialized between stages ("clean cuts"), so cardinalities of
+/// finished stages are exact and each pipeline starts at a DOP derived
+/// from them — but no mid-pipeline correction is possible and every
+/// boundary pays a materialization tax.
+class StageBoundaryPolicy : public ResizePolicy {
+ public:
+  explicit StageBoundaryPolicy(double materialization_secs_per_gib = 2.0)
+      : mat_(materialization_secs_per_gib) {}
+
+  const char* name() const override { return "stage_boundary"; }
+  PolicyTraits traits() const override {
+    PolicyTraits t;
+    t.mid_pipeline_resize = false;
+    t.materialization_secs_per_gib = mat_;
+    return t;
+  }
+  int OnPipelineStart(const PolicyContext& ctx,
+                      const PipelineRunView& run) override;
+
+ private:
+  double mat_;
+};
+
+/// Shared helper: cheapest DOP (from the power-of-two ladder) whose
+/// estimated duration for `pipeline` under `volumes` fits in `budget`
+/// seconds; returns `max_dop` when even that cannot.
+int MinDopMeetingDeadline(const PolicyContext& ctx, const Pipeline& pipeline,
+                          const VolumeMap& volumes, Seconds budget);
+
+}  // namespace costdb

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <algorithm>
+#include <map>
+
+#include "cost/cost_model.h"
+#include "optimizer/dop_planner.h"
+
+namespace costdb {
+
+/// What a policy can observe about one running pipeline.
+struct PipelineRunView {
+  int pipeline_id = 0;
+  int dop = 1;
+  int planned_dop = 1;
+  Seconds started_at = 0.0;
+  double progress = 0.0;          // fraction of work completed
+  Seconds planned_finish = 0.0;   // from the static schedule
+  Seconds planned_duration = 0.0;
+  /// Observed remaining seconds at the current DOP (what flow-rate
+  /// monitoring reveals once the pipeline has warmed up).
+  Seconds observed_remaining = 0.0;
+  /// True total duration at the current DOP (monitor's rate estimate).
+  Seconds observed_duration = 0.0;
+};
+
+/// Context shared with policies on every decision point.
+struct PolicyContext {
+  const PipelineGraph* graph = nullptr;
+  const CostEstimator* estimator = nullptr;
+  const VolumeMap* believed = nullptr;   // optimizer's volumes
+  const VolumeMap* truth = nullptr;      // learned-at-runtime volumes
+  UserConstraint constraint;
+  Seconds now = 0.0;
+  Seconds query_deadline = 0.0;          // SLA converted to absolute time
+  Seconds planned_makespan = 0.0;        // static schedule's total latency
+  int max_dop = 256;
+
+  /// How much looser the real deadline is than the static plan: budgets of
+  /// individual pipelines stretch by this factor before a policy needs to
+  /// act.
+  double SlackFactor() const {
+    if (planned_makespan <= 0.0 || query_deadline <= 0.0) return 1.0;
+    return std::max(1.0, query_deadline / planned_makespan);
+  }
+};
+
+/// Behavioral traits that distinguish resize strategies (paper Section
+/// 3.3): morsel-driven engines can resize mid-pipeline cheaply; systems
+/// with materialized "clean cuts" only act at stage boundaries and pay a
+/// materialization tax between stages.
+struct PolicyTraits {
+  bool mid_pipeline_resize = true;
+  /// Extra seconds per GiB of pipeline output written+read at stage
+  /// boundaries (0 for streaming engines).
+  double materialization_secs_per_gib = 0.0;
+};
+
+/// Runtime cluster-resizing strategy. The simulator consults it when a
+/// pipeline is about to start (initial DOP) and on every monitor tick
+/// (possible correction).
+class ResizePolicy {
+ public:
+  virtual ~ResizePolicy() = default;
+
+  virtual const char* name() const = 0;
+  virtual PolicyTraits traits() const { return PolicyTraits{}; }
+
+  /// Initial DOP for a pipeline about to start (default: the plan's).
+  virtual int OnPipelineStart(const PolicyContext& ctx,
+                              const PipelineRunView& run) {
+    (void)ctx;
+    return run.planned_dop;
+  }
+
+  /// Possible DOP correction for a running pipeline; return the current
+  /// DOP to leave it unchanged.
+  virtual int OnTick(const PolicyContext& ctx, const PipelineRunView& run) {
+    (void)ctx;
+    return run.dop;
+  }
+};
+
+/// Executes the static plan verbatim: no runtime correction. The baseline
+/// every adaptive policy is measured against.
+class StaticPolicy : public ResizePolicy {
+ public:
+  const char* name() const override { return "static"; }
+};
+
+}  // namespace costdb

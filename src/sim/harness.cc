@@ -1,0 +1,36 @@
+#include "sim/harness.h"
+
+namespace costdb {
+
+Result<PreparedQuery> PrepareQuery(const MetadataService* meta,
+                                   const BiObjectiveOptimizer& optimizer,
+                                   const std::string& sql,
+                                   const UserConstraint& constraint) {
+  PreparedQuery out;
+  Binder binder(meta);
+  COSTDB_ASSIGN_OR_RETURN(out.query, binder.BindSql(sql));
+  PlannedQuery planned;
+  COSTDB_ASSIGN_OR_RETURN(planned, optimizer.Plan(out.query, constraint));
+  out.planned = std::move(planned);
+  CardinalityEstimator truth_cards(meta, &out.query.relations,
+                                   /*use_true_stats=*/true);
+  out.truth = ComputeVolumes(out.planned.plan.get(), truth_cards);
+  return out;
+}
+
+SimResult SimulateQuery(const PreparedQuery& prepared,
+                        const DistributedSimulator& simulator,
+                        ResizePolicy* policy,
+                        const UserConstraint& constraint, CloudEnv* env) {
+  CloudEnv local_env;
+  if (env == nullptr) env = &local_env;
+  DistributedSimulator::Request request;
+  request.graph = &prepared.planned.pipelines;
+  request.truth = &prepared.truth;
+  request.believed = &prepared.planned.volumes;
+  request.planned_dops = prepared.planned.dops;
+  request.constraint = constraint;
+  return simulator.Run(request, policy, env);
+}
+
+}  // namespace costdb

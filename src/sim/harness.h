@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+
+#include "optimizer/bi_objective.h"
+#include "sim/simulator.h"
+
+namespace costdb {
+
+/// Everything needed to simulate one planned query: the bound query (kept
+/// alive for its relation handles), the bi-objective plan, and the
+/// ground-truth volumes the simulator executes against.
+struct PreparedQuery {
+  BoundQuery query;
+  PlannedQuery planned;
+  VolumeMap truth;
+};
+
+/// Bind + bi-objective-plan + derive true volumes for one SQL query.
+Result<PreparedQuery> PrepareQuery(const MetadataService* meta,
+                                   const BiObjectiveOptimizer& optimizer,
+                                   const std::string& sql,
+                                   const UserConstraint& constraint);
+
+/// Simulate a prepared query on a fresh CloudEnv under `policy`; the
+/// returned SimResult's dollars are exactly this query's bill.
+SimResult SimulateQuery(const PreparedQuery& prepared,
+                        const DistributedSimulator& simulator,
+                        ResizePolicy* policy,
+                        const UserConstraint& constraint,
+                        CloudEnv* env = nullptr);
+
+}  // namespace costdb

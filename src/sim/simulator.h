@@ -1,0 +1,85 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cloud/cloud_env.h"
+#include "runtime/resize_policy.h"
+
+namespace costdb {
+
+/// Per-pipeline outcome of a simulated distributed execution.
+struct PipelineRunStats {
+  int pipeline_id = 0;
+  int initial_dop = 1;
+  int final_dop = 1;
+  Seconds start = 0.0;
+  Seconds finish = 0.0;
+  Seconds true_duration_at_planned_dop = 0.0;
+  int resizes = 0;
+};
+
+/// Whole-query outcome.
+struct SimResult {
+  Seconds latency = 0.0;
+  Seconds machine_seconds = 0.0;
+  Dollars cost = 0.0;
+  bool sla_met = true;
+  int total_resizes = 0;
+  Seconds resize_overhead_seconds = 0.0;
+  Seconds materialization_seconds = 0.0;
+  std::vector<PipelineRunStats> pipelines;
+};
+
+/// Deterministic discrete-time simulator of distributed query execution —
+/// the stand-in for the cloud testbed the paper's authors would run on
+/// (see DESIGN.md §2). It executes the pipeline DAG against *true* volumes
+/// with effects the cost estimator's closed-form models do not capture
+/// (per-pipeline skew, morsel quantization, acquire/resize latencies,
+/// stage materialization), drives a ResizePolicy through monitor ticks,
+/// and bills machine time through the CloudEnv's cluster manager —
+/// including the blocked time of finished pipelines whose nodes are held
+/// until their consumer starts.
+struct SimOptions {
+  uint64_t seed = 42;
+  Seconds tick = 0.25;             // simulation/monitor granularity
+  double skew_amplitude = 0.15;    // per-pipeline duration perturbation
+  double quantization = 0.04;      // morsel rounding losses at high DOP
+  Seconds max_sim_time = 48.0 * kSecondsPerHour;
+};
+
+class DistributedSimulator {
+ public:
+  using Options = SimOptions;
+
+  explicit DistributedSimulator(const CostEstimator* estimator,
+                                Options options = Options())
+      : estimator_(estimator), options_(options) {}
+
+  struct Request {
+    const PipelineGraph* graph = nullptr;
+    const VolumeMap* truth = nullptr;     // ground-truth volumes
+    const VolumeMap* believed = nullptr;  // optimizer's volumes
+    DopMap planned_dops;
+    UserConstraint constraint;
+    std::string billing_label = "query";
+  };
+
+  /// Run one query under `policy`, charging `env`'s billing meter.
+  SimResult Run(const Request& request, ResizePolicy* policy,
+                CloudEnv* env) const;
+
+  /// True pipeline duration at a DOP: estimator models over true volumes
+  /// plus the simulator-only effects (skew, quantization). Exposed so
+  /// experiments can report estimate-vs-truth q-errors.
+  Seconds TrueDuration(const Pipeline& pipeline, int dop,
+                       const VolumeMap& truth) const;
+
+ private:
+  double SkewFactor(int pipeline_id) const;
+
+  const CostEstimator* estimator_;
+  Options options_;
+};
+
+}  // namespace costdb

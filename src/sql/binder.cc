@@ -1,0 +1,339 @@
+#include "sql/binder.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+
+namespace costdb {
+
+struct Binder::Scope {
+  // "alias.column" -> type
+  std::map<std::string, LogicalType> qualified;
+  // "column" -> qualified names carrying it (ambiguity detection)
+  std::map<std::string, std::vector<std::string>> unqualified;
+
+  void Add(const std::string& alias, const std::string& column,
+           LogicalType type) {
+    std::string q = alias + "." + column;
+    qualified[q] = type;
+    unqualified[column].push_back(q);
+  }
+};
+
+namespace {
+std::string Lower(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+bool IsNumeric(LogicalType t) {
+  return PhysicalTypeOf(t) != PhysicalType::kString;
+}
+}  // namespace
+
+Result<BoundQuery> Binder::Bind(const ParsedQuery& parsed) {
+  BoundQuery q;
+  Scope scope;
+  if (parsed.from.empty()) {
+    return Status::InvalidArgument("query has no FROM relations");
+  }
+  for (const auto& item : parsed.from) {
+    BoundRelation rel;
+    rel.table = item.table;
+    rel.alias = item.alias;
+    COSTDB_ASSIGN_OR_RETURN(rel.handle, meta_->GetTable(item.table));
+    for (const auto& other : q.relations) {
+      if (other.alias == rel.alias) {
+        return Status::InvalidArgument("duplicate relation alias: " +
+                                       rel.alias);
+      }
+    }
+    for (const auto& col : rel.handle->columns()) {
+      scope.Add(rel.alias, col.name, col.type);
+    }
+    q.relations.push_back(std::move(rel));
+  }
+
+  // WHERE and JOIN..ON conditions all become conjuncts of one filter set.
+  std::vector<ParsedExprPtr> predicates = parsed.join_conditions;
+  if (parsed.where) predicates.push_back(parsed.where);
+  for (const auto& p : predicates) {
+    ExprPtr bound;
+    COSTDB_ASSIGN_OR_RETURN(bound, BindExpr(*p, scope));
+    if (bound->type != LogicalType::kBool) {
+      return Status::InvalidArgument("predicate is not boolean: " +
+                                     bound->ToString());
+    }
+    SplitConjuncts(bound, &q.filters);
+  }
+
+  // SELECT list.
+  std::vector<ExprPtr> raw_select;
+  std::vector<std::string> raw_names;
+  if (parsed.select_star) {
+    for (const auto& rel : q.relations) {
+      for (const auto& col : rel.handle->columns()) {
+        raw_select.push_back(
+            Expr::MakeColumn(rel.alias + "." + col.name, col.type));
+        raw_names.push_back(rel.alias + "." + col.name);
+      }
+    }
+  } else {
+    for (const auto& item : parsed.select_items) {
+      ExprPtr bound;
+      COSTDB_ASSIGN_OR_RETURN(bound, BindExpr(*item.expr, scope));
+      std::string name = item.alias;
+      if (name.empty()) name = bound->ToString();
+      raw_select.push_back(std::move(bound));
+      raw_names.push_back(std::move(name));
+    }
+  }
+
+  // GROUP BY keys must be column references.
+  for (const auto& g : parsed.group_by) {
+    ExprPtr bound;
+    COSTDB_ASSIGN_OR_RETURN(bound, BindExpr(*g, scope));
+    if (bound->kind != Expr::Kind::kColumn) {
+      return Status::NotSupported("GROUP BY supports plain columns, got: " +
+                                  bound->ToString());
+    }
+    q.group_by.push_back(std::move(bound));
+  }
+
+  // Pull aggregates out of SELECT/HAVING/ORDER BY.
+  for (size_t i = 0; i < raw_select.size(); ++i) {
+    q.select_exprs.push_back(ExtractAggregates(raw_select[i], &q));
+    q.select_names.push_back(raw_names[i]);
+  }
+  if (parsed.having) {
+    ExprPtr bound;
+    COSTDB_ASSIGN_OR_RETURN(bound, BindExpr(*parsed.having, scope));
+    q.having = ExtractAggregates(bound, &q);
+  }
+  for (const auto& item : parsed.order_by) {
+    BoundOrderItem out;
+    out.descending = item.descending;
+    // ORDER BY may name a select alias.
+    if (item.expr->kind == ParsedExpr::Kind::kIdent &&
+        item.expr->parts.size() == 1) {
+      auto it = std::find(q.select_names.begin(), q.select_names.end(),
+                          item.expr->parts[0]);
+      if (it != q.select_names.end()) {
+        size_t idx = static_cast<size_t>(it - q.select_names.begin());
+        out.expr = Expr::MakeColumn(q.select_names[idx],
+                                    q.select_exprs[idx]->type);
+        q.order_by.push_back(std::move(out));
+        continue;
+      }
+    }
+    ExprPtr bound;
+    COSTDB_ASSIGN_OR_RETURN(bound, BindExpr(*item.expr, scope));
+    out.expr = ExtractAggregates(bound, &q);
+    q.order_by.push_back(std::move(out));
+  }
+  q.limit = parsed.limit;
+
+  if (q.is_aggregate()) {
+    // Every non-aggregate output must be derivable from the group keys.
+    auto is_group_col = [&](const std::string& name) {
+      for (const auto& g : q.group_by) {
+        if (g->column == name) return true;
+      }
+      for (const auto& n : q.agg_names) {
+        if (n == name) return true;
+      }
+      return false;
+    };
+    for (const auto& e : q.select_exprs) {
+      std::vector<std::string> cols;
+      e->CollectColumns(&cols);
+      for (const auto& c : cols) {
+        if (!is_group_col(c)) {
+          return Status::InvalidArgument(
+              "column " + c + " must appear in GROUP BY or an aggregate");
+        }
+      }
+    }
+  }
+  return q;
+}
+
+Result<BoundQuery> Binder::BindSql(const std::string& sql) {
+  ParsedQuery parsed;
+  COSTDB_ASSIGN_OR_RETURN(parsed, ParseQuery(sql));
+  return Bind(parsed);
+}
+
+Result<ExprPtr> Binder::BindIdent(const ParsedExpr& e, const Scope& scope) {
+  if (e.parts.size() == 2) {
+    std::string q = e.parts[0] + "." + e.parts[1];
+    auto it = scope.qualified.find(q);
+    if (it == scope.qualified.end()) {
+      return Status::NotFound("unknown column: " + q);
+    }
+    return Expr::MakeColumn(q, it->second);
+  }
+  if (e.parts.size() == 1) {
+    auto it = scope.unqualified.find(e.parts[0]);
+    if (it == scope.unqualified.end()) {
+      return Status::NotFound("unknown column: " + e.parts[0]);
+    }
+    if (it->second.size() > 1) {
+      return Status::InvalidArgument("ambiguous column: " + e.parts[0]);
+    }
+    const std::string& q = it->second[0];
+    return Expr::MakeColumn(q, scope.qualified.at(q));
+  }
+  return Status::InvalidArgument("unsupported identifier depth");
+}
+
+Result<ExprPtr> Binder::BindExpr(const ParsedExpr& e, const Scope& scope) {
+  switch (e.kind) {
+    case ParsedExpr::Kind::kIdent:
+      return BindIdent(e, scope);
+    case ParsedExpr::Kind::kInt:
+      return Expr::MakeConstant(Value(e.int_val), LogicalType::kInt64);
+    case ParsedExpr::Kind::kFloat:
+      return Expr::MakeConstant(Value(e.float_val), LogicalType::kDouble);
+    case ParsedExpr::Kind::kString:
+      return Expr::MakeConstant(Value(e.str_val), LogicalType::kVarchar);
+    case ParsedExpr::Kind::kDate: {
+      int64_t days = 0;
+      if (!ParseDate(e.str_val, &days)) {
+        return Status::InvalidArgument("malformed date: " + e.str_val);
+      }
+      return Expr::MakeConstant(Value(days), LogicalType::kDate);
+    }
+    case ParsedExpr::Kind::kNot: {
+      ExprPtr child;
+      COSTDB_ASSIGN_OR_RETURN(child, BindExpr(*e.children[0], scope));
+      return Expr::MakeNot(std::move(child));
+    }
+    case ParsedExpr::Kind::kBinary: {
+      const std::string op = Lower(e.str_val);
+      ExprPtr l, r;
+      COSTDB_ASSIGN_OR_RETURN(l, BindExpr(*e.children[0], scope));
+      COSTDB_ASSIGN_OR_RETURN(r, BindExpr(*e.children[1], scope));
+      if (op == "and") return Expr::MakeAnd({std::move(l), std::move(r)});
+      if (op == "or") return Expr::MakeOr({std::move(l), std::move(r)});
+      if (op == "like") {
+        if (r->kind != Expr::Kind::kConstant || !r->constant.is_string()) {
+          return Status::NotSupported("LIKE requires a string literal pattern");
+        }
+        return Expr::MakeLike(std::move(l), r->constant.AsString());
+      }
+      if (op == "+" || op == "-" || op == "*" || op == "/") {
+        if (!IsNumeric(l->type) || !IsNumeric(r->type)) {
+          return Status::InvalidArgument("arithmetic requires numeric operands");
+        }
+        return Expr::MakeArith(op[0], std::move(l), std::move(r));
+      }
+      CompareOp cmp;
+      if (op == "=") {
+        cmp = CompareOp::kEq;
+      } else if (op == "<>") {
+        cmp = CompareOp::kNe;
+      } else if (op == "<") {
+        cmp = CompareOp::kLt;
+      } else if (op == "<=") {
+        cmp = CompareOp::kLe;
+      } else if (op == ">") {
+        cmp = CompareOp::kGt;
+      } else if (op == ">=") {
+        cmp = CompareOp::kGe;
+      } else {
+        return Status::NotSupported("operator " + e.str_val);
+      }
+      const bool l_str = PhysicalTypeOf(l->type) == PhysicalType::kString;
+      const bool r_str = PhysicalTypeOf(r->type) == PhysicalType::kString;
+      if (l_str != r_str) {
+        return Status::InvalidArgument("cannot compare " +
+                                       std::string(LogicalTypeName(l->type)) +
+                                       " with " + LogicalTypeName(r->type));
+      }
+      return Expr::MakeCompare(cmp, std::move(l), std::move(r));
+    }
+    case ParsedExpr::Kind::kIn: {
+      ExprPtr input;
+      COSTDB_ASSIGN_OR_RETURN(input, BindExpr(*e.children[0], scope));
+      std::vector<ExprPtr> options;
+      for (size_t i = 1; i < e.children.size(); ++i) {
+        ExprPtr item;
+        COSTDB_ASSIGN_OR_RETURN(item, BindExpr(*e.children[i], scope));
+        options.push_back(
+            Expr::MakeCompare(CompareOp::kEq, input->Clone(), std::move(item)));
+      }
+      if (options.empty()) {
+        return Status::InvalidArgument("empty IN list");
+      }
+      if (options.size() == 1) return options[0];
+      return Expr::MakeOr(std::move(options));
+    }
+    case ParsedExpr::Kind::kBetween: {
+      ExprPtr input, lo, hi;
+      COSTDB_ASSIGN_OR_RETURN(input, BindExpr(*e.children[0], scope));
+      COSTDB_ASSIGN_OR_RETURN(lo, BindExpr(*e.children[1], scope));
+      COSTDB_ASSIGN_OR_RETURN(hi, BindExpr(*e.children[2], scope));
+      return Expr::MakeAnd(
+          {Expr::MakeCompare(CompareOp::kGe, input->Clone(), std::move(lo)),
+           Expr::MakeCompare(CompareOp::kLe, std::move(input), std::move(hi))});
+    }
+    case ParsedExpr::Kind::kFunc: {
+      const std::string name = Lower(e.str_val);
+      AggFunc agg;
+      if (name == "count") {
+        agg = e.star_arg || e.children.empty() ? AggFunc::kCountStar
+                                               : AggFunc::kCount;
+      } else if (name == "sum") {
+        agg = AggFunc::kSum;
+      } else if (name == "min") {
+        agg = AggFunc::kMin;
+      } else if (name == "max") {
+        agg = AggFunc::kMax;
+      } else if (name == "avg") {
+        agg = AggFunc::kAvg;
+      } else {
+        return Status::NotSupported("function " + e.str_val);
+      }
+      ExprPtr arg;
+      if (agg != AggFunc::kCountStar) {
+        if (e.children.size() != 1) {
+          return Status::InvalidArgument(name + " takes exactly one argument");
+        }
+        COSTDB_ASSIGN_OR_RETURN(arg, BindExpr(*e.children[0], scope));
+        if ((agg == AggFunc::kSum || agg == AggFunc::kAvg) &&
+            !IsNumeric(arg->type)) {
+          return Status::InvalidArgument(name + " requires a numeric argument");
+        }
+      }
+      return Expr::MakeAgg(agg, std::move(arg));
+    }
+  }
+  return Status::Internal("unreachable parse node");
+}
+
+ExprPtr Binder::ExtractAggregates(const ExprPtr& e, BoundQuery* q) {
+  if (!e) return e;
+  if (e->kind == Expr::Kind::kAgg) {
+    // Deduplicate structurally identical aggregates.
+    std::string repr = e->ToString();
+    for (size_t i = 0; i < q->aggregates.size(); ++i) {
+      if (q->aggregates[i]->ToString() == repr) {
+        return Expr::MakeColumn(q->agg_names[i], q->aggregates[i]->type);
+      }
+    }
+    std::string name = "agg_" + std::to_string(q->aggregates.size());
+    q->aggregates.push_back(e);
+    q->agg_names.push_back(name);
+    return Expr::MakeColumn(name, e->type);
+  }
+  auto copy = std::make_shared<Expr>(*e);
+  for (auto& c : copy->children) {
+    c = ExtractAggregates(c, q);
+  }
+  return copy;
+}
+
+}  // namespace costdb

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "plan/expression.h"
+#include "sql/parser.h"
+
+namespace costdb {
+
+/// A FROM-list relation resolved against the catalog.
+struct BoundRelation {
+  std::string table;
+  std::string alias;
+  std::shared_ptr<Table> handle;
+};
+
+struct BoundOrderItem {
+  ExprPtr expr;
+  bool descending = false;
+};
+
+/// Fully bound query in "query graph" form: relations + conjunctive
+/// predicates + aggregation/projection/ordering stages. The optimizer
+/// consumes this directly (join ordering works on the relation/predicate
+/// sets, not on a pre-shaped tree).
+struct BoundQuery {
+  std::vector<BoundRelation> relations;
+  /// All WHERE and ON conjuncts, bound. Single-table conjuncts get pushed
+  /// into scans by the optimizer; cross-table equi-conjuncts become join
+  /// edges.
+  std::vector<ExprPtr> filters;
+
+  /// Final output expressions and their display names. In aggregate
+  /// queries these reference group columns and derived aggregate names.
+  std::vector<ExprPtr> select_exprs;
+  std::vector<std::string> select_names;
+
+  /// Grouping keys (column references).
+  std::vector<ExprPtr> group_by;
+  /// Distinct aggregate expressions; output name agg_names[i].
+  std::vector<ExprPtr> aggregates;
+  std::vector<std::string> agg_names;
+
+  ExprPtr having;  // references group columns / aggregate names
+  std::vector<BoundOrderItem> order_by;
+  int64_t limit = -1;
+
+  bool is_aggregate() const {
+    return !aggregates.empty() || !group_by.empty();
+  }
+};
+
+/// Resolves names and types against the metadata service and desugars
+/// IN/BETWEEN. Fails with InvalidArgument/NotFound on unknown tables,
+/// unknown or ambiguous columns, and type mismatches.
+class Binder {
+ public:
+  explicit Binder(const MetadataService* meta) : meta_(meta) {}
+
+  Result<BoundQuery> Bind(const ParsedQuery& parsed);
+
+  /// Convenience: parse + bind.
+  Result<BoundQuery> BindSql(const std::string& sql);
+
+ private:
+  struct Scope;
+
+  Result<ExprPtr> BindExpr(const ParsedExpr& e, const Scope& scope);
+  Result<ExprPtr> BindIdent(const ParsedExpr& e, const Scope& scope);
+
+  /// Replace kAgg nodes with kColumn references to derived names, appending
+  /// new distinct aggregates to q->aggregates.
+  ExprPtr ExtractAggregates(const ExprPtr& e, BoundQuery* q);
+
+  const MetadataService* meta_;
+};
+
+}  // namespace costdb

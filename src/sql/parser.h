@@ -1,0 +1,75 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/lexer.h"
+
+namespace costdb {
+
+/// Unbound expression AST straight out of the parser. The binder turns this
+/// into the typed Expr tree (plan/expression.h).
+struct ParsedExpr;
+using ParsedExprPtr = std::shared_ptr<ParsedExpr>;
+
+struct ParsedExpr {
+  enum class Kind {
+    kIdent,     // possibly qualified: parts = {"t", "col"} or {"col"}
+    kInt,
+    kFloat,
+    kString,
+    kDate,      // DATE 'YYYY-MM-DD'
+    kBinary,    // op: = <> < <= > >= + - * / AND OR LIKE
+    kNot,
+    kFunc,      // name(args...) or name(*)
+    kIn,        // children[0] IN (children[1..])
+    kBetween,   // children[0] BETWEEN children[1] AND children[2]
+  };
+
+  Kind kind = Kind::kInt;
+  std::vector<std::string> parts;  // kIdent
+  int64_t int_val = 0;
+  double float_val = 0.0;
+  std::string str_val;             // kString/kDate literal, kBinary op,
+                                   // kFunc name
+  bool star_arg = false;           // kFunc: COUNT(*)
+  std::vector<ParsedExprPtr> children;
+};
+
+/// One item of the SELECT list.
+struct SelectItem {
+  ParsedExprPtr expr;   // nullptr for bare '*'
+  std::string alias;    // "" when none
+};
+
+/// One relation in FROM (comma-list and INNER JOINs are normalized into a
+/// relation list plus ON-predicates folded into WHERE).
+struct FromItem {
+  std::string table;
+  std::string alias;  // defaults to table name
+};
+
+struct OrderItem {
+  ParsedExprPtr expr;
+  bool descending = false;
+};
+
+/// A parsed (still unbound) SELECT statement.
+struct ParsedQuery {
+  std::vector<SelectItem> select_items;
+  bool select_star = false;
+  std::vector<FromItem> from;
+  std::vector<ParsedExprPtr> join_conditions;  // from JOIN ... ON
+  ParsedExprPtr where;  // nullptr when absent
+  std::vector<ParsedExprPtr> group_by;
+  ParsedExprPtr having;
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;  // -1 = none
+};
+
+/// Parse one SELECT statement (optionally ';'-terminated).
+Result<ParsedQuery> ParseQuery(const std::string& sql);
+
+}  // namespace costdb

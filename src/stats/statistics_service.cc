@@ -1,0 +1,124 @@
+#include "stats/statistics_service.h"
+
+#include <algorithm>
+#include <set>
+
+namespace costdb {
+
+ExecutionRecord MakeExecutionRecord(const std::string& query_id, Seconds at,
+                                    const BoundQuery& query, Seconds latency,
+                                    Seconds machine_seconds, Dollars cost) {
+  ExecutionRecord rec;
+  rec.query_id = query_id;
+  rec.at = at;
+  rec.latency = latency;
+  rec.machine_seconds = machine_seconds;
+  rec.cost = cost;
+  for (const auto& rel : query.relations) rec.tables.push_back(rel.table);
+
+  std::set<std::string> columns;
+  auto collect = [&columns](const ExprPtr& e) {
+    if (!e) return;
+    std::vector<std::string> cols;
+    e->CollectColumns(&cols);
+    columns.insert(cols.begin(), cols.end());
+  };
+  for (const auto& f : query.filters) collect(f);
+  for (const auto& e : query.select_exprs) collect(e);
+  for (const auto& g : query.group_by) collect(g);
+  for (const auto& a : query.aggregates) collect(a);
+  rec.columns.assign(columns.begin(), columns.end());
+
+  // Map aliases to table names so summaries aggregate across queries that
+  // alias the same table differently.
+  std::map<std::string, std::string> alias_to_table;
+  for (const auto& rel : query.relations) {
+    alias_to_table[rel.alias] = rel.table;
+  }
+  auto canonical = [&](const std::string& qualified) {
+    auto dot = qualified.find('.');
+    if (dot == std::string::npos) return qualified;
+    auto it = alias_to_table.find(qualified.substr(0, dot));
+    if (it == alias_to_table.end()) return qualified;
+    return it->second + "." + qualified.substr(dot + 1);
+  };
+  for (auto& c : rec.columns) c = canonical(c);
+
+  for (const auto& f : query.filters) {
+    std::string col;
+    CompareOp op;
+    Value constant;
+    if (MatchColumnCompareConstant(f, &col, &op, &constant)) {
+      rec.filter_columns.push_back(canonical(col));
+      continue;
+    }
+    std::string l, r;
+    if (MatchEquiJoin(f, &l, &r)) {
+      std::string a = canonical(l);
+      std::string b = canonical(r);
+      if (b < a) std::swap(a, b);
+      rec.join_edges.push_back(a + "=" + b);
+    }
+  }
+  return rec;
+}
+
+StatisticsService::StatisticsService(const Options& options)
+    : options_(options), rng_(options.seed) {
+  scale_ = options_.sampling_rate > 0.0 ? 1.0 / options_.sampling_rate : 0.0;
+}
+
+void StatisticsService::Ingest(const ExecutionRecord& record) {
+  if (options_.sampling_rate < 1.0 &&
+      rng_.NextDouble() >= options_.sampling_rate) {
+    return;
+  }
+  records_ingested_ += scale_;
+  for (const auto& t : record.tables) table_counts_[t] += scale_;
+  for (const auto& c : record.columns) column_counts_[c] += scale_;
+  for (const auto& c : record.filter_columns) filter_counts_[c] += scale_;
+  for (const auto& e : record.join_edges) join_graph_[e] += scale_;
+  total_cost_ += record.cost * scale_;
+  total_machine_seconds_ += record.machine_seconds * scale_;
+  int64_t hour = static_cast<int64_t>(record.at / kSecondsPerHour);
+  hourly_[record.query_id][hour] += scale_;
+  auto& [sum, n] = cost_sums_[record.query_id];
+  sum += record.cost;
+  n += 1.0;
+  hot_records_.push_back(record);
+  AdvanceTo(record.at);
+}
+
+void StatisticsService::AdvanceTo(Seconds now) {
+  while (!hot_records_.empty() &&
+         hot_records_.front().at < now - options_.hot_window) {
+    hot_records_.pop_front();  // aggregates above already hold the history
+  }
+}
+
+std::vector<double> StatisticsService::HourlyArrivals(
+    const std::string& query_id) const {
+  auto it = hourly_.find(query_id);
+  if (it == hourly_.end()) return {};
+  int64_t max_hour = 0;
+  for (const auto& [hour, _] : it->second) max_hour = std::max(max_hour, hour);
+  std::vector<double> out(static_cast<size_t>(max_hour) + 1, 0.0);
+  for (const auto& [hour, count] : it->second) {
+    out[static_cast<size_t>(hour)] = count;
+  }
+  return out;
+}
+
+Dollars StatisticsService::MeanCost(const std::string& query_id) const {
+  auto it = cost_sums_.find(query_id);
+  if (it == cost_sums_.end() || it->second.second == 0.0) return 0.0;
+  return it->second.first / it->second.second;
+}
+
+size_t StatisticsService::cold_bucket_count() const {
+  size_t buckets = 0;
+  for (const auto& [id, hours] : hourly_) buckets += hours.size();
+  return buckets;
+}
+
+}  // namespace costdb

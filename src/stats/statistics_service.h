@@ -1,0 +1,118 @@
+#pragma once
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "optimizer/bi_objective.h"
+
+namespace costdb {
+
+/// One query execution's footprint, as logged by the engine's built-in
+/// lightweight profiler (the paper's Statistics Service input).
+struct ExecutionRecord {
+  Seconds at = 0.0;
+  std::string query_id;
+  std::vector<std::string> tables;
+  std::vector<std::string> columns;        // qualified "alias.column"
+  std::vector<std::string> filter_columns; // columns under pushed predicates
+  std::vector<std::string> join_edges;     // normalized "t1.c1=t2.c2"
+  Seconds latency = 0.0;
+  Seconds machine_seconds = 0.0;
+  Dollars cost = 0.0;
+  double rows_scanned = 0.0;
+};
+
+/// Build a record from a bound + planned query (tables, columns, join
+/// edges, filter columns) and its measured execution outcome.
+ExecutionRecord MakeExecutionRecord(const std::string& query_id, Seconds at,
+                                    const BoundQuery& query,
+                                    Seconds latency, Seconds machine_seconds,
+                                    Dollars cost);
+
+/// The Statistics Service of paper Figure 3/Section 4: ingests execution
+/// logs and maintains queryable workload summaries — file/attribute access
+/// counts, a weighted join graph, run-time resource usage, and per-template
+/// arrival series for workload prediction. It is itself cost-conscious:
+/// ingestion is sampled (counts are rescaled by 1/rate) and per-record
+/// detail older than the hot window is compacted into hourly aggregates.
+class StatisticsService {
+ public:
+  struct Options {
+    double sampling_rate = 1.0;         // fraction of records ingested
+    Seconds hot_window = kSecondsPerDay;  // raw-record retention
+    uint64_t seed = 11;
+  };
+
+  StatisticsService() : StatisticsService(Options()) {}
+  explicit StatisticsService(const Options& options);
+
+  /// Ingest one record (subject to sampling).
+  void Ingest(const ExecutionRecord& record);
+
+  // ---- workload summaries (rescaled to full-population estimates) ----
+  const std::map<std::string, double>& table_access_counts() const {
+    return table_counts_;
+  }
+  const std::map<std::string, double>& column_access_counts() const {
+    return column_counts_;
+  }
+  const std::map<std::string, double>& filter_column_counts() const {
+    return filter_counts_;
+  }
+  /// Weighted join graph: normalized equi-join edge -> access weight.
+  const std::map<std::string, double>& join_graph() const {
+    return join_graph_;
+  }
+
+  Dollars total_cost() const { return total_cost_; }
+  Seconds total_machine_seconds() const { return total_machine_seconds_; }
+  double records_ingested() const { return records_ingested_; }
+
+  /// Estimated arrivals per hour of one query template, hour-bucketed from
+  /// the first ingested timestamp (for the workload predictor).
+  std::vector<double> HourlyArrivals(const std::string& query_id) const;
+
+  /// Mean observed execution cost of one template.
+  Dollars MeanCost(const std::string& query_id) const;
+
+  /// Per-query profiling overhead the engine pays to feed this service —
+  /// proportional to how much is recorded (the paper's requirement that
+  /// the Statistics Service itself be cheap).
+  Seconds ProfilingOverhead(Seconds query_latency) const {
+    return query_latency * (0.001 + 0.015 * options_.sampling_rate);
+  }
+
+  /// Raw records still in the hot window vs. compacted history size
+  /// (tiered storage accounting).
+  size_t hot_record_count() const { return hot_records_.size(); }
+  size_t cold_bucket_count() const;
+
+  /// Advance the service clock, compacting raw records that fall out of
+  /// the hot window.
+  void AdvanceTo(Seconds now);
+
+ private:
+  Options options_;
+  Rng rng_;
+  double scale_ = 1.0;  // 1 / sampling_rate
+
+  std::map<std::string, double> table_counts_;
+  std::map<std::string, double> column_counts_;
+  std::map<std::string, double> filter_counts_;
+  std::map<std::string, double> join_graph_;
+  Dollars total_cost_ = 0.0;
+  Seconds total_machine_seconds_ = 0.0;
+  double records_ingested_ = 0.0;
+
+  // query_id -> hour index -> (scaled) arrivals; cost sums for MeanCost.
+  std::map<std::string, std::map<int64_t, double>> hourly_;
+  std::map<std::string, std::pair<double, double>> cost_sums_;  // (sum, n)
+
+  std::deque<ExecutionRecord> hot_records_;
+};
+
+}  // namespace costdb

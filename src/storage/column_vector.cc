@@ -1,0 +1,94 @@
+#include "storage/column_vector.h"
+
+namespace costdb {
+
+size_t ColumnVector::size() const {
+  switch (physical_type()) {
+    case PhysicalType::kInt64:
+      return ints_.size();
+    case PhysicalType::kDouble:
+      return doubles_.size();
+    case PhysicalType::kString:
+      return strings_.size();
+  }
+  return 0;
+}
+
+void ColumnVector::Reserve(size_t n) {
+  switch (physical_type()) {
+    case PhysicalType::kInt64:
+      ints_.reserve(n);
+      break;
+    case PhysicalType::kDouble:
+      doubles_.reserve(n);
+      break;
+    case PhysicalType::kString:
+      strings_.reserve(n);
+      break;
+  }
+}
+
+void ColumnVector::Clear() {
+  ints_.clear();
+  doubles_.clear();
+  strings_.clear();
+}
+
+void ColumnVector::AppendValue(const Value& v) {
+  switch (physical_type()) {
+    case PhysicalType::kInt64:
+      AppendInt(v.is_double() ? static_cast<int64_t>(v.AsDouble()) : v.AsInt());
+      break;
+    case PhysicalType::kDouble:
+      AppendDouble(v.AsDouble());
+      break;
+    case PhysicalType::kString:
+      AppendString(v.AsString());
+      break;
+  }
+}
+
+Value ColumnVector::GetValue(size_t i) const {
+  switch (physical_type()) {
+    case PhysicalType::kInt64:
+      return Value(ints_[i]);
+    case PhysicalType::kDouble:
+      return Value(doubles_[i]);
+    case PhysicalType::kString:
+      return Value(strings_[i]);
+  }
+  return Value::Null();
+}
+
+ColumnVector ColumnVector::Gather(const std::vector<uint32_t>& sel) const {
+  ColumnVector out(type_);
+  out.Reserve(sel.size());
+  switch (physical_type()) {
+    case PhysicalType::kInt64:
+      for (uint32_t i : sel) out.ints_.push_back(ints_[i]);
+      break;
+    case PhysicalType::kDouble:
+      for (uint32_t i : sel) out.doubles_.push_back(doubles_[i]);
+      break;
+    case PhysicalType::kString:
+      for (uint32_t i : sel) out.strings_.push_back(strings_[i]);
+      break;
+  }
+  return out;
+}
+
+void ColumnVector::AppendFrom(const ColumnVector& other, size_t i) {
+  switch (physical_type()) {
+    case PhysicalType::kInt64:
+      ints_.push_back(other.ints_[i]);
+      break;
+    case PhysicalType::kDouble:
+      doubles_.push_back(other.doubles_[i]);
+      break;
+    case PhysicalType::kString:
+      strings_.push_back(other.strings_[i]);
+      break;
+  }
+}
+
+}  // namespace costdb

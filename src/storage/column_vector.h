@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/types.h"
+#include "storage/value.h"
+
+namespace costdb {
+
+/// A typed column of values, the unit the vectorized kernels operate on.
+/// One physical family is active at a time (see PhysicalTypeOf). NULLs are
+/// not represented — the workload generator produces complete data, which
+/// matches the paper's analytical setting and keeps kernels branch-free.
+class ColumnVector {
+ public:
+  ColumnVector() : type_(LogicalType::kInt64) {}
+  explicit ColumnVector(LogicalType type) : type_(type) {}
+
+  LogicalType type() const { return type_; }
+  PhysicalType physical_type() const { return PhysicalTypeOf(type_); }
+
+  size_t size() const;
+  void Reserve(size_t n);
+  void Clear();
+
+  void AppendInt(int64_t v) { ints_.push_back(v); }
+  void AppendDouble(double v) { doubles_.push_back(v); }
+  void AppendString(std::string v) { strings_.push_back(std::move(v)); }
+
+  /// Append a Value coerced to this column's physical family.
+  void AppendValue(const Value& v);
+
+  int64_t GetInt(size_t i) const { return ints_[i]; }
+  double GetDouble(size_t i) const { return doubles_[i]; }
+  const std::string& GetString(size_t i) const { return strings_[i]; }
+
+  /// Value at row i (for result materialization / tests; not a hot path).
+  Value GetValue(size_t i) const;
+
+  /// Direct access to the typed payload for kernels.
+  std::vector<int64_t>& ints() { return ints_; }
+  const std::vector<int64_t>& ints() const { return ints_; }
+  std::vector<double>& doubles() { return doubles_; }
+  const std::vector<double>& doubles() const { return doubles_; }
+  std::vector<std::string>& strings() { return strings_; }
+  const std::vector<std::string>& strings() const { return strings_; }
+
+  /// Copy the rows selected by `sel` into a new vector (filter compaction).
+  ColumnVector Gather(const std::vector<uint32_t>& sel) const;
+
+  /// Append row i of `other` (same physical family) to this vector.
+  void AppendFrom(const ColumnVector& other, size_t i);
+
+ private:
+  LogicalType type_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string> strings_;
+};
+
+}  // namespace costdb

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <vector>
+
+#include "storage/column_vector.h"
+
+namespace costdb {
+
+/// A horizontal slice of rows across a set of columns — the unit flowing
+/// between operators in the push-based engine (DuckDB-style).
+class DataChunk {
+ public:
+  DataChunk() = default;
+  explicit DataChunk(std::vector<LogicalType> types);
+
+  size_t num_columns() const { return columns_.size(); }
+  size_t num_rows() const {
+    return columns_.empty() ? 0 : columns_[0].size();
+  }
+
+  ColumnVector& column(size_t i) { return columns_[i]; }
+  const ColumnVector& column(size_t i) const { return columns_[i]; }
+
+  std::vector<LogicalType> Types() const;
+
+  /// Append a full row of values (testing / tiny-data convenience).
+  void AppendRow(const std::vector<Value>& row);
+
+  /// Append all rows of `other` (same layout).
+  void Append(const DataChunk& other);
+
+  /// Keep only rows in `sel`.
+  void Slice(const std::vector<uint32_t>& sel);
+
+  /// Append row `i` of `other` to this chunk.
+  void AppendRowFrom(const DataChunk& other, size_t i);
+
+  /// Add an already-built column (layout construction).
+  void AddColumn(ColumnVector column);
+
+  void Clear();
+
+  /// Rows as printable strings; head rows only when `limit` >= 0.
+  std::string ToString(int64_t limit = 10) const;
+
+ private:
+  std::vector<ColumnVector> columns_;
+};
+
+}  // namespace costdb

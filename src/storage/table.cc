@@ -1,0 +1,133 @@
+#include "storage/table.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace costdb {
+
+Table::Table(std::string name, std::vector<ColumnDef> columns,
+             size_t row_group_size)
+    : name_(std::move(name)),
+      columns_(std::move(columns)),
+      row_group_size_(row_group_size) {}
+
+Result<size_t> Table::ColumnIndex(const std::string& column_name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == column_name) return i;
+  }
+  return Status::NotFound("no column " + column_name + " in table " + name_);
+}
+
+void Table::RebuildZones(RowGroup* group) {
+  group->zones.clear();
+  group->zones.reserve(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    group->zones.push_back(ZoneMapEntry::Build(group->data.column(c)));
+  }
+}
+
+void Table::Append(const DataChunk& chunk) {
+  size_t offset = 0;
+  const size_t total = chunk.num_rows();
+  while (offset < total) {
+    if (row_groups_.empty() ||
+        row_groups_.back().num_rows() >= row_group_size_) {
+      RowGroup g;
+      std::vector<LogicalType> types;
+      for (const auto& c : columns_) types.push_back(c.type);
+      g.data = DataChunk(types);
+      row_groups_.push_back(std::move(g));
+    }
+    RowGroup& group = row_groups_.back();
+    size_t space = row_group_size_ - group.num_rows();
+    size_t take = std::min(space, total - offset);
+    for (size_t i = 0; i < take; ++i) {
+      group.data.AppendRowFrom(chunk, offset + i);
+    }
+    offset += take;
+    RebuildZones(&group);
+  }
+  num_rows_ += total;
+}
+
+Status Table::ClusterBy(const std::string& column_name) {
+  size_t col = 0;
+  COSTDB_ASSIGN_OR_RETURN(col, ColumnIndex(column_name));
+  // Materialize, sort row indices by the key column, rebuild groups.
+  DataChunk all = Scan();
+  std::vector<uint32_t> order(all.num_rows());
+  std::iota(order.begin(), order.end(), 0);
+  const ColumnVector& key = all.column(col);
+  switch (key.physical_type()) {
+    case PhysicalType::kInt64: {
+      const auto& v = key.ints();
+      std::stable_sort(order.begin(), order.end(),
+                       [&](uint32_t a, uint32_t b) { return v[a] < v[b]; });
+      break;
+    }
+    case PhysicalType::kDouble: {
+      const auto& v = key.doubles();
+      std::stable_sort(order.begin(), order.end(),
+                       [&](uint32_t a, uint32_t b) { return v[a] < v[b]; });
+      break;
+    }
+    case PhysicalType::kString: {
+      const auto& v = key.strings();
+      std::stable_sort(order.begin(), order.end(),
+                       [&](uint32_t a, uint32_t b) { return v[a] < v[b]; });
+      break;
+    }
+  }
+  all.Slice(order);
+  row_groups_.clear();
+  num_rows_ = 0;
+  Append(all);
+  clustering_key_ = column_name;
+  return Status::OK();
+}
+
+double Table::EstimateColumnBytes(size_t column_index) const {
+  const LogicalType type = columns_[column_index].type;
+  if (PhysicalTypeOf(type) == PhysicalType::kString) {
+    double total_len = 0.0;
+    size_t n = 0;
+    for (const auto& g : row_groups_) {
+      const auto& strs = g.data.column(column_index).strings();
+      for (const auto& s : strs) total_len += static_cast<double>(s.size());
+      n += strs.size();
+    }
+    double avg = n > 0 ? total_len / static_cast<double>(n) : 16.0;
+    return static_cast<double>(num_rows_) * (avg + 4.0);  // + offset word
+  }
+  return static_cast<double>(num_rows_) * TypeWidthBytes(type);
+}
+
+double Table::EstimateBytes() const {
+  double total = 0.0;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    total += EstimateColumnBytes(c);
+  }
+  return total;
+}
+
+Result<double> Table::PruneFraction(const std::string& column_name,
+                                    CompareOp op, const Value& constant) const {
+  size_t col = 0;
+  COSTDB_ASSIGN_OR_RETURN(col, ColumnIndex(column_name));
+  if (row_groups_.empty()) return 0.0;
+  size_t pruned = 0;
+  for (const auto& g : row_groups_) {
+    if (!g.zones[col].MayMatch(op, constant)) ++pruned;
+  }
+  return static_cast<double>(pruned) / static_cast<double>(row_groups_.size());
+}
+
+DataChunk Table::Scan() const {
+  std::vector<LogicalType> types;
+  for (const auto& c : columns_) types.push_back(c.type);
+  DataChunk out(types);
+  for (const auto& g : row_groups_) out.Append(g.data);
+  return out;
+}
+
+}  // namespace costdb

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/data_chunk.h"
+#include "storage/zone_map.h"
+
+namespace costdb {
+
+/// Column declaration within a table schema.
+struct ColumnDef {
+  std::string name;
+  LogicalType type = LogicalType::kInt64;
+};
+
+/// A horizontal partition of a table with per-column zone maps — the unit
+/// of scan pruning and of morsel assignment.
+struct RowGroup {
+  DataChunk data;
+  std::vector<ZoneMapEntry> zones;
+
+  size_t num_rows() const { return data.num_rows(); }
+};
+
+/// In-process columnar table: append-only row groups with zone maps and an
+/// optional clustering key. Stands in for the Parquet-on-S3 layout of the
+/// paper's storage layer; EstimateBytes() is what the simulated object
+/// store and the cost model account in place of real files.
+class Table {
+ public:
+  Table(std::string name, std::vector<ColumnDef> columns,
+        size_t row_group_size = 8192);
+
+  const std::string& name() const { return name_; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  size_t row_group_size() const { return row_group_size_; }
+
+  Result<size_t> ColumnIndex(const std::string& column_name) const;
+
+  /// Append rows; splits into row groups and maintains zone maps.
+  void Append(const DataChunk& chunk);
+
+  size_t num_rows() const { return num_rows_; }
+  const std::vector<RowGroup>& row_groups() const { return row_groups_; }
+
+  /// Physically re-sort the whole table by `column_name` and rebuild row
+  /// groups/zone maps. This is the paper's "recluster table T on attribute
+  /// A" tuning action; the advisor prices it via EstimateBytes().
+  Status ClusterBy(const std::string& column_name);
+
+  const std::string& clustering_key() const { return clustering_key_; }
+
+  /// Estimated on-disk bytes of the whole table (sum of column estimates).
+  double EstimateBytes() const;
+
+  /// Estimated bytes of one column across all row groups. Uses a light
+  /// encoding model: fixed width for numerics, observed average length for
+  /// strings.
+  double EstimateColumnBytes(size_t column_index) const;
+
+  /// Fraction of row groups a predicate `column op constant` can skip via
+  /// zone maps (1.0 = everything pruned). The gain reclustering buys.
+  Result<double> PruneFraction(const std::string& column_name, CompareOp op,
+                               const Value& constant) const;
+
+  /// Materialize all rows into one chunk (tests / small tables only).
+  DataChunk Scan() const;
+
+ private:
+  void RebuildZones(RowGroup* group);
+
+  std::string name_;
+  std::vector<ColumnDef> columns_;
+  size_t row_group_size_;
+  size_t num_rows_ = 0;
+  std::string clustering_key_;
+  std::vector<RowGroup> row_groups_;
+};
+
+}  // namespace costdb

@@ -1,0 +1,71 @@
+#include "storage/zone_map.h"
+
+namespace costdb {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+CompareOp SwapCompareOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return CompareOp::kGt;
+    case CompareOp::kLe:
+      return CompareOp::kGe;
+    case CompareOp::kGt:
+      return CompareOp::kLt;
+    case CompareOp::kGe:
+      return CompareOp::kLe;
+    default:
+      return op;
+  }
+}
+
+ZoneMapEntry ZoneMapEntry::Build(const ColumnVector& column) {
+  ZoneMapEntry z;
+  if (column.size() == 0) return z;
+  z.min = column.GetValue(0);
+  z.max = z.min;
+  for (size_t i = 1; i < column.size(); ++i) {
+    Value v = column.GetValue(i);
+    if (v < z.min) z.min = v;
+    if (z.max < v) z.max = v;
+  }
+  return z;
+}
+
+bool ZoneMapEntry::MayMatch(CompareOp op, const Value& constant) const {
+  if (min.is_null() || max.is_null()) return true;  // no metadata -> scan
+  switch (op) {
+    case CompareOp::kEq:
+      return !(constant < min) && !(max < constant);
+    case CompareOp::kNe:
+      // Only prunable when the zone is a single value equal to the constant.
+      return !(min == max && min == constant);
+    case CompareOp::kLt:
+      return min < constant;
+    case CompareOp::kLe:
+      return min < constant || min == constant;
+    case CompareOp::kGt:
+      return constant < max;
+    case CompareOp::kGe:
+      return constant < max || constant == max;
+  }
+  return true;
+}
+
+}  // namespace costdb

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace costdb {
+
+/// A physical-design change proposed by an advisor and priced by the
+/// What-If Service.
+struct TuningAction {
+  enum class Kind {
+    kMaterializedView,  // materialize an equi-join of base tables
+    kRecluster,         // re-sort a table on one attribute (paper §4)
+  };
+
+  Kind kind = Kind::kMaterializedView;
+
+  // kMaterializedView
+  std::string mv_name;
+  std::vector<std::string> mv_tables;      // base table names
+  std::vector<std::string> mv_join_edges;  // normalized "t1.c1=t2.c2"
+  /// Unqualified column to cluster the MV on (typically the workload's
+  /// hottest filter attribute) so MV scans can zone-map prune; empty =
+  /// unclustered.
+  std::string mv_cluster_column;
+
+  // kRecluster
+  std::string table;
+  std::string column;
+
+  std::string Describe() const;
+};
+
+}  // namespace costdb

@@ -1,0 +1,74 @@
+#include "tuning/advisors.h"
+
+#include <algorithm>
+
+namespace costdb {
+
+namespace {
+std::vector<std::pair<std::string, double>> TopK(
+    const std::map<std::string, double>& counts, int k) {
+  std::vector<std::pair<std::string, double>> entries(counts.begin(),
+                                                      counts.end());
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (static_cast<int>(entries.size()) > k) entries.resize(k);
+  return entries;
+}
+}  // namespace
+
+std::vector<TuningAction> ProposeMvActions(const StatisticsService& stats,
+                                           int top_k) {
+  std::vector<TuningAction> actions;
+  for (const auto& [edge, weight] : TopK(stats.join_graph(), top_k)) {
+    // edge: "t1.c1=t2.c2"
+    auto eq = edge.find('=');
+    std::string left = edge.substr(0, eq);
+    std::string right = edge.substr(eq + 1);
+    std::string t1 = left.substr(0, left.find('.'));
+    std::string t2 = right.substr(0, right.find('.'));
+    if (t1 == t2) continue;
+    TuningAction action;
+    action.kind = TuningAction::Kind::kMaterializedView;
+    action.mv_tables = {t1, t2};
+    action.mv_join_edges = {edge};
+    action.mv_name = "mv_" + t1 + "_" + t2;
+    // Cluster the MV on the hottest filter column of either base table so
+    // MV scans can prune.
+    double best_weight = 0.0;
+    for (const auto& [column, weight] : stats.filter_column_counts()) {
+      auto dot = column.find('.');
+      if (dot == std::string::npos) continue;
+      std::string table = column.substr(0, dot);
+      if ((table == t1 || table == t2) && weight > best_weight) {
+        best_weight = weight;
+        action.mv_cluster_column = column.substr(dot + 1);
+      }
+    }
+    actions.push_back(std::move(action));
+  }
+  return actions;
+}
+
+std::vector<TuningAction> ProposeReclusterActions(
+    const StatisticsService& stats, const MetadataService& meta, int top_k) {
+  std::vector<TuningAction> actions;
+  for (const auto& [column, weight] : TopK(stats.filter_column_counts(),
+                                           top_k * 3)) {
+    auto dot = column.find('.');
+    if (dot == std::string::npos) continue;
+    std::string table = column.substr(0, dot);
+    std::string attr = column.substr(dot + 1);
+    auto handle = meta.GetTable(table);
+    if (!handle.ok()) continue;
+    if ((*handle)->clustering_key() == attr) continue;  // already clustered
+    TuningAction action;
+    action.kind = TuningAction::Kind::kRecluster;
+    action.table = table;
+    action.column = attr;
+    actions.push_back(std::move(action));
+    if (static_cast<int>(actions.size()) >= top_k) break;
+  }
+  return actions;
+}
+
+}  // namespace costdb

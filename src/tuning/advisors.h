@@ -1,0 +1,22 @@
+#pragma once
+
+#include <vector>
+
+#include "stats/statistics_service.h"
+#include "tuning/actions.h"
+
+namespace costdb {
+
+/// Propose materialized views from the Statistics Service's weighted join
+/// graph: the top-k most-joined attribute pairs each become an MV
+/// candidate over their two tables (the "existing auto-tuning tools" slot
+/// of paper Figure 3).
+std::vector<TuningAction> ProposeMvActions(const StatisticsService& stats,
+                                           int top_k);
+
+/// Propose reclustering candidates from the most frequently filtered
+/// columns (ignoring columns of tables already clustered on them).
+std::vector<TuningAction> ProposeReclusterActions(
+    const StatisticsService& stats, const MetadataService& meta, int top_k);
+
+}  // namespace costdb

@@ -1,0 +1,134 @@
+#include "tuning/mv.h"
+
+#include <algorithm>
+#include <set>
+
+#include "optimizer/optimizer.h"
+
+namespace costdb {
+
+std::string TuningAction::Describe() const {
+  if (kind == Kind::kMaterializedView) {
+    std::string out = "CREATE MATERIALIZED VIEW " + mv_name + " AS JOIN(";
+    for (size_t i = 0; i < mv_tables.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += mv_tables[i];
+    }
+    out += ") ON ";
+    for (size_t i = 0; i < mv_join_edges.size(); ++i) {
+      if (i > 0) out += " AND ";
+      out += mv_join_edges[i];
+    }
+    return out;
+  }
+  return "RECLUSTER " + table + " BY " + column;
+}
+
+std::string MvDefiningSql(const TuningAction& action) {
+  std::string sql = "SELECT * FROM ";
+  for (size_t i = 0; i < action.mv_tables.size(); ++i) {
+    if (i > 0) sql += ", ";
+    sql += action.mv_tables[i];
+  }
+  sql += " WHERE ";
+  for (size_t i = 0; i < action.mv_join_edges.size(); ++i) {
+    if (i > 0) sql += " AND ";
+    const std::string& edge = action.mv_join_edges[i];
+    auto mid = edge.find('=');
+    sql += edge.substr(0, mid) + " = " + edge.substr(mid + 1);
+  }
+  return sql;
+}
+
+Result<std::shared_ptr<Table>> BuildMaterializedView(
+    const MetadataService& meta, const TuningAction& action,
+    LocalEngine* engine) {
+  Optimizer optimizer(&meta);
+  PhysicalPlanPtr plan;
+  COSTDB_ASSIGN_OR_RETURN(plan, optimizer.OptimizeSql(MvDefiningSql(action)));
+  QueryResult result;
+  COSTDB_ASSIGN_OR_RETURN(result, engine->Execute(plan.get()));
+  // MV columns: unqualified base column names, so rewritten plans resolve.
+  std::vector<ColumnDef> columns;
+  for (size_t i = 0; i < result.names.size(); ++i) {
+    std::string base = result.names[i].substr(result.names[i].find('.') + 1);
+    columns.push_back({base, result.types[i]});
+  }
+  // Keep the base tables' row-group granularity so zone maps prune at a
+  // comparable resolution.
+  size_t row_group_size = 8192;
+  for (const auto& t : action.mv_tables) {
+    auto table = meta.GetTable(t);
+    if (table.ok()) {
+      row_group_size = std::min(row_group_size, (*table)->row_group_size());
+    }
+  }
+  auto mv = std::make_shared<Table>(action.mv_name, columns, row_group_size);
+  mv->Append(result.chunk);
+  if (!action.mv_cluster_column.empty()) {
+    COSTDB_RETURN_NOT_OK(mv->ClusterBy(action.mv_cluster_column));
+  }
+  return mv;
+}
+
+namespace {
+
+void CollectScans(const LogicalPlanPtr& node,
+                  std::vector<const LogicalPlan*>* scans) {
+  if (node->kind == LogicalPlan::Kind::kScan) {
+    scans->push_back(node.get());
+    return;
+  }
+  for (const auto& c : node->children) CollectScans(c, scans);
+}
+
+/// Base table names under a subtree.
+std::set<std::string> TableSet(const LogicalPlanPtr& node) {
+  std::vector<const LogicalPlan*> scans;
+  CollectScans(node, &scans);
+  std::set<std::string> out;
+  for (const auto* s : scans) out.insert(s->table->name());
+  return out;
+}
+
+}  // namespace
+
+LogicalPlanPtr SubstituteMvInPlan(const LogicalPlanPtr& plan,
+                                  const TuningAction& action,
+                                  std::shared_ptr<Table> mv_table) {
+  std::set<std::string> target(action.mv_tables.begin(),
+                               action.mv_tables.end());
+  if (plan->kind == LogicalPlan::Kind::kJoin && TableSet(plan) == target) {
+    // Replace this subtree: keep its column set and pushed filters.
+    std::vector<const LogicalPlan*> scans;
+    CollectScans(plan, &scans);
+    std::vector<std::string> columns;
+    std::vector<ExprPtr> filters;
+    std::vector<std::string> aliases;
+    for (const auto* s : scans) {
+      columns.insert(columns.end(), s->scan_columns.begin(),
+                     s->scan_columns.end());
+      filters.insert(filters.end(), s->pushed_filters.begin(),
+                     s->pushed_filters.end());
+      aliases.push_back(s->alias);
+    }
+    auto scan = LogicalPlan::MakeScan(std::move(mv_table), action.mv_name,
+                                      std::move(columns), std::move(filters));
+    // The MV scan stands in for several relations.
+    scan->relation_set = aliases;
+    scan->est_rows = plan->est_rows;
+    return scan;
+  }
+  bool changed = false;
+  auto copy = std::make_shared<LogicalPlan>(*plan);
+  for (auto& c : copy->children) {
+    LogicalPlanPtr replaced = SubstituteMvInPlan(c, action, mv_table);
+    if (replaced != nullptr) {
+      c = replaced;
+      changed = true;
+    }
+  }
+  return changed ? copy : nullptr;
+}
+
+}  // namespace costdb

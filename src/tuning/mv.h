@@ -1,0 +1,29 @@
+#pragma once
+
+#include "catalog/catalog.h"
+#include "exec/engine.h"
+#include "plan/logical_plan.h"
+#include "tuning/actions.h"
+
+namespace costdb {
+
+/// Materialize the defining join of an MV action over the in-process base
+/// tables. The MV table's columns carry the *unqualified* base column
+/// names, so a plan rewritten to scan the MV keeps resolving its original
+/// qualified references (see SubstituteMvInPlan).
+Result<std::shared_ptr<Table>> BuildMaterializedView(
+    const MetadataService& meta, const TuningAction& action,
+    LocalEngine* engine);
+
+/// SQL text of the MV's defining query ("SELECT * FROM bases WHERE
+/// edges"), used both to materialize and to price the build.
+std::string MvDefiningSql(const TuningAction& action);
+
+/// Replace the join subtree covering exactly the MV's base tables with a
+/// scan of the MV (pushed filters of the replaced scans are re-attached to
+/// the MV scan). Returns nullptr when the plan has no matching subtree.
+LogicalPlanPtr SubstituteMvInPlan(const LogicalPlanPtr& plan,
+                                  const TuningAction& action,
+                                  std::shared_ptr<Table> mv_table);
+
+}  // namespace costdb

@@ -1,0 +1,38 @@
+#include "tuning/predictor.h"
+
+#include <algorithm>
+
+#include "common/stats_math.h"
+
+namespace costdb {
+
+WorkloadPredictor::Forecast WorkloadPredictor::Predict(
+    const std::vector<double>& hourly) const {
+  Forecast f;
+  if (hourly.empty()) return f;
+  f.confidence = std::min(1.0, static_cast<double>(hourly.size()) /
+                                   (3.0 * kPeriod));
+  if (hourly.size() >= 2 * kPeriod &&
+      Autocorrelation(hourly, kPeriod) > kPeriodicThreshold) {
+    // Seasonal: average across whole past days.
+    f.periodic = true;
+    double sum = 0.0;
+    size_t full_days = hourly.size() / kPeriod;
+    size_t used = full_days * kPeriod;
+    for (size_t i = hourly.size() - used; i < hourly.size(); ++i) {
+      sum += hourly[i];
+    }
+    f.arrivals_per_hour = sum / static_cast<double>(used);
+    return f;
+  }
+  // Trailing moving average.
+  size_t window = std::min(kMovingWindow, hourly.size());
+  double sum = 0.0;
+  for (size_t i = hourly.size() - window; i < hourly.size(); ++i) {
+    sum += hourly[i];
+  }
+  f.arrivals_per_hour = sum / static_cast<double>(window);
+  return f;
+}
+
+}  // namespace costdb

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <vector>
+
+#include "common/units.h"
+
+namespace costdb {
+
+/// Explainable workload predictor over the Statistics Service's hourly
+/// arrival series. Deliberately not a deep model (paper Section 4 leans on
+/// comprehensive statistics, not model sophistication): detects a diurnal
+/// period via autocorrelation and predicts with a same-hour seasonal mean,
+/// otherwise with a trailing moving average.
+class WorkloadPredictor {
+ public:
+  struct Forecast {
+    double arrivals_per_hour = 0.0;  // mean rate over the horizon
+    bool periodic = false;           // diurnal pattern detected
+    double confidence = 0.0;         // 0..1, grows with history length
+  };
+
+  /// `hourly` is the arrival count per past hour (oldest first).
+  Forecast Predict(const std::vector<double>& hourly) const;
+
+  /// Expected arrivals per *day* over the horizon.
+  double PredictDailyArrivals(const std::vector<double>& hourly) const {
+    return Predict(hourly).arrivals_per_hour * 24.0;
+  }
+
+ private:
+  static constexpr size_t kPeriod = 24;          // hours
+  static constexpr double kPeriodicThreshold = 0.4;
+  static constexpr size_t kMovingWindow = 24;    // hours
+};
+
+}  // namespace costdb

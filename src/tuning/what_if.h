@@ -1,0 +1,95 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/harness.h"
+#include "stats/statistics_service.h"
+#include "tuning/actions.h"
+#include "tuning/mv.h"
+#include "tuning/predictor.h"
+
+namespace costdb {
+
+/// One recurring query of the predicted workload.
+struct WorkloadItem {
+  std::string query_id;
+  std::string sql;
+  double runs_per_day = 0.0;
+};
+
+/// Per-query line of a what-if report.
+struct WhatIfQueryDelta {
+  std::string query_id;
+  Dollars cost_before = 0.0;
+  Dollars cost_after = 0.0;
+  double runs_per_day = 0.0;
+
+  Dollars savings_per_day() const {
+    return (cost_before - cost_after) * runs_per_day;
+  }
+};
+
+/// The customer-readable dollar report of paper Section 4: benefit
+/// x $/day, cost y $/day, accept iff x - y > 0, with a one-time build
+/// price and payback horizon.
+struct WhatIfReport {
+  TuningAction action;
+  Dollars benefit_per_day = 0.0;   // x
+  Dollars cost_per_day = 0.0;      // y (storage rent + maintenance)
+  Dollars build_cost = 0.0;        // one-time background job
+  bool accepted = false;           // x - y > 0
+  double payback_days = 0.0;       // build / (x - y); inf when not accepted
+  std::vector<WhatIfQueryDelta> per_query;
+
+  Dollars net_per_day() const { return benefit_per_day - cost_per_day; }
+  std::string ToString() const;
+};
+
+struct WhatIfOptions {
+  /// Fraction of the MV's base data rewritten per day (drives maintenance).
+  double mv_update_fraction_per_day = 0.02;
+  /// Extra machine-time factor for writing the MV/recluster output versus
+  /// just computing it.
+  double write_amplification = 1.5;
+  UserConstraint constraint = UserConstraint::Sla(60.0);
+};
+
+/// Prices tuning proposals against a predicted workload: hypothetically
+/// applies the action on a cloned catalog, re-plans every workload query,
+/// and compares estimated dollars before/after. Leveraging elastic
+/// resources, the action's build/maintenance runs on separate background
+/// compute, so the report is purely monetary — the paper's key
+/// simplification of the auto-tuning problem.
+class WhatIfService {
+ public:
+  WhatIfService(const MetadataService* meta, const CostEstimator* estimator,
+                WhatIfOptions options = WhatIfOptions())
+      : meta_(meta), estimator_(estimator), options_(options) {}
+
+  Result<WhatIfReport> Evaluate(const TuningAction& action,
+                                const std::vector<WorkloadItem>& workload);
+
+  /// Apply an accepted action for real: mutate `meta` (register MV /
+  /// recluster the table) and charge the build to `env`'s background
+  /// compute bill.
+  Status Apply(const WhatIfReport& report, MetadataService* meta,
+               CloudEnv* env, LocalEngine* engine, Seconds now);
+
+  /// Estimated dollar cost of one query under a given catalog.
+  Result<Dollars> EstimateQueryCost(const MetadataService& meta,
+                                    const std::string& sql,
+                                    const TuningAction* mv_rewrite,
+                                    std::shared_ptr<Table> mv_table) const;
+
+ private:
+  Result<Dollars> BuildCost(const MetadataService& meta,
+                            const TuningAction& action,
+                            double* bytes_out) const;
+
+  const MetadataService* meta_;
+  const CostEstimator* estimator_;
+  WhatIfOptions options_;
+};
+
+}  // namespace costdb

@@ -1,0 +1,279 @@
+#include "workload/ssb.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace costdb {
+
+namespace {
+
+const char* kRegions[] = {"AMERICA", "ASIA", "EUROPE", "AFRICA", "MIDEAST"};
+const char* kNations[] = {"UNITED STATES", "CHINA", "GERMANY", "BRAZIL",
+                          "JAPAN", "FRANCE", "INDIA", "CANADA", "EGYPT",
+                          "KENYA"};
+const char* kCities[] = {"BEIJING", "SHANGHAI", "HAMBURG", "LYON", "OSAKA",
+                         "CHICAGO", "TORONTO", "MUMBAI", "CAIRO", "NAIROBI"};
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                           "MACHINERY", "HOUSEHOLD"};
+const char* kCategories[] = {"MFGR#11", "MFGR#12", "MFGR#13", "MFGR#14",
+                             "MFGR#21", "MFGR#22", "MFGR#23", "MFGR#24"};
+const char* kColors[] = {"red", "green", "blue", "ivory", "black", "plum",
+                         "navy", "gold"};
+const char* kShipmodes[] = {"AIR", "RAIL", "SHIP", "TRUCK", "MAIL"};
+
+int64_t DaysOf(const char* date) {
+  int64_t d = 0;
+  ParseDate(date, &d);
+  return d;
+}
+
+std::shared_ptr<Table> MakeDates(size_t row_group_size) {
+  auto t = std::make_shared<Table>(
+      "dates",
+      std::vector<ColumnDef>{{"d_datekey", LogicalType::kInt64},
+                             {"d_date", LogicalType::kDate},
+                             {"d_year", LogicalType::kInt64},
+                             {"d_month", LogicalType::kInt64},
+                             {"d_weeknum", LogicalType::kInt64}},
+      row_group_size);
+  DataChunk c({LogicalType::kInt64, LogicalType::kDate, LogicalType::kInt64,
+               LogicalType::kInt64, LogicalType::kInt64});
+  const int64_t start = DaysOf("1992-01-01");
+  const int64_t kNumDays = 2556;  // 7 years
+  for (int64_t i = 0; i < kNumDays; ++i) {
+    int64_t date = start + i;
+    std::string iso = FormatDate(date);
+    int64_t year = std::stoll(iso.substr(0, 4));
+    int64_t month = std::stoll(iso.substr(5, 2));
+    c.AppendRow({Value(i), Value(date), Value(year), Value(month),
+                 Value(i / 7 % 53 + 1)});
+  }
+  t->Append(c);
+  return t;
+}
+
+std::shared_ptr<Table> MakeCustomer(int64_t rows, Rng* rng,
+                                    size_t row_group_size) {
+  auto t = std::make_shared<Table>(
+      "customer",
+      std::vector<ColumnDef>{{"c_custkey", LogicalType::kInt64},
+                             {"c_name", LogicalType::kVarchar},
+                             {"c_city", LogicalType::kVarchar},
+                             {"c_nation", LogicalType::kVarchar},
+                             {"c_region", LogicalType::kVarchar},
+                             {"c_mktsegment", LogicalType::kVarchar}},
+      row_group_size);
+  DataChunk c({LogicalType::kInt64, LogicalType::kVarchar,
+               LogicalType::kVarchar, LogicalType::kVarchar,
+               LogicalType::kVarchar, LogicalType::kVarchar});
+  for (int64_t i = 0; i < rows; ++i) {
+    int64_t nation = rng->UniformInt(0, 9);
+    c.AppendRow({Value(i), Value("Customer#" + std::to_string(i)),
+                 Value(std::string(kCities[rng->UniformInt(0, 9)])),
+                 Value(std::string(kNations[nation])),
+                 Value(std::string(kRegions[nation % 5])),
+                 Value(std::string(kSegments[rng->UniformInt(0, 4)]))});
+  }
+  t->Append(c);
+  return t;
+}
+
+std::shared_ptr<Table> MakeSupplier(int64_t rows, Rng* rng,
+                                    size_t row_group_size) {
+  auto t = std::make_shared<Table>(
+      "supplier",
+      std::vector<ColumnDef>{{"s_suppkey", LogicalType::kInt64},
+                             {"s_name", LogicalType::kVarchar},
+                             {"s_city", LogicalType::kVarchar},
+                             {"s_nation", LogicalType::kVarchar},
+                             {"s_region", LogicalType::kVarchar}},
+      row_group_size);
+  DataChunk c({LogicalType::kInt64, LogicalType::kVarchar,
+               LogicalType::kVarchar, LogicalType::kVarchar,
+               LogicalType::kVarchar});
+  for (int64_t i = 0; i < rows; ++i) {
+    int64_t nation = rng->UniformInt(0, 9);
+    c.AppendRow({Value(i), Value("Supplier#" + std::to_string(i)),
+                 Value(std::string(kCities[rng->UniformInt(0, 9)])),
+                 Value(std::string(kNations[nation])),
+                 Value(std::string(kRegions[nation % 5]))});
+  }
+  t->Append(c);
+  return t;
+}
+
+std::shared_ptr<Table> MakePart(int64_t rows, Rng* rng,
+                                size_t row_group_size) {
+  auto t = std::make_shared<Table>(
+      "part",
+      std::vector<ColumnDef>{{"p_partkey", LogicalType::kInt64},
+                             {"p_name", LogicalType::kVarchar},
+                             {"p_category", LogicalType::kVarchar},
+                             {"p_brand", LogicalType::kInt64},
+                             {"p_color", LogicalType::kVarchar}},
+      row_group_size);
+  DataChunk c({LogicalType::kInt64, LogicalType::kVarchar,
+               LogicalType::kVarchar, LogicalType::kInt64,
+               LogicalType::kVarchar});
+  for (int64_t i = 0; i < rows; ++i) {
+    c.AppendRow({Value(i), Value("Part#" + std::to_string(i)),
+                 Value(std::string(kCategories[rng->UniformInt(0, 7)])),
+                 Value(rng->UniformInt(1, 40)),
+                 Value(std::string(kColors[rng->UniformInt(0, 7)]))});
+  }
+  t->Append(c);
+  return t;
+}
+
+int64_t PickKey(Rng* rng, int64_t n, double skew) {
+  if (skew <= 0.0) return rng->UniformInt(0, n - 1);
+  return rng->Zipf(n, skew) - 1;
+}
+
+std::shared_ptr<Table> MakeFact(const std::string& name, const char* prefix,
+                                int64_t rows, int64_t customers,
+                                int64_t suppliers, int64_t parts,
+                                double skew, Rng* rng,
+                                size_t row_group_size) {
+  std::string p = prefix;
+  auto t = std::make_shared<Table>(
+      name,
+      std::vector<ColumnDef>{{p + "orderkey", LogicalType::kInt64},
+                             {p + "custkey", LogicalType::kInt64},
+                             {p + "suppkey", LogicalType::kInt64},
+                             {p + "partkey", LogicalType::kInt64},
+                             {p + "datekey", LogicalType::kInt64},
+                             {p + "quantity", LogicalType::kInt64},
+                             {p + "discount", LogicalType::kInt64},
+                             {p + "extendedprice", LogicalType::kDouble},
+                             {p + "revenue", LogicalType::kDouble},
+                             {p + "shipmode", LogicalType::kVarchar}},
+      row_group_size);
+  DataChunk c(
+      {LogicalType::kInt64, LogicalType::kInt64, LogicalType::kInt64,
+       LogicalType::kInt64, LogicalType::kInt64, LogicalType::kInt64,
+       LogicalType::kInt64, LogicalType::kDouble, LogicalType::kDouble,
+       LogicalType::kVarchar});
+  const int64_t kNumDays = 2556;
+  for (int64_t i = 0; i < rows; ++i) {
+    int64_t quantity = rng->UniformInt(1, 50);
+    int64_t discount = rng->UniformInt(0, 10);
+    double price = 100.0 + rng->NextDouble() * 9900.0;
+    c.AppendRow({Value(i), Value(PickKey(rng, customers, skew)),
+                 Value(PickKey(rng, suppliers, skew)),
+                 Value(PickKey(rng, parts, skew)),
+                 Value(rng->UniformInt(0, kNumDays - 1)), Value(quantity),
+                 Value(discount), Value(price),
+                 Value(price * (100.0 - discount) / 100.0),
+                 Value(std::string(kShipmodes[rng->UniformInt(0, 4)]))});
+    if (c.num_rows() >= 65536) {
+      t->Append(c);
+      c.Clear();
+    }
+  }
+  if (c.num_rows() > 0) t->Append(c);
+  return t;
+}
+
+}  // namespace
+
+void LoadSsb(MetadataService* meta, const SsbOptions& options) {
+  Rng rng(options.seed);
+  const double sf = options.scale;
+  const int64_t customers = std::max<int64_t>(30, std::llround(30000 * sf));
+  const int64_t suppliers = std::max<int64_t>(20, std::llround(2000 * sf));
+  const int64_t parts = std::max<int64_t>(50, std::llround(20000 * sf));
+  const int64_t orders = std::max<int64_t>(100, std::llround(600000 * sf));
+  const int64_t shipments = std::max<int64_t>(100, std::llround(400000 * sf));
+
+  meta->RegisterTable(MakeDates(options.row_group_size));
+  meta->RegisterTable(MakeCustomer(customers, &rng, options.row_group_size));
+  meta->RegisterTable(MakeSupplier(suppliers, &rng, options.row_group_size));
+  meta->RegisterTable(MakePart(parts, &rng, options.row_group_size));
+  meta->RegisterTable(MakeFact("lineorder", "lo_", orders, customers,
+                               suppliers, parts, options.fk_skew, &rng,
+                               options.row_group_size));
+  meta->RegisterTable(MakeFact("shipments", "sh_", shipments, customers,
+                               suppliers, parts, options.fk_skew, &rng,
+                               options.row_group_size));
+  meta->AnalyzeAll();
+}
+
+std::vector<QueryTemplate> SsbQueries() {
+  using F = QueryTemplate::Family;
+  return {
+      {"Q1",
+       "SELECT sum(lo_extendedprice * lo_discount) AS revenue FROM lineorder "
+       "WHERE lo_discount BETWEEN 1 AND 3 AND lo_quantity < 25",
+       F::kScanAgg},
+      {"Q2",
+       "SELECT lo_shipmode, count(*) AS n, sum(lo_revenue) AS rev "
+       "FROM lineorder GROUP BY lo_shipmode ORDER BY rev DESC",
+       F::kScanAgg},
+      {"Q3",
+       "SELECT d_year, sum(lo_revenue) AS rev FROM lineorder, dates "
+       "WHERE lo_datekey = d_datekey AND d_year = 1994 GROUP BY d_year",
+       F::kSmallJoin},
+      {"Q4",
+       "SELECT p_category, sum(lo_revenue) AS rev FROM lineorder, part "
+       "WHERE lo_partkey = p_partkey GROUP BY p_category ORDER BY rev DESC",
+       F::kSmallJoin},
+      {"Q5",
+       "SELECT s_nation, d_year, sum(lo_revenue) AS rev "
+       "FROM lineorder, supplier, dates "
+       "WHERE lo_suppkey = s_suppkey AND lo_datekey = d_datekey "
+       "AND s_region = 'ASIA' GROUP BY s_nation, d_year",
+       F::kStarJoin},
+      {"Q6",
+       "SELECT c_nation, s_nation, sum(lo_revenue) AS rev "
+       "FROM lineorder, customer, supplier "
+       "WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey "
+       "AND c_region = 'AMERICA' AND s_region = 'ASIA' "
+       "GROUP BY c_nation, s_nation",
+       F::kStarJoin},
+      {"Q7",
+       "SELECT d_year, p_brand, sum(lo_revenue) AS rev "
+       "FROM lineorder, dates, part, supplier "
+       "WHERE lo_datekey = d_datekey AND lo_partkey = p_partkey "
+       "AND lo_suppkey = s_suppkey AND p_category = 'MFGR#12' "
+       "AND s_region = 'AMERICA' GROUP BY d_year, p_brand ORDER BY d_year",
+       F::kStarJoin},
+      {"Q8",
+       "SELECT c_region, s_region, d_year, sum(lo_revenue) AS rev "
+       "FROM lineorder, customer, supplier, dates, part "
+       "WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey "
+       "AND lo_datekey = d_datekey AND lo_partkey = p_partkey "
+       "AND p_color = 'red' GROUP BY c_region, s_region, d_year",
+       F::kStarJoin},
+      {"Q9",
+       "SELECT count(*) AS n, sum(lo_revenue) AS rev FROM lineorder "
+       "WHERE lo_orderkey < 1000",
+       F::kScanAgg},
+      {"Q10",
+       "SELECT lo_orderkey, lo_revenue FROM lineorder "
+       "WHERE lo_quantity > 45 ORDER BY lo_revenue DESC LIMIT 10",
+       F::kTopN},
+      {"Q11",
+       "SELECT d_year, sum(lo_revenue) AS order_rev, sum(sh_revenue) AS "
+       "ship_rev FROM lineorder, shipments, dates, supplier "
+       "WHERE lo_orderkey = sh_orderkey AND lo_datekey = d_datekey "
+       "AND sh_suppkey = s_suppkey AND s_region = 'ASIA' "
+       "AND d_year >= 1994 GROUP BY d_year",
+       F::kTwoFact},
+      {"Q12",
+       "SELECT s_region, count(*) AS n FROM shipments, supplier "
+       "WHERE sh_suppkey = s_suppkey AND sh_quantity < 10 "
+       "GROUP BY s_region ORDER BY n DESC",
+       F::kSmallJoin},
+  };
+}
+
+QueryTemplate FindQuery(const std::string& id) {
+  for (const auto& q : SsbQueries()) {
+    if (q.id == id) return q;
+  }
+  return QueryTemplate{};
+}
+
+}  // namespace costdb

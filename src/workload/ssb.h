@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+
+namespace costdb {
+
+/// Star Schema Benchmark–inspired warehouse: one order fact table
+/// (`lineorder`), a second fact table (`shipments`, for bushy-join
+/// shapes), and four dimensions (`dates`, `customer`, `supplier`, `part`).
+/// Deterministic per seed; scale 1.0 ~ 600k lineorder rows (use 0.01–0.1
+/// for in-process execution; the distributed simulator handles the rest by
+/// scaling statistics).
+struct SsbOptions {
+  double scale = 0.01;
+  uint64_t seed = 42;
+  /// Zipf skew of fact->dimension foreign keys (0 = uniform).
+  double fk_skew = 0.0;
+  size_t row_group_size = 8192;
+};
+
+/// Generate and register all tables, then ANALYZE them.
+void LoadSsb(MetadataService* meta, const SsbOptions& options);
+
+/// A named query of the benchmark suite.
+struct QueryTemplate {
+  std::string id;
+  std::string sql;
+  /// Broad family used by experiment harnesses to slice results.
+  enum class Family { kScanAgg, kSmallJoin, kStarJoin, kTopN, kTwoFact };
+  Family family = Family::kScanAgg;
+};
+
+/// The 12-query evaluation suite (see DESIGN.md): scan-heavy aggregates,
+/// selective filters, star joins of increasing width, top-n, and two-fact
+/// joins that reward bushy plans.
+std::vector<QueryTemplate> SsbQueries();
+
+/// Lookup by id ("Q1".."Q12"); empty sql when unknown.
+QueryTemplate FindQuery(const std::string& id);
+
+}  // namespace costdb

@@ -1,0 +1,62 @@
+#include "workload/trace.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "workload/ssb.h"
+
+namespace costdb {
+
+std::vector<TraceEvent> GenerateTrace(const TraceOptions& options) {
+  Rng rng(options.seed);
+  std::map<std::string, double> weights = options.template_weights;
+  if (weights.empty()) {
+    for (const auto& q : SsbQueries()) weights[q.id] = 1.0;
+  }
+  double total_weight = 0.0;
+  for (const auto& [id, w] : weights) total_weight += w;
+
+  std::vector<TraceEvent> trace;
+  const double base_rate = options.queries_per_hour / kSecondsPerHour;
+  Seconds t = 0.0;
+  int64_t adhoc_counter = 0;
+  while (t < options.duration) {
+    // Thinning for the diurnal profile: draw at the peak rate, accept with
+    // the instantaneous intensity ratio.
+    double peak = base_rate * (1.0 + options.diurnal_amplitude);
+    t += rng.Exponential(peak);
+    if (t >= options.duration) break;
+    double phase = 2.0 * M_PI * t / kSecondsPerDay;
+    double intensity =
+        base_rate * (1.0 + options.diurnal_amplitude * std::sin(phase));
+    if (rng.NextDouble() > intensity / peak) continue;
+
+    TraceEvent ev;
+    ev.at = t;
+    if (rng.NextDouble() < options.adhoc_fraction) {
+      ev.query_id = "adhoc_" + std::to_string(adhoc_counter++);
+    } else {
+      double u = rng.NextDouble() * total_weight;
+      double acc = 0.0;
+      for (const auto& [id, w] : weights) {
+        acc += w;
+        if (u <= acc) {
+          ev.query_id = id;
+          break;
+        }
+      }
+      if (ev.query_id.empty()) ev.query_id = weights.begin()->first;
+    }
+    trace.push_back(std::move(ev));
+  }
+  return trace;
+}
+
+std::map<std::string, int64_t> CountByTemplate(
+    const std::vector<TraceEvent>& trace) {
+  std::map<std::string, int64_t> counts;
+  for (const auto& ev : trace) ++counts[ev.query_id];
+  return counts;
+}
+
+}  // namespace costdb

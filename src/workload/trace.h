@@ -1,0 +1,39 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace costdb {
+
+/// One query arrival in a simulated workload trace.
+struct TraceEvent {
+  Seconds at = 0.0;
+  std::string query_id;
+};
+
+/// Workload-trace generator for the Statistics Service and What-If
+/// experiments: a Poisson mixture of recurring query templates, with an
+/// optional diurnal intensity pattern and a share of ad-hoc one-off
+/// queries (the workloads the paper says ML predictors struggle with).
+struct TraceOptions {
+  Seconds duration = 7.0 * kSecondsPerDay;
+  double queries_per_hour = 60.0;
+  /// template id -> relative weight; empty = uniform over Q1..Q12.
+  std::map<std::string, double> template_weights;
+  /// Fraction of arrivals tagged as unique ad-hoc queries ("adhoc_<n>").
+  double adhoc_fraction = 0.0;
+  /// Amplitude of a 24h sinusoidal intensity modulation in [0,1).
+  double diurnal_amplitude = 0.0;
+  uint64_t seed = 7;
+};
+
+std::vector<TraceEvent> GenerateTrace(const TraceOptions& options);
+
+/// Count events per query id.
+std::map<std::string, int64_t> CountByTemplate(
+    const std::vector<TraceEvent>& trace);
+
+}  // namespace costdb

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "common/rng.h"
+
+namespace costdb {
+namespace {
+
+TEST(HistogramTest, UniformSelectivity) {
+  std::vector<double> values;
+  for (int i = 0; i < 10000; ++i) values.push_back(static_cast<double>(i));
+  auto h = EquiDepthHistogram::Build(values, 64);
+  EXPECT_NEAR(h.EstimateSelectivity(CompareOp::kLt, 2500.0), 0.25, 0.02);
+  EXPECT_NEAR(h.EstimateSelectivity(CompareOp::kGe, 7500.0), 0.25, 0.02);
+  EXPECT_NEAR(h.EstimateSelectivity(CompareOp::kLe, 9999.0), 1.0, 1e-6);
+  EXPECT_NEAR(h.EstimateSelectivity(CompareOp::kGt, 9999.0), 0.0, 0.02);
+  EXPECT_DOUBLE_EQ(h.EstimateSelectivity(CompareOp::kLt, -5.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.EstimateSelectivity(CompareOp::kGt, 20000.0), 0.0);
+}
+
+TEST(HistogramTest, SkewedDataStillAccurate) {
+  Rng rng(5);
+  std::vector<double> values;
+  for (int i = 0; i < 20000; ++i) {
+    values.push_back(static_cast<double>(rng.Zipf(1000, 1.2)));
+  }
+  double truth = 0;
+  for (double v : values) truth += (v <= 10.0);
+  truth /= values.size();
+  auto h = EquiDepthHistogram::Build(values, 64);
+  EXPECT_NEAR(h.EstimateSelectivity(CompareOp::kLe, 10.0), truth, 0.08);
+}
+
+TEST(HistogramTest, EmptyHistogramFallsBack) {
+  auto h = EquiDepthHistogram::Build({}, 16);
+  EXPECT_TRUE(h.empty());
+  EXPECT_DOUBLE_EQ(h.EstimateSelectivity(CompareOp::kLt, 1.0), 0.5);
+}
+
+TEST(HllTest, EstimateWithinTypicalError) {
+  HyperLogLog hll;
+  const int64_t n = 100000;
+  for (int64_t i = 0; i < n; ++i) hll.AddInt(i * 7919);
+  EXPECT_NEAR(hll.Estimate(), static_cast<double>(n), 0.05 * n);
+}
+
+TEST(HllTest, DuplicatesDoNotInflate) {
+  HyperLogLog hll;
+  for (int64_t i = 0; i < 100000; ++i) hll.AddInt(i % 100);
+  EXPECT_NEAR(hll.Estimate(), 100.0, 10.0);
+}
+
+TEST(HllTest, MergeEqualsUnion) {
+  HyperLogLog a, b;
+  for (int64_t i = 0; i < 5000; ++i) a.AddInt(i);
+  for (int64_t i = 2500; i < 7500; ++i) b.AddInt(i);
+  a.Merge(b);
+  EXPECT_NEAR(a.Estimate(), 7500.0, 400.0);
+}
+
+TEST(HllTest, StringsAndDoubles) {
+  HyperLogLog hll;
+  for (int i = 0; i < 1000; ++i) hll.AddString("key" + std::to_string(i));
+  for (int i = 0; i < 1000; ++i) hll.AddDouble(i * 0.5);
+  EXPECT_NEAR(hll.Estimate(), 2000.0, 150.0);
+}
+
+std::shared_ptr<Table> MakeTable(const std::string& name, int64_t rows,
+                                 int64_t ndv) {
+  auto t = std::make_shared<Table>(
+      name,
+      std::vector<ColumnDef>{{"k", LogicalType::kInt64},
+                             {"s", LogicalType::kVarchar}},
+      1024);
+  DataChunk chunk({LogicalType::kInt64, LogicalType::kVarchar});
+  for (int64_t i = 0; i < rows; ++i) {
+    chunk.AppendRow({Value(i % ndv), Value(std::string("val") +
+                                           std::to_string(i % ndv))});
+  }
+  t->Append(chunk);
+  return t;
+}
+
+TEST(TableStatsTest, AnalyzeComputesRowCountNdvMinMax) {
+  auto t = MakeTable("t", 10000, 50);
+  TableStats stats = TableStats::Analyze(*t);
+  EXPECT_DOUBLE_EQ(stats.row_count, 10000.0);
+  const ColumnStats* k = stats.Find("k");
+  ASSERT_NE(k, nullptr);
+  EXPECT_NEAR(k->ndv, 50.0, 5.0);
+  EXPECT_EQ(k->min.AsInt(), 0);
+  EXPECT_EQ(k->max.AsInt(), 49);
+  EXPECT_TRUE(k->has_histogram);
+  const ColumnStats* s = stats.Find("s");
+  ASSERT_NE(s, nullptr);
+  EXPECT_FALSE(s->has_histogram);
+  EXPECT_GT(s->avg_width, 3.0);
+  EXPECT_EQ(stats.Find("missing"), nullptr);
+}
+
+TEST(MetadataServiceTest, RegisterLookupDrop) {
+  MetadataService meta;
+  meta.RegisterTable(MakeTable("orders", 100, 10));
+  ASSERT_TRUE(meta.HasTable("orders"));
+  EXPECT_EQ(meta.GetTable("orders").value()->num_rows(), 100u);
+  EXPECT_TRUE(meta.GetTable("nope").status().IsNotFound());
+  ASSERT_TRUE(meta.DropTable("orders").ok());
+  EXPECT_FALSE(meta.HasTable("orders"));
+  EXPECT_TRUE(meta.DropTable("orders").IsNotFound());
+}
+
+TEST(MetadataServiceTest, StatsServedAfterAnalyze) {
+  MetadataService meta;
+  meta.RegisterTable(MakeTable("t", 5000, 100));
+  EXPECT_EQ(meta.GetStats("t"), nullptr);  // not analyzed yet
+  ASSERT_TRUE(meta.Analyze("t").ok());
+  const TableStats* stats = meta.GetStats("t");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_DOUBLE_EQ(stats->row_count, 5000.0);
+}
+
+TEST(MetadataServiceTest, StatsErrorFactorScalesServedRowCount) {
+  MetadataService meta;
+  meta.RegisterTable(MakeTable("t", 1000, 10));
+  ASSERT_TRUE(meta.Analyze("t").ok());
+  meta.SetStatsErrorFactor("t", 0.125);
+  EXPECT_DOUBLE_EQ(meta.GetStats("t")->row_count, 125.0);
+  meta.SetStatsErrorFactor("t", 8.0);
+  EXPECT_DOUBLE_EQ(meta.GetStats("t")->row_count, 8000.0);
+  EXPECT_DOUBLE_EQ(meta.stats_error_factor("t"), 8.0);
+  EXPECT_DOUBLE_EQ(meta.stats_error_factor("other"), 1.0);
+}
+
+TEST(MetadataServiceTest, SyncToObjectStoreCreatesObjects) {
+  MetadataService meta;
+  meta.RegisterTable(MakeTable("t", 4096, 64));  // 4 row groups of 1024
+  CloudEnv env;
+  meta.SyncToObjectStore(&env);
+  EXPECT_TRUE(env.object_store()->Exists("t/part-0"));
+  EXPECT_TRUE(env.object_store()->Exists("t/part-3"));
+  EXPECT_GT(env.object_store()->total_bytes(), 0.0);
+}
+
+TEST(MetadataServiceTest, MaterializedViewRegistry) {
+  MetadataService meta;
+  MaterializedViewInfo info;
+  info.name = "mv1";
+  info.join_edges = {"a.x=b.y"};
+  meta.RegisterMaterializedView(info);
+  ASSERT_EQ(meta.materialized_views().size(), 1u);
+  EXPECT_EQ(meta.materialized_views()[0].name, "mv1");
+}
+
+}  // namespace
+}  // namespace costdb

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "cloud/cloud_env.h"
+
+namespace costdb {
+namespace {
+
+TEST(PricingTest, DefaultCatalogHasShapes) {
+  auto catalog = PricingCatalog::Default();
+  ASSERT_GE(catalog.instance_types().size(), 4u);
+  auto c8 = catalog.Find("c8");
+  ASSERT_TRUE(c8.ok());
+  EXPECT_EQ(c8->vcpus, 8);
+  EXPECT_NEAR(c8->price_per_second(), 0.40 / 3600.0, 1e-12);
+}
+
+TEST(PricingTest, UnknownInstanceTypeNotFound) {
+  auto catalog = PricingCatalog::Default();
+  EXPECT_TRUE(catalog.Find("gpu-monster").status().IsNotFound());
+}
+
+TEST(PricingTest, PriceLadderIsLinearInVcpus) {
+  // Required for the paper's "100 machines x 1 min == 1 machine x 100 min".
+  auto catalog = PricingCatalog::Default();
+  auto c8 = catalog.Find("c8").value();
+  auto c32 = catalog.Find("c32").value();
+  EXPECT_NEAR(c32.price_per_hour / c8.price_per_hour,
+              static_cast<double>(c32.vcpus) / c8.vcpus, 1e-9);
+}
+
+TEST(BillingTest, ChargesMachineTime) {
+  BillingMeter meter;
+  UsageRecord rec;
+  rec.label = "query:q1";
+  rec.duration = 100.0;
+  rec.node_count = 4;
+  rec.price_per_node_second = 0.01;
+  meter.Charge(rec);
+  EXPECT_DOUBLE_EQ(meter.total(), 4.0);
+  EXPECT_DOUBLE_EQ(meter.total_machine_seconds(), 400.0);
+}
+
+TEST(BillingTest, MinimumBillingIncrement) {
+  BillingMeter meter(/*min_billing_increment=*/60.0);
+  UsageRecord rec;
+  rec.label = "query:q1";
+  rec.duration = 1.0;  // rounded up to 60
+  rec.node_count = 1;
+  rec.price_per_node_second = 0.01;
+  meter.Charge(rec);
+  EXPECT_DOUBLE_EQ(meter.total(), 0.6);
+}
+
+TEST(BillingTest, PrefixAndBreakdown) {
+  BillingMeter meter;
+  UsageRecord rec;
+  rec.duration = 10.0;
+  rec.node_count = 1;
+  rec.price_per_node_second = 0.1;
+  rec.label = "query:q1";
+  meter.Charge(rec);
+  rec.label = "tuning:mv";
+  meter.Charge(rec);
+  meter.ChargeFlat("storage", 0.5);
+  EXPECT_DOUBLE_EQ(meter.TotalForPrefix("query:"), 1.0);
+  EXPECT_DOUBLE_EQ(meter.TotalForPrefix("tuning:"), 1.0);
+  EXPECT_DOUBLE_EQ(meter.total(), 2.5);
+  auto breakdown = meter.Breakdown();
+  EXPECT_DOUBLE_EQ(breakdown["storage"], 0.5);
+  EXPECT_DOUBLE_EQ(breakdown["query:q1"], 1.0);
+}
+
+TEST(ObjectStoreTest, PutSizeDelete) {
+  PricingCatalog pricing = PricingCatalog::Default();
+  SimulatedObjectStore store(&pricing);
+  store.Put("t/part-0", 2.0 * kGiB);
+  ASSERT_TRUE(store.Exists("t/part-0"));
+  EXPECT_DOUBLE_EQ(store.Size("t/part-0").value(), 2.0 * kGiB);
+  EXPECT_DOUBLE_EQ(store.total_bytes(), 2.0 * kGiB);
+  store.Put("t/part-0", 1.0 * kGiB);  // replace shrinks accounting
+  EXPECT_DOUBLE_EQ(store.total_bytes(), 1.0 * kGiB);
+  store.Delete("t/part-0");
+  EXPECT_FALSE(store.Exists("t/part-0"));
+  EXPECT_DOUBLE_EQ(store.total_bytes(), 0.0);
+  EXPECT_TRUE(store.Size("t/part-0").status().IsNotFound());
+}
+
+TEST(ObjectStoreTest, StorageRentScalesWithTimeAndBytes) {
+  PricingCatalog pricing = PricingCatalog::Default();
+  SimulatedObjectStore store(&pricing);
+  store.Put("t", 10.0 * kGiB);
+  Dollars one_month = store.StorageRent(30.0 * kSecondsPerDay);
+  EXPECT_NEAR(one_month, 10.0 * pricing.storage_per_gib_month, 1e-9);
+  EXPECT_NEAR(store.StorageRent(15.0 * kSecondsPerDay), one_month / 2, 1e-9);
+}
+
+TEST(ObjectStoreTest, ScanTimeScalesInverselyWithNodes) {
+  PricingCatalog pricing = PricingCatalog::Default();
+  SimulatedObjectStore store(&pricing);
+  const auto& node = pricing.default_node();
+  Seconds t1 = store.ScanTime(100.0 * kGiB, node, 1);
+  Seconds t10 = store.ScanTime(100.0 * kGiB, node, 10);
+  EXPECT_NEAR(t1 / t10, 10.0, 1e-9);
+}
+
+TEST(ClusterTest, AcquireReleaseBillsWholeInterval) {
+  CloudEnv env;
+  auto cluster = env.clusters()->Acquire(4, /*now=*/0.0, "query:q1");
+  ASSERT_TRUE(cluster.ok());
+  EXPECT_EQ(env.clusters()->nodes_in_use(), 4);
+  // Warm acquisition: sub-second.
+  EXPECT_LE(env.clusters()->last_acquire_latency(), 1.0);
+  Seconds end = cluster->acquired_at + 100.0;
+  ASSERT_TRUE(env.clusters()->Release(&cluster.value(), end).ok());
+  EXPECT_EQ(env.clusters()->nodes_in_use(), 0);
+  const double expected =
+      100.0 * 4 * env.pricing().default_node().price_per_second();
+  EXPECT_NEAR(env.billing()->total(), expected, 1e-9);
+}
+
+TEST(ClusterTest, AcquireZeroNodesRejected) {
+  CloudEnv env;
+  EXPECT_TRUE(env.clusters()->Acquire(0, 0.0, "x").status().IsInvalidArgument());
+}
+
+TEST(ClusterTest, ColdAcquireBeyondWarmPool) {
+  ClusterManager::Options opts;
+  opts.warm_pool_size = 8;
+  CloudEnv env(opts);
+  auto c = env.clusters()->Acquire(64, 0.0, "big");
+  ASSERT_TRUE(c.ok());
+  EXPECT_GE(env.clusters()->last_acquire_latency(),
+            env.clusters()->options().cold_acquire_latency);
+}
+
+TEST(ClusterTest, ResizeUpChargesOldSizeUntilEffective) {
+  CloudEnv env;
+  auto cluster = env.clusters()->Acquire(2, 0.0, "query:q1").value();
+  Seconds t0 = cluster.acquired_at;
+  auto ev = env.clusters()->Resize(&cluster, 8, t0 + 50.0);
+  ASSERT_TRUE(ev.ok());
+  EXPECT_EQ(ev->from_nodes, 2);
+  EXPECT_EQ(ev->to_nodes, 8);
+  EXPECT_GT(ev->latency, 0.0);
+  EXPECT_EQ(env.clusters()->nodes_in_use(), 8);
+  ASSERT_TRUE(env.clusters()->Release(&cluster, cluster.acquired_at + 50.0).ok());
+  // 2 nodes for ~50s+latency, then 8 nodes for 50s.
+  const double pps = env.pricing().default_node().price_per_second();
+  EXPECT_NEAR(env.billing()->total(),
+              (50.0 + ev->latency) * 2 * pps + 50.0 * 8 * pps, 1e-6);
+}
+
+TEST(ClusterTest, ResizeDownReturnsNodesAfterCooldown) {
+  CloudEnv env;
+  auto cluster = env.clusters()->Acquire(8, 0.0, "q").value();
+  auto ev = env.clusters()->Resize(&cluster, 2, 100.0);
+  ASSERT_TRUE(ev.ok());
+  EXPECT_EQ(env.clusters()->nodes_in_use(), 2);
+  ASSERT_TRUE(env.clusters()->Release(&cluster, 200.0).ok());
+}
+
+TEST(ClusterTest, DoubleReleaseRejected) {
+  CloudEnv env;
+  auto cluster = env.clusters()->Acquire(2, 0.0, "q").value();
+  ASSERT_TRUE(env.clusters()->Release(&cluster, 10.0).ok());
+  EXPECT_TRUE(env.clusters()->Release(&cluster, 20.0).IsInvalidArgument());
+}
+
+// The paper's central elasticity identity: N machines for T/N seconds cost the
+// same as 1 machine for T seconds.
+TEST(ClusterTest, PerfectElasticityCostIdentity) {
+  const double pps = PricingCatalog::Default().default_node().price_per_second();
+  for (int n : {1, 10, 100}) {
+    CloudEnv env;
+    auto cluster = env.clusters()->Acquire(n, 0.0, "q").value();
+    Seconds run = 6000.0 / n;
+    ASSERT_TRUE(
+        env.clusters()->Release(&cluster, cluster.acquired_at + run).ok());
+    EXPECT_NEAR(env.billing()->total(), 6000.0 * pps, 1e-9) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace costdb

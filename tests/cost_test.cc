@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "common/stats_math.h"
+#include "cost/cost_model.h"
+#include "optimizer/optimizer.h"
+#include "workload/ssb.h"
+
+namespace costdb {
+namespace {
+
+class CostTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SsbOptions opts;
+    opts.scale = 0.01;
+    LoadSsb(&meta_, opts);
+    node_ = PricingCatalog::Default().default_node();
+  }
+
+  /// Plan a query and return (plan, graph, volumes) through the estimator.
+  struct Planned {
+    PhysicalPlanPtr plan;
+    PipelineGraph graph;
+    VolumeMap volumes;
+  };
+  Planned Prepare(const std::string& sql) {
+    Optimizer opt(&meta_);
+    Binder binder(&meta_);
+    auto query = binder.BindSql(sql);
+    EXPECT_TRUE(query.ok()) << query.status().ToString();
+    auto plan = opt.OptimizeQuery(*query);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    Planned out;
+    out.plan = *plan;
+    out.graph = BuildPipelines(out.plan.get());
+    CardinalityEstimator cards(&meta_, &query->relations);
+    out.volumes = ComputeVolumes(out.plan.get(), cards);
+    return out;
+  }
+
+  MetadataService meta_;
+  HardwareCalibration hw_;
+  InstanceType node_;
+};
+
+TEST_F(CostTest, EffectiveParallelismSublinear) {
+  EXPECT_DOUBLE_EQ(EffectiveParallelism(1, 0.1), 1.0);
+  EXPECT_GT(EffectiveParallelism(8, 0.1), 1.0);
+  EXPECT_LT(EffectiveParallelism(8, 0.1), 8.0);
+  EXPECT_GT(EffectiveParallelism(16, 0.1), EffectiveParallelism(8, 0.1));
+}
+
+TEST_F(CostTest, ScanModelScalesLinearly) {
+  // Inflate the served stats so scan time dwarfs the fixed pipeline
+  // startup (the in-process dataset is tiny; a warehouse table is not).
+  meta_.SetStatsErrorFactor("lineorder", 1e5);
+  auto planned = Prepare(FindQuery("Q1").sql);
+  // Q1 is scan->agg: the feeder pipeline is scan-dominated.
+  CostEstimator est(&hw_, &node_);
+  const Pipeline& feeder = planned.graph.pipelines[0];
+  Seconds t1 = est.PipelineDuration(feeder, 1, planned.volumes);
+  Seconds t8 = est.PipelineDuration(feeder, 8, planned.volumes);
+  EXPECT_GT(t1, t8);
+  // Near-linear: 8x nodes gives >=4x speedup on a scan-bound stage.
+  EXPECT_GT(t1 / t8, 4.0);
+}
+
+TEST_F(CostTest, ShuffleLatencyEventuallyRises) {
+  // Over-scaling a shuffle makes latency worse (paper Section 2): the sync
+  // term grows with DOP while bandwidth gains flatten.
+  StageWorkload w;
+  w.rows_in = 1e7;
+  w.bytes_in = 400 * kMiB;
+  PhysicalPlan shuffle;
+  shuffle.kind = PhysicalPlan::Kind::kExchange;
+  shuffle.exchange_kind = ExchangeKind::kShuffle;
+  auto model = MakeAnalyticModel(shuffle, &hw_);
+  Seconds best = 1e18;
+  int best_dop = 1;
+  for (int d = 1; d <= 1024; d *= 2) {
+    Seconds t = model->StageTime(w, d);
+    if (t < best) {
+      best = t;
+      best_dop = d;
+    }
+  }
+  EXPECT_GT(best_dop, 1);
+  EXPECT_LT(best_dop, 1024);  // interior optimum
+  EXPECT_GT(model->StageTime(w, 1024), best);
+}
+
+TEST_F(CostTest, AggregateMergeTermCreatesInteriorOptimum) {
+  StageWorkload w;
+  w.rows_in = 1e8;
+  w.groups = 1e6;
+  PhysicalPlan agg;
+  agg.kind = PhysicalPlan::Kind::kHashAggregate;
+  auto model = MakeAnalyticModel(agg, &hw_);
+  Seconds t1 = model->StageTime(w, 1);
+  Seconds t16 = model->StageTime(w, 16);
+  Seconds t1024 = model->StageTime(w, 1024);
+  EXPECT_LT(t16, t1);
+  EXPECT_GT(t1024, t16);
+}
+
+TEST_F(CostTest, GatherDoesNotSpeedUpWithDop) {
+  StageWorkload w;
+  w.bytes_in = 1.0 * kGiB;
+  PhysicalPlan g;
+  g.kind = PhysicalPlan::Kind::kExchange;
+  g.exchange_kind = ExchangeKind::kGather;
+  auto model = MakeAnalyticModel(g, &hw_);
+  EXPECT_DOUBLE_EQ(model->StageTime(w, 1), model->StageTime(w, 64));
+}
+
+TEST_F(CostTest, RegressionModelLearnsShuffle) {
+  PhysicalPlan shuffle;
+  shuffle.kind = PhysicalPlan::Kind::kExchange;
+  shuffle.exchange_kind = ExchangeKind::kShuffle;
+  auto truth = MakeAnalyticModel(shuffle, &hw_);
+  std::vector<RegressionOperatorModel::Sample> samples;
+  for (double rows : {1e5, 1e6, 1e7, 3e7}) {
+    for (int dop : {1, 2, 4, 8, 16, 32}) {
+      RegressionOperatorModel::Sample s;
+      s.workload.rows_in = rows;
+      s.workload.bytes_in = rows * 40.0;
+      s.dop = dop;
+      s.observed_time = truth->StageTime(s.workload, dop);
+      samples.push_back(s);
+    }
+  }
+  RegressionOperatorModel model("shuffle_reg");
+  ASSERT_TRUE(model.Fit(samples));
+  // Interpolation accuracy within 2x q-error on unseen points.
+  StageWorkload w;
+  w.rows_in = 5e6;
+  w.bytes_in = w.rows_in * 40.0;
+  double predicted = model.StageTime(w, 8);
+  double actual = truth->StageTime(w, 8);
+  EXPECT_LT(QError(predicted, actual), 2.0);
+}
+
+TEST_F(CostTest, RegressionRejectsTinySampleSets) {
+  RegressionOperatorModel model("x");
+  EXPECT_FALSE(model.Fit({}));
+  EXPECT_FALSE(model.fitted());
+}
+
+TEST_F(CostTest, ScheduleRespectsDependenciesAndBillsBlocking) {
+  // Hand-built diamond: two feeders (ids 0, 1) into consumer (id 2).
+  PipelineGraph graph;
+  Pipeline a, b, c;
+  a.id = 0;
+  b.id = 1;
+  c.id = 2;
+  c.dependencies = {0, 1};
+  graph.pipelines = {a, b, c};
+  std::map<int, Seconds> durations{{0, 10.0}, {1, 4.0}, {2, 5.0}};
+  DopMap dops{{0, 4}, {1, 2}, {2, 8}};
+  PlanCostEstimate est;
+  SchedulePipelines(graph, durations, dops, &est);
+  EXPECT_DOUBLE_EQ(est.latency, 15.0);  // max(10,4) + 5
+  // Pipeline 1 finishes at 4 but its nodes are held until the consumer
+  // starts at 10: 6 blocked seconds x 2 nodes.
+  EXPECT_DOUBLE_EQ(est.blocked_machine_seconds, 12.0);
+  EXPECT_DOUBLE_EQ(est.machine_seconds, 4 * 10.0 + 2 * 10.0 + 8 * 5.0);
+}
+
+TEST_F(CostTest, EstimatePlanProducesPositiveCost) {
+  auto planned = Prepare(FindQuery("Q5").sql);
+  CostEstimator est(&hw_, &node_);
+  DopMap dops;
+  for (const auto& p : planned.graph.pipelines) dops[p.id] = 4;
+  auto e = est.EstimatePlan(planned.graph, dops, planned.volumes);
+  EXPECT_GT(e.latency, 0.0);
+  EXPECT_GT(e.cost, 0.0);
+  EXPECT_GE(e.machine_seconds, e.latency);  // >=1 node the whole time
+  EXPECT_EQ(e.pipelines.size(), planned.graph.pipelines.size());
+}
+
+// Property sweep: for a scan-dominated pipeline, doubling DOP divides
+// latency roughly in half while machine-time (~cost) stays flat — the
+// paper's "100 machines for 1 minute" identity.
+class ElasticityProperty : public CostTest,
+                           public ::testing::WithParamInterface<int> {};
+
+TEST_P(ElasticityProperty, ScanMachineTimeInvariant) {
+  meta_.SetStatsErrorFactor("lineorder", 1e5);  // warehouse-sized volumes
+  auto planned = Prepare("SELECT sum(lo_revenue) FROM lineorder");
+  CostEstimator est(&hw_, &node_);
+  const Pipeline& feeder = planned.graph.pipelines[0];
+  int dop = GetParam();
+  Seconds t1 = est.PipelineDuration(feeder, 1, planned.volumes);
+  Seconds td = est.PipelineDuration(feeder, dop, planned.volumes);
+  double machine1 = 1 * t1;
+  double machined = dop * td;
+  // Startup overhead breaks the identity slightly; stay within 2.5x for
+  // the in-range DOPs of this tiny dataset.
+  EXPECT_LT(machined / machine1, 2.5) << "dop=" << dop;
+  EXPECT_LT(td, t1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dops, ElasticityProperty,
+                         ::testing::Values(2, 4, 8, 16));
+
+TEST_F(CostTest, VolumesEstimateVsTruthDivergeUnderInjectedError) {
+  Binder binder(&meta_);
+  auto query = binder.BindSql(FindQuery("Q3").sql);
+  ASSERT_TRUE(query.ok());
+  Optimizer opt(&meta_);
+  auto plan = opt.OptimizeQuery(*query);
+  ASSERT_TRUE(plan.ok());
+  meta_.SetStatsErrorFactor("lineorder", 4.0);
+  CardinalityEstimator served(&meta_, &query->relations);
+  CardinalityEstimator truth(&meta_, &query->relations,
+                             /*use_true_stats=*/true);
+  auto v_served = ComputeVolumes(plan->get(), served);
+  auto v_truth = ComputeVolumes(plan->get(), truth);
+  // Scan volumes (not the 1-row aggregate output) must diverge ~4x.
+  std::function<const PhysicalPlan*(const PhysicalPlan*)> find_scan =
+      [&](const PhysicalPlan* p) -> const PhysicalPlan* {
+    if (p->kind == PhysicalPlan::Kind::kTableScan && p->alias == "lineorder") {
+      return p;
+    }
+    for (const auto& ch : p->children) {
+      const PhysicalPlan* f = find_scan(ch.get());
+      if (f != nullptr) return f;
+    }
+    return nullptr;
+  };
+  const PhysicalPlan* scan = find_scan(plan->get());
+  meta_.SetStatsErrorFactor("lineorder", 1.0);
+  ASSERT_NE(scan, nullptr);
+  double ratio = v_served.at(scan).source_rows / v_truth.at(scan).source_rows;
+  EXPECT_NEAR(ratio, 4.0, 0.2);
+}
+
+}  // namespace
+}  // namespace costdb

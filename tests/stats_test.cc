@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "stats/statistics_service.h"
+#include "tuning/predictor.h"
+#include "workload/ssb.h"
+
+namespace costdb {
+namespace {
+
+class StatsServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SsbOptions opts;
+    opts.scale = 0.005;
+    LoadSsb(&meta_, opts);
+  }
+
+  ExecutionRecord Record(const std::string& id, const std::string& sql,
+                         Seconds at, Dollars cost = 0.01) {
+    Binder binder(&meta_);
+    auto q = binder.BindSql(sql);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return MakeExecutionRecord(id, at, *q, 1.0, 8.0, cost);
+  }
+
+  MetadataService meta_;
+};
+
+TEST_F(StatsServiceTest, RecordExtractsFootprint) {
+  ExecutionRecord rec = Record("Q3", FindQuery("Q3").sql, 0.0);
+  EXPECT_EQ(rec.tables.size(), 2u);
+  ASSERT_EQ(rec.join_edges.size(), 1u);
+  EXPECT_EQ(rec.join_edges[0], "dates.d_datekey=lineorder.lo_datekey");
+  // d_year = 1994 is a filter column.
+  ASSERT_GE(rec.filter_columns.size(), 1u);
+  EXPECT_EQ(rec.filter_columns[0], "dates.d_year");
+}
+
+TEST_F(StatsServiceTest, SummariesAccumulate) {
+  StatisticsService stats;
+  for (int i = 0; i < 10; ++i) {
+    stats.Ingest(Record("Q3", FindQuery("Q3").sql, i * 60.0));
+  }
+  for (int i = 0; i < 5; ++i) {
+    stats.Ingest(Record("Q4", FindQuery("Q4").sql, i * 60.0));
+  }
+  EXPECT_DOUBLE_EQ(stats.table_access_counts().at("lineorder"), 15.0);
+  EXPECT_DOUBLE_EQ(stats.table_access_counts().at("dates"), 10.0);
+  EXPECT_DOUBLE_EQ(
+      stats.join_graph().at("dates.d_datekey=lineorder.lo_datekey"), 10.0);
+  EXPECT_DOUBLE_EQ(
+      stats.join_graph().at("lineorder.lo_partkey=part.p_partkey"), 5.0);
+  EXPECT_NEAR(stats.total_cost(), 0.15, 1e-9);
+  EXPECT_DOUBLE_EQ(stats.MeanCost("Q3"), 0.01);
+}
+
+TEST_F(StatsServiceTest, SamplingRescalesCounts) {
+  StatisticsService::Options opts;
+  opts.sampling_rate = 0.25;
+  StatisticsService stats(opts);
+  ExecutionRecord rec = Record("Q3", FindQuery("Q3").sql, 0.0);
+  for (int i = 0; i < 2000; ++i) {
+    rec.at = i * 10.0;
+    stats.Ingest(rec);
+  }
+  // Scaled estimate should be near the true 2000 (within 15%).
+  EXPECT_NEAR(stats.table_access_counts().at("lineorder"), 2000.0, 300.0);
+}
+
+TEST_F(StatsServiceTest, SamplingReducesProfilingOverhead) {
+  StatisticsService::Options cheap_opts;
+  cheap_opts.sampling_rate = 0.1;
+  StatisticsService cheap(cheap_opts);
+  StatisticsService full;
+  EXPECT_LT(cheap.ProfilingOverhead(10.0), full.ProfilingOverhead(10.0));
+}
+
+TEST_F(StatsServiceTest, HotWindowCompaction) {
+  StatisticsService::Options opts;
+  opts.hot_window = 3600.0;  // 1 hour
+  StatisticsService stats(opts);
+  ExecutionRecord rec = Record("Q1", FindQuery("Q1").sql, 0.0);
+  for (int i = 0; i < 100; ++i) {
+    rec.at = i * 100.0;  // spans ~2.8 hours
+    stats.Ingest(rec);
+  }
+  // Raw records beyond the hot window were compacted away...
+  EXPECT_LT(stats.hot_record_count(), 50u);
+  // ...but the aggregates kept the full history.
+  EXPECT_DOUBLE_EQ(stats.table_access_counts().at("lineorder"), 100.0);
+  EXPECT_GT(stats.cold_bucket_count(), 0u);
+}
+
+TEST_F(StatsServiceTest, HourlyArrivalSeries) {
+  StatisticsService stats;
+  ExecutionRecord rec = Record("Q2", FindQuery("Q2").sql, 0.0);
+  // 3 in hour 0, 1 in hour 2.
+  for (Seconds at : {10.0, 20.0, 30.0, 2.5 * 3600.0}) {
+    rec.at = at;
+    stats.Ingest(rec);
+  }
+  auto hourly = stats.HourlyArrivals("Q2");
+  ASSERT_EQ(hourly.size(), 3u);
+  EXPECT_DOUBLE_EQ(hourly[0], 3.0);
+  EXPECT_DOUBLE_EQ(hourly[1], 0.0);
+  EXPECT_DOUBLE_EQ(hourly[2], 1.0);
+  EXPECT_TRUE(stats.HourlyArrivals("unknown").empty());
+}
+
+TEST(PredictorTest, MovingAverageOnFlatSeries) {
+  WorkloadPredictor predictor;
+  std::vector<double> hourly(30, 5.0);
+  auto f = predictor.Predict(hourly);
+  EXPECT_NEAR(f.arrivals_per_hour, 5.0, 1e-9);
+  EXPECT_NEAR(predictor.PredictDailyArrivals(hourly), 120.0, 1e-6);
+}
+
+TEST(PredictorTest, DetectsDiurnalPattern) {
+  WorkloadPredictor predictor;
+  std::vector<double> hourly;
+  for (int d = 0; d < 5; ++d) {
+    for (int h = 0; h < 24; ++h) {
+      hourly.push_back(h >= 9 && h <= 17 ? 10.0 : 1.0);
+    }
+  }
+  auto f = predictor.Predict(hourly);
+  EXPECT_TRUE(f.periodic);
+  // Mean over a day: 9 busy hours x 10 + 15 x 1 = 105 / 24.
+  EXPECT_NEAR(f.arrivals_per_hour, 105.0 / 24.0, 0.01);
+  EXPECT_GT(f.confidence, 0.9);
+}
+
+TEST(PredictorTest, EmptyHistory) {
+  WorkloadPredictor predictor;
+  auto f = predictor.Predict({});
+  EXPECT_DOUBLE_EQ(f.arrivals_per_hour, 0.0);
+  EXPECT_DOUBLE_EQ(f.confidence, 0.0);
+}
+
+}  // namespace
+}  // namespace costdb

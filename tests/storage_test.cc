@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "storage/table.h"
+
+namespace costdb {
+namespace {
+
+TEST(TypesTest, PhysicalFamilies) {
+  EXPECT_EQ(PhysicalTypeOf(LogicalType::kInt64), PhysicalType::kInt64);
+  EXPECT_EQ(PhysicalTypeOf(LogicalType::kBool), PhysicalType::kInt64);
+  EXPECT_EQ(PhysicalTypeOf(LogicalType::kDate), PhysicalType::kInt64);
+  EXPECT_EQ(PhysicalTypeOf(LogicalType::kDouble), PhysicalType::kDouble);
+  EXPECT_EQ(PhysicalTypeOf(LogicalType::kVarchar), PhysicalType::kString);
+}
+
+TEST(TypesTest, DateRoundTrip) {
+  int64_t days = 0;
+  ASSERT_TRUE(ParseDate("1970-01-01", &days));
+  EXPECT_EQ(days, 0);
+  ASSERT_TRUE(ParseDate("1995-03-15", &days));
+  EXPECT_EQ(FormatDate(days), "1995-03-15");
+  ASSERT_TRUE(ParseDate("2000-02-29", &days));  // leap year
+  EXPECT_EQ(FormatDate(days), "2000-02-29");
+  EXPECT_FALSE(ParseDate("2001-02-29", &days));  // not a leap year
+  EXPECT_FALSE(ParseDate("garbage", &days));
+  EXPECT_FALSE(ParseDate("2001-13-01", &days));
+}
+
+TEST(TypesTest, DateOrderingMatchesCalendar) {
+  int64_t d1 = 0, d2 = 0;
+  ASSERT_TRUE(ParseDate("1994-12-31", &d1));
+  ASSERT_TRUE(ParseDate("1995-01-01", &d2));
+  EXPECT_EQ(d2 - d1, 1);
+}
+
+TEST(ValueTest, ComparisonAcrossNumericFamilies) {
+  EXPECT_TRUE(Value(int64_t{1}) < Value(2.5));
+  EXPECT_TRUE(Value(int64_t{3}) == Value(3.0));
+  EXPECT_TRUE(Value(std::string("a")) < Value(std::string("b")));
+  EXPECT_TRUE(Value::Null() < Value(int64_t{0}));  // NULL sorts first
+  EXPECT_FALSE(Value(int64_t{1}) == Value(std::string("1")));
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value(int64_t{42}).ToString(), "42");
+  EXPECT_EQ(Value(std::string("hi")).ToString(), "hi");
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Bool(true).AsInt(), 1);
+}
+
+TEST(ColumnVectorTest, AppendAndGather) {
+  ColumnVector v(LogicalType::kInt64);
+  for (int64_t i = 0; i < 10; ++i) v.AppendInt(i * 10);
+  EXPECT_EQ(v.size(), 10u);
+  ColumnVector g = v.Gather({1, 3, 5});
+  ASSERT_EQ(g.size(), 3u);
+  EXPECT_EQ(g.GetInt(0), 10);
+  EXPECT_EQ(g.GetInt(2), 50);
+}
+
+TEST(ColumnVectorTest, StringColumn) {
+  ColumnVector v(LogicalType::kVarchar);
+  v.AppendString("x");
+  v.AppendString("y");
+  EXPECT_EQ(v.GetString(1), "y");
+  EXPECT_EQ(v.GetValue(0).ToString(), "x");
+}
+
+TEST(DataChunkTest, AppendRowsAndSlice) {
+  DataChunk chunk({LogicalType::kInt64, LogicalType::kVarchar});
+  chunk.AppendRow({Value(int64_t{1}), Value(std::string("a"))});
+  chunk.AppendRow({Value(int64_t{2}), Value(std::string("b"))});
+  chunk.AppendRow({Value(int64_t{3}), Value(std::string("c"))});
+  EXPECT_EQ(chunk.num_rows(), 3u);
+  chunk.Slice({0, 2});
+  EXPECT_EQ(chunk.num_rows(), 2u);
+  EXPECT_EQ(chunk.column(1).GetString(1), "c");
+}
+
+TEST(ZoneMapTest, BuildAndPrune) {
+  ColumnVector v(LogicalType::kInt64);
+  for (int64_t i = 10; i <= 20; ++i) v.AppendInt(i);
+  ZoneMapEntry z = ZoneMapEntry::Build(v);
+  EXPECT_EQ(z.min.AsInt(), 10);
+  EXPECT_EQ(z.max.AsInt(), 20);
+  EXPECT_TRUE(z.MayMatch(CompareOp::kEq, Value(int64_t{15})));
+  EXPECT_FALSE(z.MayMatch(CompareOp::kEq, Value(int64_t{25})));
+  EXPECT_FALSE(z.MayMatch(CompareOp::kLt, Value(int64_t{10})));
+  EXPECT_TRUE(z.MayMatch(CompareOp::kLe, Value(int64_t{10})));
+  EXPECT_FALSE(z.MayMatch(CompareOp::kGt, Value(int64_t{20})));
+  EXPECT_TRUE(z.MayMatch(CompareOp::kGe, Value(int64_t{20})));
+}
+
+TEST(ZoneMapTest, NeOnlyPrunesConstantZone) {
+  ColumnVector v(LogicalType::kInt64);
+  v.AppendInt(7);
+  v.AppendInt(7);
+  ZoneMapEntry z = ZoneMapEntry::Build(v);
+  EXPECT_FALSE(z.MayMatch(CompareOp::kNe, Value(int64_t{7})));
+  EXPECT_TRUE(z.MayMatch(CompareOp::kNe, Value(int64_t{8})));
+}
+
+TEST(ZoneMapTest, EmptyColumnNeverPrunes) {
+  ColumnVector v(LogicalType::kInt64);
+  ZoneMapEntry z = ZoneMapEntry::Build(v);
+  EXPECT_TRUE(z.MayMatch(CompareOp::kEq, Value(int64_t{1})));
+}
+
+TEST(CompareOpTest, SwapIsInvolutionOnInequalities) {
+  EXPECT_EQ(SwapCompareOp(CompareOp::kLt), CompareOp::kGt);
+  EXPECT_EQ(SwapCompareOp(SwapCompareOp(CompareOp::kLe)), CompareOp::kLe);
+  EXPECT_EQ(SwapCompareOp(CompareOp::kEq), CompareOp::kEq);
+}
+
+class TableTest : public ::testing::Test {
+ protected:
+  Table MakeTable(size_t rows, size_t group_size = 100) {
+    Table t("t", {{"id", LogicalType::kInt64}, {"val", LogicalType::kDouble}},
+            group_size);
+    DataChunk chunk({LogicalType::kInt64, LogicalType::kDouble});
+    for (size_t i = 0; i < rows; ++i) {
+      chunk.AppendRow({Value(static_cast<int64_t>(i)),
+                       Value(static_cast<double>(i) * 0.5)});
+    }
+    t.Append(chunk);
+    return t;
+  }
+};
+
+TEST_F(TableTest, AppendSplitsIntoRowGroups) {
+  Table t = MakeTable(250, 100);
+  EXPECT_EQ(t.num_rows(), 250u);
+  ASSERT_EQ(t.row_groups().size(), 3u);
+  EXPECT_EQ(t.row_groups()[0].num_rows(), 100u);
+  EXPECT_EQ(t.row_groups()[2].num_rows(), 50u);
+}
+
+TEST_F(TableTest, ZoneMapsTrackGroups) {
+  Table t = MakeTable(200, 100);
+  EXPECT_EQ(t.row_groups()[0].zones[0].min.AsInt(), 0);
+  EXPECT_EQ(t.row_groups()[0].zones[0].max.AsInt(), 99);
+  EXPECT_EQ(t.row_groups()[1].zones[0].min.AsInt(), 100);
+}
+
+TEST_F(TableTest, PruneFractionOnSortedData) {
+  Table t = MakeTable(1000, 100);
+  // id < 100 only touches the first of 10 groups.
+  auto frac = t.PruneFraction("id", CompareOp::kLt, Value(int64_t{100}));
+  ASSERT_TRUE(frac.ok());
+  EXPECT_NEAR(*frac, 0.9, 1e-9);
+  EXPECT_TRUE(
+      t.PruneFraction("nope", CompareOp::kEq, Value(int64_t{0})).status().IsNotFound());
+}
+
+TEST_F(TableTest, ClusterByImprovesPruning) {
+  // Build a table where ids are round-robin scattered, so zone maps overlap.
+  Table t("t", {{"id", LogicalType::kInt64}}, 100);
+  DataChunk chunk({LogicalType::kInt64});
+  for (int64_t i = 0; i < 1000; ++i) chunk.AppendRow({Value(i % 10)});
+  t.Append(chunk);
+  auto before = t.PruneFraction("id", CompareOp::kEq, Value(int64_t{3}));
+  ASSERT_TRUE(before.ok());
+  EXPECT_NEAR(*before, 0.0, 1e-9);  // every group spans 0..9
+  ASSERT_TRUE(t.ClusterBy("id").ok());
+  EXPECT_EQ(t.clustering_key(), "id");
+  EXPECT_EQ(t.num_rows(), 1000u);
+  auto after = t.PruneFraction("id", CompareOp::kEq, Value(int64_t{3}));
+  ASSERT_TRUE(after.ok());
+  EXPECT_GE(*after, 0.8);  // only the group(s) holding value 3 remain
+}
+
+TEST_F(TableTest, ClusterByPreservesRowMultiset) {
+  Table t = MakeTable(500, 64);
+  ASSERT_TRUE(t.ClusterBy("val").ok());
+  DataChunk all = t.Scan();
+  ASSERT_EQ(all.num_rows(), 500u);
+  double sum = 0;
+  for (size_t i = 0; i < all.num_rows(); ++i) {
+    sum += all.column(1).GetDouble(i);
+  }
+  EXPECT_NEAR(sum, 0.5 * (499.0 * 500.0 / 2.0), 1e-6);
+}
+
+TEST_F(TableTest, EstimateBytesScalesWithRows) {
+  Table small = MakeTable(100);
+  Table big = MakeTable(1000);
+  EXPECT_NEAR(big.EstimateBytes() / small.EstimateBytes(), 10.0, 1e-9);
+  // Two columns of width 8 each.
+  EXPECT_NEAR(small.EstimateBytes(), 100 * 16.0, 1e-9);
+}
+
+TEST_F(TableTest, ColumnIndexLookup) {
+  Table t = MakeTable(10);
+  EXPECT_EQ(t.ColumnIndex("val").value(), 1u);
+  EXPECT_TRUE(t.ColumnIndex("missing").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace costdb

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tuning/advisors.h"
+#include "tuning/what_if.h"
+#include "workload/ssb.h"
+
+namespace costdb {
+namespace {
+
+class TuningTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SsbOptions opts;
+    opts.scale = 0.005;
+    opts.row_group_size = 128;  // fine-grained zone maps on tiny data
+    LoadSsb(&meta_, opts);
+    meta_.SetVirtualScale("lineorder", 100000.0);
+    node_ = PricingCatalog::Default().default_node();
+    estimator_ = std::make_unique<CostEstimator>(&hw_, &node_);
+  }
+
+  TuningAction MvAction() {
+    TuningAction action;
+    action.kind = TuningAction::Kind::kMaterializedView;
+    action.mv_name = "mv_lineorder_dates";
+    action.mv_tables = {"dates", "lineorder"};
+    action.mv_join_edges = {"dates.d_datekey=lineorder.lo_datekey"};
+    action.mv_cluster_column = "d_year";  // Q3's hot filter attribute
+    return action;
+  }
+
+  MetadataService meta_;
+  HardwareCalibration hw_;
+  InstanceType node_;
+  std::unique_ptr<CostEstimator> estimator_;
+};
+
+TEST_F(TuningTest, BuildMaterializedViewJoinsCorrectly) {
+  LocalEngine engine(4);
+  auto mv = BuildMaterializedView(meta_, MvAction(), &engine);
+  ASSERT_TRUE(mv.ok()) << mv.status().ToString();
+  // FK join: every lineorder row matches exactly one date.
+  EXPECT_EQ((*mv)->num_rows(), meta_.GetTable("lineorder").value()->num_rows());
+  // Columns carry unqualified names from both tables.
+  EXPECT_TRUE((*mv)->ColumnIndex("lo_revenue").ok());
+  EXPECT_TRUE((*mv)->ColumnIndex("d_year").ok());
+}
+
+TEST_F(TuningTest, SubstituteMvRewritesPlanAndPreservesResults) {
+  LocalEngine engine(4);
+  TuningAction action = MvAction();
+  auto mv = BuildMaterializedView(meta_, action, &engine);
+  ASSERT_TRUE(mv.ok());
+
+  Binder binder(&meta_);
+  auto q = binder.BindSql(FindQuery("Q3").sql);
+  ASSERT_TRUE(q.ok());
+  DagPlanner dag(&meta_);
+  auto logical = dag.Plan(*q);
+  ASSERT_TRUE(logical.ok());
+  LogicalPlanPtr rewritten = SubstituteMvInPlan(*logical, action, *mv);
+  ASSERT_NE(rewritten, nullptr);
+
+  PhysicalPlanner physical(&meta_, &q->relations);
+  auto plan_orig = physical.Plan(*logical);
+  auto plan_mv = physical.Plan(rewritten);
+  ASSERT_TRUE(plan_orig.ok());
+  ASSERT_TRUE(plan_mv.ok()) << plan_mv.status().ToString();
+  auto r_orig = engine.Execute(plan_orig->get());
+  auto r_mv = engine.Execute(plan_mv->get());
+  ASSERT_TRUE(r_orig.ok());
+  ASSERT_TRUE(r_mv.ok()) << r_mv.status().ToString();
+  EXPECT_EQ(r_mv->chunk.ToString(-1), r_orig->chunk.ToString(-1));
+}
+
+TEST_F(TuningTest, SubstituteReturnsNullWhenNoMatch) {
+  LocalEngine engine(4);
+  TuningAction action = MvAction();
+  auto mv = BuildMaterializedView(meta_, action, &engine);
+  ASSERT_TRUE(mv.ok());
+  Binder binder(&meta_);
+  auto q = binder.BindSql(FindQuery("Q4").sql);  // joins part, not dates
+  ASSERT_TRUE(q.ok());
+  DagPlanner dag(&meta_);
+  auto logical = dag.Plan(*q);
+  ASSERT_TRUE(logical.ok());
+  EXPECT_EQ(SubstituteMvInPlan(*logical, action, *mv), nullptr);
+}
+
+TEST_F(TuningTest, WhatIfAcceptsMvForHotWorkload) {
+  WhatIfService what_if(&meta_, estimator_.get());
+  std::vector<WorkloadItem> workload = {
+      {"Q3", FindQuery("Q3").sql, 2000.0}};  // very hot recurring join
+  auto report = what_if.Evaluate(MvAction(), workload);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->benefit_per_day, 0.0);
+  EXPECT_TRUE(report->accepted) << report->ToString();
+  EXPECT_GT(report->payback_days, 0.0);
+  EXPECT_NE(report->ToString().find("ACCEPT"), std::string::npos);
+}
+
+TEST_F(TuningTest, WhatIfRejectsMvForColdWorkload) {
+  WhatIfService what_if(&meta_, estimator_.get());
+  std::vector<WorkloadItem> workload = {
+      {"Q3", FindQuery("Q3").sql, 0.001}};  // once every ~3 years
+  auto report = what_if.Evaluate(MvAction(), workload);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->accepted) << report->ToString();
+  EXPECT_TRUE(std::isinf(report->payback_days));
+}
+
+TEST_F(TuningTest, WhatIfReclusterImprovesSelectiveScans) {
+  // lineorder arrives ordered by orderkey; filtering on quantity cannot
+  // prune. Reclustering by quantity should cut the selective Q10 scan.
+  WhatIfService what_if(&meta_, estimator_.get());
+  TuningAction action;
+  action.kind = TuningAction::Kind::kRecluster;
+  action.table = "lineorder";
+  action.column = "lo_quantity";
+  std::vector<WorkloadItem> workload = {
+      {"Q10", FindQuery("Q10").sql, 5000.0}};
+  auto report = what_if.Evaluate(action, workload);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->per_query.size(), 1u);
+  EXPECT_LT(report->per_query[0].cost_after,
+            report->per_query[0].cost_before);
+  EXPECT_GT(report->build_cost, 0.0);
+}
+
+TEST_F(TuningTest, ApplyMvRegistersAndBills) {
+  WhatIfService what_if(&meta_, estimator_.get());
+  std::vector<WorkloadItem> workload = {{"Q3", FindQuery("Q3").sql, 2000.0}};
+  auto report = what_if.Evaluate(MvAction(), workload);
+  ASSERT_TRUE(report.ok());
+  CloudEnv env;
+  LocalEngine engine(4);
+  ASSERT_TRUE(what_if.Apply(*report, &meta_, &env, &engine, 0.0).ok());
+  EXPECT_TRUE(meta_.HasTable("mv_lineorder_dates"));
+  EXPECT_EQ(meta_.materialized_views().size(), 1u);
+  EXPECT_GT(env.billing()->TotalForPrefix("tuning:"), 0.0);
+}
+
+TEST_F(TuningTest, AdvisorsProposeFromStatistics) {
+  StatisticsService stats;
+  Binder binder(&meta_);
+  auto q3 = binder.BindSql(FindQuery("Q3").sql);
+  auto q10 = binder.BindSql(FindQuery("Q10").sql);
+  ASSERT_TRUE(q3.ok());
+  ASSERT_TRUE(q10.ok());
+  for (int i = 0; i < 20; ++i) {
+    stats.Ingest(MakeExecutionRecord("Q3", i * 60.0, *q3, 1.0, 4.0, 0.01));
+  }
+  for (int i = 0; i < 5; ++i) {
+    stats.Ingest(MakeExecutionRecord("Q10", i * 60.0, *q10, 1.0, 4.0, 0.01));
+  }
+  auto mvs = ProposeMvActions(stats, 2);
+  ASSERT_FALSE(mvs.empty());
+  EXPECT_EQ(mvs[0].mv_tables[0], "dates");
+  EXPECT_EQ(mvs[0].mv_tables[1], "lineorder");
+
+  auto reclusters = ProposeReclusterActions(stats, meta_, 3);
+  ASSERT_FALSE(reclusters.empty());
+  bool has_quantity = false;
+  for (const auto& a : reclusters) {
+    if (a.table == "lineorder" && a.column == "lo_quantity") {
+      has_quantity = true;
+    }
+  }
+  EXPECT_TRUE(has_quantity);
+}
+
+TEST_F(TuningTest, ActionDescriptions) {
+  EXPECT_NE(MvAction().Describe().find("MATERIALIZED VIEW"),
+            std::string::npos);
+  TuningAction rec;
+  rec.kind = TuningAction::Kind::kRecluster;
+  rec.table = "t";
+  rec.column = "c";
+  EXPECT_EQ(rec.Describe(), "RECLUSTER t BY c");
+}
+
+}  // namespace
+}  // namespace costdb
