@@ -26,10 +26,9 @@ int main() {
   auto trace = GenerateTrace(trace_opts);
 
   // Pre-bind the templates once.
-  Binder binder(&ctx.meta);
   std::map<std::string, BoundQuery> bound;
   for (const auto& id : {"Q3", "Q4", "Q6", "Q10"}) {
-    auto q = binder.BindSql(FindQuery(id).sql);
+    auto q = ctx.db->BindSql(FindQuery(id).sql);
     if (q.ok()) bound.emplace(id, std::move(*q));
   }
 

@@ -24,7 +24,7 @@ int main() {
     if (!prepared.ok()) continue;
     DopPlannerOptions opts;
     opts.max_dop = 16;  // keeps the oracle tractable on 5-6 pipelines
-    DopPlanner planner(ctx.estimator.get(), opts);
+    DopPlanner planner(ctx.estimator, opts);
 
     auto t0 = std::chrono::steady_clock::now();
     int oracle_states = 0;

@@ -13,8 +13,7 @@ int main() {
               "cost; the bi-objective controller picks per constraint.");
   BenchContext ctx = BenchContext::Make();
 
-  Binder binder(&ctx.meta);
-  auto query = binder.BindSql(FindQuery("Q11").sql);
+  auto query = ctx.db->BindSql(FindQuery("Q11").sql);
   if (!query.ok()) return 1;
   BushyRewriter rewriter(&ctx.meta);
   auto variants = rewriter.MakeVariants(*query, 3);

@@ -29,7 +29,7 @@ int main() {
     for (const auto& p : graph.pipelines) uniform[p.id] = 16;
     auto before = ctx.estimator->EstimatePlan(graph, uniform, volumes);
     // Apply only the co-termination rebalancing to the uniform assignment.
-    DopPlanner planner(ctx.estimator.get());
+    DopPlanner planner(ctx.estimator);
     DopMap balanced = uniform;
     int states = 0;
     planner.CoTerminateForTest(graph, volumes, &balanced, &states);
@@ -53,7 +53,7 @@ int main() {
       DopPlannerOptions opts;
       opts.use_trim_phase = trim;
       opts.use_cotermination = !trim;
-      DopPlanner planner(ctx.estimator.get(), opts);
+      DopPlanner planner(ctx.estimator, opts);
       auto result = planner.Plan(prepared->planned.pipelines,
                                  prepared->planned.volumes,
                                  UserConstraint::Sla(8.0));

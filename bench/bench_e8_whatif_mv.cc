@@ -21,7 +21,7 @@ int main() {
   action.mv_join_edges = {"dates.d_datekey=lineorder.lo_datekey"};
   action.mv_cluster_column = "d_year";
 
-  WhatIfService what_if(&ctx.meta, ctx.estimator.get());
+  WhatIfService what_if(&ctx.meta, ctx.estimator);
   TablePrinter t({"Q3 runs/day", "benefit x/day", "cost y/day", "net/day",
                   "decision", "truth net/day", "decision correct"});
   for (double rate : {0.1, 1.0, 10.0, 100.0, 1000.0}) {

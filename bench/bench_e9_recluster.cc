@@ -25,7 +25,7 @@ int main() {
                   "cost y/day", "net/day", "decision", "payback"});
   for (double scale : {1e4, 1e5, 1e6}) {
     BenchContext ctx = BenchContext::Make(0.01, scale, 128);
-    WhatIfService what_if(&ctx.meta, ctx.estimator.get());
+    WhatIfService what_if(&ctx.meta, ctx.estimator);
     std::vector<WorkloadItem> workload = {
         {"Q10", FindQuery("Q10").sql, 20.0}};
     auto report = what_if.Evaluate(action, workload);
@@ -45,7 +45,7 @@ int main() {
 
   std::printf("\nRepeat-rate sweep at the mid table size:\n");
   BenchContext ctx = BenchContext::Make(0.01, 1e5, 128);
-  WhatIfService what_if(&ctx.meta, ctx.estimator.get());
+  WhatIfService what_if(&ctx.meta, ctx.estimator);
   TablePrinter r({"Q10 runs/day", "net/day", "decision", "payback"});
   for (double rate : {0.01, 1.0, 100.0}) {
     auto report = what_if.Evaluate(

@@ -26,7 +26,7 @@ int main() {
   }
   DopPlannerOptions grid_opts;
   grid_opts.max_dop = 64;
-  DopPlanner planner(ctx.estimator.get(), grid_opts);
+  DopPlanner planner(ctx.estimator, grid_opts);
   int states = 0;
   auto frontier = planner.EnumeratePareto(prepared->planned.pipelines,
                                           prepared->planned.volumes, &states);

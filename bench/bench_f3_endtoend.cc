@@ -37,8 +37,7 @@ int main() {
     bill_before += prepared->planned.estimate.cost * count;
   }
   for (const auto& ev : trace) {
-    Binder binder(&ctx.meta);
-    auto q = binder.BindSql(FindQuery(ev.query_id).sql);
+    auto q = ctx.db->BindSql(FindQuery(ev.query_id).sql);
     if (!q.ok()) continue;
     stats.Ingest(MakeExecutionRecord(ev.query_id, ev.at, *q, 2.0, 16.0,
                                      per_run_cost[ev.query_id]));
@@ -65,7 +64,7 @@ int main() {
         {id, FindQuery(id).sql,
          predictor.PredictDailyArrivals(stats.HourlyArrivals(id))});
   }
-  WhatIfService what_if(&ctx.meta, ctx.estimator.get());
+  WhatIfService what_if(&ctx.meta, ctx.estimator);
   auto proposals = ProposeMvActions(stats, 2);
   auto reclusters = ProposeReclusterActions(stats, ctx.meta, 1);
   proposals.insert(proposals.end(), reclusters.begin(), reclusters.end());

@@ -47,7 +47,7 @@ BENCHMARK(BM_PipelineDuration);
 
 void BM_DopPlanning(benchmark::State& state) {
   auto* p = PreparedQ7();
-  DopPlanner planner(Ctx()->estimator.get());
+  DopPlanner planner(Ctx()->estimator);
   for (auto _ : state) {
     benchmark::DoNotOptimize(planner.Plan(p->planned.pipelines,
                                           p->planned.volumes,
@@ -66,9 +66,8 @@ void BM_FullBiObjectiveOptimize(benchmark::State& state) {
 BENCHMARK(BM_FullBiObjectiveOptimize);
 
 void BM_SqlParseBind(benchmark::State& state) {
-  Binder binder(&Ctx()->meta);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(binder.BindSql(FindQuery("Q8").sql));
+    benchmark::DoNotOptimize(Ctx()->db->BindSql(FindQuery("Q8").sql));
   }
 }
 BENCHMARK(BM_SqlParseBind);

@@ -6,28 +6,46 @@
 
 #include "common/table_printer.h"
 #include "runtime/policies.h"
-#include "sim/harness.h"
+#include "service/database.h"
 #include "workload/ssb.h"
 
 namespace costdb {
 namespace bench {
 
-/// Shared setup for the experiment binaries: a small in-process SSB
-/// instance whose *fact* tables are virtually scaled to warehouse size
-/// (DESIGN.md §2 and §5 explain the device), plus the estimator, the
-/// distributed simulator, and the bi-objective optimizer wired together.
+/// Shared setup for the experiment binaries: a Database facade hosting a
+/// small in-process SSB instance whose *fact* tables are virtually scaled
+/// to warehouse size (DESIGN.md §2 and §5 explain the device). The
+/// estimator, distributed simulator, and optimizer pass pipeline all live
+/// inside (and are calibrated by) the facade; the members below are
+/// non-owning views for experiment code that probes individual layers.
 struct BenchContext {
-  MetadataService meta;
-  HardwareCalibration hw;
-  InstanceType node;
-  std::unique_ptr<CostEstimator> estimator;
-  std::unique_ptr<DistributedSimulator> simulator;
+  std::unique_ptr<Database> db;
+  MetadataService& meta;
+  const HardwareCalibration& hw;
+  const InstanceType& node;
+  CostEstimator* estimator;
+  DistributedSimulator* simulator;
+  /// Experiment-layer handle for shape-pinned planning (PlanShaped etc.);
+  /// regular planning goes through db->PlanSql / db->Prepare.
   std::unique_ptr<BiObjectiveOptimizer> optimizer;
+
+  explicit BenchContext(std::unique_ptr<Database> database)
+      : db(std::move(database)),
+        meta(*db->meta()),
+        hw(*db->hardware()),
+        node(db->node_type()),
+        estimator(db->estimator()),
+        simulator(db->simulator()),
+        optimizer(std::make_unique<BiObjectiveOptimizer>(&meta, estimator)) {}
 
   static BenchContext Make(double scale = 0.01,
                            double fact_virtual_scale = 2e5,
                            size_t row_group_size = 512) {
-    BenchContext ctx;
+    DatabaseOptions db_opts;
+    // Experiments compare estimates against simulated truth under a fixed
+    // calibration; the feedback loop is exercised by the service tests.
+    db_opts.enable_calibration = false;
+    BenchContext ctx(std::make_unique<Database>(db_opts));
     SsbOptions opts;
     opts.scale = scale;
     opts.row_group_size = row_group_size;
@@ -40,22 +58,13 @@ struct BenchContext {
     ctx.meta.SetVirtualScale("customer", fact_virtual_scale / 10.0);
     ctx.meta.SetVirtualScale("supplier", fact_virtual_scale / 10.0);
     ctx.meta.SetVirtualScale("part", fact_virtual_scale / 10.0);
-    ctx.node = PricingCatalog::Default().default_node();
-    ctx.estimator = std::make_unique<CostEstimator>(&ctx.hw, &ctx.node);
-    ctx.simulator = std::make_unique<DistributedSimulator>(ctx.estimator.get());
-    ctx.optimizer =
-        std::make_unique<BiObjectiveOptimizer>(&ctx.meta, ctx.estimator.get());
     return ctx;
   }
 
   /// Prepare + re-derive truth (used after changing stats error factors).
   Result<PreparedQuery> Prepare(const std::string& sql,
                                 const UserConstraint& c) {
-    auto prepared = PrepareQuery(&meta, *optimizer, sql, c);
-    if (!prepared.ok()) return prepared;
-    CardinalityEstimator truth(&meta, &prepared->query.relations, true);
-    prepared->truth = ComputeVolumes(prepared->planned.plan.get(), truth);
-    return prepared;
+    return db->Prepare(sql, c);
   }
 };
 

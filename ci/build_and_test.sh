@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Tier-1 verify (see ROADMAP.md): configure, build with -Wall -Wextra
+# (warnings are errors in CI), run every registered test.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build-ci}"
+JOBS="${JOBS:-$(nproc)}"
+
+cmake -B "$BUILD_DIR" -S . -DCOSTDB_WERROR=ON
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"

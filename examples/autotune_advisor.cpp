@@ -24,10 +24,9 @@ int main() {
   auto trace = GenerateTrace(trace_opts);
 
   StatisticsService stats;
-  Binder binder(&ctx.meta);
   std::map<std::string, BoundQuery> bound;
   for (const auto& id : {"Q3", "Q5", "Q10"}) {
-    auto q = binder.BindSql(FindQuery(id).sql);
+    auto q = ctx.db->BindSql(FindQuery(id).sql);
     if (q.ok()) bound.emplace(id, std::move(*q));
   }
   for (const auto& ev : trace) {
@@ -50,7 +49,7 @@ int main() {
         {id, FindQuery(id).sql,
          predictor.PredictDailyArrivals(stats.HourlyArrivals(id))});
   }
-  WhatIfService what_if(&ctx.meta, ctx.estimator.get());
+  WhatIfService what_if(&ctx.meta, ctx.estimator);
   auto actions = ProposeMvActions(stats, 2);
   auto reclusters = ProposeReclusterActions(stats, ctx.meta, 2);
   actions.insert(actions.end(), reclusters.begin(), reclusters.end());

@@ -1,59 +1,75 @@
-// Quickstart: load a small star-schema warehouse, run SQL end to end on
-// the local engine, and see what the cost-intelligent planner predicts the
-// query would cost in the cloud.
+// Quickstart: load a small star-schema warehouse into the Database facade,
+// run SQL end to end on the local engine, see what the cost-intelligent
+// planner predicts the query would cost in the cloud — and watch the
+// calibration feedback loop tighten that prediction after the first run.
 #include <cstdio>
 
-#include "exec/engine.h"
-#include "optimizer/bi_objective.h"
+#include "service/database.h"
 #include "workload/ssb.h"
 
 using namespace costdb;
 
 int main() {
-  // 1. A warehouse: six tables, generated deterministically.
-  MetadataService meta;
+  // 1. One front door: the Database owns the catalog, the optimizer pass
+  //    pipeline, the shared cost estimator, and both execution backends.
+  Database db;
   SsbOptions data;
   data.scale = 0.01;  // ~6k orders in-process
-  LoadSsb(&meta, data);
+  LoadSsb(db.meta(), data);
   std::printf("tables:");
-  for (const auto& name : meta.TableNames()) std::printf(" %s", name.c_str());
+  for (const auto& name : db.meta()->TableNames()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n\noptimizer passes:");
+  for (const auto& pass : db.query_service()->PassNames()) {
+    std::printf(" %s", pass.c_str());
+  }
   std::printf("\n\n");
 
-  // 2. Run a query locally (parse -> bind -> optimize -> execute).
+  // 2. Run a query (parse -> bind -> optimize -> execute -> calibrate).
   const std::string sql =
       "SELECT s_nation, sum(lo_revenue) AS revenue "
       "FROM lineorder, supplier "
       "WHERE lo_suppkey = s_suppkey AND s_region = 'ASIA' "
       "GROUP BY s_nation ORDER BY revenue DESC LIMIT 5";
-  HardwareCalibration hw;
-  InstanceType node = PricingCatalog::Default().default_node();
-  CostEstimator estimator(&hw, &node);
-  BiObjectiveOptimizer optimizer(&meta, &estimator);
-
-  auto planned = optimizer.PlanSql(sql, UserConstraint::Sla(30.0));
-  if (!planned.ok()) {
-    std::printf("plan error: %s\n", planned.status().ToString().c_str());
+  auto run = db.ExecuteSql(sql, UserConstraint::Sla(30.0));
+  if (!run.ok()) {
+    std::printf("error: %s\n", run.status().ToString().c_str());
     return 1;
   }
-  std::printf("distributed plan:\n%s\n", planned->plan->ToString().c_str());
-
-  LocalEngine engine(8);
-  auto result = engine.Execute(planned->plan.get());
-  if (!result.ok()) {
-    std::printf("exec error: %s\n", result.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("result:\n%s\n", result->ToString().c_str());
+  std::printf("distributed plan:\n%s\n", run->plan->plan->ToString().c_str());
+  std::printf("result:\n%s\n", run->result.ToString().c_str());
 
   // 3. What would this cost in the cloud? The planner already knows.
+  const PlanCostEstimate& est = run->plan->estimate;
   std::printf("prediction under a 30 s SLA: latency %s, bill %s (%zu "
               "pipelines)\n",
-              FormatSeconds(planned->estimate.latency).c_str(),
-              FormatDollars(planned->estimate.cost).c_str(),
-              planned->pipelines.pipelines.size());
-  for (const auto& p : planned->estimate.pipelines) {
+              FormatSeconds(est.latency).c_str(),
+              FormatDollars(est.cost).c_str(),
+              run->plan->pipelines.pipelines.size());
+  for (const auto& p : est.pipelines) {
     std::printf("  pipeline %d: dop=%d duration=%s\n", p.pipeline_id, p.dop,
                 FormatSeconds(p.duration).c_str());
   }
+
+  // 4. The calibration loop: the run's wall-clock pipeline timings just
+  //    flowed back into the hardware calibration, so replanning the same
+  //    query predicts closer to what this machine actually delivers.
+  std::printf("\ncalibration feedback: %d pipelines observed, q-error "
+              "%.2f -> %.2f (scale %.3f)\n",
+              run->calibration.pipelines_observed,
+              run->calibration.q_error_before, run->calibration.q_error_after,
+              run->calibration.applied_scale);
+  auto rerun = db.ExecuteSql(sql, UserConstraint::Sla(30.0));
+  if (rerun.ok()) {
+    std::printf("replanned after calibration: latency %s (was %s), "
+                "q-error %.2f\n",
+                FormatSeconds(rerun->plan->estimate.latency).c_str(),
+                FormatSeconds(est.latency).c_str(),
+                rerun->calibration.q_error_before);
+  }
+  auto cache = db.plan_cache_stats();
+  std::printf("plan cache: %zu hits, %zu misses, %zu invalidations\n",
+              cache.hits, cache.misses, cache.invalidations);
   return 0;
 }

@@ -60,9 +60,35 @@ TableStats ScaleStats(const TableStats& stats, double factor) {
 }
 }  // namespace
 
+MetadataService::MetadataService(const MetadataService& other) {
+  std::lock_guard<std::mutex> lock(other.stats_mu_);
+  tables_ = other.tables_;
+  stats_ = other.stats_;
+  true_served_ = other.true_served_;
+  true_stats_ = other.true_stats_;
+  error_factors_ = other.error_factors_;
+  virtual_scales_ = other.virtual_scales_;
+  mvs_ = other.mvs_;
+}
+
+MetadataService& MetadataService::operator=(const MetadataService& other) {
+  if (this == &other) return *this;
+  MetadataService copy(other);
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  tables_ = std::move(copy.tables_);
+  stats_ = std::move(copy.stats_);
+  true_served_ = std::move(copy.true_served_);
+  true_stats_ = std::move(copy.true_stats_);
+  error_factors_ = std::move(copy.error_factors_);
+  virtual_scales_ = std::move(copy.virtual_scales_);
+  mvs_ = std::move(copy.mvs_);
+  return *this;
+}
+
 const TableStats* MetadataService::GetStats(const std::string& name) const {
   auto it = true_stats_.find(name);
   if (it == true_stats_.end()) return nullptr;
+  std::lock_guard<std::mutex> lock(stats_mu_);
   auto cached = stats_.find(name);
   if (cached != stats_.end()) return &cached->second;
   double factor = virtual_scale(name) * stats_error_factor(name);
@@ -76,6 +102,7 @@ const TableStats* MetadataService::GetTrueStats(
   if (it == true_stats_.end()) return nullptr;
   double scale = virtual_scale(name);
   if (scale == 1.0) return &it->second;
+  std::lock_guard<std::mutex> lock(stats_mu_);
   auto cached = true_served_.find(name);
   if (cached != true_served_.end()) return &cached->second;
   auto [pos, _] = true_served_.emplace(name, ScaleStats(it->second, scale));

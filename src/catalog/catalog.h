@@ -2,6 +2,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,12 @@ struct MaterializedViewInfo {
 /// experiments.
 class MetadataService {
  public:
+  MetadataService() = default;
+  // Copyable (the What-If Service clones the catalog to hypothesize
+  // tuning actions); the stats-cache mutex is per-instance, not copied.
+  MetadataService(const MetadataService& other);
+  MetadataService& operator=(const MetadataService& other);
+
   /// Register a table; replaces an existing one with the same name.
   void RegisterTable(std::shared_ptr<Table> table);
 
@@ -84,6 +91,12 @@ class MetadataService {
 
  private:
   std::map<std::string, std::shared_ptr<Table>> tables_;
+  /// Guards the lazily memoized served-stats maps below: concurrent
+  /// planners (Database::ExecuteSql from several threads) race on the
+  /// first GetStats for a table otherwise. Returned pointers stay valid
+  /// without the lock — map nodes are stable and entries are only erased
+  /// by catalog mutations, which don't run concurrently with planning.
+  mutable std::mutex stats_mu_;
   mutable std::map<std::string, TableStats> stats_;       // served copies
   mutable std::map<std::string, TableStats> true_served_;  // scaled truth
   std::map<std::string, TableStats> true_stats_;           // as analyzed

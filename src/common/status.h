@@ -65,6 +65,13 @@ class Status {
   Code code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  /// Same code, message prefixed with caller context — so wrappers can
+  /// add provenance without laundering a NotFound into an Internal.
+  Status WithContext(const std::string& context) const {
+    if (ok()) return *this;
+    return Status(code_, context + ": " + message_);
+  }
+
   /// "OK" or "<CodeName>: <message>" for logs and test failure output.
   std::string ToString() const;
 

@@ -1,0 +1,103 @@
+#include "cost/calibration_updater.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "exec/engine.h"
+
+namespace costdb {
+
+namespace {
+
+double QError(double predicted, double actual) {
+  if (predicted <= 0.0 || actual <= 0.0) return 1.0;
+  return std::max(predicted / actual, actual / predicted);
+}
+
+double GeoMeanQError(const std::vector<CalibrationObservation>& pairs) {
+  if (pairs.empty()) return 1.0;
+  double log_sum = 0.0;
+  for (const auto& p : pairs) log_sum += std::log(QError(p.predicted, p.actual));
+  return std::exp(log_sum / static_cast<double>(pairs.size()));
+}
+
+}  // namespace
+
+CalibrationUpdater::CalibrationUpdater(HardwareCalibration* hw,
+                                       CalibrationUpdaterOptions options)
+    : hw_(hw), options_(options) {}
+
+CalibrationReport CalibrationUpdater::Observe(
+    const PipelineGraph& graph, const VolumeMap& volumes,
+    const std::vector<PipelineTiming>& timings,
+    const CostEstimator& estimator, int dop) {
+  std::vector<CalibrationObservation> pairs;
+  for (const auto& timing : timings) {
+    if (timing.seconds <= 0.0) continue;
+    for (const auto& pipeline : graph.pipelines) {
+      if (pipeline.id != timing.pipeline_id) continue;
+      CalibrationObservation obs;
+      obs.pipeline_id = pipeline.id;
+      obs.actual = timing.seconds;
+      obs.predicted = estimator.PipelineDuration(pipeline, dop, volumes);
+      if (obs.predicted > 0.0) pairs.push_back(obs);
+      break;
+    }
+  }
+  return ObservePairs(pairs);
+}
+
+CalibrationReport CalibrationUpdater::ObservePairs(
+    const std::vector<CalibrationObservation>& pairs) {
+  CalibrationReport report;
+  report.pipelines_observed = static_cast<int>(pairs.size());
+  if (pairs.empty()) return report;
+  report.q_error_before = GeoMeanQError(pairs);
+
+  // Geometric mean of actual/predicted: the single multiplier that, applied
+  // to every predicted duration, minimizes the aggregate log error.
+  double log_ratio = 0.0;
+  for (const auto& p : pairs) log_ratio += std::log(p.actual / p.predicted);
+  log_ratio /= static_cast<double>(pairs.size());
+
+  double scale = std::exp(log_ratio * options_.learning_rate);
+  scale = std::clamp(scale, 1.0 / options_.max_step, options_.max_step);
+  // Keep the cumulative drift bounded relative to the initial calibration.
+  double proposed_total = total_scale_ * scale;
+  proposed_total = std::clamp(proposed_total, 1.0 / options_.max_total_drift,
+                              options_.max_total_drift);
+  scale = proposed_total / total_scale_;
+
+  ApplyScale(scale);
+  total_scale_ *= scale;
+  ++rounds_;
+  report.applied_scale = scale;
+
+  // Every time term scales linearly in `scale`, so the post-update q-error
+  // is exact without re-invoking the estimator.
+  std::vector<CalibrationObservation> after = pairs;
+  for (auto& p : after) p.predicted *= scale;
+  report.q_error_after = GeoMeanQError(after);
+  return report;
+}
+
+void CalibrationUpdater::ApplyScale(double scale) {
+  if (scale == 1.0) return;
+  // Times are volume/rate plus fixed seconds: dividing rates and
+  // multiplying fixed latencies by `scale` multiplies every predicted
+  // duration by exactly `scale`.
+  hw_->scan_gibps_per_node /= scale;
+  hw_->network_gibps_per_node /= scale;
+  hw_->filter_rows_per_sec /= scale;
+  hw_->project_rows_per_sec /= scale;
+  hw_->hash_build_rows_per_sec /= scale;
+  hw_->hash_probe_rows_per_sec /= scale;
+  hw_->agg_rows_per_sec /= scale;
+  hw_->agg_merge_groups_per_sec /= scale;
+  hw_->sort_rows_per_sec /= scale;
+  hw_->exchange_rows_per_sec /= scale;
+  hw_->shuffle_sync_per_node *= scale;
+  hw_->pipeline_startup *= scale;
+}
+
+}  // namespace costdb

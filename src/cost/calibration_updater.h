@@ -1,0 +1,88 @@
+#pragma once
+
+#include <vector>
+
+#include "cost/cost_model.h"
+
+namespace costdb {
+
+struct PipelineTiming;  // exec/engine.h; kept forward to avoid a cycle
+
+/// One observed pipeline execution, in the vocabulary of the cost model:
+/// what the estimator predicted for it and what the engine measured.
+struct CalibrationObservation {
+  int pipeline_id = 0;
+  Seconds predicted = 0.0;
+  Seconds actual = 0.0;
+};
+
+/// What one feedback round did to the calibration.
+struct CalibrationReport {
+  int pipelines_observed = 0;
+  /// Geometric-mean q-error max(pred/act, act/pred) before/after the update.
+  double q_error_before = 1.0;
+  double q_error_after = 1.0;
+  /// Multiplier applied to every time term of the calibration this round
+  /// (1.0 = no change).
+  double applied_scale = 1.0;
+
+  bool changed(double threshold = 0.05) const {
+    return applied_scale > 1.0 + threshold ||
+           applied_scale < 1.0 / (1.0 + threshold);
+  }
+};
+
+struct CalibrationUpdaterOptions {
+  /// EWMA learning rate: the applied scale is ratio^rate, so repeated
+  /// observations converge geometrically instead of chasing one noisy run.
+  double learning_rate = 0.5;
+  /// Per-round clamp on the applied scale.
+  double max_step = 8.0;
+  /// Cumulative clamp relative to the initial calibration — a runaway
+  /// guard so a pathological measurement cannot destroy the model. Wide,
+  /// because a laptop-local engine legitimately sits orders of magnitude
+  /// away from the modeled cloud node's fixed latencies.
+  double max_total_drift = 1024.0;
+};
+
+/// Closes the paper's calibration loop (Section 3.1 calibrates "before the
+/// service starts"; this keeps calibrating *while* it runs): wall-clock
+/// pipeline timings from the local engine are compared against the
+/// estimator's predictions and the shared HardwareCalibration is nudged so
+/// subsequent estimates tighten. All time terms are scaled uniformly —
+/// rates divided, fixed latencies multiplied — which preserves the
+/// *relative* operator costs the DOP planner's decisions depend on while
+/// correcting the absolute scale the hardware actually delivers.
+class CalibrationUpdater {
+ public:
+  explicit CalibrationUpdater(
+      HardwareCalibration* hw,
+      CalibrationUpdaterOptions options = CalibrationUpdaterOptions());
+
+  /// Fold one query's pipeline timings into the calibration. `graph` and
+  /// `volumes` must be the plan the timings came from; predictions are
+  /// made at `dop` nodes (the local engine stands in for one node).
+  CalibrationReport Observe(const PipelineGraph& graph,
+                            const VolumeMap& volumes,
+                            const std::vector<PipelineTiming>& timings,
+                            const CostEstimator& estimator, int dop = 1);
+
+  /// Same loop fed with pre-matched (predicted, actual) pairs.
+  CalibrationReport ObservePairs(
+      const std::vector<CalibrationObservation>& pairs);
+
+  /// Product of every scale applied so far (1.0 = still at the initial
+  /// calibration).
+  double total_scale() const { return total_scale_; }
+  int rounds() const { return rounds_; }
+
+ private:
+  void ApplyScale(double scale);
+
+  HardwareCalibration* hw_;
+  CalibrationUpdaterOptions options_;
+  double total_scale_ = 1.0;
+  int rounds_ = 0;
+};
+
+}  // namespace costdb

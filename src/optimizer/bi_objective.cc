@@ -1,5 +1,8 @@
 #include "optimizer/bi_objective.h"
 
+#include "optimizer/cardinality.h"
+#include "optimizer/passes.h"
+
 namespace costdb {
 
 Result<PlannedQuery> BiObjectiveOptimizer::PlanShaped(
@@ -22,61 +25,32 @@ Result<PlannedQuery> BiObjectiveOptimizer::PlanShaped(
 
 Result<PlannedQuery> BiObjectiveOptimizer::Plan(
     const BoundQuery& query, const UserConstraint& constraint) const {
-  std::vector<BushyVariant> variants;
-  if (options_.explore_bushy) {
-    BushyRewriter rewriter(meta_);
-    COSTDB_ASSIGN_OR_RETURN(variants,
-                            rewriter.MakeVariants(query,
-                                                  options_.max_bushy_depth));
-  } else {
-    DagPlanner dag(meta_);
-    LogicalPlanPtr plan;
-    COSTDB_ASSIGN_OR_RETURN(plan, dag.Plan(query));
-    variants.push_back({std::move(plan), 0});
-  }
-
-  bool have_best = false;
-  PlannedQuery best;
-  int total_states = 0;
-  for (const auto& variant : variants) {
-    auto planned = PlanShaped(query, variant.plan, constraint);
-    if (!planned.ok()) continue;
-    planned->bushiness = variant.bushiness;
-    total_states += planned->states_explored;
-    if (!have_best) {
-      best = std::move(*planned);
-      have_best = true;
-      continue;
-    }
-    // Prefer feasible over infeasible; then the constrained objective.
-    if (planned->feasible && !best.feasible) {
-      best = std::move(*planned);
-      continue;
-    }
-    if (!planned->feasible && best.feasible) continue;
-    bool better;
-    if (constraint.mode == UserConstraint::Mode::kMinCostUnderSla) {
-      better = planned->feasible
-                   ? planned->estimate.cost < best.estimate.cost
-                   : planned->estimate.latency < best.estimate.latency;
-    } else {
-      better = planned->estimate.latency < best.estimate.latency;
-    }
-    if (better) best = std::move(*planned);
-  }
-  if (!have_best) {
-    return Status::Internal("no plan variant could be planned");
-  }
-  best.states_explored = total_states;
-  return best;
+  // The two-stage optimization is implemented as the explicit pass
+  // pipeline (optimizer/passes.h); this entry point keeps the historical
+  // pre-bound API for experiments.
+  QueryPlanContext ctx;
+  ctx.meta = meta_;
+  ctx.estimator = estimator_;
+  ctx.options = options_;
+  ctx.constraint = constraint;
+  ctx.query = query;
+  ctx.bound = true;
+  PassPipeline passes = MakeDefaultPassPipeline(options_.explore_bushy);
+  COSTDB_RETURN_NOT_OK(RunPassPipeline(passes, &ctx));
+  return std::move(ctx.best);
 }
 
 Result<PlannedQuery> BiObjectiveOptimizer::PlanSql(
     const std::string& sql, const UserConstraint& constraint) const {
-  Binder binder(meta_);
-  BoundQuery query;
-  COSTDB_ASSIGN_OR_RETURN(query, binder.BindSql(sql));
-  return Plan(query, constraint);
+  QueryPlanContext ctx;
+  ctx.meta = meta_;
+  ctx.estimator = estimator_;
+  ctx.options = options_;
+  ctx.constraint = constraint;
+  ctx.sql = sql;
+  PassPipeline passes = MakeDefaultPassPipeline(options_.explore_bushy);
+  COSTDB_RETURN_NOT_OK(RunPassPipeline(passes, &ctx));
+  return std::move(ctx.best);
 }
 
 }  // namespace costdb

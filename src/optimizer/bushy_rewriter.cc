@@ -113,7 +113,21 @@ Result<std::vector<BushyVariant>> BushyRewriter::MakeVariants(
   std::vector<BushyVariant> variants;
   variants.push_back({dag.FinishPlan(query, graph, left_deep_tree), 0});
 
+  std::vector<BushyVariant> rungs;
+  COSTDB_ASSIGN_OR_RETURN(rungs,
+                          MakeRungs(query, max_depth, graph, left_deep_tree));
+  for (auto& rung : rungs) variants.push_back(std::move(rung));
+  return variants;
+}
+
+Result<std::vector<BushyVariant>> BushyRewriter::MakeRungs(
+    const BoundQuery& query, int max_depth, const JoinGraph& graph,
+    const LogicalPlanPtr& left_deep_tree) const {
+  std::vector<BushyVariant> variants;
   if (query.relations.size() < 3) return variants;
+
+  CardinalityEstimator cards(meta_, &query.relations);
+  DagPlanner dag(meta_);
 
   // Extract the DP's join order from the left-deep spine.
   std::vector<LogicalPlanPtr> leaves;

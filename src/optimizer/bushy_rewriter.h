@@ -30,6 +30,13 @@ class BushyRewriter {
   Result<std::vector<BushyVariant>> MakeVariants(const BoundQuery& query,
                                                  int max_depth) const;
 
+  /// Only the bushy rungs (bushiness > 0), built on a join graph and
+  /// left-deep join tree the caller already computed — lets the pass
+  /// pipeline reuse DAG planning's DP instead of re-running it.
+  Result<std::vector<BushyVariant>> MakeRungs(
+      const BoundQuery& query, int max_depth, const JoinGraph& graph,
+      const LogicalPlanPtr& left_deep_tree) const;
+
  private:
   const MetadataService* meta_;
 };

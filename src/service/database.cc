@@ -1,0 +1,214 @@
+#include "service/database.h"
+
+#include "common/table_printer.h"
+#include "optimizer/cardinality.h"
+
+namespace costdb {
+
+Database::Database(DatabaseOptions options)
+    : options_(options), node_(PricingCatalog::Default().default_node()) {
+  estimator_ = std::make_unique<CostEstimator>(&hw_, &node_);
+  query_service_ = std::make_unique<QueryService>(&meta_, estimator_.get(),
+                                                  options_.optimizer);
+  simulator_ =
+      std::make_unique<DistributedSimulator>(estimator_.get(), options_.sim);
+  calibration_ =
+      std::make_unique<CalibrationUpdater>(&hw_, options_.calibration);
+  engine_ = std::make_unique<LocalEngine>(options_.exec_threads);
+}
+
+Result<BoundQuery> Database::BindSql(const std::string& sql) const {
+  return query_service_->Bind(sql);
+}
+
+std::string Database::CacheKey(const std::string& sql,
+                               const UserConstraint& constraint) {
+  std::string key = sql;
+  key += '\x1f';
+  key += constraint.mode == UserConstraint::Mode::kMinCostUnderSla ? 'S' : 'B';
+  key += StrFormat("%.17g|%.17g", constraint.latency_sla, constraint.budget);
+  return key;
+}
+
+Result<std::shared_ptr<const PlannedQuery>> Database::PlanShared(
+    const std::string& sql, const UserConstraint& constraint,
+    bool* cache_hit) {
+  *cache_hit = false;
+  const std::string key = CacheKey(sql, constraint);
+  int planned_under_version = 0;
+  if (options_.enable_plan_cache) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = plan_cache_.find(key);
+    if (it != plan_cache_.end()) {
+      if (it->second.calibration_version == calibration_version_) {
+        ++cache_stats_.hits;
+        *cache_hit = true;
+        return it->second.plan;
+      }
+      // Calibration moved since this plan was priced; replan.
+      plan_cache_.erase(it);
+      ++cache_stats_.invalidations;
+    }
+    ++cache_stats_.misses;
+    // Snapshot before planning: if calibration moves while we plan, the
+    // entry must record the version the estimates were made under.
+    planned_under_version = calibration_version_;
+  }
+  std::shared_ptr<const PlannedQuery> shared;
+  {
+    // The estimator reads hw_ on every estimate; hold off calibration
+    // writers while planning.
+    std::shared_lock<std::shared_mutex> hw_lock(hw_mu_);
+    auto planned = query_service_->PlanSql(sql, constraint);
+    if (!planned.ok()) return planned.status();
+    shared = std::make_shared<const PlannedQuery>(std::move(*planned));
+  }
+  if (options_.enable_plan_cache) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    plan_cache_[key] = CacheEntry{shared, planned_under_version};
+  }
+  return shared;
+}
+
+Result<PlannedQuery> Database::PlanSql(const std::string& sql,
+                                       const UserConstraint& constraint) {
+  bool cache_hit = false;
+  std::shared_ptr<const PlannedQuery> shared;
+  COSTDB_ASSIGN_OR_RETURN(shared, PlanShared(sql, constraint, &cache_hit));
+  return *shared;  // cheap: the plan tree itself stays shared
+}
+
+Result<ExecutionResult> Database::ExecutePlanned(
+    std::shared_ptr<const PlannedQuery> plan, bool cache_hit,
+    LocalEngine* engine) {
+  ExecutionResult out;
+  out.plan = std::move(plan);
+  out.plan_cache_hit = cache_hit;
+  if (engine != nullptr) {
+    COSTDB_ASSIGN_OR_RETURN(out.result, engine->Execute(out.plan->plan.get()));
+    out.timings = engine->last_timings();
+    return out;
+  }
+  // Serial path: reuse the long-lived engine (its worker pool outlives
+  // queries); timings are per-run engine state, so access is exclusive.
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  COSTDB_ASSIGN_OR_RETURN(out.result, engine_->Execute(out.plan->plan.get()));
+  out.timings = engine_->last_timings();
+  return out;
+}
+
+CalibrationReport Database::Calibrate(const ExecutionResult& executed) {
+  std::unique_lock<std::shared_mutex> hw_lock(hw_mu_);
+  CalibrationReport report = calibration_->Observe(
+      executed.plan->pipelines, executed.plan->volumes, executed.timings,
+      *estimator_, /*dop=*/1);
+  if (report.changed(options_.recalibration_threshold)) {
+    // Estimates produced before this round are stale; lazily invalidate
+    // cached plans by versioning.
+    std::lock_guard<std::mutex> cache_lock(cache_mu_);
+    ++calibration_version_;
+  }
+  return report;
+}
+
+Result<ExecutionResult> Database::ExecuteSql(const std::string& sql,
+                                             const UserConstraint& constraint) {
+  bool cache_hit = false;
+  std::shared_ptr<const PlannedQuery> plan;
+  COSTDB_ASSIGN_OR_RETURN(plan, PlanShared(sql, constraint, &cache_hit));
+  ExecutionResult out;
+  COSTDB_ASSIGN_OR_RETURN(out, ExecutePlanned(std::move(plan), cache_hit));
+  if (options_.enable_calibration) out.calibration = Calibrate(out);
+  return out;
+}
+
+std::vector<Result<ExecutionResult>> Database::SubmitBatch(
+    const std::vector<QueryRequest>& requests) {
+  std::lock_guard<std::mutex> batch_lock(batch_mu_);
+  std::vector<Result<ExecutionResult>> results(
+      requests.size(), Result<ExecutionResult>(Status::Internal("pending")));
+
+  // Phase 1 — plan serially in request order: deterministic cache and
+  // calibration state, and the planner is not thread-safe against the
+  // calibration writer anyway.
+  std::vector<std::shared_ptr<const PlannedQuery>> plans(requests.size());
+  std::vector<bool> hits(requests.size(), false);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    bool hit = false;
+    auto plan = PlanShared(requests[i].sql, requests[i].constraint, &hit);
+    if (!plan.ok()) {
+      results[i] = plan.status();
+      continue;
+    }
+    plans[i] = std::move(*plan);
+    hits[i] = hit;
+  }
+
+  // Phase 2 — execute concurrently, batch_threads queries in flight, each
+  // on its own engine (one local "node" per query).
+  ThreadPool pool(options_.batch_threads);
+  std::mutex results_mu;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (plans[i] == nullptr) continue;
+    pool.Submit([this, i, &plans, &hits, &results, &results_mu] {
+      LocalEngine engine(options_.exec_threads);
+      auto executed = ExecutePlanned(plans[i], hits[i], &engine);
+      std::lock_guard<std::mutex> lock(results_mu);
+      results[i] = std::move(executed);
+    });
+  }
+  pool.WaitIdle();
+
+  // Phase 3 — fold timings into the calibration serially in request
+  // order, so the post-batch calibration is independent of execution
+  // interleaving.
+  if (options_.enable_calibration) {
+    for (size_t i = 0; i < requests.size(); ++i) {
+      if (!results[i].ok()) continue;
+      results[i]->calibration = Calibrate(*results[i]);
+    }
+  }
+  return results;
+}
+
+Result<PreparedQuery> Database::Prepare(const std::string& sql,
+                                        const UserConstraint& constraint) {
+  PreparedQuery out;
+  COSTDB_ASSIGN_OR_RETURN(out.query, BindSql(sql));
+  {
+    std::shared_lock<std::shared_mutex> hw_lock(hw_mu_);
+    COSTDB_ASSIGN_OR_RETURN(out.planned,
+                            query_service_->Plan(out.query, constraint));
+  }
+  CardinalityEstimator truth(&meta_, &out.query.relations,
+                             /*use_true_stats=*/true);
+  out.truth = ComputeVolumes(out.planned.plan.get(), truth);
+  return out;
+}
+
+Result<SimResult> Database::SimulateSql(const std::string& sql,
+                                        const UserConstraint& constraint,
+                                        ResizePolicy* policy, CloudEnv* env) {
+  PreparedQuery prepared;
+  COSTDB_ASSIGN_OR_RETURN(prepared, Prepare(sql, constraint));
+  StaticPolicy static_policy;
+  if (policy == nullptr) policy = &static_policy;
+  // The simulator estimates against hw_ too; shut out calibration writers.
+  std::shared_lock<std::shared_mutex> hw_lock(hw_mu_);
+  return SimulateQuery(prepared, *simulator_, policy, constraint, env);
+}
+
+Database::CacheStats Database::plan_cache_stats() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  CacheStats stats = cache_stats_;
+  stats.entries = plan_cache_.size();
+  return stats;
+}
+
+void Database::ClearPlanCache() {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  plan_cache_.clear();
+  cache_stats_ = CacheStats{};
+}
+
+}  // namespace costdb

@@ -1,0 +1,176 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "cost/calibration_updater.h"
+#include "exec/engine.h"
+#include "service/query_service.h"
+#include "sim/harness.h"
+
+namespace costdb {
+
+struct DatabaseOptions {
+  /// Morsel workers per executed query (one local "node").
+  size_t exec_threads = 8;
+  /// Concurrently executing queries in SubmitBatch.
+  size_t batch_threads = 4;
+  /// Cache bound+optimized plans keyed by (SQL, constraint); invalidated
+  /// when the calibration moves materially.
+  bool enable_plan_cache = true;
+  /// Feed executed-pipeline wall times back into the hardware calibration
+  /// after every local execution (the paper's calibration loop).
+  bool enable_calibration = true;
+  CalibrationUpdaterOptions calibration;
+  /// Relative calibration movement that invalidates cached plans.
+  double recalibration_threshold = 0.05;
+  BiObjectiveOptions optimizer;
+  SimOptions sim;
+};
+
+/// One query of a concurrent batch.
+struct QueryRequest {
+  std::string sql;
+  UserConstraint constraint;
+};
+
+/// Everything ExecuteSql hands back: rows, the plan that produced them,
+/// and what the calibration feedback loop learned from the run.
+struct ExecutionResult {
+  QueryResult result;
+  std::shared_ptr<const PlannedQuery> plan;
+  bool plan_cache_hit = false;
+  std::vector<PipelineTiming> timings;
+  CalibrationReport calibration;
+};
+
+/// The single front door of the query stack (the unified architecture the
+/// paper argues for): one object owning the catalog, the optimizer pass
+/// pipeline, the shared cost estimator, and both execution backends —
+/// LocalEngine for real rows, DistributedSimulator for cloud cost
+/// simulation. Every example, bench, and client enters here; direct
+/// binder/planner wiring is an optimizer-internal detail.
+///
+/// The facade also closes the loop the seed left open: after each local
+/// execution, per-pipeline wall times flow through a CalibrationUpdater
+/// into the HardwareCalibration that the shared CostEstimator reads, so
+/// cost estimates tighten as the system runs.
+class Database {
+ public:
+  explicit Database(DatabaseOptions options = DatabaseOptions());
+
+  // -- Components (shared, calibrated, single-instance) ------------------
+  MetadataService* meta() { return &meta_; }
+  const MetadataService& meta() const { return meta_; }
+  QueryService* query_service() { return query_service_.get(); }
+  CostEstimator* estimator() { return estimator_.get(); }
+  const CostEstimator* estimator() const { return estimator_.get(); }
+  HardwareCalibration* hardware() { return &hw_; }
+  const HardwareCalibration& hardware() const { return hw_; }
+  const InstanceType& node_type() const { return node_; }
+  DistributedSimulator* simulator() { return simulator_.get(); }
+
+  // -- Planning ----------------------------------------------------------
+  Result<BoundQuery> BindSql(const std::string& sql) const;
+  /// Plan through the pass pipeline (and the plan cache when enabled).
+  Result<PlannedQuery> PlanSql(const std::string& sql,
+                               const UserConstraint& constraint);
+
+  // -- Local execution backend -------------------------------------------
+  /// Parse -> bind -> optimize -> execute -> calibrate, in one call.
+  Result<ExecutionResult> ExecuteSql(
+      const std::string& sql,
+      const UserConstraint& constraint = UserConstraint());
+
+  /// Execute a batch concurrently (options.batch_threads queries in
+  /// flight). Planning and calibration stay serial and in request order,
+  /// so results and post-batch calibration state are deterministic.
+  std::vector<Result<ExecutionResult>> SubmitBatch(
+      const std::vector<QueryRequest>& requests);
+
+  // -- Simulation backend ------------------------------------------------
+  /// Bind + plan + derive ground-truth volumes for the simulator.
+  Result<PreparedQuery> Prepare(const std::string& sql,
+                                const UserConstraint& constraint);
+
+  /// Simulate a query's distributed execution; `policy`/`env` optional
+  /// (static DOPs on a fresh CloudEnv by default). The returned dollars
+  /// are exactly this query's simulated bill.
+  Result<SimResult> SimulateSql(const std::string& sql,
+                                const UserConstraint& constraint,
+                                ResizePolicy* policy = nullptr,
+                                CloudEnv* env = nullptr);
+
+  // -- Calibration loop --------------------------------------------------
+  const CalibrationUpdater& calibration() const { return *calibration_; }
+  /// Bumped whenever calibration moves past the recalibration threshold;
+  /// cached plans from older versions are replanned.
+  int calibration_version() const { return calibration_version_; }
+
+  // -- Plan cache --------------------------------------------------------
+  struct CacheStats {
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t invalidations = 0;
+    size_t entries = 0;
+  };
+  CacheStats plan_cache_stats() const;
+  void ClearPlanCache();
+
+  const DatabaseOptions& options() const { return options_; }
+
+ private:
+  struct CacheEntry {
+    std::shared_ptr<const PlannedQuery> plan;
+    int calibration_version = 0;
+  };
+
+  /// Cache-aware planning; returns a shared immutable plan.
+  Result<std::shared_ptr<const PlannedQuery>> PlanShared(
+      const std::string& sql, const UserConstraint& constraint,
+      bool* cache_hit);
+
+  /// Execute a shared plan; uses the long-lived serial engine when
+  /// `engine` is null (batch workers pass their own). No calibration.
+  Result<ExecutionResult> ExecutePlanned(
+      std::shared_ptr<const PlannedQuery> plan, bool cache_hit,
+      LocalEngine* engine = nullptr);
+
+  /// Serialize one query's timings into the calibration (under lock).
+  CalibrationReport Calibrate(const ExecutionResult& executed);
+
+  static std::string CacheKey(const std::string& sql,
+                              const UserConstraint& constraint);
+
+  DatabaseOptions options_;
+  MetadataService meta_;
+  HardwareCalibration hw_;
+  InstanceType node_;
+  std::unique_ptr<CostEstimator> estimator_;
+  std::unique_ptr<QueryService> query_service_;
+  std::unique_ptr<DistributedSimulator> simulator_;
+  std::unique_ptr<CalibrationUpdater> calibration_;
+
+  /// Long-lived engine for serial ExecuteSql (its timings are per-run
+  /// state, so access is exclusive); batch workers build their own.
+  std::unique_ptr<LocalEngine> engine_;
+  std::mutex engine_mu_;
+
+  mutable std::mutex cache_mu_;
+  std::map<std::string, CacheEntry> plan_cache_;
+  CacheStats cache_stats_;
+
+  /// Readers (planning, simulation) take it shared; the calibration
+  /// writer takes it exclusive — the estimator reads hw_ on every
+  /// estimate, so planning must not overlap an update.
+  std::shared_mutex hw_mu_;
+  int calibration_version_ = 0;
+
+  std::mutex batch_mu_;
+};
+
+}  // namespace costdb

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "optimizer/passes.h"
+
+namespace costdb {
+
+/// Owns the optimizer pass pipeline and turns SQL (or a pre-bound query)
+/// into a PlannedQuery against a shared cost estimator. This is the single
+/// planning entry of the service layer: the Database facade, the sim
+/// harness, and the What-If Service all plan through a QueryService (or
+/// through a custom pass pipeline spliced from the same stages) instead of
+/// hand-wiring binder/planner objects.
+class QueryService {
+ public:
+  QueryService(const MetadataService* meta, const CostEstimator* estimator,
+               BiObjectiveOptions options = BiObjectiveOptions());
+
+  Result<PlannedQuery> PlanSql(const std::string& sql,
+                               const UserConstraint& constraint) const;
+
+  /// Plan an already-bound query (the bind pass no-ops).
+  Result<PlannedQuery> Plan(const BoundQuery& query,
+                            const UserConstraint& constraint) const;
+
+  Result<BoundQuery> Bind(const std::string& sql) const;
+
+  // -- Pass pipeline management ------------------------------------------
+  const PassPipeline& passes() const { return passes_; }
+  void SetPasses(PassPipeline passes) { passes_ = std::move(passes); }
+
+  /// Splice a custom pass after the named stage. Returns false (and
+  /// leaves the pipeline untouched) when the anchor is not found.
+  bool InsertPassAfter(const std::string& after_name,
+                       std::unique_ptr<OptimizerPass> pass);
+
+  /// Drop a stage by name (e.g. "bushy_rewrite" to pin left-deep shapes).
+  bool RemovePass(const std::string& name);
+
+  std::vector<std::string> PassNames() const;
+
+  const MetadataService* meta() const { return meta_; }
+  const CostEstimator* estimator() const { return estimator_; }
+  const BiObjectiveOptions& options() const { return options_; }
+
+ private:
+  Status RunOn(QueryPlanContext* ctx) const;
+
+  const MetadataService* meta_;
+  const CostEstimator* estimator_;
+  BiObjectiveOptions options_;
+  PassPipeline passes_;
+};
+
+}  // namespace costdb

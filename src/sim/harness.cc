@@ -1,5 +1,7 @@
 #include "sim/harness.h"
 
+#include "optimizer/passes.h"
+
 namespace costdb {
 
 Result<PreparedQuery> PrepareQuery(const MetadataService* meta,
@@ -7,8 +9,7 @@ Result<PreparedQuery> PrepareQuery(const MetadataService* meta,
                                    const std::string& sql,
                                    const UserConstraint& constraint) {
   PreparedQuery out;
-  Binder binder(meta);
-  COSTDB_ASSIGN_OR_RETURN(out.query, binder.BindSql(sql));
+  COSTDB_ASSIGN_OR_RETURN(out.query, BindSql(meta, sql));
   PlannedQuery planned;
   COSTDB_ASSIGN_OR_RETURN(planned, optimizer.Plan(out.query, constraint));
   out.planned = std::move(planned);

@@ -4,8 +4,38 @@
 
 #include "common/table_printer.h"
 #include "optimizer/dop_planner.h"
+#include "optimizer/passes.h"
 
 namespace costdb {
+
+namespace {
+
+/// Custom optimizer stage spliced between dag_plan and physical_plan:
+/// rewrites each logical variant to read from a hypothetical materialized
+/// view. The pass pipeline is what makes this kind of what-if surgery
+/// possible without re-wiring the planner by hand.
+class MvRewritePass : public OptimizerPass {
+ public:
+  MvRewritePass(const TuningAction* action, std::shared_ptr<Table> mv_table)
+      : action_(action), mv_table_(std::move(mv_table)) {}
+
+  const char* name() const override { return "mv_rewrite"; }
+
+  Status Run(QueryPlanContext* ctx) const override {
+    for (auto& variant : ctx->variants) {
+      LogicalPlanPtr rewritten =
+          SubstituteMvInPlan(variant.plan, *action_, mv_table_);
+      if (rewritten != nullptr) variant.plan = rewritten;
+    }
+    return Status::OK();
+  }
+
+ private:
+  const TuningAction* action_;
+  std::shared_ptr<Table> mv_table_;
+};
+
+}  // namespace
 
 std::string WhatIfReport::ToString() const {
   std::string out = "What-If Report: " + action.Describe() + "\n";
@@ -34,26 +64,23 @@ std::string WhatIfReport::ToString() const {
 Result<Dollars> WhatIfService::EstimateQueryCost(
     const MetadataService& meta, const std::string& sql,
     const TuningAction* mv_rewrite, std::shared_ptr<Table> mv_table) const {
-  Binder binder(&meta);
-  BoundQuery query;
-  COSTDB_ASSIGN_OR_RETURN(query, binder.BindSql(sql));
-  DagPlanner dag(&meta);
-  LogicalPlanPtr logical;
-  COSTDB_ASSIGN_OR_RETURN(logical, dag.Plan(query));
+  // A left-deep pass pipeline with an MV-substitution stage spliced in
+  // after DAG planning when a rewrite is hypothesized.
+  QueryPlanContext ctx;
+  ctx.meta = &meta;
+  ctx.estimator = estimator_;
+  ctx.sql = sql;
+  ctx.constraint = options_.constraint;
+  PassPipeline passes;
+  passes.push_back(std::make_unique<BindPass>());
+  passes.push_back(std::make_unique<DagPlanPass>());
   if (mv_rewrite != nullptr && mv_table != nullptr) {
-    LogicalPlanPtr rewritten =
-        SubstituteMvInPlan(logical, *mv_rewrite, mv_table);
-    if (rewritten != nullptr) logical = rewritten;
+    passes.push_back(std::make_unique<MvRewritePass>(mv_rewrite, mv_table));
   }
-  PhysicalPlanner physical(&meta, &query.relations);
-  PhysicalPlanPtr plan;
-  COSTDB_ASSIGN_OR_RETURN(plan, physical.Plan(logical));
-  PipelineGraph graph = BuildPipelines(plan.get());
-  CardinalityEstimator cards(&meta, &query.relations);
-  VolumeMap volumes = ComputeVolumes(plan.get(), cards);
-  DopPlanner planner(estimator_);
-  DopPlanResult result = planner.Plan(graph, volumes, options_.constraint);
-  return result.estimate.cost;
+  passes.push_back(std::make_unique<PhysicalPlanPass>());
+  passes.push_back(std::make_unique<DopPlanPass>());
+  COSTDB_RETURN_NOT_OK(RunPassPipeline(passes, &ctx));
+  return ctx.best.estimate.cost;
 }
 
 Result<Dollars> WhatIfService::BuildCost(const MetadataService& meta,

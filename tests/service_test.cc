@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "exec/engine.h"
+#include "optimizer/optimizer.h"
+#include "service/database.h"
+#include "workload/ssb.h"
+
+namespace costdb {
+namespace {
+
+DatabaseOptions SmallDbOptions() {
+  DatabaseOptions opts;
+  opts.exec_threads = 4;
+  opts.batch_threads = 4;
+  return opts;
+}
+
+std::unique_ptr<Database> MakeSsbDatabase(
+    DatabaseOptions opts = SmallDbOptions()) {
+  auto db = std::make_unique<Database>(opts);
+  SsbOptions data;
+  data.scale = 0.01;
+  data.row_group_size = 256;
+  LoadSsb(db->meta(), data);
+  return db;
+}
+
+std::string Render(const QueryResult& r) { return r.ToString(1 << 20); }
+
+/// Render with rows sorted, for comparisons across different (but
+/// equivalent) plan shapes whose output order may legitimately differ.
+std::string RenderSorted(const QueryResult& r) {
+  std::string rendered = Render(r);
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < rendered.size()) {
+    size_t end = rendered.find('\n', start);
+    if (end == std::string::npos) end = rendered.size();
+    lines.push_back(rendered.substr(start, end - start));
+    start = end + 1;
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const auto& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- facade
+
+TEST(DatabaseTest, ExecuteSqlMatchesDirectLocalEngineRun) {
+  auto db = MakeSsbDatabase();
+  for (const char* id : {"Q1", "Q3", "Q7"}) {
+    const std::string sql = FindQuery(id).sql;
+    auto via_facade = db->ExecuteSql(sql, UserConstraint::Sla(60.0));
+    ASSERT_TRUE(via_facade.ok()) << id << ": "
+                                 << via_facade.status().ToString();
+
+    // The historical hand-wired path: optimizer front door + engine.
+    Optimizer direct_opt(db->meta());
+    auto plan = direct_opt.OptimizeSql(sql);
+    ASSERT_TRUE(plan.ok()) << id;
+    LocalEngine engine(4);
+    auto direct = engine.Execute(plan->get());
+    ASSERT_TRUE(direct.ok()) << id;
+
+    EXPECT_EQ(via_facade->result.chunk.num_rows(), direct->chunk.num_rows())
+        << id;
+    // Sorted: the facade may pick a bushier join shape whose (equivalent)
+    // output order differs for queries without a total ORDER BY.
+    EXPECT_EQ(RenderSorted(via_facade->result), RenderSorted(*direct)) << id;
+  }
+}
+
+TEST(DatabaseTest, ExecuteReportsPlanAndTimings) {
+  auto db = MakeSsbDatabase();
+  auto run = db->ExecuteSql(FindQuery("Q3").sql, UserConstraint::Sla(60.0));
+  ASSERT_TRUE(run.ok());
+  ASSERT_NE(run->plan, nullptr);
+  EXPECT_FALSE(run->plan->pipelines.pipelines.empty());
+  EXPECT_EQ(run->timings.size(), run->plan->pipelines.pipelines.size());
+  EXPECT_GT(run->plan->estimate.cost, 0.0);
+}
+
+// ------------------------------------------------------- calibration loop
+
+TEST(DatabaseTest, CalibrationLoopShrinksEstimatorError) {
+  auto db = MakeSsbDatabase();
+  const std::string sql = FindQuery("Q7").sql;
+  const UserConstraint sla = UserConstraint::Sla(60.0);
+
+  auto warmup = db->ExecuteSql(sql, sla);
+  ASSERT_TRUE(warmup.ok());
+  ASSERT_GT(warmup->calibration.pipelines_observed, 0);
+  // The update itself must tighten the fit of the observed run...
+  EXPECT_LT(warmup->calibration.q_error_after,
+            warmup->calibration.q_error_before);
+
+  // ...and the *next* run of the same query must start from a smaller
+  // estimate-vs-reality gap than the warm-up did.
+  auto second = db->ExecuteSql(sql, sla);
+  ASSERT_TRUE(second.ok());
+  EXPECT_LT(second->calibration.q_error_before,
+            warmup->calibration.q_error_before);
+  EXPECT_GE(db->calibration().rounds(), 2);
+}
+
+TEST(DatabaseTest, CalibrationConvergesAndCacheStartsHitting) {
+  auto db = MakeSsbDatabase();
+  const std::string sql = FindQuery("Q1").sql;
+  const UserConstraint sla = UserConstraint::Sla(60.0);
+  // Repeated runs converge: once per-round movement falls inside the
+  // recalibration threshold, cached plans stop being invalidated.
+  bool hit = false;
+  for (int i = 0; i < 12 && !hit; ++i) {
+    auto run = db->ExecuteSql(sql, sla);
+    ASSERT_TRUE(run.ok());
+    hit = run->plan_cache_hit;
+  }
+  EXPECT_TRUE(hit) << "calibration never settled enough for a cache hit";
+}
+
+TEST(DatabaseTest, CalibrationDisabledKeepsHardwareFixed) {
+  DatabaseOptions opts = SmallDbOptions();
+  opts.enable_calibration = false;
+  auto db = MakeSsbDatabase(opts);
+  const double scan_before = db->hardware()->scan_gibps_per_node;
+  auto run = db->ExecuteSql(FindQuery("Q1").sql, UserConstraint::Sla(60.0));
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(db->hardware()->scan_gibps_per_node, scan_before);
+  EXPECT_EQ(db->calibration().rounds(), 0);
+}
+
+// ------------------------------------------------------------ plan cache
+
+TEST(DatabaseTest, PlanCacheHitsOnRepeatedSqlWhenCalibrationOff) {
+  DatabaseOptions opts = SmallDbOptions();
+  opts.enable_calibration = false;
+  auto db = MakeSsbDatabase(opts);
+  const std::string sql = FindQuery("Q3").sql;
+  auto first = db->ExecuteSql(sql, UserConstraint::Sla(60.0));
+  auto second = db->ExecuteSql(sql, UserConstraint::Sla(60.0));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(first->plan_cache_hit);
+  EXPECT_TRUE(second->plan_cache_hit);
+  // Different constraint -> different cache slot.
+  auto budget = db->ExecuteSql(sql, UserConstraint::Budget(1.0));
+  ASSERT_TRUE(budget.ok());
+  EXPECT_FALSE(budget->plan_cache_hit);
+  auto stats = db->plan_cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+// ------------------------------------------------------- concurrent batch
+
+TEST(DatabaseTest, SubmitBatchOfEightIsDeterministic) {
+  std::vector<QueryRequest> batch;
+  for (const char* id : {"Q1", "Q3", "Q5", "Q7", "Q1", "Q3", "Q10", "Q6"}) {
+    batch.push_back({FindQuery(id).sql, UserConstraint::Sla(60.0)});
+  }
+
+  auto run_batch = [&batch]() {
+    auto db = MakeSsbDatabase();
+    auto results = db->SubmitBatch(batch);
+    std::vector<std::string> rendered;
+    for (auto& r : results) {
+      EXPECT_TRUE(r.ok()) << r.status().ToString();
+      rendered.push_back(r.ok() ? Render(r->result) : "<error>");
+    }
+    return rendered;
+  };
+
+  auto first = run_batch();
+  auto second = run_batch();
+  ASSERT_EQ(first.size(), batch.size());
+  EXPECT_EQ(first, second);
+
+  // And identical to serial execution. Calibration stays off here so the
+  // serial path plans against the same initial calibration the batch
+  // planner saw (a batch plans everything up front, before any feedback).
+  DatabaseOptions serial_opts = SmallDbOptions();
+  serial_opts.enable_calibration = false;
+  auto db = MakeSsbDatabase(serial_opts);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    auto serial = db->ExecuteSql(batch[i].sql, batch[i].constraint);
+    ASSERT_TRUE(serial.ok());
+    EXPECT_EQ(Render(serial->result), first[i]) << "query " << i;
+  }
+}
+
+TEST(DatabaseTest, SubmitBatchReportsPerQueryErrors) {
+  auto db = MakeSsbDatabase();
+  std::vector<QueryRequest> batch = {
+      {FindQuery("Q1").sql, UserConstraint::Sla(60.0)},
+      {"SELECT nope FROM nowhere", UserConstraint::Sla(60.0)},
+  };
+  auto results = db->SubmitBatch(batch);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_FALSE(results[1].ok());
+}
+
+// ------------------------------------------------- pass pipeline plumbing
+
+TEST(QueryServiceTest, DefaultPassOrder) {
+  auto db = MakeSsbDatabase();
+  EXPECT_EQ(db->query_service()->PassNames(),
+            (std::vector<std::string>{"bind", "dag_plan", "bushy_rewrite",
+                                      "physical_plan", "dop_plan"}));
+}
+
+TEST(QueryServiceTest, RemovingBushyRewriteStillPlans) {
+  auto db = MakeSsbDatabase();
+  EXPECT_TRUE(db->query_service()->RemovePass("bushy_rewrite"));
+  auto planned =
+      db->query_service()->PlanSql(FindQuery("Q11").sql,
+                                   UserConstraint::Sla(60.0));
+  ASSERT_TRUE(planned.ok());
+  EXPECT_EQ(planned->bushiness, 0);
+}
+
+TEST(QueryServiceTest, SimulationBackendBillsTheQuery) {
+  auto db = MakeSsbDatabase();
+  db->meta()->SetVirtualScale("lineorder", 1e4);
+  auto sim = db->SimulateSql(FindQuery("Q3").sql, UserConstraint::Sla(120.0));
+  ASSERT_TRUE(sim.ok());
+  EXPECT_GT(sim->latency, 0.0);
+  EXPECT_GT(sim->cost, 0.0);
+}
+
+}  // namespace
+}  // namespace costdb
