@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verify (see ROADMAP.md): configure, build with -Wall -Wextra
-# (warnings are errors in CI), run every registered test.
+# (warnings are errors in CI), run every registered test, smoke the bench
+# wiring, and check that the markdown docs' relative links resolve.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -11,3 +12,36 @@ JOBS="${JOBS:-$(nproc)}"
 cmake -B "$BUILD_DIR" -S . -DCOSTDB_WERROR=ON
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+# ---- bench smoke: a broken bench binary should fail CI, not bitrot ----
+echo "== bench smoke =="
+"$BUILD_DIR/bench_e12_vectorized" --smoke
+"$BUILD_DIR/bench_f3_endtoend" > /dev/null
+echo "bench smoke OK"
+
+# ---- markdown link check: relative links in the docs must resolve ----
+echo "== markdown link check =="
+link_errors=0
+for md in README.md docs/*.md; do
+  [ -f "$md" ] || continue
+  dir=$(dirname "$md")
+  # Extract (target) parts of [text](target) links; keep repo-relative
+  # paths only (skip URLs and pure #anchors).
+  while IFS= read -r link; do
+    target="${link%%#*}"           # drop any #anchor
+    target="${target%% *}"         # drop a 'title' after the path
+    [ -n "$target" ] || continue
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;
+    esac
+    if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then
+      echo "BROKEN LINK in $md: $link"
+      link_errors=$((link_errors + 1))
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$md" | sed -E 's/^\]\(//; s/\)$//')
+done
+if [ "$link_errors" -ne 0 ]; then
+  echo "markdown link check FAILED ($link_errors broken)"
+  exit 1
+fi
+echo "markdown links OK"

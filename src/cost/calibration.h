@@ -14,7 +14,11 @@ struct HardwareCalibration {
   double scan_gibps_per_node = 1.0;      // object-store scan bandwidth
   double network_gibps_per_node = 1.25;  // NIC bandwidth (10 Gbps)
 
-  // CPU rates, rows per second per node.
+  // CPU rates, rows per second per node. Filter/project rates are
+  // batch-at-a-time throughputs of the vectorized kernels (selection
+  // vectors over flat payloads), not per-row interpreter rates — the
+  // scalar reference path is roughly an order of magnitude slower (see
+  // bench_e12_vectorized).
   double filter_rows_per_sec = 400e6;
   double project_rows_per_sec = 500e6;
   double hash_build_rows_per_sec = 50e6;
@@ -23,6 +27,18 @@ struct HardwareCalibration {
   double agg_merge_groups_per_sec = 20e6;
   double sort_rows_per_sec = 15e6;       // per comparison-merge unit
   double exchange_rows_per_sec = 100e6;  // partitioning CPU cost
+
+  // Vectorized execution: rows per DataChunk batch and the fixed dispatch
+  // cost each batch pays (operator switch, selection-vector setup, kernel
+  // entry). Batched operators cost rows/rate + ceil(rows/batch)*dispatch,
+  // which is why tiny inputs don't get free and why the morsel size is a
+  // real knob. Seeded here, tightened by the same uniform feedback
+  // scaling as every other time term.
+  // 4096 matches the engine's materialized-input morsel slices; scan
+  // morsels are whole row groups whose size is per-table, so this is a
+  // seed, not an exact chunk count.
+  double vector_batch_rows = 4096;
+  Seconds batch_dispatch_seconds = 5e-7;
 
   // Parallel-efficiency decay: effective speedup of a data-exchange-heavy
   // operator at dop d is d / (1 + alpha * log2(d)).

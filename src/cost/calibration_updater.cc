@@ -98,6 +98,7 @@ void CalibrationUpdater::ApplyScale(double scale) {
   hw_->exchange_rows_per_sec /= scale;
   hw_->shuffle_sync_per_node *= scale;
   hw_->pipeline_startup *= scale;
+  hw_->batch_dispatch_seconds *= scale;  // vector_batch_rows is a size, not a time
 }
 
 }  // namespace costdb

@@ -28,13 +28,23 @@ class ScanModel : public OperatorModel {
   const HardwareCalibration* hw_;
 };
 
+/// Per-batch dispatch cost of a vectorized operator: every DataChunk pays
+/// a fixed kernel-entry fee on top of its per-row throughput. The ceil
+/// keeps a one-row input from costing zero batches.
+Seconds BatchDispatch(const HardwareCalibration* hw, double rows, int dop) {
+  if (rows <= 0.0) return 0.0;
+  double batches = std::ceil(rows / hw->vector_batch_rows);
+  return batches * hw->batch_dispatch_seconds / dop;
+}
+
 class FilterModel : public OperatorModel {
  public:
   FilterModel(const HardwareCalibration* hw, double rate)
       : hw_(hw), rate_(rate) {}
   Seconds StageTime(const StageWorkload& w, int dop) const override {
-    (void)hw_;
-    return w.rows_in / (rate_ * dop);
+    // Batch-at-a-time: selection-vector kernels stream rows at `rate_`,
+    // plus a fixed dispatch per chunk.
+    return w.rows_in / (rate_ * dop) + BatchDispatch(hw_, w.rows_in, dop);
   }
   const char* name() const override { return "filter"; }
 
@@ -62,7 +72,10 @@ class HashProbeModel : public OperatorModel {
   Seconds StageTime(const StageWorkload& w, int dop) const override {
     double eff = EffectiveParallelism(dop, hw_->parallel_alpha);
     double work = w.rows_in + 0.5 * w.rows_out;  // matches cost extra emits
-    return work / (hw_->hash_probe_rows_per_sec * eff);
+    // Probe hashes column-at-a-time and gathers matches in bulk, so it
+    // pays the same per-chunk dispatch fee as the other batch operators.
+    return work / (hw_->hash_probe_rows_per_sec * eff) +
+           BatchDispatch(hw_, w.rows_in, dop);
   }
   const char* name() const override { return "hash_probe"; }
 
@@ -74,10 +87,13 @@ class AggregateModel : public OperatorModel {
  public:
   explicit AggregateModel(const HardwareCalibration* hw) : hw_(hw) {}
   Seconds StageTime(const StageWorkload& w, int dop) const override {
-    // Local aggregation parallelizes; merging per-node partial tables does
-    // not — each extra node adds another partial of `groups` entries. This
-    // term is why aggregation has a finite cost-optimal DOP.
-    Seconds local = w.rows_in / (hw_->agg_rows_per_sec * dop);
+    // Local aggregation parallelizes (morsel partials fold batch-at-a-
+    // time, so the per-chunk dispatch fee applies); merging per-node
+    // partial tables does not — each extra node adds another partial of
+    // `groups` entries. This term is why aggregation has a finite
+    // cost-optimal DOP.
+    Seconds local = w.rows_in / (hw_->agg_rows_per_sec * dop) +
+                    BatchDispatch(hw_, w.rows_in, dop);
     Seconds merge =
         w.groups * std::max(0, dop - 1) / hw_->agg_merge_groups_per_sec;
     return local + merge;

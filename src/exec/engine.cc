@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <map>
-#include <mutex>
 #include <unordered_map>
 
 #include "catalog/hll.h"
@@ -25,40 +25,34 @@ struct AggState {
   bool has_value = false;
 };
 
+/// Commutative merge of two partial aggregate states (morsel-local partials
+/// are merged in morsel order, so results are deterministic for any thread
+/// count).
+void MergeAggState(AggState* into, const AggState& from) {
+  into->count += from.count;
+  into->isum += from.isum;
+  into->dsum += from.dsum;
+  if (from.has_value) {
+    if (!into->has_value) {
+      into->min = from.min;
+      into->max = from.max;
+      into->has_value = true;
+    } else {
+      if (from.min < into->min) into->min = from.min;
+      if (into->max < from.max) into->max = from.max;
+    }
+  }
+}
+
 struct GroupState {
   std::vector<Value> group_values;
   std::vector<AggState> aggs;
 };
 
-/// Hash a row of evaluated key vectors, numerics normalized so that an
-/// int64 key joins correctly against a double key.
-uint64_t HashKeyRow(const std::vector<ColumnVector>& keys, size_t row,
-                    const std::vector<bool>& as_double) {
-  uint64_t h = 0x9e3779b97f4a7c15ULL;
-  for (size_t k = 0; k < keys.size(); ++k) {
-    uint64_t hk;
-    switch (keys[k].physical_type()) {
-      case PhysicalType::kString:
-        hk = HashString(keys[k].GetString(row));
-        break;
-      case PhysicalType::kDouble:
-        hk = HashDouble(keys[k].GetDouble(row));
-        break;
-      case PhysicalType::kInt64:
-      default:
-        hk = as_double[k]
-                 ? HashDouble(static_cast<double>(keys[k].GetInt(row)))
-                 : HashInt64(keys[k].GetInt(row));
-        break;
-    }
-    h = HashCombine(h, hk);
-  }
-  return h;
-}
-
 bool KeysEqual(const std::vector<ColumnVector>& a, size_t ra,
                const std::vector<ColumnVector>& b, size_t rb) {
   for (size_t k = 0; k < a.size(); ++k) {
+    if (a[k].IsNull(ra) || b[k].IsNull(rb)) return false;  // NULL joins nothing
     const bool a_str = a[k].physical_type() == PhysicalType::kString;
     const bool b_str = b[k].physical_type() == PhysicalType::kString;
     if (a_str != b_str) return false;
@@ -76,28 +70,175 @@ bool KeysEqual(const std::vector<ColumnVector>& a, size_t ra,
   return true;
 }
 
-/// Serialized group key (type-tagged, '\x01' separated).
-std::string EncodeGroupKey(const std::vector<ColumnVector>& groups,
-                           size_t row) {
-  std::string key;
+/// Serialized group key (type-tagged, '\x01' separated; strings are
+/// length-prefixed so a '\x01' byte inside a value cannot make two
+/// distinct key tuples collide), appended into a caller-owned buffer so
+/// the per-row grouping loop reuses one allocation.
+void EncodeGroupKeyInto(const std::vector<ColumnVector>& groups, size_t row,
+                        std::string* key) {
+  key->clear();
   for (const auto& g : groups) {
+    if (g.IsNull(row)) {
+      *key += 'n';
+      *key += '\x01';
+      continue;
+    }
     switch (g.physical_type()) {
       case PhysicalType::kInt64:
-        key += 'i';
-        key += std::to_string(g.GetInt(row));
+        *key += 'i';
+        *key += std::to_string(g.GetInt(row));
         break;
-      case PhysicalType::kDouble:
-        key += 'd';
-        key += std::to_string(g.GetDouble(row));
+      case PhysicalType::kDouble: {
+        // Bit-exact encoding: to_string's 6 decimals would merge nearby
+        // distinct values into one group. -0.0 normalizes to 0.0 so the
+        // two (equal) zeros stay one group.
+        double d = g.GetDouble(row);
+        if (d == 0.0) d = 0.0;
+        uint64_t bits;
+        std::memcpy(&bits, &d, sizeof(bits));
+        *key += 'd';
+        *key += std::to_string(bits);
         break;
-      case PhysicalType::kString:
-        key += 's';
-        key += g.GetString(row);
+      }
+      case PhysicalType::kString: {
+        const std::string& s = g.GetString(row);
+        *key += 's';
+        *key += std::to_string(s.size());
+        *key += ':';
+        *key += s;
         break;
+      }
     }
-    key += '\x01';
+    *key += '\x01';
   }
-  return key;
+}
+
+/// Morsel-local partial aggregation: group index + one state per group.
+/// Merged into the global (ordered) table in morsel order after the
+/// parallel loop, so no lock is held on the per-row path and results are
+/// deterministic; the partial itself can stay unordered — per-key merge
+/// order is slot order either way.
+struct SlotAggPartial {
+  std::unordered_map<std::string, GroupState> groups;
+  size_t rows_folded = 0;
+};
+
+/// Column-at-a-time fold of one morsel's chunk into `partial`.
+Status FoldChunkIntoGroups(const PhysicalPlan* sink,
+                           const std::vector<ColumnVector>& group_vecs,
+                           const std::vector<ColumnVector>& agg_inputs,
+                           size_t rows, SlotAggPartial* partial) {
+  partial->rows_folded += rows;
+  // Pass 1: per-row group lookup (the only row-at-a-time step; the key
+  // buffer is reused so the loop does not allocate once groups repeat).
+  std::vector<GroupState*> row_group(rows);
+  std::string key;
+  for (size_t r = 0; r < rows; ++r) {
+    EncodeGroupKeyInto(group_vecs, r, &key);
+    auto [it, inserted] = partial->groups.try_emplace(key);
+    GroupState& gs = it->second;
+    if (inserted) {  // aggs may stay empty (aggregate-free GROUP BY)
+      gs.aggs.resize(sink->aggregates.size());
+      for (const auto& g : group_vecs) {
+        gs.group_values.push_back(g.GetValue(r));
+      }
+    }
+    row_group[r] = &gs;
+  }
+  // Pass 2: one vectorized sweep per aggregate over the typed payloads.
+  for (size_t a = 0; a < sink->aggregates.size(); ++a) {
+    const Expr& agg = *sink->aggregates[a];
+    if (agg.agg == AggFunc::kCountStar) {
+      for (size_t r = 0; r < rows; ++r) ++row_group[r]->aggs[a].count;
+      continue;
+    }
+    const ColumnVector& in = agg_inputs[a];
+    switch (agg.agg) {
+      case AggFunc::kCount:
+        // COUNT(col) counts non-null rows of any type — never touch the
+        // typed payload (it may be a string column).
+        for (size_t r = 0; r < rows; ++r) {
+          if (!in.IsNull(r)) ++row_group[r]->aggs[a].count;
+        }
+        break;
+      case AggFunc::kSum:
+      case AggFunc::kAvg:
+        if (in.physical_type() == PhysicalType::kInt64) {
+          const auto& vals = in.ints();
+          for (size_t r = 0; r < rows; ++r) {
+            if (in.IsNull(r)) continue;
+            AggState& st = row_group[r]->aggs[a];
+            ++st.count;
+            st.isum += vals[r];
+            st.dsum += static_cast<double>(vals[r]);
+          }
+        } else {
+          const auto& vals = in.doubles();
+          for (size_t r = 0; r < rows; ++r) {
+            if (in.IsNull(r)) continue;
+            AggState& st = row_group[r]->aggs[a];
+            ++st.count;
+            st.dsum += vals[r];
+          }
+        }
+        break;
+      case AggFunc::kMin:
+      case AggFunc::kMax:
+        for (size_t r = 0; r < rows; ++r) {
+          if (in.IsNull(r)) continue;
+          AggState& st = row_group[r]->aggs[a];
+          ++st.count;
+          Value v = in.GetValue(r);
+          if (!st.has_value) {
+            st.min = v;
+            st.max = v;
+            st.has_value = true;
+          } else {
+            if (v < st.min) st.min = v;
+            if (st.max < v) st.max = v;
+          }
+        }
+        break;
+      default:
+        return Status::Internal("unexpected aggregate function");
+    }
+  }
+  return Status::OK();
+}
+
+/// Global-aggregate fast path (no GROUP BY): pure column reductions, no
+/// key encoding at all.
+Status FoldChunkIntoGlobal(const PhysicalPlan* sink,
+                           const std::vector<ColumnVector>& agg_inputs,
+                           size_t rows, SlotAggPartial* partial) {
+  partial->rows_folded += rows;
+  GroupState& gs = partial->groups[std::string()];
+  if (gs.aggs.empty()) gs.aggs.resize(sink->aggregates.size());
+  for (size_t a = 0; a < sink->aggregates.size(); ++a) {
+    const Expr& agg = *sink->aggregates[a];
+    AggState& st = gs.aggs[a];
+    if (agg.agg == AggFunc::kCountStar) {
+      st.count += static_cast<int64_t>(rows);
+      continue;
+    }
+    const ColumnVector& in = agg_inputs[a];
+    switch (agg.agg) {
+      case AggFunc::kCount:
+        st.count += kernels::CountValid(in);  // any type, nulls skipped
+        break;
+      case AggFunc::kSum:
+      case AggFunc::kAvg:
+        kernels::Accumulate(in, &st.count, &st.isum, &st.dsum);
+        break;
+      case AggFunc::kMin:
+      case AggFunc::kMax:
+        kernels::MinMax(in, &st.min, &st.max, &st.has_value);
+        break;
+      default:
+        return Status::Internal("unexpected aggregate function");
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -154,7 +295,7 @@ struct MorselProcessor {
       switch (op->kind) {
         case PhysicalPlan::Kind::kFilter: {
           Evaluator ev(names);
-          std::vector<uint32_t> sel;
+          SelectionVector sel;
           COSTDB_ASSIGN_OR_RETURN(sel,
                                   ev.EvaluateSelection(*op->predicate, *chunk));
           chunk->Slice(sel);
@@ -187,6 +328,8 @@ struct MorselProcessor {
     return Status::OK();
   }
 
+  /// Vectorized probe: hash every probe row column-at-a-time, collect the
+  /// matching (probe, build) row pairs, then gather output columns in bulk.
   Status Probe(const PhysicalPlan* join, DataChunk* chunk,
                std::vector<std::string>* names) const {
     auto it = breakers->find(join);
@@ -201,25 +344,29 @@ struct MorselProcessor {
       COSTDB_ASSIGN_OR_RETURN(v, ev.Evaluate(*k, *chunk));
       probe_keys.push_back(std::move(v));
     }
-    DataChunk out(join->output_types);
-    const size_t probe_cols = chunk->num_columns();
-    for (size_t r = 0; r < chunk->num_rows(); ++r) {
-      uint64_t h = HashKeyRow(probe_keys, r, bs.keys_as_double);
-      auto range = bs.build_index.equal_range(h);
+    std::vector<uint64_t> hashes;
+    kernels::HashRows(probe_keys, bs.keys_as_double, chunk->num_rows(),
+                      &hashes);
+    SelectionVector probe_sel;
+    std::vector<uint32_t> build_sel;
+    const size_t probe_rows = chunk->num_rows();
+    for (uint32_t r = 0; r < probe_rows; ++r) {
+      auto range = bs.build_index.equal_range(hashes[r]);
       for (auto m = range.first; m != range.second; ++m) {
-        uint32_t build_row = m->second;
-        if (!KeysEqual(probe_keys, r, bs.build_key_vectors, build_row)) {
+        if (!KeysEqual(probe_keys, r, bs.build_key_vectors, m->second)) {
           continue;
         }
-        // probe columns then build columns, matching output schema.
-        for (size_t c = 0; c < probe_cols; ++c) {
-          out.column(c).AppendFrom(chunk->column(c), r);
-        }
-        for (size_t c = 0; c < bs.build_data.num_columns(); ++c) {
-          out.column(probe_cols + c).AppendFrom(bs.build_data.column(c),
-                                                build_row);
-        }
+        probe_sel.push_back(r);
+        build_sel.push_back(m->second);
       }
+    }
+    DataChunk out(join->output_types);
+    const size_t probe_cols = chunk->num_columns();
+    for (size_t c = 0; c < probe_cols; ++c) {
+      out.column(c) = chunk->column(c).Gather(probe_sel);
+    }
+    for (size_t c = 0; c < bs.build_data.num_columns(); ++c) {
+      out.column(probe_cols + c) = bs.build_data.column(c).Gather(build_sel);
     }
     *chunk = std::move(out);
     *names = join->output_names;
@@ -231,7 +378,8 @@ struct MorselProcessor {
 
 LocalEngine::LocalEngine(size_t num_threads) : pool_(num_threads) {}
 
-Status LocalEngine::RunPipeline(const Pipeline& pipeline, ExecContext* ctx) {
+Status LocalEngine::RunPipeline(const Pipeline& pipeline, ExecContext* ctx,
+                                PipelineTiming* timing) {
   // ---- 1. Build the morsel list ----
   struct Morsel {
     const DataChunk* source_chunk = nullptr;  // row group or materialized
@@ -245,9 +393,12 @@ Status LocalEngine::RunPipeline(const Pipeline& pipeline, ExecContext* ctx) {
   if (src == nullptr) return Status::Internal("pipeline without source");
 
   if (!pipeline.source_is_breaker) {
-    // TableScan source: one morsel per non-pruned row group.
+    // TableScan source: one morsel per row group that survives zone-map
+    // pruning. A pruned morsel is never touched again — its rows are not
+    // read, filtered, or materialized.
     source_names = src->output_names;
     for (const auto& group : src->table->row_groups()) {
+      ++scan_stats_.morsels_total;
       bool prunable = false;
       for (const auto& f : src->scan_filters) {
         std::string col;
@@ -264,7 +415,12 @@ Status LocalEngine::RunPipeline(const Pipeline& pipeline, ExecContext* ctx) {
           break;
         }
       }
-      if (prunable) continue;
+      if (prunable) {
+        ++scan_stats_.morsels_pruned;
+        scan_stats_.rows_pruned += group.num_rows();
+        continue;
+      }
+      scan_stats_.rows_scanned += group.num_rows();
       Morsel m;
       m.row_group = &group;
       m.begin = 0;
@@ -295,15 +451,21 @@ Status LocalEngine::RunPipeline(const Pipeline& pipeline, ExecContext* ctx) {
   // ---- 2. Process morsels in parallel, collecting per-slot outputs ----
   std::vector<DataChunk> slot_outputs(morsels.size());
   std::vector<Status> slot_status(morsels.size());
-  std::vector<std::string> final_names;  // schema after all streaming ops
-  std::mutex agg_mu;
-  std::map<std::string, GroupState> agg_groups;  // aggregate sink state
+  std::vector<SlotAggPartial> slot_aggs;  // aggregate sink partials
 
   MorselProcessor processor{&pipeline, ctx, &ctx->breakers};
   const PhysicalPlan* sink = pipeline.sink;
   const bool agg_sink =
       sink != nullptr && sink->kind == PhysicalPlan::Kind::kHashAggregate &&
       !pipeline.sink_is_build_side;
+  if (agg_sink) slot_aggs.resize(morsels.size());
+  const ExprPtr combined_scan_filter =
+      (!pipeline.source_is_breaker && !src->scan_filters.empty())
+          ? CombineConjuncts(src->scan_filters)
+          : nullptr;
+
+  double source_rows = 0.0;
+  for (const Morsel& m : morsels) source_rows += double(m.end - m.begin);
 
   auto process_one = [&](size_t slot) {
     const Morsel& m = morsels[slot];
@@ -311,29 +473,34 @@ Status LocalEngine::RunPipeline(const Pipeline& pipeline, ExecContext* ctx) {
     DataChunk chunk;
     std::vector<std::string> names = source_names;
     if (m.row_group != nullptr) {
-      DataChunk projected;
-      for (size_t idx : src->scan_column_indices) {
-        projected.AddColumn(m.row_group->data.column(idx));
-      }
-      // Scan filters apply before anything else.
-      if (!src->scan_filters.empty()) {
+      if (combined_scan_filter != nullptr) {
+        // Filter before materializing: the predicate runs on borrowed
+        // row-group columns, and only surviving rows are ever copied.
+        ChunkView view;
+        for (size_t idx : src->scan_column_indices) {
+          view.AddColumn(&m.row_group->data.column(idx));
+        }
         Evaluator ev(&names);
-        std::vector<uint32_t> sel;
-        sel.reserve(projected.num_rows());
-        ExprPtr combined = CombineConjuncts(src->scan_filters);
-        auto sel_result = ev.EvaluateSelection(*combined, projected);
-        if (!sel_result.ok()) {
-          slot_status[slot] = sel_result.status();
+        auto sel = ev.EvaluateSelection(*combined_scan_filter, view);
+        if (!sel.ok()) {
+          slot_status[slot] = sel.status();
           return;
         }
-        projected.Slice(*sel_result);
+        DataChunk projected;
+        for (size_t idx : src->scan_column_indices) {
+          projected.AddColumn(m.row_group->data.column(idx).Gather(*sel));
+        }
+        chunk = std::move(projected);
+      } else {
+        DataChunk projected;
+        for (size_t idx : src->scan_column_indices) {
+          projected.AddColumn(m.row_group->data.column(idx));
+        }
+        chunk = std::move(projected);
       }
-      chunk = std::move(projected);
     } else {
       DataChunk sliced(m.source_chunk->Types());
-      for (size_t r = m.begin; r < m.end; ++r) {
-        sliced.AppendRowFrom(*m.source_chunk, r);
-      }
+      sliced.AppendRange(*m.source_chunk, m.begin, m.end);
       chunk = std::move(sliced);
     }
     Status st = processor.Apply(&chunk, &names);
@@ -341,9 +508,8 @@ Status LocalEngine::RunPipeline(const Pipeline& pipeline, ExecContext* ctx) {
       slot_status[slot] = st;
       return;
     }
-    if (slot == 0) final_names = names;
     if (agg_sink) {
-      // Fold this chunk into the shared aggregation state.
+      // Fold this chunk into the slot-local partial aggregation.
       Evaluator ev(&names);
       std::vector<ColumnVector> group_vecs;
       for (const auto& g : sink->group_by) {
@@ -367,52 +533,14 @@ Status LocalEngine::RunPipeline(const Pipeline& pipeline, ExecContext* ctx) {
         }
         agg_inputs.push_back(std::move(*v));
       }
-      std::lock_guard<std::mutex> lock(agg_mu);
-      for (size_t r = 0; r < chunk.num_rows(); ++r) {
-        std::string key = EncodeGroupKey(group_vecs, r);
-        GroupState& gs = agg_groups[key];
-        if (gs.aggs.empty()) {
-          gs.aggs.resize(sink->aggregates.size());
-          for (const auto& g : group_vecs) {
-            gs.group_values.push_back(g.GetValue(r));
-          }
-        }
-        for (size_t a = 0; a < sink->aggregates.size(); ++a) {
-          AggState& st_a = gs.aggs[a];
-          const Expr& agg = *sink->aggregates[a];
-          if (agg.agg == AggFunc::kCountStar) {
-            ++st_a.count;
-            continue;
-          }
-          const ColumnVector& in = agg_inputs[a];
-          ++st_a.count;
-          switch (agg.agg) {
-            case AggFunc::kSum:
-            case AggFunc::kAvg:
-              if (in.physical_type() == PhysicalType::kInt64) {
-                st_a.isum += in.GetInt(r);
-                st_a.dsum += static_cast<double>(in.GetInt(r));
-              } else {
-                st_a.dsum += in.GetDouble(r);
-              }
-              break;
-            case AggFunc::kMin:
-            case AggFunc::kMax: {
-              Value v = in.GetValue(r);
-              if (!st_a.has_value) {
-                st_a.min = v;
-                st_a.max = v;
-                st_a.has_value = true;
-              } else {
-                if (v < st_a.min) st_a.min = v;
-                if (st_a.max < v) st_a.max = v;
-              }
-              break;
-            }
-            default:
-              break;
-          }
-        }
+      if (chunk.num_rows() == 0) return;
+      if (sink->group_by.empty()) {
+        slot_status[slot] = FoldChunkIntoGlobal(sink, agg_inputs,
+                                                chunk.num_rows(),
+                                                &slot_aggs[slot]);
+      } else {
+        slot_status[slot] = FoldChunkIntoGroups(
+            sink, group_vecs, agg_inputs, chunk.num_rows(), &slot_aggs[slot]);
       }
       return;  // nothing materialized per slot
     }
@@ -429,6 +557,26 @@ Status LocalEngine::RunPipeline(const Pipeline& pipeline, ExecContext* ctx) {
   }
   for (const auto& st : slot_status) {
     COSTDB_RETURN_NOT_OK(st);
+  }
+
+  // Merge aggregate partials in morsel order (deterministic for any thread
+  // count; the per-row path above never took a lock).
+  std::map<std::string, GroupState> agg_groups;
+  size_t agg_rows_folded = 0;
+  for (auto& partial : slot_aggs) {
+    agg_rows_folded += partial.rows_folded;
+    for (auto& [key, gs] : partial.groups) {
+      auto [it, inserted] = agg_groups.try_emplace(key, std::move(gs));
+      if (inserted) continue;
+      GroupState& into = it->second;
+      for (size_t a = 0; a < into.aggs.size(); ++a) {
+        MergeAggState(&into.aggs[a], gs.aggs[a]);
+      }
+    }
+  }
+
+  if (timing != nullptr) {
+    timing->source_rows = source_rows;
   }
 
   // ---- 3. Finalize the sink ----
@@ -457,6 +605,7 @@ Status LocalEngine::RunPipeline(const Pipeline& pipeline, ExecContext* ctx) {
       }
     }
     ctx->result_valid = true;
+    if (timing != nullptr) timing->output_rows = double(ctx->result.num_rows());
     return Status::OK();
   }
 
@@ -478,33 +627,39 @@ Status LocalEngine::RunPipeline(const Pipeline& pipeline, ExecContext* ctx) {
       bs.build_key_vectors.push_back(std::move(v));
     }
     const size_t rows = bs.build_data.num_rows();
+    std::vector<uint64_t> hashes;
+    kernels::HashRows(bs.build_key_vectors, bs.keys_as_double, rows, &hashes);
     bs.build_index.reserve(rows * 2);
     for (size_t r = 0; r < rows; ++r) {
-      uint64_t h = HashKeyRow(bs.build_key_vectors, r, bs.keys_as_double);
-      bs.build_index.emplace(h, static_cast<uint32_t>(r));
+      bs.build_index.emplace(hashes[r], static_cast<uint32_t>(r));
     }
+    if (timing != nullptr) timing->output_rows = double(rows);
     return Status::OK();
   }
 
   if (sink->kind == PhysicalPlan::Kind::kHashAggregate) {
     BreakerState& bs = ctx->breakers[sink];
     DataChunk out(sink->output_types);
-    if (agg_groups.empty() && sink->group_by.empty()) {
-      // Global aggregate over empty input: one row of type-appropriate
-      // zero values (no NULL semantics in this engine).
+    // Result chunks stay NULL-free by convention: empty inputs and
+    // all-NULL MIN/MAX groups zero-fill instead of emitting NULL (the
+    // engine's consumers index typed payloads directly).
+    auto type_zero = [](LogicalType t) {
+      switch (PhysicalTypeOf(t)) {
+        case PhysicalType::kDouble:
+          return Value(0.0);
+        case PhysicalType::kString:
+          return Value(std::string());
+        case PhysicalType::kInt64:
+        default:
+          return Value(int64_t{0});
+      }
+    };
+    if (agg_rows_folded == 0 && sink->group_by.empty()) {
+      // Global aggregate over empty input: one row of zeros.
+      agg_groups.clear();
       std::vector<Value> row;
       for (const auto& a : sink->aggregates) {
-        switch (PhysicalTypeOf(a->type)) {
-          case PhysicalType::kDouble:
-            row.push_back(Value(0.0));
-            break;
-          case PhysicalType::kString:
-            row.push_back(Value(std::string()));
-            break;
-          case PhysicalType::kInt64:
-            row.push_back(Value(int64_t{0}));
-            break;
-        }
+        row.push_back(type_zero(a->type));
       }
       out.AppendRow(row);
     }
@@ -531,10 +686,10 @@ Status LocalEngine::RunPipeline(const Pipeline& pipeline, ExecContext* ctx) {
                                     : st.dsum / static_cast<double>(st.count)));
             break;
           case AggFunc::kMin:
-            row.push_back(st.min);
+            row.push_back(st.has_value ? st.min : type_zero(agg.type));
             break;
           case AggFunc::kMax:
-            row.push_back(st.max);
+            row.push_back(st.has_value ? st.max : type_zero(agg.type));
             break;
         }
       }
@@ -542,6 +697,9 @@ Status LocalEngine::RunPipeline(const Pipeline& pipeline, ExecContext* ctx) {
     }
     bs.materialized = std::move(out);
     bs.materialized_valid = true;
+    if (timing != nullptr) {
+      timing->output_rows = double(bs.materialized.num_rows());
+    }
     return Status::OK();
   }
 
@@ -571,6 +729,9 @@ Status LocalEngine::RunPipeline(const Pipeline& pipeline, ExecContext* ctx) {
     all.Slice(order);
     bs.materialized = std::move(all);
     bs.materialized_valid = true;
+    if (timing != nullptr) {
+      timing->output_rows = double(bs.materialized.num_rows());
+    }
     return Status::OK();
   }
 
@@ -581,12 +742,13 @@ Result<QueryResult> LocalEngine::Execute(const PhysicalPlan* root) {
   PipelineGraph graph = BuildPipelines(root);
   ExecContext ctx;
   timings_.clear();
+  scan_stats_ = ScanStats();
   for (const auto& pipeline : graph.pipelines) {
-    auto start = std::chrono::steady_clock::now();
-    COSTDB_RETURN_NOT_OK(RunPipeline(pipeline, &ctx));
-    auto end = std::chrono::steady_clock::now();
     PipelineTiming t;
     t.pipeline_id = pipeline.id;
+    auto start = std::chrono::steady_clock::now();
+    COSTDB_RETURN_NOT_OK(RunPipeline(pipeline, &ctx, &t));
+    auto end = std::chrono::steady_clock::now();
     t.seconds = std::chrono::duration<double>(end - start).count();
     timings_.push_back(t);
   }

@@ -28,11 +28,35 @@ struct PipelineTiming {
   double output_rows = 0.0;
 };
 
-/// Morsel-driven, push-style local execution engine. Executes a physical
-/// plan correctly on in-process tables; pipelines run in dependency order,
-/// each parallelized over morsels (row groups for scans, fixed slices for
-/// materialized inputs) on a worker pool. Morsel outputs are reassembled in
-/// morsel order, so results are deterministic for any thread count.
+/// Zone-map pruning counters of one Execute call. A "morsel" here is a
+/// scan morsel (one row group); pruned morsels are skipped before any row
+/// is read, which is where selective predicates win most of their time.
+struct ScanStats {
+  size_t morsels_total = 0;   // scan morsels considered, pre-pruning
+  size_t morsels_pruned = 0;  // skipped whole via zone maps
+  size_t rows_scanned = 0;    // rows in surviving morsels
+  size_t rows_pruned = 0;     // rows in pruned morsels
+
+  double pruned_fraction() const {
+    return morsels_total == 0
+               ? 0.0
+               : static_cast<double>(morsels_pruned) /
+                     static_cast<double>(morsels_total);
+  }
+};
+
+/// Morsel-driven, push-style local execution engine, vectorized end to
+/// end: scans evaluate predicates on borrowed row-group columns and
+/// materialize only surviving rows, filters exchange selection vectors
+/// instead of copies, join probes hash column-at-a-time and gather matches
+/// in bulk, and aggregation folds each morsel into a lock-free local
+/// partial that is merged in morsel order.
+///
+/// Pipelines run in dependency order, each parallelized over morsels (zone-
+/// map-surviving row groups for scans, fixed slices for materialized
+/// inputs) on a worker pool. Morsel outputs and aggregate partials are
+/// reassembled in morsel order, so results are deterministic for any
+/// thread count.
 ///
 /// Exchange operators are no-ops here: locally there is no network. Their
 /// cost lives in the cost estimator and the distributed simulator, which
@@ -43,10 +67,14 @@ class LocalEngine {
 
   Result<QueryResult> Execute(const PhysicalPlan* root);
 
-  /// Per-pipeline wall time of the previous Execute call.
+  /// Per-pipeline wall time of the previous Execute call (the feedback
+  /// signal of the calibration loop; see CalibrationUpdater).
   const std::vector<PipelineTiming>& last_timings() const {
     return timings_;
   }
+
+  /// Zone-map pruning counters of the previous Execute call.
+  const ScanStats& last_scan_stats() const { return scan_stats_; }
 
   size_t num_threads() const { return pool_.num_threads(); }
 
@@ -56,10 +84,12 @@ class LocalEngine {
   struct ExecContext;
 
  private:
-  Status RunPipeline(const Pipeline& pipeline, ExecContext* ctx);
+  Status RunPipeline(const Pipeline& pipeline, ExecContext* ctx,
+                     PipelineTiming* timing);
 
   ThreadPool pool_;
   std::vector<PipelineTiming> timings_;
+  ScanStats scan_stats_;
 };
 
 }  // namespace costdb

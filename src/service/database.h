@@ -75,31 +75,56 @@ class Database {
   DistributedSimulator* simulator() { return simulator_.get(); }
 
   // -- Planning ----------------------------------------------------------
+  /// Lex + parse + bind only: resolves names/types against the catalog
+  /// without planning or touching the cache. Errors are kInvalidArgument
+  /// for malformed SQL and unknown names.
   Result<BoundQuery> BindSql(const std::string& sql) const;
-  /// Plan through the pass pipeline (and the plan cache when enabled).
+
+  /// Plan through the pass pipeline, honoring the plan cache when
+  /// enabled. Cache entries are keyed by (SQL text, constraint) and
+  /// stamped with the calibration version they were planned under; a
+  /// lookup whose stamp predates the current version replans instead of
+  /// returning a stale plan (see calibration_version()). The returned
+  /// plan is immutable and shared — callers must not mutate it.
   Result<PlannedQuery> PlanSql(const std::string& sql,
                                const UserConstraint& constraint);
 
   // -- Local execution backend -------------------------------------------
   /// Parse -> bind -> optimize -> execute -> calibrate, in one call.
+  /// Runs on the vectorized LocalEngine and returns real rows plus the
+  /// plan that produced them, per-pipeline wall timings, and what the
+  /// calibration feedback round did (a no-op report when
+  /// options.enable_calibration is false). Serial ExecuteSql calls use
+  /// one long-lived engine under a lock; concurrent callers should use
+  /// SubmitBatch. Any bind/plan/execution failure returns the error and
+  /// leaves calibration untouched.
   Result<ExecutionResult> ExecuteSql(
       const std::string& sql,
       const UserConstraint& constraint = UserConstraint());
 
   /// Execute a batch concurrently (options.batch_threads queries in
-  /// flight). Planning and calibration stay serial and in request order,
-  /// so results and post-batch calibration state are deterministic.
+  /// flight, each worker on its own engine). Planning and calibration
+  /// stay serial and in request order, so results, cache hit/miss
+  /// patterns, and post-batch calibration state are deterministic and
+  /// per-query results line up index-for-index with `requests`. One
+  /// query's failure does not abort the rest of the batch.
   std::vector<Result<ExecutionResult>> SubmitBatch(
       const std::vector<QueryRequest>& requests);
 
   // -- Simulation backend ------------------------------------------------
-  /// Bind + plan + derive ground-truth volumes for the simulator.
+  /// Bind + plan + derive ground-truth volumes for the simulator. This
+  /// is the experiment-harness entry: the prepared query carries both
+  /// the estimator's guesses and the derived true volumes, so benches
+  /// can compare them.
   Result<PreparedQuery> Prepare(const std::string& sql,
                                 const UserConstraint& constraint);
 
-  /// Simulate a query's distributed execution; `policy`/`env` optional
-  /// (static DOPs on a fresh CloudEnv by default). The returned dollars
-  /// are exactly this query's simulated bill.
+  /// Simulate a query's distributed execution without touching real
+  /// rows; `policy`/`env` optional (static DOPs on a fresh CloudEnv by
+  /// default). The returned dollars are exactly this query's simulated
+  /// bill; when `env` is provided the charge also lands on its billing
+  /// ledger. Simulation never feeds the calibration loop — only real
+  /// executions do.
   Result<SimResult> SimulateSql(const std::string& sql,
                                 const UserConstraint& constraint,
                                 ResizePolicy* policy = nullptr,
@@ -107,8 +132,11 @@ class Database {
 
   // -- Calibration loop --------------------------------------------------
   const CalibrationUpdater& calibration() const { return *calibration_; }
-  /// Bumped whenever calibration moves past the recalibration threshold;
-  /// cached plans from older versions are replanned.
+  /// Bumped whenever a feedback round moves the calibration by more than
+  /// options.recalibration_threshold (relative). Cached plans carry the
+  /// version they were planned under; any entry older than the current
+  /// version is invalidated lazily on its next lookup, so estimates that
+  /// drifted materially can never serve a stale plan.
   int calibration_version() const { return calibration_version_; }
 
   // -- Plan cache --------------------------------------------------------

@@ -19,13 +19,24 @@ class QueryService {
   QueryService(const MetadataService* meta, const CostEstimator* estimator,
                BiObjectiveOptions options = BiObjectiveOptions());
 
+  /// Run the full pass pipeline on raw SQL: bind -> dag_plan ->
+  /// bushy_rewrite -> physical_plan -> dop_plan (plus any spliced custom
+  /// passes, in pipeline order). The returned PlannedQuery carries the
+  /// physical plan, its pipeline decomposition, and the bi-objective
+  /// estimate chosen under `constraint`. Stateless and side-effect-free:
+  /// no cache, no calibration write — the Database facade layers those
+  /// on top. Pass failures surface the failing stage's status with its
+  /// original code preserved.
   Result<PlannedQuery> PlanSql(const std::string& sql,
                                const UserConstraint& constraint) const;
 
-  /// Plan an already-bound query (the bind pass no-ops).
+  /// Plan an already-bound query (the bind pass no-ops). Same contract
+  /// as PlanSql; used when the caller binds once and plans under several
+  /// constraints.
   Result<PlannedQuery> Plan(const BoundQuery& query,
                             const UserConstraint& constraint) const;
 
+  /// Bind only (no planning): name/type resolution against the catalog.
   Result<BoundQuery> Bind(const std::string& sql) const;
 
   // -- Pass pipeline management ------------------------------------------

@@ -10,9 +10,14 @@
 namespace costdb {
 
 /// A typed column of values, the unit the vectorized kernels operate on.
-/// One physical family is active at a time (see PhysicalTypeOf). NULLs are
-/// not represented — the workload generator produces complete data, which
-/// matches the paper's analytical setting and keeps kernels branch-free.
+/// One physical family is active at a time (see PhysicalTypeOf).
+///
+/// NULLs are represented by an optional validity mask that is materialized
+/// lazily: a vector with no mask is all-valid and kernels stay branch-free
+/// on it (the workload generator produces complete data, matching the
+/// paper's analytical setting). When a NULL is appended, the payload slot
+/// holds a type-default filler so the flat arrays remain fully populated
+/// and kernels can compute first and mask afterwards.
 class ColumnVector {
  public:
   ColumnVector() : type_(LogicalType::kInt64) {}
@@ -25,18 +30,48 @@ class ColumnVector {
   void Reserve(size_t n);
   void Clear();
 
-  void AppendInt(int64_t v) { ints_.push_back(v); }
-  void AppendDouble(double v) { doubles_.push_back(v); }
-  void AppendString(std::string v) { strings_.push_back(std::move(v)); }
+  // The raw appends keep the (usually absent) validity mask in step; the
+  // branch is free on mask-less vectors.
+  void AppendInt(int64_t v) {
+    ints_.push_back(v);
+    if (!valid_.empty()) valid_.push_back(1);
+  }
+  void AppendDouble(double v) {
+    doubles_.push_back(v);
+    if (!valid_.empty()) valid_.push_back(1);
+  }
+  void AppendString(std::string v) {
+    strings_.push_back(std::move(v));
+    if (!valid_.empty()) valid_.push_back(1);
+  }
 
-  /// Append a Value coerced to this column's physical family.
+  /// Append a Value coerced to this column's physical family; a NULL Value
+  /// appends a NULL row.
   void AppendValue(const Value& v);
+
+  /// Append a NULL row (default payload + invalid mask bit).
+  void AppendNull();
+
+  /// True when row i is NULL. Cheap: one branch on the (usually absent)
+  /// validity mask.
+  bool IsNull(size_t i) const { return !valid_.empty() && valid_[i] == 0; }
+
+  /// True when this vector carries a validity mask (conservative: the mask
+  /// may exist while every row is valid).
+  bool has_nulls() const { return !valid_.empty(); }
+
+  /// Raw validity payload (empty means all-valid); 1 = valid, 0 = NULL.
+  const std::vector<uint8_t>& validity() const { return valid_; }
+
+  /// Materialize the validity mask (all-valid) so kernels can write it.
+  std::vector<uint8_t>& MutableValidity();
 
   int64_t GetInt(size_t i) const { return ints_[i]; }
   double GetDouble(size_t i) const { return doubles_[i]; }
   const std::string& GetString(size_t i) const { return strings_[i]; }
 
   /// Value at row i (for result materialization / tests; not a hot path).
+  /// NULL rows come back as Value::Null().
   Value GetValue(size_t i) const;
 
   /// Direct access to the typed payload for kernels.
@@ -53,11 +88,18 @@ class ColumnVector {
   /// Append row i of `other` (same physical family) to this vector.
   void AppendFrom(const ColumnVector& other, size_t i);
 
+  /// Bulk-append rows [begin, end) of `other` (same physical family) — the
+  /// vectorized replacement for a per-row AppendFrom loop.
+  void AppendRange(const ColumnVector& other, size_t begin, size_t end);
+
  private:
+  void EnsureValidity();
+
   LogicalType type_;
   std::vector<int64_t> ints_;
   std::vector<double> doubles_;
   std::vector<std::string> strings_;
+  std::vector<uint8_t> valid_;  // empty = all rows valid
 };
 
 }  // namespace costdb

@@ -2,6 +2,19 @@
 
 namespace costdb {
 
+ChunkView::ChunkView(const DataChunk& chunk) {
+  columns_.reserve(chunk.num_columns());
+  for (size_t c = 0; c < chunk.num_columns(); ++c) {
+    columns_.push_back(&chunk.column(c));
+  }
+  rows_ = chunk.num_rows();
+}
+
+void ChunkView::AddColumn(const ColumnVector* column) {
+  columns_.push_back(column);
+  rows_ = column->size();
+}
+
 DataChunk::DataChunk(std::vector<LogicalType> types) {
   columns_.reserve(types.size());
   for (LogicalType t : types) columns_.emplace_back(t);
@@ -21,9 +34,12 @@ void DataChunk::AppendRow(const std::vector<Value>& row) {
 }
 
 void DataChunk::Append(const DataChunk& other) {
+  AppendRange(other, 0, other.num_rows());
+}
+
+void DataChunk::AppendRange(const DataChunk& other, size_t begin, size_t end) {
   for (size_t c = 0; c < columns_.size(); ++c) {
-    const auto& src = other.columns_[c];
-    for (size_t i = 0; i < src.size(); ++i) columns_[c].AppendFrom(src, i);
+    columns_[c].AppendRange(other.columns_[c], begin, end);
   }
 }
 

@@ -6,6 +6,31 @@
 
 namespace costdb {
 
+class DataChunk;
+
+/// A non-owning, read-only view over a set of ColumnVectors — what the
+/// vectorized kernels consume. Lets the scan evaluate predicates directly
+/// on row-group storage (no copy) and materialize only surviving rows.
+/// Implicitly convertible from DataChunk so every evaluator entry point
+/// accepts either.
+class ChunkView {
+ public:
+  ChunkView() = default;
+  ChunkView(const DataChunk& chunk);  // NOLINT: implicit borrow intended
+
+  /// Borrow an already-materialized column. All columns must have the same
+  /// row count.
+  void AddColumn(const ColumnVector* column);
+
+  size_t num_columns() const { return columns_.size(); }
+  size_t num_rows() const { return rows_; }
+  const ColumnVector& column(size_t i) const { return *columns_[i]; }
+
+ private:
+  std::vector<const ColumnVector*> columns_;
+  size_t rows_ = 0;
+};
+
 /// A horizontal slice of rows across a set of columns — the unit flowing
 /// between operators in the push-based engine (DuckDB-style).
 class DataChunk {
@@ -26,8 +51,12 @@ class DataChunk {
   /// Append a full row of values (testing / tiny-data convenience).
   void AppendRow(const std::vector<Value>& row);
 
-  /// Append all rows of `other` (same layout).
+  /// Append all rows of `other` (same layout). Bulk column copies.
   void Append(const DataChunk& other);
+
+  /// Bulk-append rows [begin, end) of `other` (same layout) — the morsel
+  /// slicer for materialized pipeline sources.
+  void AppendRange(const DataChunk& other, size_t begin, size_t end);
 
   /// Keep only rows in `sel`.
   void Slice(const std::vector<uint32_t>& sel);

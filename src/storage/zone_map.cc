@@ -36,12 +36,18 @@ CompareOp SwapCompareOp(CompareOp op) {
 }
 
 ZoneMapEntry ZoneMapEntry::Build(const ColumnVector& column) {
+  // NULL rows are excluded from the bounds: a comparison predicate is never
+  // true on a NULL, so pruning by non-null min/max cannot drop a qualifying
+  // row. An all-NULL (or empty) column keeps NULL bounds and never prunes.
   ZoneMapEntry z;
-  if (column.size() == 0) return z;
-  z.min = column.GetValue(0);
-  z.max = z.min;
-  for (size_t i = 1; i < column.size(); ++i) {
+  for (size_t i = 0; i < column.size(); ++i) {
+    if (column.IsNull(i)) continue;
     Value v = column.GetValue(i);
+    if (z.min.is_null()) {
+      z.min = v;
+      z.max = v;
+      continue;
+    }
     if (v < z.min) z.min = v;
     if (z.max < v) z.max = v;
   }
