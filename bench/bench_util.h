@@ -6,7 +6,7 @@
 
 #include "common/table_printer.h"
 #include "runtime/policies.h"
-#include "service/database.h"
+#include "service/session.h"
 #include "workload/ssb.h"
 
 namespace costdb {
@@ -20,6 +20,10 @@ namespace bench {
 /// non-owning views for experiment code that probes individual layers.
 struct BenchContext {
   std::unique_ptr<Database> db;
+  /// The client surface over `db` — experiment code that plans/executes
+  /// whole queries enters here (ROADMAP.md "Rule"); the raw members below
+  /// are for probing individual layers.
+  std::unique_ptr<Session> session;
   MetadataService& meta;
   const HardwareCalibration& hw;
   const InstanceType& node;
@@ -31,6 +35,7 @@ struct BenchContext {
 
   explicit BenchContext(std::unique_ptr<Database> database)
       : db(std::move(database)),
+        session(std::make_unique<Session>(db.get())),
         meta(*db->meta()),
         hw(*db->hardware()),
         node(db->node_type()),

@@ -16,8 +16,20 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 # ---- bench smoke: a broken bench binary should fail CI, not bitrot ----
 echo "== bench smoke =="
 "$BUILD_DIR/bench_e12_vectorized" --smoke
+"$BUILD_DIR/bench_e13_sessions" --smoke
 "$BUILD_DIR/bench_f3_endtoend" > /dev/null
 echo "bench smoke OK"
+
+# ---- TSAN: the async service layer (admission queue, session ledgers,
+# streaming result sinks) is the concurrency hot spot; race it under
+# ThreadSanitizer. Scoped to the service tests to keep CI time sane.
+echo "== TSAN (service + session) =="
+TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
+cmake -B "$TSAN_BUILD_DIR" -S . -DCOSTDB_TSAN=ON
+cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" --target service_test session_test
+TSAN_OPTIONS="halt_on_error=1" "$TSAN_BUILD_DIR/service_test"
+TSAN_OPTIONS="halt_on_error=1" "$TSAN_BUILD_DIR/session_test"
+echo "TSAN OK"
 
 # ---- markdown link check: relative links in the docs must resolve ----
 echo "== markdown link check =="

@@ -14,8 +14,8 @@ int main() {
   std::printf("query: %s\n\n", sql.c_str());
 
   // Establish the spend range: cheapest possible vs all-out.
-  auto floor_plan = ctx.db->PlanSql(sql, UserConstraint::Budget(0.0));
-  auto ceiling = ctx.db->PlanSql(sql, UserConstraint::Budget(1e9));
+  auto floor_plan = ctx.session->Plan(sql, UserConstraint::Budget(0.0));
+  auto ceiling = ctx.session->Plan(sql, UserConstraint::Budget(1e9));
   if (!floor_plan.ok() || !ceiling.ok()) return 1;
   Dollars lo = floor_plan->estimate.cost;
   Dollars hi = ceiling->estimate.cost;
@@ -26,7 +26,7 @@ int main() {
   Seconds serial_latency = floor_plan->estimate.latency;
   for (double f : {0.0, 0.25, 0.5, 1.0, 2.0, 8.0}) {
     Dollars budget = lo + f * (hi - lo);
-    auto planned = ctx.db->PlanSql(sql, UserConstraint::Budget(budget));
+    auto planned = ctx.session->Plan(sql, UserConstraint::Budget(budget));
     if (!planned.ok()) continue;
     t.AddRow({FormatDollars(budget), FormatDollars(planned->estimate.cost),
               FormatSeconds(planned->estimate.latency),

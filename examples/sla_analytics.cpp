@@ -18,7 +18,7 @@ int main() {
   TablePrinter t({"SLA", "feasible", "est latency", "est bill",
                   "per-pipeline DOPs"});
   for (Seconds sla : {60.0, 20.0, 6.0, 2.0, 0.2}) {
-    auto planned = ctx.db->PlanSql(sql, UserConstraint::Sla(sla));
+    auto planned = ctx.session->Plan(sql, UserConstraint::Sla(sla));
     if (!planned.ok()) continue;
     std::string dops;
     for (const auto& p : planned->pipelines.pipelines) {

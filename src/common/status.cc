@@ -21,6 +21,8 @@ const char* CodeName(Status::Code code) {
       return "ResourceExhausted";
     case Status::Code::kSlaViolation:
       return "SlaViolation";
+    case Status::Code::kCancelled:
+      return "Cancelled";
     case Status::Code::kInternal:
       return "Internal";
   }

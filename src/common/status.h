@@ -19,6 +19,7 @@ class Status {
     kOutOfRange,
     kResourceExhausted,  // budget/cluster capacity exceeded
     kSlaViolation,       // latency SLA cannot be met
+    kCancelled,          // query withdrawn before/while running
     kInternal,
   };
 
@@ -46,6 +47,9 @@ class Status {
   static Status SlaViolation(std::string msg) {
     return Status(Code::kSlaViolation, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(Code::kCancelled, std::move(msg));
+  }
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
   }
@@ -60,6 +64,7 @@ class Status {
     return code_ == Code::kResourceExhausted;
   }
   bool IsSlaViolation() const { return code_ == Code::kSlaViolation; }
+  bool IsCancelled() const { return code_ == Code::kCancelled; }
   bool IsInternal() const { return code_ == Code::kInternal; }
 
   Code code() const { return code_; }

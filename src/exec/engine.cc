@@ -270,6 +270,10 @@ struct LocalEngine::ExecContext {
   std::map<const PhysicalPlan*, BreakerState> breakers;
   DataChunk result;
   bool result_valid = false;
+  /// When set, the result pipeline streams into this sink (in morsel
+  /// order, as prefixes complete) instead of materializing `result`.
+  ChunkSink* result_sink = nullptr;
+  size_t rows_streamed = 0;
 };
 
 namespace {
@@ -467,7 +471,25 @@ Status LocalEngine::RunPipeline(const Pipeline& pipeline, ExecContext* ctx,
   double source_rows = 0.0;
   for (const Morsel& m : morsels) source_rows += double(m.end - m.begin);
 
-  auto process_one = [&](size_t slot) {
+  // Streaming result path: the final pipeline pushes each morsel's output
+  // to the client sink as soon as every earlier morsel has been delivered
+  // — deterministic morsel order without materializing the whole result.
+  const bool streaming = sink == nullptr && ctx->result_sink != nullptr;
+  int64_t limit_remaining = -1;  // result-pipeline LIMIT, applied on push
+  if (streaming) {
+    for (const PhysicalPlan* op : pipeline.operators) {
+      if (op->kind == PhysicalPlan::Kind::kLimit && op->limit >= 0) {
+        limit_remaining = op->limit;
+      }
+    }
+  }
+  std::mutex push_mu;
+  std::vector<uint8_t> slot_ready(morsels.size(), 0);
+  size_t next_push = 0;
+  size_t pushed_rows = 0;
+  Status push_status;  // first sink failure; surfaced after the barrier
+
+  auto process_inner = [&](size_t slot) {
     const Morsel& m = morsels[slot];
     // Assemble the source chunk.
     DataChunk chunk;
@@ -547,6 +569,42 @@ Status LocalEngine::RunPipeline(const Pipeline& pipeline, ExecContext* ctx,
     slot_outputs[slot] = std::move(chunk);
   };
 
+  auto process_one = [&](size_t slot) {
+    process_inner(slot);
+    if (!streaming) return;
+    // Mark this slot delivered (even on error — a stuck prefix would
+    // otherwise pin every later chunk) and push all consecutive ready
+    // slots. The lock serializes pushes; order is morsel order.
+    std::lock_guard<std::mutex> lock(push_mu);
+    slot_ready[slot] = 1;
+    while (next_push < slot_ready.size() && slot_ready[next_push]) {
+      DataChunk& ready = slot_outputs[next_push];
+      // A failed morsel latches: nothing after it is pushed, so whatever
+      // the client streamed before the error is a correct prefix of the
+      // true result (never a row sequence with a hole in the middle).
+      if (push_status.ok() && !slot_status[next_push].ok()) {
+        push_status = slot_status[next_push];
+      }
+      const bool ok_to_push = push_status.ok() && ready.num_rows() > 0 &&
+                              limit_remaining != 0;
+      ++next_push;
+      if (!ok_to_push) continue;
+      if (limit_remaining > 0 &&
+          static_cast<int64_t>(ready.num_rows()) > limit_remaining) {
+        std::vector<uint32_t> head(static_cast<size_t>(limit_remaining));
+        for (size_t i = 0; i < head.size(); ++i) {
+          head[i] = static_cast<uint32_t>(i);
+        }
+        ready.Slice(head);
+      }
+      if (limit_remaining > 0) {
+        limit_remaining -= static_cast<int64_t>(ready.num_rows());
+      }
+      pushed_rows += ready.num_rows();
+      push_status = ctx->result_sink->Push(std::move(ready));
+    }
+  };
+
   if (pool_.num_threads() > 1 && morsels.size() > 1) {
     for (size_t slot = 0; slot < morsels.size(); ++slot) {
       pool_.Submit([&, slot] { process_one(slot); });
@@ -588,6 +646,15 @@ Status LocalEngine::RunPipeline(const Pipeline& pipeline, ExecContext* ctx,
     }
     return all;
   };
+
+  if (sink == nullptr && ctx->result_sink != nullptr) {
+    // Streaming result: every chunk already went out in morsel order.
+    COSTDB_RETURN_NOT_OK(push_status);
+    ctx->result_valid = true;
+    ctx->rows_streamed += pushed_rows;
+    if (timing != nullptr) timing->output_rows = double(pushed_rows);
+    return Status::OK();
+  }
 
   if (sink == nullptr) {
     // Result sink. The streamed schema is the root's output schema.
@@ -738,28 +805,48 @@ Status LocalEngine::RunPipeline(const Pipeline& pipeline, ExecContext* ctx,
   return Status::Internal("unknown sink kind");
 }
 
-Result<QueryResult> LocalEngine::Execute(const PhysicalPlan* root) {
+Status LocalEngine::RunAll(const PhysicalPlan* root, ExecContext* ctx) {
   PipelineGraph graph = BuildPipelines(root);
-  ExecContext ctx;
   timings_.clear();
   scan_stats_ = ScanStats();
   for (const auto& pipeline : graph.pipelines) {
     PipelineTiming t;
     t.pipeline_id = pipeline.id;
     auto start = std::chrono::steady_clock::now();
-    COSTDB_RETURN_NOT_OK(RunPipeline(pipeline, &ctx, &t));
+    COSTDB_RETURN_NOT_OK(RunPipeline(pipeline, ctx, &t));
     auto end = std::chrono::steady_clock::now();
     t.seconds = std::chrono::duration<double>(end - start).count();
     timings_.push_back(t);
   }
-  if (!ctx.result_valid) {
+  if (!ctx->result_valid) {
     return Status::Internal("query produced no result sink");
   }
+  return Status::OK();
+}
+
+Result<QueryResult> LocalEngine::Execute(const PhysicalPlan* root) {
+  ExecContext ctx;
+  COSTDB_RETURN_NOT_OK(RunAll(root, &ctx));
   QueryResult result;
   result.names = root->output_names;
   result.types = root->output_types;
   result.chunk = std::move(ctx.result);
   return result;
+}
+
+Result<StreamedResult> LocalEngine::ExecuteToSink(const PhysicalPlan* root,
+                                                  ChunkSink* sink) {
+  if (sink == nullptr) {
+    return Status::InvalidArgument("ExecuteToSink requires a sink");
+  }
+  ExecContext ctx;
+  ctx.result_sink = sink;
+  COSTDB_RETURN_NOT_OK(RunAll(root, &ctx));
+  StreamedResult out;
+  out.names = root->output_names;
+  out.types = root->output_types;
+  out.rows_streamed = ctx.rows_streamed;
+  return out;
 }
 
 }  // namespace costdb

@@ -19,6 +19,27 @@ struct QueryResult {
   std::string ToString(int64_t limit = 20) const;
 };
 
+/// Consumer side of the engine's pull-based result path. The final
+/// pipeline hands result chunks to the sink in deterministic morsel order
+/// as soon as every earlier morsel has been delivered — it never
+/// concatenates the whole result first, so a client draining the sink
+/// concurrently sees rows while later morsels are still executing.
+/// Push calls are serialized by the engine (one at a time, but possibly
+/// from different worker threads); a non-OK return aborts the query.
+class ChunkSink {
+ public:
+  virtual ~ChunkSink() = default;
+  virtual Status Push(DataChunk chunk) = 0;
+};
+
+/// Schema and row count of a sink-driven execution (the rows themselves
+/// went to the ChunkSink).
+struct StreamedResult {
+  std::vector<std::string> names;
+  std::vector<LogicalType> types;
+  size_t rows_streamed = 0;
+};
+
 /// Wall-clock measurement of one pipeline run, used to calibrate the cost
 /// estimator's per-operator throughput parameters.
 struct PipelineTiming {
@@ -67,6 +88,14 @@ class LocalEngine {
 
   Result<QueryResult> Execute(const PhysicalPlan* root);
 
+  /// Execute with the final pipeline streaming into `sink` instead of
+  /// materializing a QueryResult (intermediate breakers still materialize
+  /// — only the result pipeline is pull-based). Chunk order and content
+  /// match Execute() exactly, including LIMIT truncation. last_timings()
+  /// and last_scan_stats() are populated the same way.
+  Result<StreamedResult> ExecuteToSink(const PhysicalPlan* root,
+                                       ChunkSink* sink);
+
   /// Per-pipeline wall time of the previous Execute call (the feedback
   /// signal of the calibration loop; see CalibrationUpdater).
   const std::vector<PipelineTiming>& last_timings() const {
@@ -86,6 +115,10 @@ class LocalEngine {
  private:
   Status RunPipeline(const Pipeline& pipeline, ExecContext* ctx,
                      PipelineTiming* timing);
+
+  /// Shared driver of Execute / ExecuteToSink: pipeline decomposition,
+  /// dependency-ordered execution, timing capture.
+  Status RunAll(const PhysicalPlan* root, ExecContext* ctx);
 
   ThreadPool pool_;
   std::vector<PipelineTiming> timings_;

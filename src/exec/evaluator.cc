@@ -379,6 +379,11 @@ Result<ColumnVector> Evaluator::Evaluate(const Expr& expr,
       return Status::Internal(
           "aggregate expression reached the evaluator; the binder should "
           "have extracted it");
+    case Expr::Kind::kParam:
+      return Status::Internal(
+          "unbound parameter ?" + std::to_string(expr.param_index) +
+          " reached the evaluator; prepared plans must be bound via "
+          "PreparedStatement::Execute before running");
   }
   return Status::Internal("unreachable expression kind");
 }
@@ -685,6 +690,11 @@ Result<Value> Evaluator::EvaluateRow(const Expr& expr, const ChunkView& chunk,
       return Status::Internal(
           "aggregate expression reached the evaluator; the binder should "
           "have extracted it");
+    case Expr::Kind::kParam:
+      return Status::Internal(
+          "unbound parameter ?" + std::to_string(expr.param_index) +
+          " reached the evaluator; prepared plans must be bound via "
+          "PreparedStatement::Execute before running");
   }
   return Status::Internal("unreachable expression kind");
 }

@@ -83,6 +83,9 @@ double CardinalityEstimator::Selectivity(const ExprPtr& predicate) const {
       CompareOp op;
       Value constant;
       if (MatchColumnCompareConstant(predicate, &column, &op, &constant)) {
+        // A comparison with NULL matches no rows (three-valued logic) —
+        // reachable via a NULL prepared-statement parameter.
+        if (constant.is_null()) return 0.0;
         const ColumnStats* cs = FindColumn(column, nullptr);
         if (cs == nullptr) {
           return op == CompareOp::kEq ? kEqualityFallback

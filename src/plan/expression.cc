@@ -53,6 +53,8 @@ std::string Expr::ToString() const {
              ")";
     case Kind::kLike:
       return children[0]->ToString() + " LIKE " + children[1]->ToString();
+    case Kind::kParam:
+      return "?" + std::to_string(param_index);
   }
   return "?";
 }
@@ -161,6 +163,14 @@ ExprPtr Expr::MakeAgg(AggFunc f, ExprPtr arg) {
   return e;
 }
 
+ExprPtr Expr::MakeParam(int index, LogicalType type) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kParam;
+  e->param_index = index;
+  e->type = type;
+  return e;
+}
+
 ExprPtr Expr::MakeLike(ExprPtr input, std::string pattern) {
   auto e = std::make_shared<Expr>();
   e->kind = Kind::kLike;
@@ -212,6 +222,25 @@ bool MatchColumnCompareConstant(const ExprPtr& e, std::string* column,
     return true;
   }
   return false;
+}
+
+bool ContainsParam(const ExprPtr& e) {
+  if (!e) return false;
+  if (e->kind == Expr::Kind::kParam) return true;
+  return std::any_of(e->children.begin(), e->children.end(), ContainsParam);
+}
+
+ExprPtr SubstituteParams(const ExprPtr& e, const std::vector<Value>& params) {
+  if (!e) return e;
+  if (e->kind == Expr::Kind::kParam &&
+      e->param_index >= 0 &&
+      static_cast<size_t>(e->param_index) < params.size()) {
+    return Expr::MakeConstant(params[e->param_index], e->type);
+  }
+  if (!ContainsParam(e)) return e;  // share unchanged subtrees
+  auto copy = std::make_shared<Expr>(*e);
+  for (auto& c : copy->children) c = SubstituteParams(c, params);
+  return copy;
 }
 
 bool MatchEquiJoin(const ExprPtr& e, std::string* left_col,

@@ -39,6 +39,7 @@ struct Expr {
     kArith,     // children[0] op children[1], op in + - * /
     kAgg,       // aggregate over children[0] (none for COUNT(*))
     kLike,      // children[0] LIKE pattern (constant child[1])
+    kParam,     // prepared-statement placeholder, bound at Execute time
   };
 
   Kind kind = Kind::kConstant;
@@ -49,6 +50,7 @@ struct Expr {
   CompareOp cmp = CompareOp::kEq;  // kCompare
   char arith_op = '+';  // kArith
   AggFunc agg = AggFunc::kCountStar;  // kAgg
+  int param_index = 0;  // kParam: ordinal into the Execute bind vector
   std::vector<ExprPtr> children;
 
   std::string ToString() const;
@@ -69,6 +71,7 @@ struct Expr {
   static ExprPtr MakeArith(char op, ExprPtr l, ExprPtr r);
   static ExprPtr MakeAgg(AggFunc f, ExprPtr arg);  // arg may be nullptr
   static ExprPtr MakeLike(ExprPtr input, std::string pattern);
+  static ExprPtr MakeParam(int index, LogicalType type);
 };
 
 /// Splits a predicate into its top-level AND conjuncts.
@@ -88,5 +91,14 @@ bool MatchColumnCompareConstant(const ExprPtr& e, std::string* column,
 /// Matches `colA = colB` across two different table prefixes.
 bool MatchEquiJoin(const ExprPtr& e, std::string* left_col,
                    std::string* right_col);
+
+/// True if any node of the tree is a kParam placeholder.
+bool ContainsParam(const ExprPtr& e);
+
+/// Deep copy with every kParam node replaced by a kConstant carrying
+/// params[param_index] (the placeholder's inferred type is kept, so a NULL
+/// value stays typed). Out-of-range indices are a caller bug and keep the
+/// placeholder — Execute validates arity before substituting.
+ExprPtr SubstituteParams(const ExprPtr& e, const std::vector<Value>& params);
 
 }  // namespace costdb

@@ -86,4 +86,48 @@ size_t PhysicalPlan::FindColumn(const std::string& name) const {
   return static_cast<size_t>(-1);
 }
 
+namespace {
+
+/// Apply `fn` to every expression slot of one plan node (non-recursive).
+/// The single enumeration of PhysicalPlan's expression-bearing fields —
+/// new fields get added here once and every traversal sees them.
+template <typename Node, typename Fn>
+void ForEachExprSlot(Node* node, Fn fn) {
+  for (auto& f : node->scan_filters) fn(f);
+  if (node->predicate) fn(node->predicate);
+  for (auto& p : node->projections) fn(p);
+  for (auto& k : node->probe_keys) fn(k);
+  for (auto& k : node->build_keys) fn(k);
+  for (auto& g : node->group_by) fn(g);
+  for (auto& a : node->aggregates) fn(a);
+  for (auto& s : node->sort_keys) fn(s.expr);
+}
+
+}  // namespace
+
+PhysicalPlanPtr BindPlanParams(const PhysicalPlan* root,
+                               const std::vector<Value>& params) {
+  if (root == nullptr) return nullptr;
+  auto node = std::make_shared<PhysicalPlan>(*root);
+  for (auto& child : node->children) {
+    child = BindPlanParams(child.get(), params);
+  }
+  ForEachExprSlot(node.get(),
+                  [&params](ExprPtr& e) { e = SubstituteParams(e, params); });
+  return node;
+}
+
+bool PlanHasParams(const PhysicalPlan* root) {
+  if (root == nullptr) return false;
+  bool found = false;
+  ForEachExprSlot(root, [&found](const ExprPtr& e) {
+    if (ContainsParam(e)) found = true;
+  });
+  if (found) return true;
+  for (const auto& c : root->children) {
+    if (PlanHasParams(c.get())) return true;
+  }
+  return false;
+}
+
 }  // namespace costdb

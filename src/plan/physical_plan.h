@@ -91,4 +91,16 @@ struct PhysicalPlan {
   size_t FindColumn(const std::string& name) const;
 };
 
+/// Deep copy of a plan tree with every kParam placeholder replaced by the
+/// corresponding bound constant from `params` (positional). Expression
+/// subtrees without placeholders stay shared with the original, so binding
+/// a cached prepared plan costs one pass over the plan's expressions, not
+/// a re-optimization. The original tree is untouched.
+PhysicalPlanPtr BindPlanParams(const PhysicalPlan* root,
+                               const std::vector<Value>& params);
+
+/// True if any expression anywhere in the plan still carries a kParam
+/// placeholder (i.e. the plan needs BindPlanParams before execution).
+bool PlanHasParams(const PhysicalPlan* root);
+
 }  // namespace costdb

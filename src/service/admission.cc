@@ -1,0 +1,193 @@
+#include "service/admission.h"
+
+#include <algorithm>
+
+namespace costdb {
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options) {
+  const size_t n = std::max<size_t>(1, options_.max_concurrent);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+AdmissionController::~AdmissionController() {
+  std::vector<RunFn> cancel_callbacks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    // Whatever never started never will: fail fast rather than running
+    // work whose owners are being torn down. Owners are told via
+    // on_cancel so handles waiting on these tickets complete.
+    for (auto& t : queue_) {
+      if (t->state == Ticket::State::kQueued) {
+        t->state = Ticket::State::kCancelled;
+        ++stats_.cancelled;
+        if (t->sub.on_cancel) {
+          cancel_callbacks.push_back(std::move(t->sub.on_cancel));
+        }
+        t->sub = Submission();  // break owner<->ticket reference cycles
+      }
+    }
+    queue_.clear();
+  }
+  for (auto& cb : cancel_callbacks) cb();
+  cv_.notify_all();
+  done_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+AdmissionController::TicketPtr AdmissionController::Submit(
+    Submission submission) {
+  auto ticket = std::make_shared<Ticket>();
+  RunFn on_cancel;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ticket->seq = next_seq_++;
+    ticket->enqueued_at = std::chrono::steady_clock::now();
+    ++stats_.submitted;
+    if (shutdown_) {
+      // Never enqueue into a draining controller; tell the owner.
+      ticket->state = Ticket::State::kCancelled;
+      ++stats_.cancelled;
+      on_cancel = std::move(submission.on_cancel);
+    } else {
+      ticket->sub = std::move(submission);
+      queue_.push_back(ticket);
+    }
+  }
+  if (on_cancel) {
+    on_cancel();
+    return ticket;
+  }
+  cv_.notify_one();
+  return ticket;
+}
+
+bool AdmissionController::Cancel(const TicketPtr& ticket) {
+  RunFn on_cancel;
+  bool cancelled = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ticket->state == Ticket::State::kQueued) {
+      ticket->state = Ticket::State::kCancelled;
+      queue_.erase(std::remove(queue_.begin(), queue_.end(), ticket),
+                   queue_.end());
+      ++stats_.cancelled;
+      on_cancel = std::move(ticket->sub.on_cancel);
+      ticket->sub = Submission();  // break owner<->ticket reference cycles
+      cancelled = true;
+    }
+  }
+  if (cancelled) {
+    if (on_cancel) on_cancel();
+    done_cv_.notify_all();
+  }
+  return cancelled;
+}
+
+void AdmissionController::Await(const TicketPtr& ticket) {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] {
+    return ticket->state == Ticket::State::kDone ||
+           ticket->state == Ticket::State::kCancelled;
+  });
+}
+
+AdmissionController::Ticket::State AdmissionController::state(
+    const TicketPtr& ticket) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ticket->state;
+}
+
+AdmissionController::Stats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+AdmissionController::TicketPtr AdmissionController::PickNext() {
+  if (queue_.empty()) return nullptr;
+  const auto now = std::chrono::steady_clock::now();
+  auto admissible = [&](const TicketPtr& t) {
+    // The memory cap gates admission; a query too big for the cap runs
+    // alone rather than starving.
+    if (running_ == 0) return true;
+    return running_memory_ + t->sub.est_memory_bytes <=
+           options_.max_estimated_memory_bytes;
+  };
+  // Starvation guard first: the oldest queued ticket, once overdue, wins
+  // over any cost ranking. If it cannot be admitted yet (memory cap),
+  // admit nothing — holding the door lets the pool drain until the
+  // overdue query fits (or runs alone), instead of younger cheap queries
+  // starving it forever.
+  const TicketPtr& oldest = queue_.front();
+  const Seconds waited =
+      std::chrono::duration<double>(now - oldest->enqueued_at).count();
+  if (waited > options_.max_queue_wait) {
+    return admissible(oldest) ? oldest : nullptr;
+  }
+  // Cost-aware order: shortest predicted latency, then earlier deadline,
+  // then submission order.
+  TicketPtr best;
+  for (const TicketPtr& t : queue_) {
+    if (!admissible(t)) continue;
+    if (best == nullptr) {
+      best = t;
+      continue;
+    }
+    const auto key = [](const Ticket& x) {
+      return std::make_tuple(x.sub.est_latency, x.sub.sla_deadline, x.seq);
+    };
+    if (key(*t) < key(*best)) best = t;
+  }
+  return best;
+}
+
+void AdmissionController::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    TicketPtr ticket;
+    cv_.wait(lock, [&] {
+      if (shutdown_) return true;
+      ticket = PickNext();
+      return ticket != nullptr;
+    });
+    if (ticket == nullptr) {
+      if (shutdown_) return;
+      continue;
+    }
+    queue_.erase(std::remove(queue_.begin(), queue_.end(), ticket),
+                 queue_.end());
+    // Did this admission jump an earlier submission?
+    for (const TicketPtr& q : queue_) {
+      if (q->seq < ticket->seq) {
+        ++stats_.reordered;
+        break;
+      }
+    }
+    ticket->state = Ticket::State::kRunning;
+    ++stats_.started;
+    ++running_;
+    const double memory = ticket->sub.est_memory_bytes;
+    running_memory_ += memory;
+    lock.unlock();
+    ticket->sub.run();
+    lock.lock();
+    ticket->state = Ticket::State::kDone;
+    // The closures captured the owner's state; dropping them here breaks
+    // the owner -> ticket -> closure -> owner reference cycle so
+    // completed submissions free their plans and undrained chunks.
+    ticket->sub = Submission();
+    ++stats_.completed;
+    --running_;
+    running_memory_ -= memory;
+    done_cv_.notify_all();
+    // A slot and its memory just freed up: other workers may now have an
+    // admissible ticket.
+    cv_.notify_all();
+  }
+}
+
+}  // namespace costdb

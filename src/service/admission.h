@@ -1,0 +1,124 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/units.h"
+
+namespace costdb {
+
+struct AdmissionOptions {
+  /// Queries running at once (admission worker count). 0 = pick up the
+  /// facade's batch_threads default (see DatabaseOptions).
+  size_t max_concurrent = 0;
+  /// Cap on the summed estimated working set of running queries. A query
+  /// whose own estimate exceeds the cap still runs — alone — so oversized
+  /// requests degrade to serial execution instead of queueing forever.
+  double max_estimated_memory_bytes =
+      std::numeric_limits<double>::infinity();
+  /// Starvation guard: a queued query older than this is admitted next
+  /// regardless of its cost ranking.
+  Seconds max_queue_wait = 300.0;
+};
+
+/// Cost-aware admission control for asynchronously submitted queries: the
+/// run queue is ordered by the shared CostEstimator's predictions rather
+/// than submission order. Under a saturated concurrency cap the cheapest
+/// (shortest-predicted) admissible query runs first, with the earlier SLA
+/// deadline breaking ties — the scheduling analogue of the paper's
+/// cost-intelligence argument: admission, not just plan choice, decides
+/// what a query costs at the front door. A wall-clock starvation guard
+/// bounds how long cost ordering can defer an expensive query.
+class AdmissionController {
+ public:
+  using RunFn = std::function<void()>;
+
+  /// One submitted query, from the controller's point of view.
+  struct Submission {
+    Seconds est_latency = 0.0;   // estimator's predicted run time
+    Dollars est_cost = 0.0;      // estimator's predicted bill
+    double est_memory_bytes = 0.0;  // predicted working set (breakers)
+    Seconds sla_deadline = std::numeric_limits<double>::infinity();
+    RunFn run;                   // executed on an admission worker
+    /// Invoked (outside the controller lock, at most once) when the
+    /// ticket is cancelled while queued — by Cancel() or by controller
+    /// shutdown. Owners use it to complete futures/refund ledgers that
+    /// the run closure will now never reach.
+    RunFn on_cancel;
+  };
+
+  class Ticket {
+   public:
+    enum class State { kQueued, kRunning, kDone, kCancelled };
+
+   private:
+    friend class AdmissionController;
+    // All fields guarded by the controller's mutex.
+    State state = State::kQueued;
+    uint64_t seq = 0;
+    Submission sub;
+    std::chrono::steady_clock::time_point enqueued_at;
+  };
+  using TicketPtr = std::shared_ptr<Ticket>;
+
+  explicit AdmissionController(AdmissionOptions options);
+  /// Drains: queued tickets are cancelled, running ones finish.
+  ~AdmissionController();
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Enqueue; returns immediately. The run function executes on an
+  /// admission worker once the ticket is admitted.
+  TicketPtr Submit(Submission submission);
+
+  /// Cancel a queued ticket. True iff the query had not started — a
+  /// running or finished query is past withdrawal and returns false.
+  bool Cancel(const TicketPtr& ticket);
+
+  /// Block until the ticket has finished or been cancelled.
+  void Await(const TicketPtr& ticket);
+
+  Ticket::State state(const TicketPtr& ticket) const;
+
+  struct Stats {
+    size_t submitted = 0;
+    size_t started = 0;
+    size_t completed = 0;
+    size_t cancelled = 0;
+    /// Admissions that jumped ahead of an earlier-submitted, still-queued
+    /// query — each one is a reordering the cost model paid for.
+    size_t reordered = 0;
+  };
+  Stats stats() const;
+
+  size_t max_concurrent() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+  /// Pick the best admissible queued ticket (nullptr when none fits).
+  /// Caller holds mu_.
+  TicketPtr PickNext();
+
+  AdmissionOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;        // queue/shutdown changes
+  std::condition_variable done_cv_;   // ticket completion
+  std::deque<TicketPtr> queue_;
+  double running_memory_ = 0.0;
+  size_t running_ = 0;
+  uint64_t next_seq_ = 0;
+  Stats stats_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace costdb

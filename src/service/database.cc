@@ -2,6 +2,8 @@
 
 #include "common/table_printer.h"
 #include "optimizer/cardinality.h"
+#include "service/session.h"
+#include "sql/shape.h"
 
 namespace costdb {
 
@@ -15,67 +17,142 @@ Database::Database(DatabaseOptions options)
   calibration_ =
       std::make_unique<CalibrationUpdater>(&hw_, options_.calibration);
   engine_ = std::make_unique<LocalEngine>(options_.exec_threads);
+  AdmissionOptions admission = options_.admission;
+  if (admission.max_concurrent == 0) {
+    admission.max_concurrent = options_.batch_threads;
+  }
+  admission_ = std::make_unique<AdmissionController>(admission);
 }
 
 Result<BoundQuery> Database::BindSql(const std::string& sql) const {
   return query_service_->Bind(sql);
 }
 
-std::string Database::CacheKey(const std::string& sql,
+std::string Database::CacheKey(const std::string& shape,
                                const UserConstraint& constraint) {
-  std::string key = sql;
+  std::string key = shape;
   key += '\x1f';
   key += constraint.mode == UserConstraint::Mode::kMinCostUnderSla ? 'S' : 'B';
   key += StrFormat("%.17g|%.17g", constraint.latency_sla, constraint.budget);
   return key;
 }
 
-Result<std::shared_ptr<const PlannedQuery>> Database::PlanShared(
-    const std::string& sql, const UserConstraint& constraint,
-    bool* cache_hit) {
+Result<std::shared_ptr<const PlannedQuery>> Database::PlanCachedImpl(
+    const std::string& cache_key,
+    const std::function<Result<PlannedQuery>()>& plan_fn, bool* cache_hit) {
   *cache_hit = false;
-  const std::string key = CacheKey(sql, constraint);
+  if (!options_.enable_plan_cache) {
+    std::shared_lock<std::shared_mutex> hw_lock(hw_mu_);
+    auto planned = plan_fn();
+    if (!planned.ok()) return planned.status();
+    return std::make_shared<const PlannedQuery>(std::move(*planned));
+  }
   int planned_under_version = 0;
-  if (options_.enable_plan_cache) {
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    auto it = plan_cache_.find(key);
-    if (it != plan_cache_.end()) {
-      if (it->second.calibration_version == calibration_version_) {
-        ++cache_stats_.hits;
-        *cache_hit = true;
-        return it->second.plan;
+  std::shared_ptr<PlanInFlight> flight;
+  {
+    std::unique_lock<std::mutex> lock(cache_mu_);
+    while (true) {
+      auto it = plan_cache_.find(cache_key);
+      if (it != plan_cache_.end()) {
+        if (it->second.calibration_version == calibration_version_) {
+          ++cache_stats_.hits;
+          *cache_hit = true;
+          return it->second.plan;
+        }
+        // Calibration moved since this plan was priced; replan.
+        plan_cache_.erase(it);
+        ++cache_stats_.invalidations;
+        break;
       }
-      // Calibration moved since this plan was priced; replan.
-      plan_cache_.erase(it);
-      ++cache_stats_.invalidations;
+      // Single-flight: if another thread is already planning this shape,
+      // wait for its entry instead of running the optimizer again — under
+      // concurrent sessions sharing a statement shape, the optimizer runs
+      // once per shape, not once per session.
+      auto in_flight = planning_.find(cache_key);
+      if (in_flight == planning_.end()) break;  // become the planner
+      auto ticket = in_flight->second;
+      ticket->cv.wait(lock, [&] { return ticket->done; });
+      // Re-check: the planner filled the cache (hit), failed (we take
+      // over), or the calibration moved meanwhile (we replan).
     }
     ++cache_stats_.misses;
     // Snapshot before planning: if calibration moves while we plan, the
     // entry must record the version the estimates were made under.
     planned_under_version = calibration_version_;
+    flight = std::make_shared<PlanInFlight>();
+    planning_[cache_key] = flight;
   }
   std::shared_ptr<const PlannedQuery> shared;
+  Status failed;
   {
     // The estimator reads hw_ on every estimate; hold off calibration
     // writers while planning.
     std::shared_lock<std::shared_mutex> hw_lock(hw_mu_);
-    auto planned = query_service_->PlanSql(sql, constraint);
-    if (!planned.ok()) return planned.status();
-    shared = std::make_shared<const PlannedQuery>(std::move(*planned));
+    auto planned = plan_fn();
+    if (planned.ok()) {
+      shared = std::make_shared<const PlannedQuery>(std::move(*planned));
+    } else {
+      failed = planned.status();
+    }
   }
-  if (options_.enable_plan_cache) {
+  {
     std::lock_guard<std::mutex> lock(cache_mu_);
-    plan_cache_[key] = CacheEntry{shared, planned_under_version};
+    if (shared != nullptr) {
+      plan_cache_[cache_key] = CacheEntry{shared, planned_under_version};
+    }
+    planning_.erase(cache_key);
+    flight->done = true;
   }
+  flight->cv.notify_all();
+  if (shared == nullptr) return failed;
   return shared;
+}
+
+Result<std::shared_ptr<const PlannedQuery>> Database::PlanCachedSql(
+    const std::string& sql, const UserConstraint& constraint,
+    bool* cache_hit) {
+  return PlanCachedImpl(
+      CacheKey(NormalizeStatementShape(sql), constraint),
+      [&] { return query_service_->PlanSql(sql, constraint); }, cache_hit);
+}
+
+Result<std::shared_ptr<const PlannedQuery>> Database::PlanCachedBound(
+    const BoundQuery& query, const std::string& shape_key,
+    const UserConstraint& constraint, bool* cache_hit) {
+  return PlanCachedImpl(
+      CacheKey(shape_key, constraint),
+      [&] { return query_service_->Plan(query, constraint); }, cache_hit);
 }
 
 Result<PlannedQuery> Database::PlanSql(const std::string& sql,
                                        const UserConstraint& constraint) {
   bool cache_hit = false;
   std::shared_ptr<const PlannedQuery> shared;
-  COSTDB_ASSIGN_OR_RETURN(shared, PlanShared(sql, constraint, &cache_hit));
+  COSTDB_ASSIGN_OR_RETURN(shared, PlanCachedSql(sql, constraint, &cache_hit));
   return *shared;  // cheap: the plan tree itself stays shared
+}
+
+Result<PlannedQuery> Database::BindPreparedPlan(
+    const PlannedQuery& cached, const BoundQuery& query,
+    const std::vector<Value>& params) {
+  PlannedQuery out;
+  out.plan = BindPlanParams(cached.plan.get(), params);
+  out.pipelines = BuildPipelines(out.plan.get());
+  out.dops = cached.dops;  // pipeline ids are stable across the clone
+  out.bushiness = cached.bushiness;
+  out.feasible = cached.feasible;
+  out.states_explored = cached.states_explored;
+  // Re-derive only the cardinality-sensitive terms: with constants bound,
+  // histogram selectivities replace the default-selectivity guesses the
+  // prepared plan was shaped under; the shape and DOPs stay fixed.
+  CardinalityEstimator cards(&meta_, &query.relations);
+  out.volumes = ComputeVolumes(out.plan.get(), cards);
+  {
+    std::shared_lock<std::shared_mutex> hw_lock(hw_mu_);
+    out.estimate = estimator_->EstimatePlan(out.pipelines, out.dops,
+                                            out.volumes);
+  }
+  return out;
 }
 
 Result<ExecutionResult> Database::ExecutePlanned(
@@ -97,6 +174,28 @@ Result<ExecutionResult> Database::ExecutePlanned(
   return out;
 }
 
+Result<ExecutionResult> Database::ExecutePlannedToSink(
+    std::shared_ptr<const PlannedQuery> plan, bool cache_hit, ChunkSink* sink,
+    LocalEngine* engine) {
+  if (engine == nullptr) {
+    return Status::InvalidArgument(
+        "ExecutePlannedToSink requires a caller-owned engine");
+  }
+  ExecutionResult out;
+  out.plan = std::move(plan);
+  out.plan_cache_hit = cache_hit;
+  StreamedResult streamed;
+  COSTDB_ASSIGN_OR_RETURN(streamed,
+                          engine->ExecuteToSink(out.plan->plan.get(), sink));
+  out.timings = engine->last_timings();
+  out.result.names = std::move(streamed.names);
+  out.result.types = std::move(streamed.types);
+  // Rows went to the sink; leave an empty, correctly-laid-out chunk so a
+  // caller draining leftovers (QueryHandle::Take) can append into it.
+  out.result.chunk = DataChunk(out.result.types);
+  return out;
+}
+
 CalibrationReport Database::Calibrate(const ExecutionResult& executed) {
   std::unique_lock<std::shared_mutex> hw_lock(hw_mu_);
   CalibrationReport report = calibration_->Observe(
@@ -111,14 +210,22 @@ CalibrationReport Database::Calibrate(const ExecutionResult& executed) {
   return report;
 }
 
+void Database::CalibrateExecution(ExecutionResult* executed) {
+  if (!options_.enable_calibration || executed == nullptr ||
+      executed->plan == nullptr) {
+    return;
+  }
+  executed->calibration = Calibrate(*executed);
+}
+
 Result<ExecutionResult> Database::ExecuteSql(const std::string& sql,
                                              const UserConstraint& constraint) {
   bool cache_hit = false;
   std::shared_ptr<const PlannedQuery> plan;
-  COSTDB_ASSIGN_OR_RETURN(plan, PlanShared(sql, constraint, &cache_hit));
+  COSTDB_ASSIGN_OR_RETURN(plan, PlanCachedSql(sql, constraint, &cache_hit));
   ExecutionResult out;
   COSTDB_ASSIGN_OR_RETURN(out, ExecutePlanned(std::move(plan), cache_hit));
-  if (options_.enable_calibration) out.calibration = Calibrate(out);
+  CalibrateExecution(&out);
   return out;
 }
 
@@ -128,45 +235,33 @@ std::vector<Result<ExecutionResult>> Database::SubmitBatch(
   std::vector<Result<ExecutionResult>> results(
       requests.size(), Result<ExecutionResult>(Status::Internal("pending")));
 
-  // Phase 1 — plan serially in request order: deterministic cache and
-  // calibration state, and the planner is not thread-safe against the
-  // calibration writer anyway.
-  std::vector<std::shared_ptr<const PlannedQuery>> plans(requests.size());
-  std::vector<bool> hits(requests.size(), false);
+  // Thin shim over the Session API. Submitting serially in request order
+  // keeps the plan-cache hit/miss pattern deterministic (Session::Submit
+  // plans synchronously); the admission controller then executes in
+  // cost-aware order, which cannot affect per-query results.
+  Session session(this);
+  Session::SubmitOptions submit;
+  submit.calibrate = false;  // one serialized feedback round below
+  std::vector<QueryHandlePtr> handles(requests.size());
   for (size_t i = 0; i < requests.size(); ++i) {
-    bool hit = false;
-    auto plan = PlanShared(requests[i].sql, requests[i].constraint, &hit);
-    if (!plan.ok()) {
-      results[i] = plan.status();
+    submit.constraint = requests[i].constraint;
+    auto handle = session.Submit(requests[i].sql, submit);
+    if (!handle.ok()) {
+      results[i] = handle.status();
       continue;
     }
-    plans[i] = std::move(*plan);
-    hits[i] = hit;
+    handles[i] = std::move(*handle);
   }
-
-  // Phase 2 — execute concurrently, batch_threads queries in flight, each
-  // on its own engine (one local "node" per query).
-  ThreadPool pool(options_.batch_threads);
-  std::mutex results_mu;
   for (size_t i = 0; i < requests.size(); ++i) {
-    if (plans[i] == nullptr) continue;
-    pool.Submit([this, i, &plans, &hits, &results, &results_mu] {
-      LocalEngine engine(options_.exec_threads);
-      auto executed = ExecutePlanned(plans[i], hits[i], &engine);
-      std::lock_guard<std::mutex> lock(results_mu);
-      results[i] = std::move(executed);
-    });
+    if (handles[i] != nullptr) results[i] = handles[i]->Take();
   }
-  pool.WaitIdle();
 
-  // Phase 3 — fold timings into the calibration serially in request
-  // order, so the post-batch calibration is independent of execution
-  // interleaving.
-  if (options_.enable_calibration) {
-    for (size_t i = 0; i < requests.size(); ++i) {
-      if (!results[i].ok()) continue;
-      results[i]->calibration = Calibrate(*results[i]);
-    }
+  // Serialized feedback round in request order, so the post-batch
+  // calibration is independent of execution interleaving. Each query is
+  // observed exactly once here and the report stored on its result —
+  // workers never compute (or recompute) one.
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (results[i].ok()) CalibrateExecution(&*results[i]);
   }
   return results;
 }

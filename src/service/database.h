@@ -1,5 +1,7 @@
 #pragma once
 
+#include <condition_variable>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -9,6 +11,7 @@
 
 #include "cost/calibration_updater.h"
 #include "exec/engine.h"
+#include "service/admission.h"
 #include "service/query_service.h"
 #include "sim/harness.h"
 
@@ -17,10 +20,18 @@ namespace costdb {
 struct DatabaseOptions {
   /// Morsel workers per executed query (one local "node").
   size_t exec_threads = 8;
-  /// Concurrently executing queries in SubmitBatch.
+  /// Concurrently executing queries in the admission controller (and so
+  /// in SubmitBatch, which rides on it). Overridden by
+  /// admission.max_concurrent when that is non-zero.
   size_t batch_threads = 4;
-  /// Cache bound+optimized plans keyed by (SQL, constraint); invalidated
-  /// when the calibration moves materially.
+  /// Cost-aware admission for asynchronously submitted queries
+  /// (Session::Submit); max_concurrent == 0 inherits batch_threads.
+  AdmissionOptions admission;
+  /// Cache bound+optimized plans keyed by (statement shape, constraint);
+  /// invalidated when the calibration moves materially. The shape is the
+  /// normalized token stream (sql/shape.h), so whitespace and keyword
+  /// case do not fragment the cache, and prepared statements share one
+  /// entry across all parameter values.
   bool enable_plan_cache = true;
   /// Feed executed-pipeline wall times back into the hardware calibration
   /// after every local execution (the paper's calibration loop).
@@ -81,13 +92,37 @@ class Database {
   Result<BoundQuery> BindSql(const std::string& sql) const;
 
   /// Plan through the pass pipeline, honoring the plan cache when
-  /// enabled. Cache entries are keyed by (SQL text, constraint) and
-  /// stamped with the calibration version they were planned under; a
+  /// enabled. Cache entries are keyed by (statement shape, constraint)
+  /// and stamped with the calibration version they were planned under; a
   /// lookup whose stamp predates the current version replans instead of
   /// returning a stale plan (see calibration_version()). The returned
   /// plan is immutable and shared — callers must not mutate it.
   Result<PlannedQuery> PlanSql(const std::string& sql,
                                const UserConstraint& constraint);
+
+  /// Cache-aware planning returning the shared immutable plan (the form
+  /// Session executes). `cache_hit` reports whether the shape-keyed cache
+  /// served the plan.
+  Result<std::shared_ptr<const PlannedQuery>> PlanCachedSql(
+      const std::string& sql, const UserConstraint& constraint,
+      bool* cache_hit);
+
+  /// Same, for an already-bound query under an explicit shape key — the
+  /// prepared-statement path: Prepare binds once, every (re)plan goes
+  /// through here so statements across sessions share cache entries.
+  Result<std::shared_ptr<const PlannedQuery>> PlanCachedBound(
+      const BoundQuery& query, const std::string& shape_key,
+      const UserConstraint& constraint, bool* cache_hit);
+
+  /// Bind parameter values into a cached prepared plan: deep-copies the
+  /// plan tree substituting placeholders, then re-derives only the
+  /// cardinality-sensitive terms — volumes from the (now constant)
+  /// predicates and the cost estimate at the cached DOP assignment. No
+  /// optimizer run. `query` must be the statement's bound query (its
+  /// relations drive the cardinality re-estimate).
+  Result<PlannedQuery> BindPreparedPlan(const PlannedQuery& cached,
+                                        const BoundQuery& query,
+                                        const std::vector<Value>& params);
 
   // -- Local execution backend -------------------------------------------
   /// Parse -> bind -> optimize -> execute -> calibrate, in one call.
@@ -102,12 +137,40 @@ class Database {
       const std::string& sql,
       const UserConstraint& constraint = UserConstraint());
 
-  /// Execute a batch concurrently (options.batch_threads queries in
-  /// flight, each worker on its own engine). Planning and calibration
-  /// stay serial and in request order, so results, cache hit/miss
-  /// patterns, and post-batch calibration state are deterministic and
-  /// per-query results line up index-for-index with `requests`. One
-  /// query's failure does not abort the rest of the batch.
+  /// Execute a shared plan on the facade's serial engine (or on `engine`
+  /// when given — concurrent callers pass their own). No calibration;
+  /// pair with CalibrateExecution. This is Session's synchronous
+  /// execution primitive.
+  Result<ExecutionResult> ExecutePlanned(
+      std::shared_ptr<const PlannedQuery> plan, bool cache_hit,
+      LocalEngine* engine = nullptr);
+
+  /// Execute a shared plan with the result pipeline streaming into
+  /// `sink` (exec/engine.h) instead of materializing rows. The returned
+  /// ExecutionResult carries the plan, timings, and an empty result chunk
+  /// whose names/types describe the streamed schema. `engine` is
+  /// required: streaming callers run concurrently by construction.
+  Result<ExecutionResult> ExecutePlannedToSink(
+      std::shared_ptr<const PlannedQuery> plan, bool cache_hit,
+      ChunkSink* sink, LocalEngine* engine);
+
+  /// Fold one executed result's timings into the calibration (serialized
+  /// internally; a no-op when options.enable_calibration is off). The
+  /// single feedback implementation shared by ExecuteSql, Session, and
+  /// the SubmitBatch shim — the report is computed once here and stored
+  /// on the result, never recomputed per worker.
+  void CalibrateExecution(ExecutionResult* executed);
+
+  /// The shared cost-aware admission controller behind Session::Submit
+  /// and SubmitBatch.
+  AdmissionController* admission() { return admission_.get(); }
+
+  /// Execute a batch concurrently through the admission controller, as a
+  /// thin deterministic shim over the Session API. Planning stays serial
+  /// and in request order (deterministic cache hit/miss pattern), the
+  /// calibration feedback round is serialized in request order after the
+  /// batch drains, and per-query results line up index-for-index with
+  /// `requests`. One query's failure does not abort the rest.
   std::vector<Result<ExecutionResult>> SubmitBatch(
       const std::vector<QueryRequest>& requests);
 
@@ -157,21 +220,24 @@ class Database {
     int calibration_version = 0;
   };
 
-  /// Cache-aware planning; returns a shared immutable plan.
-  Result<std::shared_ptr<const PlannedQuery>> PlanShared(
-      const std::string& sql, const UserConstraint& constraint,
-      bool* cache_hit);
+  /// Single-flight marker: one optimizer run per missed shape, with
+  /// concurrent misses waiting on the planner instead of duplicating it.
+  struct PlanInFlight {
+    std::condition_variable cv;
+    bool done = false;  // guarded by cache_mu_
+  };
 
-  /// Execute a shared plan; uses the long-lived serial engine when
-  /// `engine` is null (batch workers pass their own). No calibration.
-  Result<ExecutionResult> ExecutePlanned(
-      std::shared_ptr<const PlannedQuery> plan, bool cache_hit,
-      LocalEngine* engine = nullptr);
+  /// Cache lookup + fill shared by the SQL and bound planning paths;
+  /// `plan_fn` runs only on a miss (under the hardware read lock).
+  Result<std::shared_ptr<const PlannedQuery>> PlanCachedImpl(
+      const std::string& cache_key,
+      const std::function<Result<PlannedQuery>()>& plan_fn, bool* cache_hit);
 
   /// Serialize one query's timings into the calibration (under lock).
   CalibrationReport Calibrate(const ExecutionResult& executed);
 
-  static std::string CacheKey(const std::string& sql,
+  /// Cache key: normalized statement shape + constraint slot.
+  static std::string CacheKey(const std::string& shape,
                               const UserConstraint& constraint);
 
   DatabaseOptions options_;
@@ -190,6 +256,7 @@ class Database {
 
   mutable std::mutex cache_mu_;
   std::map<std::string, CacheEntry> plan_cache_;
+  std::map<std::string, std::shared_ptr<PlanInFlight>> planning_;
   CacheStats cache_stats_;
 
   /// Readers (planning, simulation) take it shared; the calibration
@@ -199,6 +266,10 @@ class Database {
   int calibration_version_ = 0;
 
   std::mutex batch_mu_;
+
+  /// Declared last: admission workers run closures that touch the members
+  /// above, so the controller must be torn down (drained) first.
+  std::unique_ptr<AdmissionController> admission_;
 };
 
 }  // namespace costdb

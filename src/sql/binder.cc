@@ -36,6 +36,7 @@ bool IsNumeric(LogicalType t) {
 Result<BoundQuery> Binder::Bind(const ParsedQuery& parsed) {
   BoundQuery q;
   Scope scope;
+  param_types_.assign(parsed.param_count, std::nullopt);
   if (parsed.from.empty()) {
     return Status::InvalidArgument("query has no FROM relations");
   }
@@ -157,6 +158,18 @@ Result<BoundQuery> Binder::Bind(const ParsedQuery& parsed) {
       }
     }
   }
+
+  // Every placeholder must have adopted a type from the expression it
+  // appears in; an unanchored '?' has no executable meaning.
+  q.param_types.reserve(param_types_.size());
+  for (size_t i = 0; i < param_types_.size(); ++i) {
+    if (!param_types_[i].has_value()) {
+      return Status::InvalidArgument(
+          "cannot infer the type of parameter ?" + std::to_string(i) +
+          "; compare it against a column or literal");
+    }
+    q.param_types.push_back(*param_types_[i]);
+  }
   return q;
 }
 
@@ -164,6 +177,29 @@ Result<BoundQuery> Binder::BindSql(const std::string& sql) {
   ParsedQuery parsed;
   COSTDB_ASSIGN_OR_RETURN(parsed, ParseQuery(sql));
   return Bind(parsed);
+}
+
+bool Binder::IsUnresolvedParam(const ExprPtr& e) const {
+  return e != nullptr && e->kind == Expr::Kind::kParam &&
+         e->param_index >= 0 &&
+         static_cast<size_t>(e->param_index) < param_types_.size() &&
+         !param_types_[e->param_index].has_value();
+}
+
+void Binder::ResolveParam(const ExprPtr& e, LogicalType type) {
+  e->type = type;
+  param_types_[e->param_index] = type;
+}
+
+Status Binder::UnifyParamTypes(const ExprPtr& a, const ExprPtr& b) {
+  const bool ua = IsUnresolvedParam(a);
+  const bool ub = IsUnresolvedParam(b);
+  // Two unresolved placeholders cannot anchor each other; stay silent and
+  // let the end-of-bind check report whichever never finds an anchor.
+  if (ua == ub) return Status::OK();
+  if (ua) ResolveParam(a, b->type);
+  if (ub) ResolveParam(b, a->type);
+  return Status::OK();
 }
 
 Result<ExprPtr> Binder::BindIdent(const ParsedExpr& e, const Scope& scope) {
@@ -206,6 +242,10 @@ Result<ExprPtr> Binder::BindExpr(const ParsedExpr& e, const Scope& scope) {
       }
       return Expr::MakeConstant(Value(days), LogicalType::kDate);
     }
+    case ParsedExpr::Kind::kParam:
+      // Type is inferred from the surrounding expression (see
+      // UnifyParamTypes); kInt64 is only the pre-inference placeholder.
+      return Expr::MakeParam(static_cast<int>(e.int_val), LogicalType::kInt64);
     case ParsedExpr::Kind::kNot: {
       ExprPtr child;
       COSTDB_ASSIGN_OR_RETURN(child, BindExpr(*e.children[0], scope));
@@ -216,9 +256,11 @@ Result<ExprPtr> Binder::BindExpr(const ParsedExpr& e, const Scope& scope) {
       ExprPtr l, r;
       COSTDB_ASSIGN_OR_RETURN(l, BindExpr(*e.children[0], scope));
       COSTDB_ASSIGN_OR_RETURN(r, BindExpr(*e.children[1], scope));
+      COSTDB_RETURN_NOT_OK(UnifyParamTypes(l, r));
       if (op == "and") return Expr::MakeAnd({std::move(l), std::move(r)});
       if (op == "or") return Expr::MakeOr({std::move(l), std::move(r)});
       if (op == "like") {
+        if (IsUnresolvedParam(l)) ResolveParam(l, LogicalType::kVarchar);
         if (r->kind != Expr::Kind::kConstant || !r->constant.is_string()) {
           return Status::NotSupported("LIKE requires a string literal pattern");
         }
@@ -258,15 +300,28 @@ Result<ExprPtr> Binder::BindExpr(const ParsedExpr& e, const Scope& scope) {
     case ParsedExpr::Kind::kIn: {
       ExprPtr input;
       COSTDB_ASSIGN_OR_RETURN(input, BindExpr(*e.children[0], scope));
-      std::vector<ExprPtr> options;
+      // Bind every item before desugaring: placeholder types must settle
+      // before input->Clone() snapshots the input expression.
+      std::vector<ExprPtr> items;
       for (size_t i = 1; i < e.children.size(); ++i) {
         ExprPtr item;
         COSTDB_ASSIGN_OR_RETURN(item, BindExpr(*e.children[i], scope));
+        items.push_back(std::move(item));
+      }
+      if (items.empty()) {
+        return Status::InvalidArgument("empty IN list");
+      }
+      // Two passes: the first may anchor the input off a literal item, the
+      // second back-fills placeholder items off the (now typed) input.
+      for (int pass = 0; pass < 2; ++pass) {
+        for (const auto& item : items) {
+          COSTDB_RETURN_NOT_OK(UnifyParamTypes(input, item));
+        }
+      }
+      std::vector<ExprPtr> options;
+      for (auto& item : items) {
         options.push_back(
             Expr::MakeCompare(CompareOp::kEq, input->Clone(), std::move(item)));
-      }
-      if (options.empty()) {
-        return Status::InvalidArgument("empty IN list");
       }
       if (options.size() == 1) return options[0];
       return Expr::MakeOr(std::move(options));
@@ -276,6 +331,10 @@ Result<ExprPtr> Binder::BindExpr(const ParsedExpr& e, const Scope& scope) {
       COSTDB_ASSIGN_OR_RETURN(input, BindExpr(*e.children[0], scope));
       COSTDB_ASSIGN_OR_RETURN(lo, BindExpr(*e.children[1], scope));
       COSTDB_ASSIGN_OR_RETURN(hi, BindExpr(*e.children[2], scope));
+      // Second input/lo pass: hi may have anchored a placeholder input.
+      COSTDB_RETURN_NOT_OK(UnifyParamTypes(input, lo));
+      COSTDB_RETURN_NOT_OK(UnifyParamTypes(input, hi));
+      COSTDB_RETURN_NOT_OK(UnifyParamTypes(input, lo));
       return Expr::MakeAnd(
           {Expr::MakeCompare(CompareOp::kGe, input->Clone(), std::move(lo)),
            Expr::MakeCompare(CompareOp::kLe, std::move(input), std::move(hi))});

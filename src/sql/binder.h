@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -49,9 +50,16 @@ struct BoundQuery {
   std::vector<BoundOrderItem> order_by;
   int64_t limit = -1;
 
+  /// Inferred type of each '?' placeholder, by ordinal. Empty for plain
+  /// (parameter-free) statements. A placeholder adopts the type of the
+  /// column or literal it is compared/combined with; statements whose
+  /// placeholders cannot be inferred fail to bind.
+  std::vector<LogicalType> param_types;
+
   bool is_aggregate() const {
     return !aggregates.empty() || !group_by.empty();
   }
+  bool has_params() const { return !param_types.empty(); }
 };
 
 /// Resolves names and types against the metadata service and desugars
@@ -72,11 +80,21 @@ class Binder {
   Result<ExprPtr> BindExpr(const ParsedExpr& e, const Scope& scope);
   Result<ExprPtr> BindIdent(const ParsedExpr& e, const Scope& scope);
 
+  /// If exactly one of a/b is an unresolved placeholder, infer its type
+  /// from the other operand; two unresolved placeholders cannot anchor
+  /// each other and fail.
+  Status UnifyParamTypes(const ExprPtr& a, const ExprPtr& b);
+  bool IsUnresolvedParam(const ExprPtr& e) const;
+  void ResolveParam(const ExprPtr& e, LogicalType type);
+
   /// Replace kAgg nodes with kColumn references to derived names, appending
   /// new distinct aggregates to q->aggregates.
   ExprPtr ExtractAggregates(const ExprPtr& e, BoundQuery* q);
 
   const MetadataService* meta_;
+  /// Per-ordinal inferred types of the statement currently being bound;
+  /// value-less entries are still unresolved.
+  std::vector<std::optional<LogicalType>> param_types_;
 };
 
 }  // namespace costdb

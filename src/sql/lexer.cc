@@ -86,7 +86,7 @@ Result<std::vector<Token>> Tokenize(const std::string& sql) {
         continue;
       }
     }
-    if (std::string("=<>+-*/(),.;").find(c) != std::string::npos) {
+    if (std::string("=<>+-*/(),.;?").find(c) != std::string::npos) {
       t.kind = TokenKind::kSymbol;
       t.text = std::string(1, c);
       tokens.push_back(std::move(t));

@@ -14,7 +14,8 @@ enum class TokenKind {
   kInt,      // integer literal
   kFloat,    // floating-point literal
   kString,   // 'quoted string' (quotes stripped, '' unescaped)
-  kSymbol,   // operator/punctuation: = <> != < <= > >= + - * / ( ) , . ;
+  kSymbol,   // operator/punctuation: = <> != < <= > >= + - * / ( ) , . ; ?
+             // ('?' is the prepared-statement parameter placeholder)
   kEnd,      // end of input
 };
 

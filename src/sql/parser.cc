@@ -68,6 +68,7 @@ class Parser {
     if (Current().kind != TokenKind::kEnd) {
       return ErrorHere("unexpected trailing input");
     }
+    q.param_count = param_count_;
     return q;
   }
 
@@ -365,6 +366,14 @@ class Parser {
       Advance();
       return ParsedExprPtr(e);
     }
+    if (AcceptSymbol("?")) {
+      // Prepared-statement placeholder; ordinals are assigned in SQL text
+      // order, so Execute(params...) binds positionally.
+      auto e = std::make_shared<ParsedExpr>();
+      e->kind = ParsedExpr::Kind::kParam;
+      e->int_val = static_cast<int64_t>(param_count_++);
+      return ParsedExprPtr(e);
+    }
     if (AcceptSymbol("(")) {
       ParsedExprPtr inner;
       COSTDB_ASSIGN_OR_RETURN(inner, ParseExpr());
@@ -420,6 +429,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  size_t param_count_ = 0;
 };
 
 }  // namespace

@@ -26,6 +26,7 @@ struct ParsedExpr {
     kFunc,      // name(args...) or name(*)
     kIn,        // children[0] IN (children[1..])
     kBetween,   // children[0] BETWEEN children[1] AND children[2]
+    kParam,     // '?' placeholder; int_val = 0-based ordinal in SQL order
   };
 
   Kind kind = Kind::kInt;
@@ -67,6 +68,8 @@ struct ParsedQuery {
   ParsedExprPtr having;
   std::vector<OrderItem> order_by;
   int64_t limit = -1;  // -1 = none
+  /// Number of '?' placeholders; ordinals run 0..param_count-1 in SQL order.
+  size_t param_count = 0;
 };
 
 /// Parse one SELECT statement (optionally ';'-terminated).

@@ -1,0 +1,79 @@
+#include "sql/shape.h"
+
+#include <cctype>
+
+#include "common/table_printer.h"
+#include "sql/lexer.h"
+
+namespace costdb {
+
+namespace {
+
+/// Reserved words of the grammar (sql/parser.cc). Function names (sum,
+/// count, ...) are deliberately absent: they are ordinary identifiers to
+/// the lexer and could in principle collide with column names, so folding
+/// their case would merge semantically distinct statements.
+constexpr const char* kKeywords[] = {
+    "SELECT", "FROM",    "WHERE", "GROUP", "BY",   "HAVING", "ORDER",
+    "LIMIT",  "AND",     "OR",    "NOT",   "IN",   "BETWEEN", "LIKE",
+    "AS",     "ON",      "JOIN",  "INNER", "ASC",  "DESC",    "DATE",
+};
+
+bool IsKeyword(const Token& t) {
+  for (const char* kw : kKeywords) {
+    if (TokenIs(t, kw)) return true;
+  }
+  return false;
+}
+
+std::string Upper(const std::string& s) {
+  std::string out = s;
+  for (auto& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+}  // namespace
+
+std::string NormalizeStatementShape(const std::string& sql) {
+  auto tokens = Tokenize(sql);
+  if (!tokens.ok()) return sql;
+  std::string out;
+  out.reserve(sql.size());
+  for (const Token& t : *tokens) {
+    if (t.kind == TokenKind::kEnd) break;
+    if (!out.empty()) out += ' ';
+    switch (t.kind) {
+      case TokenKind::kIdent:
+        out += IsKeyword(t) ? Upper(t.text) : t.text;
+        break;
+      case TokenKind::kInt:
+        out += std::to_string(t.int_val);
+        break;
+      case TokenKind::kFloat:
+        out += StrFormat("%.17g", t.float_val);
+        break;
+      case TokenKind::kString: {
+        // Re-quote with the lexer's escaping so the key is unambiguous.
+        out += '\'';
+        for (char c : t.text) {
+          out += c;
+          if (c == '\'') out += '\'';
+        }
+        out += '\'';
+        break;
+      }
+      case TokenKind::kSymbol:
+        out += t.text;  // the lexer already folds != into <>
+        break;
+      case TokenKind::kEnd:
+        break;
+    }
+  }
+  // A trailing ';' is statement decoration, not shape.
+  while (!out.empty() && (out.back() == ';' || out.back() == ' ')) {
+    out.pop_back();
+  }
+  return out;
+}
+
+}  // namespace costdb

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string>
+
+namespace costdb {
+
+/// Canonical "statement shape" of a SQL string, used as the plan-cache
+/// key by the service layer: tokens joined by single spaces, reserved
+/// keywords uppercased, literals re-rendered canonically ('1.50' and '1.5'
+/// agree), and '?' placeholders kept positional. Two statements that
+/// differ only in whitespace or keyword case — or, for prepared
+/// statements, only in the values later bound to their placeholders —
+/// normalize to the same shape and share one cached plan.
+///
+/// Identifier case is preserved: this dialect resolves table and column
+/// names case-sensitively, so folding them would alias distinct queries.
+///
+/// SQL that does not lex falls back to the raw text (planning will surface
+/// the real error; the cache key just has to be stable).
+std::string NormalizeStatementShape(const std::string& sql);
+
+}  // namespace costdb

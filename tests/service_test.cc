@@ -4,7 +4,7 @@
 
 #include "exec/engine.h"
 #include "optimizer/optimizer.h"
-#include "service/database.h"
+#include "service/session.h"
 #include "workload/ssb.h"
 
 namespace costdb {
@@ -54,9 +54,11 @@ std::string RenderSorted(const QueryResult& r) {
 
 TEST(DatabaseTest, ExecuteSqlMatchesDirectLocalEngineRun) {
   auto db = MakeSsbDatabase();
+  // The supported client entry: a Session over the shared facade.
+  Session session(db.get());
   for (const char* id : {"Q1", "Q3", "Q7"}) {
     const std::string sql = FindQuery(id).sql;
-    auto via_facade = db->ExecuteSql(sql, UserConstraint::Sla(60.0));
+    auto via_facade = session.ExecuteSql(sql, UserConstraint::Sla(60.0));
     ASSERT_TRUE(via_facade.ok()) << id << ": "
                                  << via_facade.status().ToString();
 
@@ -78,7 +80,9 @@ TEST(DatabaseTest, ExecuteSqlMatchesDirectLocalEngineRun) {
 
 TEST(DatabaseTest, ExecuteReportsPlanAndTimings) {
   auto db = MakeSsbDatabase();
-  auto run = db->ExecuteSql(FindQuery("Q3").sql, UserConstraint::Sla(60.0));
+  Session session(db.get());
+  auto run = session.ExecuteSql(FindQuery("Q3").sql,
+                                UserConstraint::Sla(60.0));
   ASSERT_TRUE(run.ok());
   ASSERT_NE(run->plan, nullptr);
   EXPECT_FALSE(run->plan->pipelines.pipelines.empty());
@@ -90,10 +94,11 @@ TEST(DatabaseTest, ExecuteReportsPlanAndTimings) {
 
 TEST(DatabaseTest, CalibrationLoopShrinksEstimatorError) {
   auto db = MakeSsbDatabase();
+  Session session(db.get());
   const std::string sql = FindQuery("Q7").sql;
   const UserConstraint sla = UserConstraint::Sla(60.0);
 
-  auto warmup = db->ExecuteSql(sql, sla);
+  auto warmup = session.ExecuteSql(sql, sla);
   ASSERT_TRUE(warmup.ok());
   ASSERT_GT(warmup->calibration.pipelines_observed, 0);
   // The update itself must tighten the fit of the observed run...
@@ -102,7 +107,7 @@ TEST(DatabaseTest, CalibrationLoopShrinksEstimatorError) {
 
   // ...and the *next* run of the same query must start from a smaller
   // estimate-vs-reality gap than the warm-up did.
-  auto second = db->ExecuteSql(sql, sla);
+  auto second = session.ExecuteSql(sql, sla);
   ASSERT_TRUE(second.ok());
   EXPECT_LT(second->calibration.q_error_before,
             warmup->calibration.q_error_before);
@@ -111,13 +116,14 @@ TEST(DatabaseTest, CalibrationLoopShrinksEstimatorError) {
 
 TEST(DatabaseTest, CalibrationConvergesAndCacheStartsHitting) {
   auto db = MakeSsbDatabase();
+  Session session(db.get());
   const std::string sql = FindQuery("Q1").sql;
   const UserConstraint sla = UserConstraint::Sla(60.0);
   // Repeated runs converge: once per-round movement falls inside the
   // recalibration threshold, cached plans stop being invalidated.
   bool hit = false;
   for (int i = 0; i < 12 && !hit; ++i) {
-    auto run = db->ExecuteSql(sql, sla);
+    auto run = session.ExecuteSql(sql, sla);
     ASSERT_TRUE(run.ok());
     hit = run->plan_cache_hit;
   }
@@ -128,8 +134,10 @@ TEST(DatabaseTest, CalibrationDisabledKeepsHardwareFixed) {
   DatabaseOptions opts = SmallDbOptions();
   opts.enable_calibration = false;
   auto db = MakeSsbDatabase(opts);
+  Session session(db.get());
   const double scan_before = db->hardware()->scan_gibps_per_node;
-  auto run = db->ExecuteSql(FindQuery("Q1").sql, UserConstraint::Sla(60.0));
+  auto run = session.ExecuteSql(FindQuery("Q1").sql,
+                                UserConstraint::Sla(60.0));
   ASSERT_TRUE(run.ok());
   EXPECT_EQ(db->hardware()->scan_gibps_per_node, scan_before);
   EXPECT_EQ(db->calibration().rounds(), 0);
@@ -141,15 +149,16 @@ TEST(DatabaseTest, PlanCacheHitsOnRepeatedSqlWhenCalibrationOff) {
   DatabaseOptions opts = SmallDbOptions();
   opts.enable_calibration = false;
   auto db = MakeSsbDatabase(opts);
+  Session session(db.get());
   const std::string sql = FindQuery("Q3").sql;
-  auto first = db->ExecuteSql(sql, UserConstraint::Sla(60.0));
-  auto second = db->ExecuteSql(sql, UserConstraint::Sla(60.0));
+  auto first = session.ExecuteSql(sql, UserConstraint::Sla(60.0));
+  auto second = session.ExecuteSql(sql, UserConstraint::Sla(60.0));
   ASSERT_TRUE(first.ok());
   ASSERT_TRUE(second.ok());
   EXPECT_FALSE(first->plan_cache_hit);
   EXPECT_TRUE(second->plan_cache_hit);
   // Different constraint -> different cache slot.
-  auto budget = db->ExecuteSql(sql, UserConstraint::Budget(1.0));
+  auto budget = session.ExecuteSql(sql, UserConstraint::Budget(1.0));
   ASSERT_TRUE(budget.ok());
   EXPECT_FALSE(budget->plan_cache_hit);
   auto stats = db->plan_cache_stats();
@@ -187,8 +196,9 @@ TEST(DatabaseTest, SubmitBatchOfEightIsDeterministic) {
   DatabaseOptions serial_opts = SmallDbOptions();
   serial_opts.enable_calibration = false;
   auto db = MakeSsbDatabase(serial_opts);
+  Session session(db.get());
   for (size_t i = 0; i < batch.size(); ++i) {
-    auto serial = db->ExecuteSql(batch[i].sql, batch[i].constraint);
+    auto serial = session.ExecuteSql(batch[i].sql, batch[i].constraint);
     ASSERT_TRUE(serial.ok());
     EXPECT_EQ(Render(serial->result), first[i]) << "query " << i;
   }
