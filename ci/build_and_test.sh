@@ -1,59 +1,142 @@
 #!/usr/bin/env bash
 # Tier-1 verify (see ROADMAP.md): configure, build with -Wall -Wextra
-# (warnings are errors in CI), run every registered test, smoke the bench
-# wiring, and check that the markdown docs' relative links resolve.
+# (warnings are errors in CI), run every registered test, smoke every bench
+# that supports it, race the concurrent layers under TSAN, shake the exec
+# layer under ASAN/UBSAN, and check that the markdown docs' links resolve.
+#
+# STAGE selects what runs (the GitHub matrix runs one stage per job):
+#   all   - everything below, in order (the default; local tier-1 verify)
+#   build - Release+Werror build, ctest, bench smoke, markdown link check
+#   asan  - Debug AddressSanitizer+UBSan on the execution-layer tests
+#   tsan  - ThreadSanitizer on the concurrent service + sharded tests
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-BUILD_DIR="${BUILD_DIR:-build-ci}"
+STAGE="${STAGE:-all}"
 JOBS="${JOBS:-$(nproc)}"
-
-cmake -B "$BUILD_DIR" -S . -DCOSTDB_WERROR=ON
-cmake --build "$BUILD_DIR" -j "$JOBS"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
-
-# ---- bench smoke: a broken bench binary should fail CI, not bitrot ----
-echo "== bench smoke =="
-"$BUILD_DIR/bench_e12_vectorized" --smoke
-"$BUILD_DIR/bench_e13_sessions" --smoke
-"$BUILD_DIR/bench_f3_endtoend" > /dev/null
-echo "bench smoke OK"
-
-# ---- TSAN: the async service layer (admission queue, session ledgers,
-# streaming result sinks) is the concurrency hot spot; race it under
-# ThreadSanitizer. Scoped to the service tests to keep CI time sane.
-echo "== TSAN (service + session) =="
-TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
-cmake -B "$TSAN_BUILD_DIR" -S . -DCOSTDB_TSAN=ON
-cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" --target service_test session_test
-TSAN_OPTIONS="halt_on_error=1" "$TSAN_BUILD_DIR/service_test"
-TSAN_OPTIONS="halt_on_error=1" "$TSAN_BUILD_DIR/session_test"
-echo "TSAN OK"
-
-# ---- markdown link check: relative links in the docs must resolve ----
-echo "== markdown link check =="
-link_errors=0
-for md in README.md docs/*.md; do
-  [ -f "$md" ] || continue
-  dir=$(dirname "$md")
-  # Extract (target) parts of [text](target) links; keep repo-relative
-  # paths only (skip URLs and pure #anchors).
-  while IFS= read -r link; do
-    target="${link%%#*}"           # drop any #anchor
-    target="${target%% *}"         # drop a 'title' after the path
-    [ -n "$target" ] || continue
-    case "$target" in
-      http://*|https://*|mailto:*) continue ;;
-    esac
-    if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then
-      echo "BROKEN LINK in $md: $link"
-      link_errors=$((link_errors + 1))
-    fi
-  done < <(grep -oE '\]\([^)]+\)' "$md" | sed -E 's/^\]\(//; s/\)$//')
-done
-if [ "$link_errors" -ne 0 ]; then
-  echo "markdown link check FAILED ($link_errors broken)"
-  exit 1
+CMAKE_LAUNCHER_ARGS=()
+if command -v ccache >/dev/null 2>&1; then
+  CMAKE_LAUNCHER_ARGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
 fi
-echo "markdown links OK"
+
+run_build_stage() {
+  local build_dir="${BUILD_DIR:-build-ci}"
+  cmake -B "$build_dir" -S . -DCOSTDB_WERROR=ON "${CMAKE_LAUNCHER_ARGS[@]}"
+  cmake --build "$build_dir" -j "$JOBS"
+  ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS"
+
+  # ---- bench smoke: data-driven over every bench that supports --smoke.
+  # A new bench advertises smoke support simply by handling the flag in
+  # its source; a broken or unwired bench binary fails CI instead of
+  # bitrotting in a hand-maintained list.
+  echo "== bench smoke =="
+  local smoked=0
+  local src name bin
+  for src in bench/bench_*.cc; do
+    name="$(basename "$src" .cc)"
+    bin="$build_dir/$name"
+    grep -q -- '--smoke' "$src" || continue
+    if [ ! -x "$bin" ]; then
+      echo "bench $name supports --smoke but was not built"
+      exit 1
+    fi
+    echo "-- $name --smoke"
+    "$bin" --smoke
+    smoked=$((smoked + 1))
+  done
+  if [ "$smoked" -eq 0 ]; then
+    echo "bench smoke FAILED: no --smoke-capable bench found"
+    exit 1
+  fi
+  "$build_dir/bench_f3_endtoend" > /dev/null
+  echo "bench smoke OK ($smoked benches)"
+
+  # ---- markdown link check: relative links in the docs must resolve.
+  # Globs cover nested docs (docs/**/ and examples/); zero files checked
+  # means the globs (or the repo layout) broke and must fail, not
+  # silently pass — the `checked` guard below enforces that.
+  echo "== markdown link check =="
+  shopt -s nullglob globstar
+  local files=(README.md ROADMAP.md docs/**/*.md examples/**/*.md)
+  shopt -u nullglob globstar
+  local link_errors=0 checked=0 md dir link target
+  for md in "${files[@]}"; do
+    [ -f "$md" ] || continue
+    checked=$((checked + 1))
+    dir=$(dirname "$md")
+    # Extract (target) parts of [text](target) links; keep repo-relative
+    # paths only (skip URLs and pure #anchors).
+    while IFS= read -r link; do
+      target="${link%%#*}"           # drop any #anchor
+      target="${target%% *}"         # drop a 'title' after the path
+      [ -n "$target" ] || continue
+      case "$target" in
+        http://*|https://*|mailto:*) continue ;;
+      esac
+      if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then
+        echo "BROKEN LINK in $md: $link"
+        link_errors=$((link_errors + 1))
+      fi
+    done < <(grep -oE '\]\([^)]+\)' "$md" | sed -E 's/^\]\(//; s/\)$//')
+  done
+  if [ "$checked" -eq 0 ]; then
+    echo "markdown link check FAILED: no markdown files checked"
+    exit 1
+  fi
+  if [ "$link_errors" -ne 0 ]; then
+    echo "markdown link check FAILED ($link_errors broken)"
+    exit 1
+  fi
+  echo "markdown links OK ($checked files)"
+}
+
+run_asan_stage() {
+  # ---- ASAN/UBSAN: the execution layer moves borrowed row-group columns,
+  # selection vectors, and cross-worker chunks around — shake out lifetime
+  # and indexing bugs on the tests that drive it hardest.
+  echo "== ASAN/UBSAN (exec + vectorized + sharded) =="
+  local build_dir="${ASAN_BUILD_DIR:-build-asan}"
+  cmake -B "$build_dir" -S . -DCOSTDB_ASAN=ON -DCMAKE_BUILD_TYPE=Debug \
+    "${CMAKE_LAUNCHER_ARGS[@]}"
+  cmake --build "$build_dir" -j "$JOBS" \
+    --target exec_test vectorized_test sharded_test
+  local t
+  for t in exec_test vectorized_test sharded_test; do
+    ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+      "$build_dir/$t"
+  done
+  echo "ASAN/UBSAN OK"
+}
+
+run_tsan_stage() {
+  # ---- TSAN: the async service layer (admission queue, session ledgers,
+  # streaming result sinks) and the multi-worker sharded engine are the
+  # concurrency hot spots; race them under ThreadSanitizer. Scoped to
+  # those tests to keep CI time sane.
+  echo "== TSAN (service + session + sharded) =="
+  local build_dir="${TSAN_BUILD_DIR:-build-tsan}"
+  cmake -B "$build_dir" -S . -DCOSTDB_TSAN=ON "${CMAKE_LAUNCHER_ARGS[@]}"
+  cmake --build "$build_dir" -j "$JOBS" \
+    --target service_test session_test sharded_test
+  local t
+  for t in service_test session_test sharded_test; do
+    TSAN_OPTIONS="halt_on_error=1" "$build_dir/$t"
+  done
+  echo "TSAN OK"
+}
+
+case "$STAGE" in
+  build) run_build_stage ;;
+  asan)  run_asan_stage ;;
+  tsan)  run_tsan_stage ;;
+  all)
+    run_build_stage
+    run_asan_stage
+    run_tsan_stage
+    ;;
+  *)
+    echo "unknown STAGE '$STAGE' (expected all|build|asan|tsan)" >&2
+    exit 2
+    ;;
+esac

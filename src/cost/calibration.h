@@ -14,6 +14,16 @@ struct HardwareCalibration {
   double scan_gibps_per_node = 1.0;      // object-store scan bandwidth
   double network_gibps_per_node = 1.25;  // NIC bandwidth (10 Gbps)
 
+  // Shuffle data-movement term: every byte an exchange moves between
+  // workers pays a serialize/copy cost on top of the wire model, and every
+  // receiver partition pays a fixed dispatch fee (bucket setup, temp-table
+  // build). These are the terms the real ShardedEngine's measured exchange
+  // timings calibrate (CalibrationUpdater::ObserveShuffles) — the knob that
+  // decides shuffle vs broadcast vs co-partitioned plans and how many
+  // workers are worth paying for.
+  double shuffle_gibps = 8.0;               // bytes/shuffle_bw copy rate
+  Seconds shuffle_dispatch_seconds = 2e-4;  // per receiver partition
+
   // CPU rates, rows per second per node. Filter/project rates are
   // batch-at-a-time throughputs of the vectorized kernels (selection
   // vectors over flat payloads), not per-row interpreter rates — the

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "exec/engine.h"
+#include "exec/sharded_engine.h"
 
 namespace costdb {
 
@@ -47,13 +48,9 @@ CalibrationReport CalibrationUpdater::Observe(
   return ObservePairs(pairs);
 }
 
-CalibrationReport CalibrationUpdater::ObservePairs(
-    const std::vector<CalibrationObservation>& pairs) {
-  CalibrationReport report;
-  report.pipelines_observed = static_cast<int>(pairs.size());
-  if (pairs.empty()) return report;
-  report.q_error_before = GeoMeanQError(pairs);
-
+double CalibrationUpdater::ScaleFor(
+    const std::vector<CalibrationObservation>& pairs,
+    double total_scale_so_far) const {
   // Geometric mean of actual/predicted: the single multiplier that, applied
   // to every predicted duration, minimizes the aggregate log error.
   double log_ratio = 0.0;
@@ -63,11 +60,20 @@ CalibrationReport CalibrationUpdater::ObservePairs(
   double scale = std::exp(log_ratio * options_.learning_rate);
   scale = std::clamp(scale, 1.0 / options_.max_step, options_.max_step);
   // Keep the cumulative drift bounded relative to the initial calibration.
-  double proposed_total = total_scale_ * scale;
+  double proposed_total = total_scale_so_far * scale;
   proposed_total = std::clamp(proposed_total, 1.0 / options_.max_total_drift,
                               options_.max_total_drift);
-  scale = proposed_total / total_scale_;
+  return proposed_total / total_scale_so_far;
+}
 
+CalibrationReport CalibrationUpdater::ObservePairs(
+    const std::vector<CalibrationObservation>& pairs) {
+  CalibrationReport report;
+  report.pipelines_observed = static_cast<int>(pairs.size());
+  if (pairs.empty()) return report;
+  report.q_error_before = GeoMeanQError(pairs);
+
+  double scale = ScaleFor(pairs, total_scale_);
   ApplyScale(scale);
   total_scale_ *= scale;
   ++rounds_;
@@ -75,6 +81,39 @@ CalibrationReport CalibrationUpdater::ObservePairs(
 
   // Every time term scales linearly in `scale`, so the post-update q-error
   // is exact without re-invoking the estimator.
+  std::vector<CalibrationObservation> after = pairs;
+  for (auto& p : after) p.predicted *= scale;
+  report.q_error_after = GeoMeanQError(after);
+  return report;
+}
+
+CalibrationReport CalibrationUpdater::ObserveShuffles(
+    const std::vector<ExchangeTiming>& timings) {
+  std::vector<CalibrationObservation> pairs;
+  for (const auto& t : timings) {
+    if (t.seconds <= 0.0) continue;
+    CalibrationObservation obs;
+    obs.actual = t.seconds;
+    obs.predicted = t.bytes / (hw_->shuffle_gibps * kGiB) +
+                    static_cast<double>(t.partitions) *
+                        hw_->shuffle_dispatch_seconds;
+    if (obs.predicted > 0.0) pairs.push_back(obs);
+  }
+  CalibrationReport report;
+  report.pipelines_observed = static_cast<int>(pairs.size());
+  if (pairs.empty()) return report;
+  report.q_error_before = GeoMeanQError(pairs);
+
+  double scale = ScaleFor(pairs, shuffle_total_scale_);
+  // Scale only the shuffle term: the copy rate divides, the per-partition
+  // dispatch multiplies, so every predicted exchange duration scales by
+  // exactly `scale` while the rest of the calibration stays put.
+  hw_->shuffle_gibps /= scale;
+  hw_->shuffle_dispatch_seconds *= scale;
+  shuffle_total_scale_ *= scale;
+  ++rounds_;
+  report.applied_scale = scale;
+
   std::vector<CalibrationObservation> after = pairs;
   for (auto& p : after) p.predicted *= scale;
   report.q_error_after = GeoMeanQError(after);
@@ -96,6 +135,12 @@ void CalibrationUpdater::ApplyScale(double scale) {
   hw_->agg_merge_groups_per_sec /= scale;
   hw_->sort_rows_per_sec /= scale;
   hw_->exchange_rows_per_sec /= scale;
+  hw_->shuffle_gibps /= scale;
+  hw_->shuffle_dispatch_seconds *= scale;
+  // The uniform pipeline scale moves the shuffle term too; record it in
+  // the shuffle drift tracker so ObserveShuffles' max_total_drift clamp
+  // is measured against the term's true cumulative movement.
+  shuffle_total_scale_ *= scale;
   hw_->shuffle_sync_per_node *= scale;
   hw_->pipeline_startup *= scale;
   hw_->batch_dispatch_seconds *= scale;  // vector_batch_rows is a size, not a time

@@ -6,7 +6,8 @@
 
 namespace costdb {
 
-struct PipelineTiming;  // exec/engine.h; kept forward to avoid a cycle
+struct PipelineTiming;   // exec/engine.h; kept forward to avoid a cycle
+struct ExchangeTiming;   // exec/sharded_engine.h; same
 
 /// One observed pipeline execution, in the vocabulary of the cost model:
 /// what the estimator predicted for it and what the engine measured.
@@ -71,6 +72,20 @@ class CalibrationUpdater {
   CalibrationReport ObservePairs(
       const std::vector<CalibrationObservation>& pairs);
 
+  /// Fold the sharded engine's measured exchange wall times into the
+  /// calibration's shuffle term: predictions are made with the current
+  /// bytes/shuffle_bw + partitions*dispatch model and only shuffle_gibps /
+  /// shuffle_dispatch_seconds are rescaled (geometric-mean ratio under the
+  /// same learning rate and clamps as the pipeline loop), so the general
+  /// operator rates never chase data-movement noise.
+  CalibrationReport ObserveShuffles(
+      const std::vector<ExchangeTiming>& timings);
+
+  /// Cumulative movement of the shuffle term relative to the initial
+  /// calibration — the product of every ObserveShuffles scale *and* of
+  /// the uniform pipeline scales (which move the shuffle term too).
+  double shuffle_total_scale() const { return shuffle_total_scale_; }
+
   /// Product of every scale applied so far (1.0 = still at the initial
   /// calibration).
   double total_scale() const { return total_scale_; }
@@ -79,9 +94,16 @@ class CalibrationUpdater {
  private:
   void ApplyScale(double scale);
 
+  /// Shared EWMA step: the clamped geometric-mean actual/predicted scale
+  /// for `pairs`, with the cumulative clamp measured against the given
+  /// drift so far (read-only — callers advance their tracker themselves).
+  double ScaleFor(const std::vector<CalibrationObservation>& pairs,
+                  double total_scale_so_far) const;
+
   HardwareCalibration* hw_;
   CalibrationUpdaterOptions options_;
   double total_scale_ = 1.0;
+  double shuffle_total_scale_ = 1.0;
   int rounds_ = 0;
 };
 

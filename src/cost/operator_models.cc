@@ -1,5 +1,6 @@
 #include "cost/operator_models.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/stats_math.h"
@@ -123,6 +124,22 @@ class SortModel : public OperatorModel {
   const HardwareCalibration* hw_;
 };
 
+/// Calibrated serialize/copy side of the data-movement term: the byte
+/// half of `bytes/shuffle_bw + partitions*dispatch`. It overlaps the wire
+/// in the exchange models (both sit under a max), so the cloud-shaped NIC
+/// model keeps its scaling behavior while the in-process sharded engine —
+/// whose "wire" IS this copy — calibrates it from measured exchange times
+/// (CalibrationUpdater::ObserveShuffles).
+Seconds ShuffleCopyTime(const HardwareCalibration* hw, double moved_bytes) {
+  return moved_bytes / (hw->shuffle_gibps * kGiB);
+}
+
+/// Per-receiver-partition dispatch fee (bucket setup, temp-table build) —
+/// the partition half of the calibrated shuffle term.
+Seconds ShuffleDispatch(const HardwareCalibration* hw, int partitions) {
+  return static_cast<double>(partitions) * hw->shuffle_dispatch_seconds;
+}
+
 class ShuffleModel : public OperatorModel {
  public:
   explicit ShuffleModel(const HardwareCalibration* hw) : hw_(hw) {}
@@ -135,14 +152,27 @@ class ShuffleModel : public OperatorModel {
     double frac_remote =
         dop <= 1 ? 0.0 : static_cast<double>(dop - 1) / dop;
     double eff = EffectiveParallelism(dop, hw_->parallel_alpha);
-    double net = w.bytes_in * frac_remote /
-                 (hw_->network_gibps_per_node * kGiB * eff);
-    return std::max(cpu, net) + hw_->shuffle_sync_per_node * dop;
+    double moved = w.bytes_in * frac_remote;
+    double net = moved / (hw_->network_gibps_per_node * kGiB * eff);
+    return std::max({cpu, net, ShuffleCopyTime(hw_, moved)}) +
+           ShuffleDispatch(hw_, dop) + hw_->shuffle_sync_per_node * dop;
   }
   const char* name() const override { return "shuffle"; }
 
  private:
   const HardwareCalibration* hw_;
+};
+
+/// Co-partitioned pass-through: both sides already live on the right
+/// worker, so nothing moves and nothing is dispatched.
+class LocalExchangeModel : public OperatorModel {
+ public:
+  Seconds StageTime(const StageWorkload& w, int dop) const override {
+    (void)w;
+    (void)dop;
+    return 0.0;
+  }
+  const char* name() const override { return "local"; }
 };
 
 class BroadcastModel : public OperatorModel {
@@ -155,7 +185,9 @@ class BroadcastModel : public OperatorModel {
     double per_node = w.bytes_in / (hw_->network_gibps_per_node * kGiB);
     double fanout_penalty =
         1.0 + 0.1 * std::log2(std::max(1.0, static_cast<double>(dop)));
-    return per_node * fanout_penalty + hw_->shuffle_sync_per_node * dop;
+    double moved = w.bytes_in * static_cast<double>(dop > 1 ? dop - 1 : 0);
+    return std::max(per_node * fanout_penalty, ShuffleCopyTime(hw_, moved)) +
+           ShuffleDispatch(hw_, dop) + hw_->shuffle_sync_per_node * dop;
   }
   const char* name() const override { return "broadcast"; }
 
@@ -167,8 +199,13 @@ class GatherModel : public OperatorModel {
  public:
   explicit GatherModel(const HardwareCalibration* hw) : hw_(hw) {}
   Seconds StageTime(const StageWorkload& w, int dop) const override {
-    (void)dop;  // single receiver NIC is the bottleneck
-    return w.bytes_in / (hw_->network_gibps_per_node * kGiB);
+    (void)dop;
+    // Single receiver NIC is the bottleneck regardless of producer count,
+    // and the receiver copies the full payload into its buffers either
+    // way — gather neither speeds up nor slows down with DOP.
+    return std::max(w.bytes_in / (hw_->network_gibps_per_node * kGiB),
+                    ShuffleCopyTime(hw_, w.bytes_in)) +
+           ShuffleDispatch(hw_, 1);
   }
   const char* name() const override { return "gather"; }
 
@@ -202,6 +239,8 @@ std::unique_ptr<OperatorModel> MakeAnalyticModel(
           return std::make_unique<BroadcastModel>(hw);
         case ExchangeKind::kGather:
           return std::make_unique<GatherModel>(hw);
+        case ExchangeKind::kLocal:
+          return std::make_unique<LocalExchangeModel>();
       }
   }
   return std::make_unique<FilterModel>(hw, hw->project_rows_per_sec);

@@ -70,47 +70,41 @@ bool KeysEqual(const std::vector<ColumnVector>& a, size_t ra,
   return true;
 }
 
-/// Serialized group key (type-tagged, '\x01' separated; strings are
-/// length-prefixed so a '\x01' byte inside a value cannot make two
-/// distinct key tuples collide), appended into a caller-owned buffer so
-/// the per-row grouping loop reuses one allocation.
-void EncodeGroupKeyInto(const std::vector<ColumnVector>& groups, size_t row,
-                        std::string* key) {
-  key->clear();
-  for (const auto& g : groups) {
-    if (g.IsNull(row)) {
-      *key += 'n';
-      *key += '\x01';
-      continue;
-    }
-    switch (g.physical_type()) {
-      case PhysicalType::kInt64:
-        *key += 'i';
-        *key += std::to_string(g.GetInt(row));
-        break;
-      case PhysicalType::kDouble: {
-        // Bit-exact encoding: to_string's 6 decimals would merge nearby
-        // distinct values into one group. -0.0 normalizes to 0.0 so the
-        // two (equal) zeros stay one group.
-        double d = g.GetDouble(row);
-        if (d == 0.0) d = 0.0;
-        uint64_t bits;
-        std::memcpy(&bits, &d, sizeof(bits));
-        *key += 'd';
-        *key += std::to_string(bits);
-        break;
-      }
-      case PhysicalType::kString: {
-        const std::string& s = g.GetString(row);
-        *key += 's';
-        *key += std::to_string(s.size());
-        *key += ':';
-        *key += s;
-        break;
-      }
-    }
+/// One column's contribution to the serialized row key (see
+/// EncodeRowKeyInto in engine.h for the format contract).
+void EncodeKeyColumn(const ColumnVector& g, size_t row, std::string* key) {
+  if (g.IsNull(row)) {
+    *key += 'n';
     *key += '\x01';
+    return;
   }
+  switch (g.physical_type()) {
+    case PhysicalType::kInt64:
+      *key += 'i';
+      *key += std::to_string(g.GetInt(row));
+      break;
+    case PhysicalType::kDouble: {
+      // Bit-exact encoding: to_string's 6 decimals would merge nearby
+      // distinct values into one group. -0.0 normalizes to 0.0 so the
+      // two (equal) zeros stay one group.
+      double d = g.GetDouble(row);
+      if (d == 0.0) d = 0.0;
+      uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      *key += 'd';
+      *key += std::to_string(bits);
+      break;
+    }
+    case PhysicalType::kString: {
+      const std::string& s = g.GetString(row);
+      *key += 's';
+      *key += std::to_string(s.size());
+      *key += ':';
+      *key += s;
+      break;
+    }
+  }
+  *key += '\x01';
 }
 
 /// Morsel-local partial aggregation: group index + one state per group.
@@ -134,7 +128,7 @@ Status FoldChunkIntoGroups(const PhysicalPlan* sink,
   std::vector<GroupState*> row_group(rows);
   std::string key;
   for (size_t r = 0; r < rows; ++r) {
-    EncodeGroupKeyInto(group_vecs, r, &key);
+    EncodeRowKeyInto(group_vecs, r, &key);
     auto [it, inserted] = partial->groups.try_emplace(key);
     GroupState& gs = it->second;
     if (inserted) {  // aggs may stay empty (aggregate-free GROUP BY)
@@ -242,6 +236,20 @@ Status FoldChunkIntoGlobal(const PhysicalPlan* sink,
 }
 
 }  // namespace
+
+void EncodeRowKeyInto(const std::vector<ColumnVector>& columns, size_t row,
+                      std::string* key) {
+  key->clear();
+  for (const auto& g : columns) EncodeKeyColumn(g, row, key);
+}
+
+void EncodeChunkKeyInto(const DataChunk& chunk, size_t num_columns, size_t row,
+                        std::string* key) {
+  key->clear();
+  for (size_t c = 0; c < num_columns; ++c) {
+    EncodeKeyColumn(chunk.column(c), row, key);
+  }
+}
 
 std::string QueryResult::ToString(int64_t limit) const {
   std::string out;
@@ -401,7 +409,12 @@ Status LocalEngine::RunPipeline(const Pipeline& pipeline, ExecContext* ctx,
     // pruning. A pruned morsel is never touched again — its rows are not
     // read, filtered, or materialized.
     source_names = src->output_names;
-    for (const auto& group : src->table->row_groups()) {
+    const auto& groups = src->table->row_groups();
+    // A sharded worker scans only its contiguous row-group share; the
+    // default [0, SIZE_MAX) covers the whole table.
+    const size_t g_end = std::min(groups.size(), src->scan_group_end);
+    for (size_t g = std::min(src->scan_group_begin, g_end); g < g_end; ++g) {
+      const RowGroup& group = groups[g];
       ++scan_stats_.morsels_total;
       bool prunable = false;
       for (const auto& f : src->scan_filters) {
@@ -721,8 +734,12 @@ Status LocalEngine::RunPipeline(const Pipeline& pipeline, ExecContext* ctx,
           return Value(int64_t{0});
       }
     };
-    if (agg_rows_folded == 0 && sink->group_by.empty()) {
-      // Global aggregate over empty input: one row of zeros.
+    if (agg_rows_folded == 0 && sink->group_by.empty() &&
+        !sink->agg_is_partial) {
+      // Global aggregate over empty input: one row of zeros. A *partial*
+      // aggregate instead emits nothing — its consumer is the final
+      // aggregate, and a fabricated zero from one empty shard would
+      // poison the global MIN/MAX merged across workers.
       agg_groups.clear();
       std::vector<Value> row;
       for (const auto& a : sink->aggregates) {
@@ -753,11 +770,20 @@ Status LocalEngine::RunPipeline(const Pipeline& pipeline, ExecContext* ctx,
                                     : st.dsum / static_cast<double>(st.count)));
             break;
           case AggFunc::kMin:
-            row.push_back(st.has_value ? st.min : type_zero(agg.type));
+          case AggFunc::kMax: {
+            // Value-less MIN/MAX: the NULL-free result convention
+            // zero-fills — except in a partial, whose consumer (the
+            // final aggregate) skips NULL inputs, so NULL is the only
+            // emission that cannot corrupt the merged extremum.
+            const Value& extremum = agg.agg == AggFunc::kMin ? st.min : st.max;
+            if (st.has_value) {
+              row.push_back(extremum);
+            } else {
+              row.push_back(sink->agg_is_partial ? Value::Null()
+                                                 : type_zero(agg.type));
+            }
             break;
-          case AggFunc::kMax:
-            row.push_back(st.has_value ? st.max : type_zero(agg.type));
-            break;
+          }
         }
       }
       out.AppendRow(row);

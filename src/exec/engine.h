@@ -40,6 +40,17 @@ struct StreamedResult {
   size_t rows_streamed = 0;
 };
 
+/// Serialized, type-tagged row-key encoding ('\x01'-separated; strings
+/// length-prefixed; doubles bit-exact with -0.0 normalized to 0.0). Both
+/// the engine's ordered aggregate-group table and the sharded engine's
+/// key-merge gather order grouped results by exactly this byte string, so
+/// grouped output order is identical across engines and worker counts.
+void EncodeRowKeyInto(const std::vector<ColumnVector>& columns, size_t row,
+                      std::string* key);
+/// Same encoding over the first `num_columns` columns of a chunk.
+void EncodeChunkKeyInto(const DataChunk& chunk, size_t num_columns, size_t row,
+                        std::string* key);
+
 /// Wall-clock measurement of one pipeline run, used to calibrate the cost
 /// estimator's per-operator throughput parameters.
 struct PipelineTiming {

@@ -1,0 +1,614 @@
+#include "exec/sharded_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+
+#include "exec/evaluator.h"
+#include "storage/partition.h"
+
+namespace costdb {
+
+namespace {
+
+constexpr size_t kTempRowGroupRows = 4096;
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// A cut is an exchange that actually moves rows between workers; kLocal
+/// (co-partitioned pass-through) stays inside its fragment and the worker
+/// engines treat it as a no-op.
+bool IsCut(const PhysicalPlan* node) {
+  return node->kind == PhysicalPlan::Kind::kExchange &&
+         node->exchange_kind != ExchangeKind::kLocal;
+}
+
+void CollectCuts(const PhysicalPlan* node,
+                 std::vector<const PhysicalPlan*>* cuts) {
+  for (const auto& c : node->children) {
+    if (IsCut(c.get())) {
+      cuts->push_back(c.get());
+      continue;  // the exchange subtree belongs to the producing fragments
+    }
+    CollectCuts(c.get(), cuts);
+  }
+}
+
+bool HasBaseScan(const PhysicalPlan* node) {
+  if (node->kind == PhysicalPlan::Kind::kTableScan) return true;
+  for (const auto& c : node->children) {
+    if (IsCut(c.get())) continue;
+    if (HasBaseScan(c.get())) return true;
+  }
+  return false;
+}
+
+/// Group-key column count of a fragment whose per-worker output is sorted
+/// by encoded group key with disjoint key sets — i.e. the fragment's
+/// order-fixing spine is a grouped aggregate over hash-distributed input
+/// (a shuffle cut, or a co-partitioned kLocal pass-through), optionally
+/// wrapped in projections that pass the group columns through positionally
+/// (the planner's AVG-restoring projection does). 0 = plain concatenation.
+size_t MergeKeyPrefixOf(const PhysicalPlan* frag_root) {
+  std::vector<const PhysicalPlan*> projects;
+  const PhysicalPlan* n = frag_root;
+  while (true) {
+    if (n->kind == PhysicalPlan::Kind::kProject) {
+      projects.push_back(n);
+      n = n->children[0].get();
+      continue;
+    }
+    if (n->kind == PhysicalPlan::Kind::kFilter ||
+        n->kind == PhysicalPlan::Kind::kLimit) {
+      n = n->children[0].get();
+      continue;
+    }
+    break;
+  }
+  if (n->kind != PhysicalPlan::Kind::kHashAggregate || n->group_by.empty()) {
+    return 0;
+  }
+  const PhysicalPlan* child = n->children[0].get();
+  const bool distributed_by_key =
+      child->kind == PhysicalPlan::Kind::kExchange &&
+      (child->exchange_kind == ExchangeKind::kShuffle ||
+       child->exchange_kind == ExchangeKind::kLocal);
+  if (!distributed_by_key) return 0;
+  const size_t k = n->group_by.size();
+  // Every projection layer must pass the group columns through as its
+  // first k outputs for the merged key order to survive to the fragment
+  // output.
+  for (const PhysicalPlan* p : projects) {
+    if (p->projections.size() < k) return 0;
+    const auto& child_names = p->children[0]->output_names;
+    if (child_names.size() < k) return 0;
+    for (size_t i = 0; i < k; ++i) {
+      const Expr& e = *p->projections[i];
+      if (e.kind != Expr::Kind::kColumn || e.column != child_names[i]) {
+        return 0;
+      }
+    }
+  }
+  return k;
+}
+
+/// Hash partitioning currently backing a kLocal pass-through: walk down
+/// to the base scan and report its partition count plus the qualified
+/// partition column ("alias.column"); parts == 0 means the source is no
+/// longer hash-partitioned. This walk is wider than the planner's
+/// detection walk (physical_planner.cc HashPartitionSourceOf) because it
+/// validates chains the planner built — a kLocal over a partial
+/// aggregate, projections the planner inserted — while sharing the
+/// partitioning check itself (ScanHashPartitioning).
+struct LocalSource {
+  size_t parts = 0;
+  std::string qualified_column;
+};
+LocalSource LocalExchangeSource(const PhysicalPlan* node) {
+  while (node != nullptr) {
+    switch (node->kind) {
+      case PhysicalPlan::Kind::kFilter:
+      case PhysicalPlan::Kind::kProject:
+      case PhysicalPlan::Kind::kLimit:
+      case PhysicalPlan::Kind::kHashAggregate:  // partial agg keeps locality
+        node = node->children[0].get();
+        continue;
+      case PhysicalPlan::Kind::kExchange:
+        if (node->exchange_kind != ExchangeKind::kLocal) return {};
+        node = node->children[0].get();
+        continue;
+      case PhysicalPlan::Kind::kTableScan: {
+        auto [parts, qualified] = ScanHashPartitioning(*node);
+        return {parts, std::move(qualified)};
+      }
+      default:
+        return {};
+    }
+  }
+  return {};
+}
+
+/// True when the kLocal exchange's source table is still hash-partitioned
+/// on the column the elision was decided on (the exchange records it in
+/// partition_exprs at plan time).
+bool LocalExchangeStillValid(const PhysicalPlan* exchange,
+                             const LocalSource& src) {
+  if (src.parts == 0) return false;
+  if (exchange->partition_exprs.empty()) return true;  // pre-key plans
+  const Expr& key = *exchange->partition_exprs[0];
+  return key.kind == Expr::Kind::kColumn &&
+         key.column == src.qualified_column;
+}
+
+/// A plan carrying kLocal exchanges was shaped for co-partitioned data.
+/// If a table was appended to or repartitioned (fewer parts, different
+/// column) since planning, running it partition-wise would silently join
+/// mis-aligned shards or split groups across workers — fail loudly
+/// instead; the caller replans against current metadata.
+Status ValidateCoPartitioning(const PhysicalPlan* node) {
+  if (node->kind == PhysicalPlan::Kind::kExchange &&
+      node->exchange_kind == ExchangeKind::kLocal &&
+      !LocalExchangeStillValid(node, LocalExchangeSource(node))) {
+    return Status::Internal(
+        "co-partitioned (kLocal) plan is stale: source table is no longer "
+        "hash-partitioned on the plan's key; replan");
+  }
+  if (node->kind == PhysicalPlan::Kind::kHashJoin &&
+      node->children.size() == 2) {
+    const bool l0 = node->children[0]->kind == PhysicalPlan::Kind::kExchange &&
+                    node->children[0]->exchange_kind == ExchangeKind::kLocal;
+    const bool l1 = node->children[1]->kind == PhysicalPlan::Kind::kExchange &&
+                    node->children[1]->exchange_kind == ExchangeKind::kLocal;
+    const LocalSource s0 = LocalExchangeSource(node->children[0].get());
+    const LocalSource s1 = LocalExchangeSource(node->children[1].get());
+    if (l0 != l1 || (l0 && (s0.parts == 0 || s0.parts != s1.parts))) {
+      return Status::Internal(
+          "partition-wise join plan is stale: sides are no longer "
+          "co-partitioned; replan");
+    }
+  }
+  for (const auto& c : node->children) {
+    COSTDB_RETURN_NOT_OK(ValidateCoPartitioning(c.get()));
+  }
+  return Status::OK();
+}
+
+/// LIMIT applied to the final gathered result: the outermost limit on the
+/// root's streaming chain (worker-local limits were already applied by the
+/// per-worker engines; the global result needs one more truncation).
+int64_t RootLimit(const PhysicalPlan* root) {
+  int64_t limit = -1;
+  const PhysicalPlan* n = root;
+  while (n != nullptr) {
+    if (n->kind == PhysicalPlan::Kind::kLimit && n->limit >= 0) {
+      limit = limit < 0 ? n->limit : std::min(limit, n->limit);
+    }
+    if ((n->kind == PhysicalPlan::Kind::kLimit ||
+         n->kind == PhysicalPlan::Kind::kFilter ||
+         n->kind == PhysicalPlan::Kind::kProject ||
+         n->kind == PhysicalPlan::Kind::kExchange) &&
+        !n->children.empty()) {
+      n = n->children[0].get();
+      continue;
+    }
+    break;
+  }
+  return limit;
+}
+
+void TruncateChunk(DataChunk* chunk, int64_t limit) {
+  if (limit < 0 || static_cast<int64_t>(chunk->num_rows()) <= limit) return;
+  std::vector<uint32_t> head(static_cast<size_t>(limit));
+  std::iota(head.begin(), head.end(), 0);
+  chunk->Slice(head);
+}
+
+/// Gather the selected rows of `chunk` into a fresh chunk (bulk column
+/// gathers, no per-row work).
+DataChunk GatherRows(const DataChunk& chunk,
+                     const std::vector<uint32_t>& sel,
+                     const std::vector<LogicalType>& types) {
+  DataChunk out(types);
+  for (size_t c = 0; c < chunk.num_columns(); ++c) {
+    out.column(c) = chunk.column(c).Gather(sel);
+  }
+  return out;
+}
+
+std::shared_ptr<Table> MakeTempTable(const PhysicalPlan* exchange,
+                                     const DataChunk& rows) {
+  std::vector<ColumnDef> cols;
+  cols.reserve(exchange->output_names.size());
+  for (size_t i = 0; i < exchange->output_names.size(); ++i) {
+    cols.push_back(ColumnDef{exchange->output_names[i],
+                             exchange->output_types[i]});
+  }
+  auto table = std::make_shared<Table>("__exchange", std::move(cols),
+                                       kTempRowGroupRows);
+  if (rows.num_rows() > 0) table->Append(rows);
+  return table;
+}
+
+}  // namespace
+
+double ChunkPayloadBytes(const DataChunk& chunk) {
+  double total = 0.0;
+  for (size_t c = 0; c < chunk.num_columns(); ++c) {
+    const ColumnVector& col = chunk.column(c);
+    if (col.physical_type() == PhysicalType::kString) {
+      for (const auto& s : col.strings()) {
+        total += static_cast<double>(s.size()) + 4.0;
+      }
+    } else {
+      total += 8.0 * static_cast<double>(col.size());
+    }
+  }
+  return total;
+}
+
+ShardedEngine::ShardedEngine(size_t num_workers, size_t threads_per_worker)
+    : pool_(std::max<size_t>(1, num_workers)) {
+  num_workers = std::max<size_t>(1, num_workers);
+  workers_.reserve(num_workers);
+  for (size_t w = 0; w < num_workers; ++w) {
+    Worker worker;
+    worker.engine =
+        std::make_unique<LocalEngine>(std::max<size_t>(1, threads_per_worker));
+    workers_.push_back(std::move(worker));
+  }
+}
+
+Result<ShardedEngine::Shards> ShardedEngine::ShuffleShards(
+    Shards in, const PhysicalPlan* exchange) {
+  if (exchange->partition_exprs.empty()) {
+    return Status::Internal("shuffle exchange without partition keys");
+  }
+  const double start = NowSeconds();
+  const size_t W = workers_.size();
+  Shards out;
+  out.chunks.assign(W, DataChunk(exchange->output_types));
+
+  std::vector<std::string> names = exchange->output_names;
+  Evaluator ev(&names);
+  double bytes_moved = 0.0;   // logical: left the producing worker
+  double bytes_copied = 0.0;  // physical: everything the repartition wrote
+  size_t rows_moved = 0;
+  const size_t sources = in.single ? 1 : in.chunks.size();
+  for (size_t w = 0; w < sources; ++w) {
+    DataChunk& chunk = in.chunks[w];
+    const size_t rows = chunk.num_rows();
+    if (rows == 0) continue;
+    std::vector<ColumnVector> keys;
+    std::vector<bool> as_double;
+    for (const auto& e : exchange->partition_exprs) {
+      ColumnVector v;
+      COSTDB_ASSIGN_OR_RETURN(v, ev.Evaluate(*e, chunk));
+      // Normalize every numeric key to double so an int64 key lands on the
+      // same worker as the double it joins with (probe and build shuffles
+      // hash independently but must agree).
+      as_double.push_back(v.physical_type() != PhysicalType::kString);
+      keys.push_back(std::move(v));
+    }
+    std::vector<uint64_t> hashes;
+    kernels::HashRows(keys, as_double, rows, &hashes);
+    std::vector<std::vector<uint32_t>> bucket_rows(W);
+    for (size_t r = 0; r < rows; ++r) {
+      bucket_rows[hashes[r] % W].push_back(static_cast<uint32_t>(r));
+    }
+    for (size_t b = 0; b < W; ++b) {
+      if (bucket_rows[b].empty()) continue;
+      DataChunk moved =
+          GatherRows(chunk, bucket_rows[b], exchange->output_types);
+      const double payload = ChunkPayloadBytes(moved);
+      bytes_copied += payload;
+      if (b != w) {
+        rows_moved += moved.num_rows();
+        bytes_moved += payload;
+      }
+      out.chunks[b].Append(moved);
+    }
+    chunk.Clear();
+  }
+
+  ExchangeTiming timing;
+  timing.kind = ExchangeKind::kShuffle;
+  timing.bytes = bytes_copied;
+  timing.partitions = W;
+  timing.seconds = NowSeconds() - start;
+  exchange_stats_.timings.push_back(timing);
+  ++exchange_stats_.shuffles;
+  exchange_stats_.rows_moved += rows_moved;
+  exchange_stats_.bytes_moved += bytes_moved;
+  exchange_stats_.seconds += timing.seconds;
+  return out;
+}
+
+ShardedEngine::Shards ShardedEngine::BroadcastShards(
+    Shards in, const PhysicalPlan* exchange) {
+  const double start = NowSeconds();
+  const size_t W = workers_.size();
+  Shards out;
+  out.shared = true;
+  out.chunks.assign(1, DataChunk(exchange->output_types));
+  const size_t sources = (in.single || in.shared) ? 1 : in.chunks.size();
+  for (size_t w = 0; w < sources; ++w) {
+    out.chunks[0].Append(in.chunks[w]);
+  }
+  // Every other worker receives the full payload; in-process they borrow
+  // the one materialized copy, so the stats charge what a wire would but
+  // the calibration timing only what the measured append wrote.
+  const double payload = ChunkPayloadBytes(out.chunks[0]);
+  const double bytes = payload * static_cast<double>(W > 0 ? W - 1 : 0);
+
+  ExchangeTiming timing;
+  timing.kind = ExchangeKind::kBroadcast;
+  timing.bytes = payload;
+  timing.partitions = W;
+  timing.seconds = NowSeconds() - start;
+  exchange_stats_.timings.push_back(timing);
+  ++exchange_stats_.broadcasts;
+  exchange_stats_.rows_moved += out.chunks[0].num_rows() * (W > 0 ? W - 1 : 0);
+  exchange_stats_.bytes_moved += bytes;
+  exchange_stats_.seconds += timing.seconds;
+  return out;
+}
+
+ShardedEngine::Shards ShardedEngine::GatherShards(
+    Shards in, const PhysicalPlan* exchange) {
+  const double start = NowSeconds();
+  double bytes = 0.0;   // logical: arrived from other workers
+  double copied = 0.0;  // physical: everything the merge wrote
+  size_t rows = 0;
+  if (!in.single) {
+    const size_t sources = in.shared ? 1 : in.chunks.size();
+    for (size_t w = 0; w < sources; ++w) {
+      const double payload = ChunkPayloadBytes(in.chunks[w]);
+      copied += payload;
+      if (w > 0) {
+        bytes += payload;
+        rows += in.chunks[w].num_rows();
+      }
+    }
+  }
+  Shards out;
+  out.single = true;
+  DataChunk merged = MergeShards(&in, exchange->output_types);
+  out.chunks.assign(1, std::move(merged));
+
+  ExchangeTiming timing;
+  timing.kind = ExchangeKind::kGather;
+  timing.bytes = copied;
+  timing.partitions = 1;
+  timing.seconds = NowSeconds() - start;
+  exchange_stats_.timings.push_back(timing);
+  ++exchange_stats_.gathers;
+  exchange_stats_.rows_moved += rows;
+  exchange_stats_.bytes_moved += bytes;
+  exchange_stats_.seconds += timing.seconds;
+  return out;
+}
+
+DataChunk ShardedEngine::MergeShards(
+    Shards* shards, const std::vector<LogicalType>& types) const {
+  DataChunk out(types);
+  if (shards->single || shards->shared) {
+    if (!shards->chunks.empty()) out = std::move(shards->chunks[0]);
+    return out;
+  }
+  if (shards->key_prefix == 0) {
+    for (auto& c : shards->chunks) {
+      if (c.num_columns() == out.num_columns()) out.Append(c);
+    }
+    return out;
+  }
+  // K-way merge on the encoded group key: every shard is key-sorted with
+  // disjoint key sets, and the encoding is byte-identical to the one that
+  // orders LocalEngine's aggregate output — so the merged order matches a
+  // single-node run exactly.
+  const size_t k = shards->key_prefix;
+  const size_t n = shards->chunks.size();
+  std::vector<size_t> cursor(n, 0);
+  std::vector<std::string> current(n);
+  for (size_t w = 0; w < n; ++w) {
+    if (shards->chunks[w].num_rows() > 0) {
+      EncodeChunkKeyInto(shards->chunks[w], k, 0, &current[w]);
+    }
+  }
+  while (true) {
+    size_t best = n;
+    for (size_t w = 0; w < n; ++w) {
+      if (cursor[w] >= shards->chunks[w].num_rows()) continue;
+      if (best == n || current[w] < current[best]) best = w;
+    }
+    if (best == n) break;
+    out.AppendRowFrom(shards->chunks[best], cursor[best]);
+    ++cursor[best];
+    if (cursor[best] < shards->chunks[best].num_rows()) {
+      EncodeChunkKeyInto(shards->chunks[best], k, cursor[best],
+                         &current[best]);
+    }
+  }
+  return out;
+}
+
+PhysicalPlanPtr ShardedEngine::CloneForWorker(
+    const PhysicalPlan* node, size_t worker, bool single,
+    const std::map<const PhysicalPlan*, FragmentInput>& inputs,
+    double* input_rows) const {
+  auto it = inputs.find(node);
+  if (it != inputs.end()) {
+    const FragmentInput& fi = it->second;
+    auto scan = std::make_shared<PhysicalPlan>();
+    scan->kind = PhysicalPlan::Kind::kTableScan;
+    scan->table = fi.SharedForWorker(worker);
+    scan->alias = "__exchange";
+    scan->output_names = node->output_names;
+    scan->output_types = node->output_types;
+    scan->scan_column_indices.resize(node->output_names.size());
+    std::iota(scan->scan_column_indices.begin(),
+              scan->scan_column_indices.end(), 0);
+    *input_rows += static_cast<double>(scan->table->num_rows());
+    return scan;
+  }
+  auto copy = std::make_shared<PhysicalPlan>(*node);
+  if (copy->kind == PhysicalPlan::Kind::kTableScan) {
+    if (!single) {
+      auto [begin, end] =
+          WorkerGroupRange(*copy->table, worker, workers_.size());
+      copy->scan_group_begin = begin;
+      copy->scan_group_end = end;
+      const auto& groups = copy->table->row_groups();
+      for (size_t g = begin; g < std::min(end, groups.size()); ++g) {
+        *input_rows += static_cast<double>(groups[g].num_rows());
+      }
+    } else {
+      *input_rows += static_cast<double>(copy->table->num_rows());
+    }
+    return copy;
+  }
+  for (auto& child : copy->children) {
+    child = CloneForWorker(child.get(), worker, single, inputs, input_rows);
+  }
+  return copy;
+}
+
+Result<ShardedEngine::Shards> ShardedEngine::RunNode(
+    const PhysicalPlan* node) {
+  if (!IsCut(node)) return RunFragment(node);
+  Shards in;
+  COSTDB_ASSIGN_OR_RETURN(in, RunNode(node->children[0].get()));
+  switch (node->exchange_kind) {
+    case ExchangeKind::kShuffle:
+      return ShuffleShards(std::move(in), node);
+    case ExchangeKind::kBroadcast:
+      return BroadcastShards(std::move(in), node);
+    case ExchangeKind::kGather:
+      return GatherShards(std::move(in), node);
+    case ExchangeKind::kLocal:
+      break;  // not a cut; unreachable
+  }
+  return in;
+}
+
+Result<ShardedEngine::Shards> ShardedEngine::RunFragment(
+    const PhysicalPlan* frag_root) {
+  const size_t W = workers_.size();
+
+  std::vector<const PhysicalPlan*> cuts;
+  CollectCuts(frag_root, &cuts);
+
+  std::map<const PhysicalPlan*, FragmentInput> inputs;
+  bool all_inputs_single = !cuts.empty();
+  for (const PhysicalPlan* cut : cuts) {
+    Shards s;
+    COSTDB_ASSIGN_OR_RETURN(s, RunNode(cut));
+    const double build_start = NowSeconds();
+    FragmentInput fi;
+    fi.shared = s.shared;
+    fi.single = s.single;
+    if (s.shared || s.single) {
+      fi.per_worker.push_back(MakeTempTable(cut, s.chunks[0]));
+    } else {
+      fi.per_worker.reserve(W);
+      for (size_t w = 0; w < W; ++w) {
+        fi.per_worker.push_back(MakeTempTable(cut, s.chunks[w]));
+      }
+    }
+    // Temp-table build is part of the exchange's dispatch cost; fold it
+    // into the timing the calibration loop observes (the entry this cut
+    // appended last).
+    const double build_seconds = NowSeconds() - build_start;
+    if (!exchange_stats_.timings.empty()) {
+      exchange_stats_.timings.back().seconds += build_seconds;
+    }
+    exchange_stats_.seconds += build_seconds;
+    if (!s.single) all_inputs_single = false;
+    inputs.emplace(cut, std::move(fi));
+  }
+
+  const bool has_base = HasBaseScan(frag_root);
+  const bool single = !has_base && all_inputs_single;
+  if (!single) {
+    // A gathered (single) input inside a distributed fragment would be
+    // scanned in full by every worker — W-fold row duplication. The
+    // planner never emits such shapes; refuse rather than corrupt.
+    bool any_single = has_base && !cuts.empty() && all_inputs_single;
+    for (const auto& [cut, fi] : inputs) any_single = any_single || fi.single;
+    if (any_single) {
+      return Status::Internal(
+          "unsupported fragment: gathered input mixed with distributed "
+          "inputs");
+    }
+  }
+
+  const size_t dop = single ? 1 : W;
+  std::vector<PhysicalPlanPtr> plans(dop);
+  std::vector<uint8_t> skip(dop, 0);
+  for (size_t w = 0; w < dop; ++w) {
+    double rows_in = 0.0;
+    plans[w] = CloneForWorker(frag_root, w, single, inputs, &rows_in);
+    // A worker with no input contributes nothing — skipping it (rather
+    // than running the engine on zero rows) keeps empty shards from
+    // fabricating global-aggregate zero rows; the single-worker finalize
+    // above the gather produces the canonical empty-input row instead.
+    if (!single && rows_in == 0.0) skip[w] = 1;
+  }
+
+  struct SlotResult {
+    Result<QueryResult> result{Status::Internal("not run")};
+    ScanStats scan_stats;
+  };
+  std::vector<SlotResult> slots(dop);
+  auto run_one = [&](size_t w) {
+    LocalEngine* engine = workers_[w].engine.get();
+    slots[w].result = engine->Execute(plans[w].get());
+    slots[w].scan_stats = engine->last_scan_stats();
+  };
+  if (dop > 1) {
+    for (size_t w = 0; w < dop; ++w) {
+      if (!skip[w]) pool_.Submit([&run_one, w] { run_one(w); });
+    }
+    pool_.WaitIdle();
+  } else if (!skip.empty() && !skip[0]) {
+    run_one(0);
+  }
+
+  Shards out;
+  out.single = single;
+  out.key_prefix = MergeKeyPrefixOf(frag_root);
+  out.chunks.assign(dop, DataChunk(frag_root->output_types));
+  for (size_t w = 0; w < dop; ++w) {
+    if (skip[w]) continue;
+    COSTDB_RETURN_NOT_OK(slots[w].result.status());
+    out.chunks[w] = std::move(slots[w].result->chunk);
+    scan_stats_.morsels_total += slots[w].scan_stats.morsels_total;
+    scan_stats_.morsels_pruned += slots[w].scan_stats.morsels_pruned;
+    scan_stats_.rows_scanned += slots[w].scan_stats.rows_scanned;
+    scan_stats_.rows_pruned += slots[w].scan_stats.rows_pruned;
+  }
+  return out;
+}
+
+Result<QueryResult> ShardedEngine::Execute(const PhysicalPlan* root) {
+  if (root == nullptr) return Status::InvalidArgument("null plan");
+  COSTDB_RETURN_NOT_OK(ValidateCoPartitioning(root));
+  exchange_stats_ = ExchangeStats();
+  scan_stats_ = ScanStats();
+
+  Shards shards;
+  COSTDB_ASSIGN_OR_RETURN(shards, RunNode(root));
+  DataChunk chunk = MergeShards(&shards, root->output_types);
+  TruncateChunk(&chunk, RootLimit(root));
+
+  QueryResult result;
+  result.names = root->output_names;
+  result.types = root->output_types;
+  result.chunk = std::move(chunk);
+  return result;
+}
+
+}  // namespace costdb

@@ -1,0 +1,147 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "exec/engine.h"
+
+namespace costdb {
+
+/// One observed exchange execution, in the cost model's vocabulary. The
+/// CalibrationUpdater folds these into the calibration's shuffle term
+/// (bytes / shuffle_gibps + partitions * shuffle_dispatch_seconds), so
+/// `bytes` counts what the measured wall time actually processed — every
+/// payload byte the in-process movement copied (a broadcast materializes
+/// one shared copy, not W wire copies) — while the logical cross-worker
+/// charge lives in ExchangeStats::bytes_moved.
+struct ExchangeTiming {
+  ExchangeKind kind = ExchangeKind::kShuffle;
+  double bytes = 0.0;      // payload bytes the movement copied
+  size_t partitions = 0;   // receiver partitions dispatched
+  double seconds = 0.0;    // wall time of the repartition/copy step
+};
+
+/// Data-movement counters of one ShardedEngine::Execute call.
+struct ExchangeStats {
+  size_t shuffles = 0;
+  size_t broadcasts = 0;
+  size_t gathers = 0;
+  size_t rows_moved = 0;     // rows that left their producing worker
+  double bytes_moved = 0.0;  // payload bytes of those rows
+  double seconds = 0.0;      // total wall time spent moving data
+  std::vector<ExchangeTiming> timings;  // per executed exchange, plan order
+};
+
+/// In-memory payload bytes of a chunk (fixed 8B numerics, observed string
+/// lengths + a 4B offset word) — what the exchange stats and the shuffle
+/// calibration account as "bytes on the wire".
+double ChunkPayloadBytes(const DataChunk& chunk);
+
+/// Partitioned multi-worker execution: runs a physical plan across N
+/// in-process workers, each a LocalEngine over a horizontal slice of the
+/// data, stitched together by real exchange operators.
+///
+/// The same distributed-shaped plans the optimizer already emits (two-phase
+/// aggregates, join-side shuffles/broadcasts, root gather) drive execution:
+/// the plan is split into *fragments* at exchange boundaries. Every worker
+/// runs each fragment on its slice — base-table scans are restricted to the
+/// worker's contiguous row-group range (whole partitions for a partitioned
+/// table; see storage/partition.h), and exchange inputs arrive as temp
+/// tables filled by the parent exchange:
+///   - shuffle:   rows are re-bucketed by hash(partition_exprs) % workers,
+///   - broadcast: every worker receives the full input,
+///   - gather:    worker 0 receives everything; downstream fragments of a
+///                gathered input run single-worker,
+///   - local:     co-partitioned pass-through — no row moves; the fragment
+///                keeps both sides and joins/aggregates partition-wise.
+///
+/// Determinism and LocalEngine parity: all cross-worker merges happen in
+/// worker order, worker slices are contiguous shares of the source order,
+/// and grouped-aggregate outputs are gathered by k-way merge on the same
+/// encoded group key that orders LocalEngine's aggregate output — so
+/// results are bit-identical to LocalEngine (and across worker counts) for
+/// order-stable plans: scans/filters/projections, broadcast and
+/// co-partitioned joins, grouped and global aggregates, and sorts.
+/// Repartition (shuffle) joins produce the same multiset in an order that
+/// is deterministic per worker count but only canonical up to the next
+/// order-fixing operator (aggregate or sort) across worker counts.
+/// Floating-point SUM/AVG over double columns re-associates across worker
+/// partials (integer aggregates stay exact). Partial aggregates emit
+/// nothing on an empty shard and NULL for value-less MIN/MAX states
+/// (PhysicalPlan::agg_is_partial), so empty or all-NULL shards cannot
+/// poison merged extrema.
+class ShardedEngine {
+ public:
+  explicit ShardedEngine(size_t num_workers, size_t threads_per_worker = 1);
+
+  Result<QueryResult> Execute(const PhysicalPlan* root);
+
+  /// Exchange counters of the previous Execute call — the feedback signal
+  /// of the shuffle-term calibration loop.
+  const ExchangeStats& last_exchange_stats() const { return exchange_stats_; }
+
+  /// Zone-map pruning counters of the previous Execute call, summed over
+  /// workers.
+  const ScanStats& last_scan_stats() const { return scan_stats_; }
+
+  size_t num_workers() const { return workers_.size(); }
+
+ private:
+  /// Per-worker chunks flowing between fragments and exchanges.
+  struct Shards {
+    std::vector<DataChunk> chunks;  // one per worker
+    /// All rows live on worker 0 (post-gather); downstream fragments run
+    /// single-worker.
+    bool single = false;
+    /// Every worker holds the full input (post-broadcast); chunks[0] is
+    /// the one materialized copy.
+    bool shared = false;
+    /// When > 0: each shard is sorted by the encoded key of its first
+    /// `key_prefix` columns and key sets are disjoint across shards, so a
+    /// gather k-way-merges instead of concatenating (grouped aggregates).
+    size_t key_prefix = 0;
+  };
+
+  /// A fragment input produced by a cut exchange: the temp table each
+  /// worker scans in place of the exchange subtree.
+  struct FragmentInput {
+    std::vector<std::shared_ptr<Table>> per_worker;  // size 1 when shared
+    bool shared = false;
+    bool single = false;
+    std::shared_ptr<Table> SharedForWorker(size_t w) const {
+      return (shared || single) ? per_worker[0] : per_worker[w];
+    }
+  };
+
+  Result<Shards> RunNode(const PhysicalPlan* node);
+  Result<Shards> RunFragment(const PhysicalPlan* frag_root);
+
+  Result<Shards> ShuffleShards(Shards in, const PhysicalPlan* exchange);
+  Shards BroadcastShards(Shards in, const PhysicalPlan* exchange);
+  Shards GatherShards(Shards in, const PhysicalPlan* exchange);
+
+  /// Concatenate (or key-merge) shards into one chunk, in worker order.
+  DataChunk MergeShards(Shards* shards,
+                        const std::vector<LogicalType>& types) const;
+
+  /// Clone `node` for one worker: cut exchanges become temp-table scans,
+  /// base scans get the worker's row-group range. `input_rows` accumulates
+  /// the rows this worker would read (empty workers are skipped).
+  PhysicalPlanPtr CloneForWorker(
+      const PhysicalPlan* node, size_t worker, bool single,
+      const std::map<const PhysicalPlan*, FragmentInput>& inputs,
+      double* input_rows) const;
+
+  struct Worker {
+    std::unique_ptr<LocalEngine> engine;
+  };
+
+  std::vector<Worker> workers_;
+  ThreadPool pool_;  // one slot per worker; fragments fan out across it
+  ExchangeStats exchange_stats_;
+  ScanStats scan_stats_;
+};
+
+}  // namespace costdb

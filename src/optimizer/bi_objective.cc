@@ -1,9 +1,23 @@
 #include "optimizer/bi_objective.h"
 
+#include <algorithm>
+
 #include "optimizer/cardinality.h"
 #include "optimizer/passes.h"
 
 namespace costdb {
+
+int ResolveWorkerCount(const UserConstraint& constraint, const DopMap& dops,
+                       int max_workers) {
+  max_workers = std::max(1, max_workers);
+  // Explicit requests are honored up to the cap, so PlannedQuery::workers
+  // is always an executable width — every execution-path decision
+  // (backend routing, engine construction) reads it without re-clamping.
+  if (constraint.workers > 0) return std::min(constraint.workers, max_workers);
+  int widest = 1;
+  for (const auto& [id, dop] : dops) widest = std::max(widest, dop);
+  return std::min(widest, max_workers);
+}
 
 Result<PlannedQuery> BiObjectiveOptimizer::PlanShaped(
     const BoundQuery& query, const LogicalPlanPtr& logical,
@@ -20,6 +34,7 @@ Result<PlannedQuery> BiObjectiveOptimizer::PlanShaped(
   out.estimate = dop.estimate;
   out.feasible = dop.feasible;
   out.states_explored = dop.states_explored;
+  out.workers = ResolveWorkerCount(constraint, out.dops, options_.max_workers);
   return out;
 }
 

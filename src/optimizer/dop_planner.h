@@ -17,6 +17,12 @@ struct UserConstraint {
   Mode mode = Mode::kMinCostUnderSla;
   Seconds latency_sla = std::numeric_limits<double>::infinity();
   Dollars budget = std::numeric_limits<double>::infinity();
+  /// Execution workers for real (non-simulated) runs: 1 = the single-node
+  /// LocalEngine, > 1 = the partitioned ShardedEngine with that many
+  /// workers, 0 = let the optimizer pick from its DOP plan (the pipeline
+  /// parallelism it already priced under this constraint, clamped to the
+  /// node's cores). Part of the plan-cache key.
+  int workers = 1;
 
   static UserConstraint Sla(Seconds sla) {
     UserConstraint c;
@@ -28,6 +34,11 @@ struct UserConstraint {
     UserConstraint c;
     c.mode = Mode::kMinLatencyUnderBudget;
     c.budget = budget;
+    return c;
+  }
+  UserConstraint WithWorkers(int n) const {
+    UserConstraint c = *this;
+    c.workers = n;
     return c;
   }
 };

@@ -118,6 +118,8 @@ Status DopPlanPass::Run(QueryPlanContext* ctx) const {
   ctx->candidates.clear();  // moved-from shells
   if (!have_best) return Status::Internal("dop_plan: no plannable candidate");
   ctx->best.states_explored = total_states;
+  ctx->best.workers = ResolveWorkerCount(ctx->constraint, ctx->best.dops,
+                                         ctx->options.max_workers);
   ctx->planned = true;
   return Status::OK();
 }

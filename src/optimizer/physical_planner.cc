@@ -2,7 +2,50 @@
 
 #include <utility>
 
+#include "storage/partition.h"
+
 namespace costdb {
+
+namespace {
+
+/// Hash-partitioning of the base table feeding `node`. The walk is
+/// deliberately conservative — only filters (which preserve both row
+/// partitioning and column names) and earlier kLocal pass-throughs are
+/// crossed; projections may rename the partition column, so they stop
+/// detection. The sharded engine's staleness validator walks the chains
+/// this detection *creates* (sharded_engine.cc LocalExchangeSource); the
+/// partitioning check itself is shared (ScanHashPartitioning).
+bool HashPartitionSourceOf(const PhysicalPlan* node,
+                           std::string* qualified_column,
+                           size_t* partitions) {
+  while (node->kind == PhysicalPlan::Kind::kFilter ||
+         (node->kind == PhysicalPlan::Kind::kExchange &&
+          node->exchange_kind == ExchangeKind::kLocal)) {
+    node = node->children[0].get();
+  }
+  auto [parts, qualified] = ScanHashPartitioning(*node);
+  if (parts == 0) return false;
+  *qualified_column = std::move(qualified);
+  *partitions = parts;
+  return true;
+}
+
+/// True when `keys` contains a plain reference to `qualified_column`;
+/// reports its position so the paired key on the other side can be
+/// checked.
+bool KeysReferenceColumn(const std::vector<ExprPtr>& keys,
+                         const std::string& qualified_column, size_t* index) {
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (keys[i]->kind == Expr::Kind::kColumn &&
+        keys[i]->column == qualified_column) {
+      *index = i;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
 
 double PhysicalPlanner::RowBytes(const std::vector<std::string>& names,
                                  const std::vector<LogicalType>& types) const {
@@ -121,12 +164,38 @@ Result<PhysicalPlanPtr> PhysicalPlanner::Lower(
         p->probe_keys.push_back(swap_sides ? r : l);
         p->build_keys.push_back(swap_sides ? l : r);
       }
+      // Partition-wise join: when both sides arrive hash-partitioned on a
+      // joined key pair with the same partition count, matching rows are
+      // already co-located — kLocal pass-through exchanges move nothing
+      // and cost ~nothing, strictly dominating broadcast and shuffle.
+      bool copartitioned = false;
+      size_t pi = 0, bi = 0;
+      if (options_.enable_copartition) {
+        std::string probe_part, build_part;
+        size_t probe_n = 0, build_n = 0;
+        copartitioned =
+            HashPartitionSourceOf(probe.get(), &probe_part, &probe_n) &&
+            HashPartitionSourceOf(build.get(), &build_part, &build_n) &&
+            probe_n == build_n &&
+            KeysReferenceColumn(p->probe_keys, probe_part, &pi) &&
+            KeysReferenceColumn(p->build_keys, build_part, &bi) && pi == bi;
+      }
       double build_bytes = build->est_rows * build->est_row_bytes;
-      if (build_bytes < options_.broadcast_threshold_bytes) {
+      if (copartitioned) {
+        // kLocal exchanges remember the partition key they were elided
+        // on, so the sharded engine can refuse a cached plan whose table
+        // was since repartitioned on a different column.
+        build = WrapExchange(std::move(build), ExchangeKind::kLocal);
+        build->partition_exprs = {p->build_keys[bi]};
+        probe = WrapExchange(std::move(probe), ExchangeKind::kLocal);
+        probe->partition_exprs = {p->probe_keys[pi]};
+      } else if (build_bytes < options_.broadcast_threshold_bytes) {
         build = WrapExchange(std::move(build), ExchangeKind::kBroadcast);
       } else {
         build = WrapExchange(std::move(build), ExchangeKind::kShuffle);
+        build->partition_exprs = p->build_keys;
         probe = WrapExchange(std::move(probe), ExchangeKind::kShuffle);
+        probe->partition_exprs = p->probe_keys;
       }
       p->output_names = probe->output_names;
       p->output_types = probe->output_types;
@@ -160,6 +229,7 @@ Result<PhysicalPlanPtr> PhysicalPlanner::Lower(
 
       auto partial = std::make_shared<PhysicalPlan>();
       partial->kind = PhysicalPlan::Kind::kHashAggregate;
+      partial->agg_is_partial = true;
       partial->group_by = node->group_by;
       partial->est_rows = node->est_rows;
       for (const auto& g : node->group_by) {
@@ -233,12 +303,37 @@ Result<PhysicalPlanPtr> PhysicalPlanner::Lower(
           RowBytes(partial->output_names, partial->output_types);
       final_agg->est_row_bytes =
           RowBytes(final_agg->output_names, final_agg->output_types);
+      // Pre-partitioned aggregation: when the input is hash-partitioned on
+      // a group column, every group already lives on one worker and the
+      // partial states need not move.
+      bool group_copartitioned = false;
+      size_t gi = 0;
+      if (options_.enable_copartition && !node->group_by.empty()) {
+        std::string part_col;
+        size_t parts = 0;
+        group_copartitioned =
+            HashPartitionSourceOf(child.get(), &part_col, &parts) &&
+            KeysReferenceColumn(node->group_by, part_col, &gi);
+      }
       partial->children = {std::move(child)};
       // Partial states move to their group's owner (or to one node for a
       // global aggregate) — tiny compared to the raw input.
-      PhysicalPlanPtr exchanged = WrapExchange(
-          partial, node->group_by.empty() ? ExchangeKind::kGather
-                                          : ExchangeKind::kShuffle);
+      ExchangeKind agg_exchange =
+          node->group_by.empty()
+              ? ExchangeKind::kGather
+              : (group_copartitioned ? ExchangeKind::kLocal
+                                     : ExchangeKind::kShuffle);
+      PhysicalPlanPtr exchanged = WrapExchange(partial, agg_exchange);
+      if (agg_exchange == ExchangeKind::kShuffle) {
+        // Shuffle keys: the group columns as the partial emits them.
+        for (const auto& g : node->group_by) {
+          exchanged->partition_exprs.push_back(g);
+        }
+      } else if (agg_exchange == ExchangeKind::kLocal) {
+        // Remember the group column the elision relied on (see the join
+        // case above).
+        exchanged->partition_exprs = {node->group_by[gi]};
+      }
       final_agg->children = {std::move(exchanged)};
 
       if (!needs_avg_projection) return PhysicalPlanPtr(final_agg);

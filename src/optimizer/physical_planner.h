@@ -10,6 +10,12 @@ struct PhysicalPlannerOptions {
   /// Build sides estimated below this many bytes are broadcast instead of
   /// shuffled (both sides).
   double broadcast_threshold_bytes = 64.0 * kMiB;
+  /// Elide exchanges when both sides are already hash-partitioned on the
+  /// key (partition-wise joins / pre-partitioned aggregation): the join or
+  /// aggregate gets kLocal pass-through exchanges, which cost ~nothing and
+  /// move no rows in the sharded engine. Off reverts to shuffle/broadcast
+  /// (the ablation knob for bench_e14_sharded).
+  bool enable_copartition = true;
 };
 
 /// Lowers an annotated logical plan to a distributed physical plan:

@@ -1,6 +1,7 @@
 #include "plan/physical_plan.h"
 
 #include "common/table_printer.h"
+#include "storage/partition.h"
 
 namespace costdb {
 
@@ -12,6 +13,8 @@ const char* ExchangeKindName(ExchangeKind k) {
       return "Broadcast";
     case ExchangeKind::kGather:
       return "Gather";
+    case ExchangeKind::kLocal:
+      return "Local";
   }
   return "?";
 }
@@ -98,6 +101,7 @@ void ForEachExprSlot(Node* node, Fn fn) {
   for (auto& p : node->projections) fn(p);
   for (auto& k : node->probe_keys) fn(k);
   for (auto& k : node->build_keys) fn(k);
+  for (auto& k : node->partition_exprs) fn(k);
   for (auto& g : node->group_by) fn(g);
   for (auto& a : node->aggregates) fn(a);
   for (auto& s : node->sort_keys) fn(s.expr);
@@ -115,6 +119,17 @@ PhysicalPlanPtr BindPlanParams(const PhysicalPlan* root,
   ForEachExprSlot(node.get(),
                   [&params](ExprPtr& e) { e = SubstituteParams(e, params); });
   return node;
+}
+
+std::pair<size_t, std::string> ScanHashPartitioning(const PhysicalPlan& scan) {
+  if (scan.kind != PhysicalPlan::Kind::kTableScan || scan.table == nullptr) {
+    return {0, std::string()};
+  }
+  const TablePartitioning* p = scan.table->partitioning();
+  if (p == nullptr || p->spec.kind != PartitionKind::kHash) {
+    return {0, std::string()};
+  }
+  return {p->spec.partitions, scan.alias + "." + p->spec.column};
 }
 
 bool PlanHasParams(const PhysicalPlan* root) {

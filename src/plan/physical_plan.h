@@ -16,6 +16,8 @@ enum class ExchangeKind {
   kShuffle,    // hash-partition rows on a key set across consumer nodes
   kBroadcast,  // replicate the (small) input to every consumer node
   kGather,     // funnel everything to one node (final result / global sort)
+  kLocal,      // co-partitioned pass-through: both sides already live on
+               // the right worker, so no row crosses the wire
 };
 
 const char* ExchangeKindName(ExchangeKind k);
@@ -54,6 +56,11 @@ struct PhysicalPlan {
   std::string alias;
   std::vector<size_t> scan_column_indices;  // into the table's schema
   std::vector<ExprPtr> scan_filters;
+  /// Row-group range [scan_group_begin, scan_group_end) this scan covers —
+  /// how the sharded engine hands each worker its horizontal slice of the
+  /// table without copying data. SIZE_MAX end = all groups.
+  size_t scan_group_begin = 0;
+  size_t scan_group_end = static_cast<size_t>(-1);
   double est_scanned_bytes = 0.0;  // after zone-map pruning, before filters
   double est_source_rows = 0.0;    // rows fed to the filters (post-pruning)
   double prune_keep_fraction = 1.0;  // share of row groups zone maps keep
@@ -72,6 +79,13 @@ struct PhysicalPlan {
   std::vector<ExprPtr> group_by;
   std::vector<ExprPtr> aggregates;
   std::vector<std::string> agg_names;
+  /// True for the partial half of a two-phase aggregation. A partial
+  /// feeds another aggregate, so it must not apply the engine's NULL-free
+  /// result conventions: it emits no fabricated zero row on empty input
+  /// (an empty shard would poison global MIN/MAX merged across workers)
+  /// and emits NULL — which the final aggregate skips — for a MIN/MAX
+  /// state that saw no valid value.
+  bool agg_is_partial = false;
 
   // kSort
   std::vector<BoundOrderItem> sort_keys;
@@ -81,6 +95,10 @@ struct PhysicalPlan {
 
   // kExchange
   ExchangeKind exchange_kind = ExchangeKind::kShuffle;
+  /// kShuffle: key expressions (over the child's output schema) whose hash
+  /// picks the receiving worker. Filled by the physical planner: join keys
+  /// for join-side shuffles, group-by columns for aggregate shuffles.
+  std::vector<ExprPtr> partition_exprs;
 
   const char* KindName() const;
 
@@ -102,5 +120,15 @@ PhysicalPlanPtr BindPlanParams(const PhysicalPlan* root,
 /// True if any expression anywhere in the plan still carries a kParam
 /// placeholder (i.e. the plan needs BindPlanParams before execution).
 bool PlanHasParams(const PhysicalPlan* root);
+
+/// Current hash partitioning of a scan node's table, as the plan
+/// references it: {partition count, "alias.column"}; count 0 when the
+/// table is not hash-partitioned (or the node is not a scan). The shared
+/// leaf of the planner's co-partition detection (physical_planner.cc)
+/// and the sharded engine's staleness validation (sharded_engine.cc) —
+/// their chain *walks* differ on purpose (conservative plan-time
+/// detection vs validation of planner-built chains), but what counts as
+/// "hash-partitioned on X" must stay identical between them.
+std::pair<size_t, std::string> ScanHashPartitioning(const PhysicalPlan& scan);
 
 }  // namespace costdb

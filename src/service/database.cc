@@ -1,5 +1,7 @@
 #include "service/database.h"
 
+#include <algorithm>
+
 #include "common/table_printer.h"
 #include "optimizer/cardinality.h"
 #include "service/session.h"
@@ -9,6 +11,10 @@ namespace costdb {
 
 Database::Database(DatabaseOptions options)
     : options_(options), node_(PricingCatalog::Default().default_node()) {
+  // One worker-count cap end to end: the optimizer's 0-auto resolution
+  // honors the facade's limit.
+  options_.optimizer.max_workers =
+      static_cast<int>(std::max<size_t>(1, options_.max_workers));
   estimator_ = std::make_unique<CostEstimator>(&hw_, &node_);
   query_service_ = std::make_unique<QueryService>(&meta_, estimator_.get(),
                                                   options_.optimizer);
@@ -33,9 +39,34 @@ std::string Database::CacheKey(const std::string& shape,
   std::string key = shape;
   key += '\x1f';
   key += constraint.mode == UserConstraint::Mode::kMinCostUnderSla ? 'S' : 'B';
-  key += StrFormat("%.17g|%.17g", constraint.latency_sla, constraint.budget);
+  key += StrFormat("%.17g|%.17g|w%d", constraint.latency_sla,
+                   constraint.budget, constraint.workers);
   return key;
 }
+
+namespace {
+
+/// Every table a plan scans, with the layout version it was planned
+/// against (see Database::CacheEntry::table_layouts).
+void CollectScanTables(
+    const PhysicalPlan* node,
+    std::vector<std::pair<std::shared_ptr<Table>, uint64_t>>* out) {
+  if (node == nullptr) return;
+  if (node->kind == PhysicalPlan::Kind::kTableScan && node->table != nullptr) {
+    out->emplace_back(node->table, node->table->layout_version());
+  }
+  for (const auto& c : node->children) CollectScanTables(c.get(), out);
+}
+
+bool TableLayoutsCurrent(
+    const std::vector<std::pair<std::shared_ptr<Table>, uint64_t>>& layouts) {
+  for (const auto& [table, version] : layouts) {
+    if (table->layout_version() != version) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 Result<std::shared_ptr<const PlannedQuery>> Database::PlanCachedImpl(
     const std::string& cache_key,
@@ -54,12 +85,15 @@ Result<std::shared_ptr<const PlannedQuery>> Database::PlanCachedImpl(
     while (true) {
       auto it = plan_cache_.find(cache_key);
       if (it != plan_cache_.end()) {
-        if (it->second.calibration_version == calibration_version_) {
+        if (it->second.calibration_version == calibration_version_ &&
+            TableLayoutsCurrent(it->second.table_layouts)) {
           ++cache_stats_.hits;
           *cache_hit = true;
           return it->second.plan;
         }
-        // Calibration moved since this plan was priced; replan.
+        // Calibration moved since this plan was priced, or a scanned
+        // table's physical layout changed (append / recluster /
+        // repartition); replan.
         plan_cache_.erase(it);
         ++cache_stats_.invalidations;
         break;
@@ -98,7 +132,9 @@ Result<std::shared_ptr<const PlannedQuery>> Database::PlanCachedImpl(
   {
     std::lock_guard<std::mutex> lock(cache_mu_);
     if (shared != nullptr) {
-      plan_cache_[cache_key] = CacheEntry{shared, planned_under_version};
+      CacheEntry entry{shared, planned_under_version, {}};
+      CollectScanTables(shared->plan.get(), &entry.table_layouts);
+      plan_cache_[cache_key] = std::move(entry);
     }
     planning_.erase(cache_key);
     flight->done = true;
@@ -142,6 +178,7 @@ Result<PlannedQuery> Database::BindPreparedPlan(
   out.bushiness = cached.bushiness;
   out.feasible = cached.feasible;
   out.states_explored = cached.states_explored;
+  out.workers = cached.workers;
   // Re-derive only the cardinality-sensitive terms: with constants bound,
   // histogram selectivities replace the default-selectivity guesses the
   // prepared plan was shaped under; the shape and DOPs stay fixed.
@@ -155,9 +192,43 @@ Result<PlannedQuery> Database::BindPreparedPlan(
   return out;
 }
 
+Result<ExecutionResult> Database::ExecuteSharded(
+    std::shared_ptr<const PlannedQuery> plan, bool cache_hit, size_t workers,
+    bool serial) {
+  ExecutionResult out;
+  out.plan = std::move(plan);
+  out.plan_cache_hit = cache_hit;
+  out.workers = workers;
+  if (serial) {
+    std::lock_guard<std::mutex> lock(engine_mu_);
+    auto& engine = sharded_[workers];
+    if (engine == nullptr) {
+      engine = std::make_unique<ShardedEngine>(
+          workers, options_.sharded_threads_per_worker);
+    }
+    COSTDB_ASSIGN_OR_RETURN(out.result, engine->Execute(out.plan->plan.get()));
+    out.exchange = engine->last_exchange_stats();
+    return out;
+  }
+  ShardedEngine engine(workers, options_.sharded_threads_per_worker);
+  COSTDB_ASSIGN_OR_RETURN(out.result, engine.Execute(out.plan->plan.get()));
+  out.exchange = engine.last_exchange_stats();
+  return out;
+}
+
 Result<ExecutionResult> Database::ExecutePlanned(
     std::shared_ptr<const PlannedQuery> plan, bool cache_hit,
     LocalEngine* engine) {
+  const size_t workers = std::min<size_t>(
+      plan->workers > 0 ? static_cast<size_t>(plan->workers) : 1,
+      std::max<size_t>(1, options_.max_workers));
+  if (workers > 1) {
+    // Partitioned execution: the plan's resolved worker knob routes the
+    // query to the sharded backend. A caller-owned LocalEngine means the
+    // caller runs concurrently — build a private sharded engine too.
+    return ExecuteSharded(std::move(plan), cache_hit, workers,
+                          /*serial=*/engine == nullptr);
+  }
   ExecutionResult out;
   out.plan = std::move(plan);
   out.plan_cache_hit = cache_hit;
@@ -177,9 +248,29 @@ Result<ExecutionResult> Database::ExecutePlanned(
 Result<ExecutionResult> Database::ExecutePlannedToSink(
     std::shared_ptr<const PlannedQuery> plan, bool cache_hit, ChunkSink* sink,
     LocalEngine* engine) {
-  if (engine == nullptr) {
+  const size_t workers = std::min<size_t>(
+      plan->workers > 0 ? static_cast<size_t>(plan->workers) : 1,
+      std::max<size_t>(1, options_.max_workers));
+  if (workers <= 1 && engine == nullptr) {
     return Status::InvalidArgument(
         "ExecutePlannedToSink requires a caller-owned engine");
+  }
+  if (workers > 1) {
+    // Sharded plans gather before they finish, so the async path executes
+    // to completion and streams the gathered result as one chunk — later
+    // morsel-granular streaming would need a streaming gather.
+    ExecutionResult out;
+    COSTDB_ASSIGN_OR_RETURN(
+        out, ExecuteSharded(std::move(plan), cache_hit, workers,
+                            /*serial=*/false));
+    QueryResult gathered = std::move(out.result);
+    out.result.names = gathered.names;
+    out.result.types = gathered.types;
+    out.result.chunk = DataChunk(gathered.types);
+    if (gathered.chunk.num_rows() > 0) {
+      COSTDB_RETURN_NOT_OK(sink->Push(std::move(gathered.chunk)));
+    }
+    return out;
   }
   ExecutionResult out;
   out.plan = std::move(plan);
@@ -198,10 +289,23 @@ Result<ExecutionResult> Database::ExecutePlannedToSink(
 
 CalibrationReport Database::Calibrate(const ExecutionResult& executed) {
   std::unique_lock<std::shared_mutex> hw_lock(hw_mu_);
-  CalibrationReport report = calibration_->Observe(
-      executed.plan->pipelines, executed.plan->volumes, executed.timings,
-      *estimator_, /*dop=*/1);
-  if (report.changed(options_.recalibration_threshold)) {
+  CalibrationReport report;
+  if (!executed.timings.empty()) {
+    report = calibration_->Observe(executed.plan->pipelines,
+                                   executed.plan->volumes, executed.timings,
+                                   *estimator_, /*dop=*/1);
+  }
+  bool moved = report.changed(options_.recalibration_threshold);
+  if (!executed.exchange.timings.empty()) {
+    // Sharded run: fold the measured exchange wall times into the
+    // calibration's shuffle term (bytes/shuffle_bw + per-partition
+    // dispatch), tightening the cost model's worker-count decisions.
+    CalibrationReport shuffle =
+        calibration_->ObserveShuffles(executed.exchange.timings);
+    if (executed.timings.empty()) report = shuffle;
+    moved = moved || shuffle.changed(options_.recalibration_threshold);
+  }
+  if (moved) {
     // Estimates produced before this round are stale; lazily invalidate
     // cached plans by versioning.
     std::lock_guard<std::mutex> cache_lock(cache_mu_);

@@ -11,6 +11,7 @@
 
 #include "cost/calibration_updater.h"
 #include "exec/engine.h"
+#include "exec/sharded_engine.h"
 #include "service/admission.h"
 #include "service/query_service.h"
 #include "sim/harness.h"
@@ -20,6 +21,12 @@ namespace costdb {
 struct DatabaseOptions {
   /// Morsel workers per executed query (one local "node").
   size_t exec_threads = 8;
+  /// Morsel threads inside each ShardedEngine worker (workers themselves
+  /// come from the plan's resolved UserConstraint::workers knob).
+  size_t sharded_threads_per_worker = 1;
+  /// Cap on UserConstraint::workers == 0 auto-resolution and on explicit
+  /// worker requests routed to the sharded backend.
+  size_t max_workers = 16;
   /// Concurrently executing queries in the admission controller (and so
   /// in SubmitBatch, which rides on it). Overridden by
   /// admission.max_concurrent when that is non-zero.
@@ -57,6 +64,11 @@ struct ExecutionResult {
   bool plan_cache_hit = false;
   std::vector<PipelineTiming> timings;
   CalibrationReport calibration;
+  /// Sharded runs only: which backend width executed and what the
+  /// exchanges moved (the feedback signal of the shuffle-term
+  /// calibration; empty timings on LocalEngine runs).
+  size_t workers = 1;
+  ExchangeStats exchange;
 };
 
 /// The single front door of the query stack (the unified architecture the
@@ -138,7 +150,10 @@ class Database {
       const UserConstraint& constraint = UserConstraint());
 
   /// Execute a shared plan on the facade's serial engine (or on `engine`
-  /// when given — concurrent callers pass their own). No calibration;
+  /// when given — concurrent callers pass their own). Plans whose
+  /// resolved worker count is > 1 run on the partitioned ShardedEngine
+  /// instead (results bit-identical for order-stable plans; the returned
+  /// ExchangeStats report what the exchanges moved). No calibration;
   /// pair with CalibrateExecution. This is Session's synchronous
   /// execution primitive.
   Result<ExecutionResult> ExecutePlanned(
@@ -218,6 +233,12 @@ class Database {
   struct CacheEntry {
     std::shared_ptr<const PlannedQuery> plan;
     int calibration_version = 0;
+    /// Layout versions of every table the plan scans, captured at plan
+    /// time. A hit whose tables have physically changed (append,
+    /// recluster, repartition) replans instead of serving a plan whose
+    /// pruning fractions or co-partitioned exchanges describe data that
+    /// moved.
+    std::vector<std::pair<std::shared_ptr<Table>, uint64_t>> table_layouts;
   };
 
   /// Single-flight marker: one optimizer run per missed shape, with
@@ -234,7 +255,16 @@ class Database {
       const std::function<Result<PlannedQuery>()>& plan_fn, bool* cache_hit);
 
   /// Serialize one query's timings into the calibration (under lock).
+  /// LocalEngine runs feed the pipeline-time loop; sharded runs feed the
+  /// measured exchange timings into the shuffle-term loop.
   CalibrationReport Calibrate(const ExecutionResult& executed);
+
+  /// Sharded execution backend: serial callers reuse the cached engine
+  /// under engine_mu_, concurrent (`serial == false`) callers build their
+  /// own.
+  Result<ExecutionResult> ExecuteSharded(
+      std::shared_ptr<const PlannedQuery> plan, bool cache_hit,
+      size_t workers, bool serial);
 
   /// Cache key: normalized statement shape + constraint slot.
   static std::string CacheKey(const std::string& shape,
@@ -252,6 +282,12 @@ class Database {
   /// Long-lived engine for serial ExecuteSql (its timings are per-run
   /// state, so access is exclusive); batch workers build their own.
   std::unique_ptr<LocalEngine> engine_;
+  /// Long-lived sharded backends for serial execution, one per requested
+  /// worker count (bounded by the few widths a deployment uses);
+  /// concurrent (sink) callers build their own, mirroring the
+  /// LocalEngine-per-admitted-query pattern. Guarded by engine_mu_ like
+  /// engine_.
+  std::map<size_t, std::unique_ptr<ShardedEngine>> sharded_;
   std::mutex engine_mu_;
 
   mutable std::mutex cache_mu_;

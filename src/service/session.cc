@@ -442,9 +442,15 @@ Result<QueryHandlePtr> Session::SubmitPlanned(RunnablePlan runnable,
           : std::numeric_limits<double>::infinity();
   submission.run = [state] {
     // One engine per admitted query — the local stand-in for "one node".
-    LocalEngine engine(state->exec_threads);
+    // Plans resolved to > 1 worker run on a ShardedEngine inside
+    // ExecutePlannedToSink; spawn the LocalEngine's thread pool only
+    // when this query will actually use it.
+    std::unique_ptr<LocalEngine> engine;
+    if (state->planned->workers <= 1) {
+      engine = std::make_unique<LocalEngine>(state->exec_threads);
+    }
     auto executed = state->db->ExecutePlannedToSink(
-        state->planned, state->cache_hit, state.get(), &engine);
+        state->planned, state->cache_hit, state.get(), engine.get());
     ExecutionResult result;
     Status final_status;
     if (executed.ok()) {

@@ -19,6 +19,83 @@ Result<PreparedQuery> PrepareQuery(const MetadataService* meta,
   return out;
 }
 
+namespace {
+
+/// Bytes the exchange models charge as "moved" at `workers`, from the
+/// ground-truth volume of each exchange's input (mirrors ShuffleTerm's
+/// frac_remote accounting in cost/operator_models.cc).
+double PredictedExchangeBytes(const PhysicalPlan* node, const VolumeMap& truth,
+                              int workers) {
+  double total = 0.0;
+  if (node->kind == PhysicalPlan::Kind::kExchange && !node->children.empty()) {
+    auto it = truth.find(node->children[0].get());
+    const double bytes = it == truth.end() ? 0.0 : it->second.out_bytes;
+    const double w = static_cast<double>(workers);
+    switch (node->exchange_kind) {
+      case ExchangeKind::kShuffle:
+      case ExchangeKind::kGather:
+        total += workers > 1 ? bytes * (w - 1.0) / w : 0.0;
+        break;
+      case ExchangeKind::kBroadcast:
+        total += workers > 1 ? bytes * (w - 1.0) : 0.0;
+        break;
+      case ExchangeKind::kLocal:
+        break;  // co-partitioned: nothing moves
+    }
+  }
+  for (const auto& c : node->children) {
+    total += PredictedExchangeBytes(c.get(), truth, workers);
+  }
+  return total;
+}
+
+}  // namespace
+
+ShardedParity CheckShardedParity(const PreparedQuery& prepared,
+                                 const CostEstimator& estimator, int workers,
+                                 Seconds measured_single,
+                                 Seconds measured_sharded,
+                                 const ExchangeStats& measured) {
+  ShardedParity parity;
+  // Mirror the engine's topology: once rows cross a gather, downstream
+  // fragments run on worker 0 only — price those pipelines at dop 1, not
+  // `workers`, or the prediction describes a plan the engine never runs.
+  std::map<int, bool> single_after_gather;
+  for (const auto& p : prepared.planned.pipelines.pipelines) {
+    bool single = false;
+    for (const PhysicalPlan* op : p.operators) {
+      if (op->kind == PhysicalPlan::Kind::kExchange &&
+          op->exchange_kind == ExchangeKind::kGather) {
+        single = true;
+      }
+    }
+    for (int dep : p.dependencies) single = single || single_after_gather[dep];
+    single_after_gather[p.id] = single;
+  }
+  DopMap single_dops, sharded_dops;
+  for (const auto& p : prepared.planned.pipelines.pipelines) {
+    single_dops[p.id] = 1;
+    sharded_dops[p.id] = single_after_gather[p.id] ? 1 : workers;
+  }
+  parity.predicted_single =
+      estimator.EstimatePlan(prepared.planned.pipelines, single_dops,
+                             prepared.truth)
+          .latency;
+  parity.predicted_sharded =
+      estimator.EstimatePlan(prepared.planned.pipelines, sharded_dops,
+                             prepared.truth)
+          .latency;
+  parity.measured_single = measured_single;
+  parity.measured_sharded = measured_sharded;
+  parity.predicted_exchange_bytes = PredictedExchangeBytes(
+      prepared.planned.plan.get(), prepared.truth, workers);
+  parity.measured_exchange_bytes = measured.bytes_moved;
+  parity.scaling_direction_agrees =
+      (parity.predicted_sharded < parity.predicted_single) ==
+      (parity.measured_sharded < parity.measured_single);
+  return parity;
+}
+
 SimResult SimulateQuery(const PreparedQuery& prepared,
                         const DistributedSimulator& simulator,
                         ResizePolicy* policy,

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "exec/sharded_engine.h"
 #include "optimizer/bi_objective.h"
 #include "sim/simulator.h"
 
@@ -29,5 +30,31 @@ SimResult SimulateQuery(const PreparedQuery& prepared,
                         ResizePolicy* policy,
                         const UserConstraint& constraint,
                         CloudEnv* env = nullptr);
+
+/// Simulator-vs-reality cross-check for the sharded backend. Until now the
+/// resize policies and the bi-objective optimizer were validated only
+/// against the DistributedSimulator — a *model* of execution; the
+/// ShardedEngine makes the same plan runnable on real rows, so the model
+/// becomes checkable: does the cost model, fed ground-truth volumes,
+/// predict the same scaling direction the real engine measures, and do the
+/// bytes it believes an exchange moves line up with the bytes that moved?
+struct ShardedParity {
+  Seconds predicted_single = 0.0;   // estimator latency, every pipeline dop 1
+  Seconds predicted_sharded = 0.0;  // same at dop = workers
+  Seconds measured_single = 0.0;    // caller-measured wall times
+  Seconds measured_sharded = 0.0;
+  double predicted_exchange_bytes = 0.0;  // model's moved bytes at `workers`
+  double measured_exchange_bytes = 0.0;   // engine's ExchangeStats
+  bool scaling_direction_agrees = false;
+};
+
+/// Fill the predicted side from the prepared query's ground-truth volumes
+/// and compare against the measured side (wall times + exchange stats of a
+/// real ShardedEngine run at `workers`, and of a single-worker run).
+ShardedParity CheckShardedParity(const PreparedQuery& prepared,
+                                 const CostEstimator& estimator, int workers,
+                                 Seconds measured_single,
+                                 Seconds measured_sharded,
+                                 const ExchangeStats& measured);
 
 }  // namespace costdb

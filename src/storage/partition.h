@@ -1,0 +1,91 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace costdb {
+
+/// How a table's rows are assigned to horizontal partitions at load time.
+enum class PartitionKind {
+  kNone,   // unpartitioned (sharded scans fall back to row-group ranges)
+  kHash,   // partition p owns rows with hash(column) % partitions == p
+  kRange,  // partition p owns the p-th quantile range of `column`
+};
+
+const char* PartitionKindName(PartitionKind k);
+
+/// Partitioning declaration: the key column and the partition count. Two
+/// tables are *co-partitioned* on a join key when both carry a spec of the
+/// same kind, the same partition count, and the join key is exactly the
+/// partition column on each side — then partition p of one side can only
+/// join partition p of the other and no rows need to move.
+struct PartitionSpec {
+  PartitionKind kind = PartitionKind::kNone;
+  std::string column;     // base (unqualified) column name
+  size_t partitions = 1;
+
+  static PartitionSpec Hash(std::string column, size_t partitions) {
+    PartitionSpec s;
+    s.kind = PartitionKind::kHash;
+    s.column = std::move(column);
+    s.partitions = partitions;
+    return s;
+  }
+  static PartitionSpec Range(std::string column, size_t partitions) {
+    PartitionSpec s;
+    s.kind = PartitionKind::kRange;
+    s.column = std::move(column);
+    s.partitions = partitions;
+    return s;
+  }
+};
+
+/// Physical layout of a partitioned table: rows are clustered by partition
+/// id, row-group boundaries are aligned to partition boundaries, and
+/// partition p owns row groups [group_begin[p], group_begin[p + 1]).
+/// This keeps partitions zero-copy views over the table's own row groups:
+/// a worker scanning "its" partitions just scans a contiguous group range.
+struct TablePartitioning {
+  PartitionSpec spec;
+  std::vector<size_t> group_begin;  // spec.partitions + 1 entries
+
+  size_t partitions() const { return spec.partitions; }
+};
+
+/// The bucket `value` falls into under a hash partitioning with
+/// `partitions` buckets. Numeric values are normalized to double first so
+/// an int64 key lands in the same bucket as the double it joins with
+/// (mirroring the join hash's numeric normalization). NULLs go to
+/// bucket 0.
+size_t HashPartitionOf(const Value& value, size_t partitions);
+
+/// Physically repartition `table` in place: rows are bucketed by the spec
+/// (hash of the key column, or equi-depth ranges of its sorted values),
+/// the table is rebuilt clustered by partition id with row-group
+/// boundaries aligned to partition boundaries, and the partitioning is
+/// recorded on the table (Table::partitioning()).
+///
+/// This is the load-time step of the sharded execution path: the
+/// ShardedEngine assigns whole partitions to workers, and the physical
+/// planner elides join/aggregate shuffles when both sides are
+/// co-partitioned on the key. Errors: unknown column, partitions == 0,
+/// or a kNone spec.
+Status PartitionTable(Table* table, const PartitionSpec& spec);
+
+/// Contiguous [begin, end) share of `total` units owned by `worker` out of
+/// `workers` (the deterministic assignment used for both partitions and
+/// raw row groups — gather in worker order then reproduces source order).
+std::pair<size_t, size_t> WorkerShare(size_t total, size_t worker,
+                                      size_t workers);
+
+/// Row-group range [begin, end) that `worker` of `workers` scans. For a
+/// partitioned table the split respects partition boundaries (a partition
+/// is never split across workers — the invariant co-partitioned joins
+/// rely on); otherwise it is a contiguous row-group split.
+std::pair<size_t, size_t> WorkerGroupRange(const Table& table, size_t worker,
+                                           size_t workers);
+
+}  // namespace costdb

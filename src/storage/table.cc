@@ -26,12 +26,24 @@ void Table::RebuildZones(RowGroup* group) {
   }
 }
 
+void Table::ClearRows() {
+  row_groups_.clear();
+  num_rows_ = 0;
+  seal_next_append_ = false;
+  partitioning_.reset();
+  clustering_key_.clear();  // the rows the claim described are gone
+  ++layout_version_;
+}
+
 void Table::Append(const DataChunk& chunk) {
+  partitioning_.reset();  // new rows are not assigned to any partition
+  ++layout_version_;
   size_t offset = 0;
   const size_t total = chunk.num_rows();
   while (offset < total) {
-    if (row_groups_.empty() ||
+    if (row_groups_.empty() || seal_next_append_ ||
         row_groups_.back().num_rows() >= row_group_size_) {
+      seal_next_append_ = false;
       RowGroup g;
       std::vector<LogicalType> types;
       for (const auto& c : columns_) types.push_back(c.type);

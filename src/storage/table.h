@@ -10,6 +10,8 @@
 
 namespace costdb {
 
+struct TablePartitioning;  // storage/partition.h
+
 /// Column declaration within a table schema.
 struct ColumnDef {
   std::string name;
@@ -41,6 +43,7 @@ class Table {
   Result<size_t> ColumnIndex(const std::string& column_name) const;
 
   /// Append rows; splits into row groups and maintains zone maps.
+  /// Invalidates any recorded partitioning (new rows are unassigned).
   void Append(const DataChunk& chunk);
 
   size_t num_rows() const { return num_rows_; }
@@ -69,6 +72,30 @@ class Table {
   /// Materialize all rows into one chunk (tests / small tables only).
   DataChunk Scan() const;
 
+  // -- Partitioned layout (storage/partition.h) ---------------------------
+  /// Load-time partitioning of this table, or nullptr. Set by
+  /// PartitionTable(); the sharded engine assigns whole partitions to
+  /// workers and the planner elides exchanges between co-partitioned
+  /// tables.
+  const TablePartitioning* partitioning() const { return partitioning_.get(); }
+  void SetPartitioning(std::shared_ptr<const TablePartitioning> partitioning) {
+    partitioning_ = std::move(partitioning);
+  }
+
+  /// Rebuild primitives for PartitionTable(): drop all rows (and any
+  /// clustering/partitioning claims about them), and force the next
+  /// Append to open a fresh row group so partition boundaries align with
+  /// row-group boundaries.
+  void ClearRows();
+  void SealLastRowGroup() { seal_next_append_ = true; }
+
+  /// Bumped on every physical change to the stored rows (Append,
+  /// ClearRows, repartition). Plans are cached against the layouts they
+  /// were shaped for — zone-map pruning fractions, co-partitioned
+  /// exchanges — so the plan cache validates this version on every hit
+  /// and replans instead of serving a plan whose data moved.
+  uint64_t layout_version() const { return layout_version_; }
+
  private:
   void RebuildZones(RowGroup* group);
 
@@ -78,6 +105,9 @@ class Table {
   size_t num_rows_ = 0;
   std::string clustering_key_;
   std::vector<RowGroup> row_groups_;
+  std::shared_ptr<const TablePartitioning> partitioning_;
+  bool seal_next_append_ = false;
+  uint64_t layout_version_ = 0;
 };
 
 }  // namespace costdb
