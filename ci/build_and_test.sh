@@ -26,6 +26,31 @@ run_build_stage() {
   cmake --build "$build_dir" -j "$JOBS"
   ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS"
 
+  # ---- test registration drift guard: every tests/*_test.cc must be a
+  # registered ctest target (the inverse of the bench --smoke discovery
+  # below). CMake globs the directory, but a stale configure or a renamed
+  # file can silently drop a suite from the run; a test that exists but
+  # never executes is worse than a missing one.
+  echo "== test registration drift guard =="
+  local registered missing=0 test_src test_name
+  # ctest -N right-aligns test numbers ("Test  #1:" vs "Test #10:"), so
+  # allow any spacing between "Test" and "#".
+  registered=$(ctest --test-dir "$build_dir" -N 2>/dev/null |
+    sed -n 's/^ *Test *#[0-9]*: //p')
+  for test_src in tests/*_test.cc; do
+    [ -f "$test_src" ] || continue
+    test_name="$(basename "$test_src" .cc)"
+    if ! grep -qx "$test_name" <<<"$registered"; then
+      echo "DRIFT: tests/$test_name.cc exists but is not a registered ctest target"
+      missing=$((missing + 1))
+    fi
+  done
+  if [ "$missing" -ne 0 ]; then
+    echo "test registration drift guard FAILED ($missing unregistered)"
+    exit 1
+  fi
+  echo "test registration OK ($(wc -l <<<"$registered") targets)"
+
   # ---- bench smoke: data-driven over every bench that supports --smoke.
   # A new bench advertises smoke support simply by handling the flag in
   # its source; a broken or unwired bench binary fails CI instead of
@@ -95,14 +120,14 @@ run_asan_stage() {
   # ---- ASAN/UBSAN: the execution layer moves borrowed row-group columns,
   # selection vectors, and cross-worker chunks around — shake out lifetime
   # and indexing bugs on the tests that drive it hardest.
-  echo "== ASAN/UBSAN (exec + vectorized + sharded) =="
+  echo "== ASAN/UBSAN (exec + vectorized + sharded + elastic) =="
   local build_dir="${ASAN_BUILD_DIR:-build-asan}"
   cmake -B "$build_dir" -S . -DCOSTDB_ASAN=ON -DCMAKE_BUILD_TYPE=Debug \
     "${CMAKE_LAUNCHER_ARGS[@]}"
   cmake --build "$build_dir" -j "$JOBS" \
-    --target exec_test vectorized_test sharded_test
+    --target exec_test vectorized_test sharded_test elastic_test
   local t
-  for t in exec_test vectorized_test sharded_test; do
+  for t in exec_test vectorized_test sharded_test elastic_test; do
     ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
       "$build_dir/$t"
   done
@@ -114,13 +139,13 @@ run_tsan_stage() {
   # streaming result sinks) and the multi-worker sharded engine are the
   # concurrency hot spots; race them under ThreadSanitizer. Scoped to
   # those tests to keep CI time sane.
-  echo "== TSAN (service + session + sharded) =="
+  echo "== TSAN (service + session + sharded + elastic) =="
   local build_dir="${TSAN_BUILD_DIR:-build-tsan}"
   cmake -B "$build_dir" -S . -DCOSTDB_TSAN=ON "${CMAKE_LAUNCHER_ARGS[@]}"
   cmake --build "$build_dir" -j "$JOBS" \
-    --target service_test session_test sharded_test
+    --target service_test session_test sharded_test elastic_test
   local t
-  for t in service_test session_test sharded_test; do
+  for t in service_test session_test sharded_test elastic_test; do
     TSAN_OPTIONS="halt_on_error=1" "$build_dir/$t"
   done
   echo "TSAN OK"

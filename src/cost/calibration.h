@@ -62,6 +62,15 @@ struct HardwareCalibration {
   // Fixed pipeline startup: scheduling, code distribution, and the warm-
   // pool acquire latency the elastic compute layer charges per pipeline.
   Seconds pipeline_startup = 0.55;
+
+  // Per-worker spin-up fee of a mid-query grow (warm-pool acquire, engine
+  // construction, scheduler registration). Together with the calibrated
+  // shuffle term this prices a candidate resize at a fragment boundary:
+  // the exchange rebuckets by hash % width anyway, so growing from c to t
+  // workers costs (t - c) * spin-up + (t - c) * shuffle_dispatch extra
+  // receiver partitions — what the ElasticController weighs against the
+  // predicted latency saving before accepting a ResizePolicy's proposal.
+  Seconds worker_spinup_seconds = 0.08;
 };
 
 }  // namespace costdb

@@ -143,6 +143,7 @@ void CalibrationUpdater::ApplyScale(double scale) {
   shuffle_total_scale_ *= scale;
   hw_->shuffle_sync_per_node *= scale;
   hw_->pipeline_startup *= scale;
+  hw_->worker_spinup_seconds *= scale;
   hw_->batch_dispatch_seconds *= scale;  // vector_batch_rows is a size, not a time
 }
 

@@ -363,6 +363,10 @@ struct MorselProcessor {
     std::vector<uint32_t> build_sel;
     const size_t probe_rows = chunk->num_rows();
     for (uint32_t r = 0; r < probe_rows; ++r) {
+      // SQL three-valued logic: a NULL probe key matches nothing. Skip
+      // before the lookup — NULL keys share one hash tag, so probing
+      // would walk the whole NULL chain just for KeysEqual to reject it.
+      if (kernels::AnyKeyNull(probe_keys, r)) continue;
       auto range = bs.build_index.equal_range(hashes[r]);
       for (auto m = range.first; m != range.second; ++m) {
         if (!KeysEqual(probe_keys, r, bs.build_key_vectors, m->second)) {
@@ -711,6 +715,9 @@ Status LocalEngine::RunPipeline(const Pipeline& pipeline, ExecContext* ctx,
     kernels::HashRows(bs.build_key_vectors, bs.keys_as_double, rows, &hashes);
     bs.build_index.reserve(rows * 2);
     for (size_t r = 0; r < rows; ++r) {
+      // A NULL build key can never be matched; indexing it would only
+      // lengthen the shared NULL-tag chain every probe miss walks.
+      if (kernels::AnyKeyNull(bs.build_key_vectors, r)) continue;
       bs.build_index.emplace(hashes[r], static_cast<uint32_t>(r));
     }
     if (timing != nullptr) timing->output_rows = double(rows);

@@ -6,16 +6,43 @@
 
 namespace costdb {
 
-bool LikeMatch(const std::string& text, const std::string& pattern) {
-  // Iterative glob match with backtracking on the last '%'.
+LikePattern::LikePattern(const std::string& pattern, char escape) {
+  ops_.reserve(pattern.size());
+  literals_.reserve(pattern.size());
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    char c = pattern[i];
+    if (escape != '\0' && c == escape && i + 1 < pattern.size()) {
+      // The binder guarantees the escaped character is %, _, or the
+      // escape itself; direct kernel callers get lenient literal
+      // treatment of whatever follows.
+      ops_.push_back(Op::kLiteral);
+      literals_.push_back(pattern[++i]);
+      continue;
+    }
+    if (c == '%') {
+      ops_.push_back(Op::kAnyRun);
+      literals_.push_back('\0');
+    } else if (c == '_') {
+      ops_.push_back(Op::kAnyOne);
+      literals_.push_back('\0');
+    } else {
+      ops_.push_back(Op::kLiteral);
+      literals_.push_back(c);
+    }
+  }
+}
+
+bool LikePattern::Match(const std::string& text) const {
+  // Iterative glob match with backtracking on the last kAnyRun.
   size_t t = 0, p = 0;
   size_t star_p = std::string::npos, star_t = 0;
   while (t < text.size()) {
-    if (p < pattern.size() &&
-        (pattern[p] == '_' || pattern[p] == text[t])) {
+    if (p < ops_.size() &&
+        (ops_[p] == Op::kAnyOne ||
+         (ops_[p] == Op::kLiteral && literals_[p] == text[t]))) {
       ++t;
       ++p;
-    } else if (p < pattern.size() && pattern[p] == '%') {
+    } else if (p < ops_.size() && ops_[p] == Op::kAnyRun) {
       star_p = p++;
       star_t = t;
     } else if (star_p != std::string::npos) {
@@ -25,8 +52,13 @@ bool LikeMatch(const std::string& text, const std::string& pattern) {
       return false;
     }
   }
-  while (p < pattern.size() && pattern[p] == '%') ++p;
-  return p == pattern.size();
+  while (p < ops_.size() && ops_[p] == Op::kAnyRun) ++p;
+  return p == ops_.size();
+}
+
+bool LikeMatch(const std::string& text, const std::string& pattern,
+               char escape) {
+  return LikePattern(pattern, escape).Match(text);
 }
 
 Result<size_t> Evaluator::ResolveColumn(const std::string& name) const {
@@ -366,11 +398,12 @@ Result<ColumnVector> Evaluator::Evaluate(const Expr& expr,
     case Expr::Kind::kLike: {
       ColumnVector input;
       COSTDB_ASSIGN_OR_RETURN(input, Evaluate(*expr.children[0], chunk));
-      const std::string& pattern = expr.children[1]->constant.AsString();
+      const LikePattern pattern(expr.children[1]->constant.AsString(),
+                                expr.like_escape);
       ColumnVector out(LogicalType::kBool);
       out.Reserve(n);
       for (size_t i = 0; i < n; ++i) {
-        out.AppendInt(LikeMatch(input.GetString(i), pattern) ? 1 : 0);
+        out.AppendInt(pattern.Match(input.GetString(i)) ? 1 : 0);
       }
       CopyValidity(input, &out);
       return out;
@@ -544,13 +577,14 @@ Result<SelectionVector> Evaluator::Select(const Expr& expr,
       size_t idx = 0;
       COSTDB_ASSIGN_OR_RETURN(idx, ResolveColumn(in_e.column));
       const ColumnVector& col = chunk.column(idx);
-      const std::string& pattern = expr.children[1]->constant.AsString();
+      const LikePattern pattern(expr.children[1]->constant.AsString(),
+                                expr.like_escape);
       const std::vector<uint8_t>* valid =
           col.has_nulls() ? &col.validity() : nullptr;
       const auto& strs = col.strings();
       SelectionVector out;
       SelectIf(n, input, valid,
-               [&](uint32_t i) { return LikeMatch(strs[i], pattern); }, &out);
+               [&](uint32_t i) { return pattern.Match(strs[i]); }, &out);
       return out;
     }
     case Expr::Kind::kColumn: {
@@ -683,8 +717,9 @@ Result<Value> Evaluator::EvaluateRow(const Expr& expr, const ChunkView& chunk,
       Value v;
       COSTDB_ASSIGN_OR_RETURN(v, EvaluateRow(*expr.children[0], chunk, row));
       if (v.is_null()) return Value::Null();
-      return Value::Bool(
-          LikeMatch(v.AsString(), expr.children[1]->constant.AsString()));
+      return Value::Bool(LikeMatch(v.AsString(),
+                                   expr.children[1]->constant.AsString(),
+                                   expr.like_escape));
     }
     case Expr::Kind::kAgg:
       return Status::Internal(
@@ -717,6 +752,16 @@ Result<SelectionVector> Evaluator::EvaluateSelectionScalar(
 
 namespace kernels {
 
+/// A NULL key hashes to this fixed tag instead of whatever filler its
+/// payload slot holds. The payload under a NULL is a type default for
+/// stored columns but arbitrary for computed keys (an arithmetic key
+/// evaluates on the fillers), so hashing it would scatter NULL-key rows
+/// across shuffle buckets — splitting a NULL group across workers — and
+/// pile NULL keys onto the 0 bucket chain in the join probe. The tag keeps
+/// every NULL row on one deterministic bucket; matching semantics stay
+/// with the probe/build NULL guards (NULL joins nothing).
+constexpr uint64_t kNullKeyHash = 0x7f4a7c159e3779b9ULL;
+
 void HashRows(const std::vector<ColumnVector>& keys,
               const std::vector<bool>& as_double, size_t rows,
               std::vector<uint64_t>* out) {
@@ -724,19 +769,35 @@ void HashRows(const std::vector<ColumnVector>& keys,
   out->assign(n, 0x9e3779b97f4a7c15ULL);
   for (size_t k = 0; k < keys.size(); ++k) {
     const ColumnVector& key = keys[k];
+    const std::vector<uint8_t>* valid =
+        key.has_nulls() ? &key.validity() : nullptr;
     auto& h = *out;
     switch (key.physical_type()) {
       case PhysicalType::kString: {
         const auto& vals = key.strings();
-        for (size_t i = 0; i < n; ++i) {
-          h[i] = HashCombine(h[i], HashString(vals[i]));
+        if (valid == nullptr) {
+          for (size_t i = 0; i < n; ++i) {
+            h[i] = HashCombine(h[i], HashString(vals[i]));
+          }
+        } else {
+          for (size_t i = 0; i < n; ++i) {
+            h[i] = HashCombine(
+                h[i], (*valid)[i] ? HashString(vals[i]) : kNullKeyHash);
+          }
         }
         break;
       }
       case PhysicalType::kDouble: {
         const auto& vals = key.doubles();
-        for (size_t i = 0; i < n; ++i) {
-          h[i] = HashCombine(h[i], HashDouble(vals[i]));
+        if (valid == nullptr) {
+          for (size_t i = 0; i < n; ++i) {
+            h[i] = HashCombine(h[i], HashDouble(vals[i]));
+          }
+        } else {
+          for (size_t i = 0; i < n; ++i) {
+            h[i] = HashCombine(
+                h[i], (*valid)[i] ? HashDouble(vals[i]) : kNullKeyHash);
+          }
         }
         break;
       }
@@ -744,18 +805,41 @@ void HashRows(const std::vector<ColumnVector>& keys,
       default: {
         const auto& vals = key.ints();
         if (as_double[k]) {
-          for (size_t i = 0; i < n; ++i) {
-            h[i] = HashCombine(h[i], HashDouble(static_cast<double>(vals[i])));
+          if (valid == nullptr) {
+            for (size_t i = 0; i < n; ++i) {
+              h[i] =
+                  HashCombine(h[i], HashDouble(static_cast<double>(vals[i])));
+            }
+          } else {
+            for (size_t i = 0; i < n; ++i) {
+              h[i] = HashCombine(
+                  h[i], (*valid)[i] ? HashDouble(static_cast<double>(vals[i]))
+                                    : kNullKeyHash);
+            }
           }
         } else {
-          for (size_t i = 0; i < n; ++i) {
-            h[i] = HashCombine(h[i], HashInt64(vals[i]));
+          if (valid == nullptr) {
+            for (size_t i = 0; i < n; ++i) {
+              h[i] = HashCombine(h[i], HashInt64(vals[i]));
+            }
+          } else {
+            for (size_t i = 0; i < n; ++i) {
+              h[i] = HashCombine(
+                  h[i], (*valid)[i] ? HashInt64(vals[i]) : kNullKeyHash);
+            }
           }
         }
         break;
       }
     }
   }
+}
+
+bool AnyKeyNull(const std::vector<ColumnVector>& keys, size_t row) {
+  for (const auto& k : keys) {
+    if (k.IsNull(row)) return true;
+  }
+  return false;
 }
 
 int64_t CountValid(const ColumnVector& v) {

@@ -84,8 +84,28 @@ class Evaluator {
   const std::vector<std::string>* schema_;
 };
 
+/// A LIKE pattern compiled to a flat op sequence — % (any run), _ (any
+/// single char), and literal characters, with an optional ESCAPE character
+/// that makes the following %, _, or escape char literal. Compiling once
+/// per expression keeps the per-row match loop free of escape decoding.
+class LikePattern {
+ public:
+  LikePattern() = default;
+  LikePattern(const std::string& pattern, char escape = '\0');
+
+  bool Match(const std::string& text) const;
+
+ private:
+  enum class Op : uint8_t { kAnyRun, kAnyOne, kLiteral };
+  std::vector<Op> ops_;
+  std::vector<char> literals_;  // one entry per op (ignored for wildcards)
+};
+
 /// SQL LIKE with % (any run) and _ (any single char); case-sensitive.
-bool LikeMatch(const std::string& text, const std::string& pattern);
+/// `escape` ('\0' = none) makes the following wildcard (or escape char
+/// itself) match literally. One-shot convenience over LikePattern.
+bool LikeMatch(const std::string& text, const std::string& pattern,
+               char escape = '\0');
 
 /// Batch kernels shared by the engine's operators. All of them are
 /// column-at-a-time loops over the flat payloads; none allocates per row.
@@ -96,9 +116,18 @@ namespace kernels {
 /// normalization so an int64 key hashes equal to the double it joins with.
 /// An empty key list yields the bare seed for every row — that is how a
 /// cross join (no equi-keys) matches everything.
+/// NULL keys hash to a fixed tag (never their filler payload), so a NULL
+/// join key cannot collide with a genuine 0 and NULL-key rows always land
+/// on one deterministic shuffle bucket. NULL *matching* semantics live in
+/// the probe/build guards (AnyKeyNull): a NULL key matches nothing.
 void HashRows(const std::vector<ColumnVector>& keys,
               const std::vector<bool>& as_double, size_t rows,
               std::vector<uint64_t>* out);
+
+/// True when any key column is NULL at `row` — the SQL three-valued-logic
+/// guard of the hash join: such a row joins nothing, so the build skips
+/// indexing it and the probe skips looking it up.
+bool AnyKeyNull(const std::vector<ColumnVector>& keys, size_t row);
 
 /// Fold non-null rows of a *numeric* `v` into running count / integer sum
 /// / double sum (ints accumulate into both sums, mirroring SUM/AVG result

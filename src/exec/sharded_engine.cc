@@ -38,6 +38,14 @@ void CollectCuts(const PhysicalPlan* node,
   }
 }
 
+/// Cut exchanges anywhere in the tree (the elastic controller's coarse
+/// how-much-is-left signal).
+size_t CountCuts(const PhysicalPlan* node) {
+  size_t n = IsCut(node) ? 1 : 0;
+  for (const auto& c : node->children) n += CountCuts(c.get());
+  return n;
+}
+
 bool HasBaseScan(const PhysicalPlan* node) {
   if (node->kind == PhysicalPlan::Kind::kTableScan) return true;
   for (const auto& c : node->children) {
@@ -251,24 +259,88 @@ double ChunkPayloadBytes(const DataChunk& chunk) {
 }
 
 ShardedEngine::ShardedEngine(size_t num_workers, size_t threads_per_worker)
-    : pool_(std::max<size_t>(1, num_workers)) {
-  num_workers = std::max<size_t>(1, num_workers);
-  workers_.reserve(num_workers);
-  for (size_t w = 0; w < num_workers; ++w) {
+    : threads_per_worker_(std::max<size_t>(1, threads_per_worker)),
+      initial_workers_(std::max<size_t>(1, num_workers)),
+      active_(initial_workers_),
+      pool_(std::make_unique<ThreadPool>(initial_workers_)) {
+  workers_.reserve(initial_workers_);
+  for (size_t w = 0; w < initial_workers_; ++w) {
     Worker worker;
-    worker.engine =
-        std::make_unique<LocalEngine>(std::max<size_t>(1, threads_per_worker));
+    worker.engine = std::make_unique<LocalEngine>(threads_per_worker_);
     workers_.push_back(std::move(worker));
   }
 }
 
+void ShardedEngine::EnsureWorkers(size_t n) {
+  if (n <= workers_.size()) return;
+  const double start = NowSeconds();
+  const size_t added = n - workers_.size();
+  while (workers_.size() < n) {
+    Worker worker;
+    worker.engine = std::make_unique<LocalEngine>(threads_per_worker_);
+    workers_.push_back(std::move(worker));
+  }
+  if (pool_->num_threads() < n) {
+    // Rebuild the fan-out pool wider; safe between fragments (WaitIdle'd).
+    pool_ = std::make_unique<ThreadPool>(n);
+  }
+  usage_.workers_spun_up += added;
+  usage_.spinup_seconds += NowSeconds() - start;
+}
+
+void ShardedEngine::CloseUsageSegment(double now) {
+  usage_.worker_seconds +=
+      (now - segment_start_) * static_cast<double>(active_);
+  segment_start_ = now;
+}
+
+size_t ShardedEngine::DecideWidth(double producer_seconds,
+                                  double pending_bytes, double pending_rows) {
+  if (!resizer_) return active_;
+  FragmentBoundary boundary;
+  boundary.index = boundary_index_++;
+  boundary.current_workers = active_;
+  boundary.elapsed_seconds = NowSeconds() - exec_start_;
+  boundary.producer_seconds = producer_seconds;
+  boundary.pending_bytes = pending_bytes;
+  boundary.pending_rows = pending_rows;
+  boundary.cuts_remaining = cuts_remaining_;
+  const size_t target = std::max<size_t>(1, resizer_(boundary));
+  if (target == active_) return active_;
+  // Width changes cut a new billing segment: the seconds spent so far are
+  // charged at the old width, everything after at the new one.
+  CloseUsageSegment(NowSeconds());
+  EnsureWorkers(target);
+  ++usage_.resizes;
+  active_ = target;
+  usage_.peak_workers = std::max(usage_.peak_workers, active_);
+  usage_.min_workers = std::min(usage_.min_workers, active_);
+  return active_;
+}
+
+Result<ShardedEngine::Shards> ShardedEngine::ApplyExchange(
+    const PhysicalPlan* exchange, Shards in, size_t width) {
+  if (cuts_remaining_ > 0) --cuts_remaining_;
+  switch (exchange->exchange_kind) {
+    case ExchangeKind::kShuffle:
+      return ShuffleShards(std::move(in), exchange, width);
+    case ExchangeKind::kBroadcast:
+      return BroadcastShards(std::move(in), exchange, width);
+    case ExchangeKind::kGather:
+      return GatherShards(std::move(in), exchange);
+    case ExchangeKind::kLocal:
+      break;  // not a cut; unreachable
+  }
+  return in;
+}
+
 Result<ShardedEngine::Shards> ShardedEngine::ShuffleShards(
-    Shards in, const PhysicalPlan* exchange) {
+    Shards in, const PhysicalPlan* exchange, size_t width) {
   if (exchange->partition_exprs.empty()) {
     return Status::Internal("shuffle exchange without partition keys");
   }
   const double start = NowSeconds();
-  const size_t W = workers_.size();
+  const size_t W = std::max<size_t>(1, width);
   Shards out;
   out.chunks.assign(W, DataChunk(exchange->output_types));
 
@@ -328,9 +400,9 @@ Result<ShardedEngine::Shards> ShardedEngine::ShuffleShards(
 }
 
 ShardedEngine::Shards ShardedEngine::BroadcastShards(
-    Shards in, const PhysicalPlan* exchange) {
+    Shards in, const PhysicalPlan* exchange, size_t width) {
   const double start = NowSeconds();
-  const size_t W = workers_.size();
+  const size_t W = std::max<size_t>(1, width);
   Shards out;
   out.shared = true;
   out.chunks.assign(1, DataChunk(exchange->output_types));
@@ -342,7 +414,7 @@ ShardedEngine::Shards ShardedEngine::BroadcastShards(
   // the one materialized copy, so the stats charge what a wire would but
   // the calibration timing only what the measured append wrote.
   const double payload = ChunkPayloadBytes(out.chunks[0]);
-  const double bytes = payload * static_cast<double>(W > 0 ? W - 1 : 0);
+  const double bytes = payload * static_cast<double>(W - 1);
 
   ExchangeTiming timing;
   timing.kind = ExchangeKind::kBroadcast;
@@ -351,7 +423,7 @@ ShardedEngine::Shards ShardedEngine::BroadcastShards(
   timing.seconds = NowSeconds() - start;
   exchange_stats_.timings.push_back(timing);
   ++exchange_stats_.broadcasts;
-  exchange_stats_.rows_moved += out.chunks[0].num_rows() * (W > 0 ? W - 1 : 0);
+  exchange_stats_.rows_moved += out.chunks[0].num_rows() * (W - 1);
   exchange_stats_.bytes_moved += bytes;
   exchange_stats_.seconds += timing.seconds;
   return out;
@@ -436,7 +508,7 @@ DataChunk ShardedEngine::MergeShards(
 }
 
 PhysicalPlanPtr ShardedEngine::CloneForWorker(
-    const PhysicalPlan* node, size_t worker, bool single,
+    const PhysicalPlan* node, size_t worker, size_t width, bool single,
     const std::map<const PhysicalPlan*, FragmentInput>& inputs,
     double* input_rows) const {
   auto it = inputs.find(node);
@@ -457,8 +529,7 @@ PhysicalPlanPtr ShardedEngine::CloneForWorker(
   auto copy = std::make_shared<PhysicalPlan>(*node);
   if (copy->kind == PhysicalPlan::Kind::kTableScan) {
     if (!single) {
-      auto [begin, end] =
-          WorkerGroupRange(*copy->table, worker, workers_.size());
+      auto [begin, end] = WorkerGroupRange(*copy->table, worker, width);
       copy->scan_group_begin = begin;
       copy->scan_group_end = end;
       const auto& groups = copy->table->row_groups();
@@ -471,7 +542,8 @@ PhysicalPlanPtr ShardedEngine::CloneForWorker(
     return copy;
   }
   for (auto& child : copy->children) {
-    child = CloneForWorker(child.get(), worker, single, inputs, input_rows);
+    child =
+        CloneForWorker(child.get(), worker, width, single, inputs, input_rows);
   }
   return copy;
 }
@@ -479,33 +551,64 @@ PhysicalPlanPtr ShardedEngine::CloneForWorker(
 Result<ShardedEngine::Shards> ShardedEngine::RunNode(
     const PhysicalPlan* node) {
   if (!IsCut(node)) return RunFragment(node);
+  // A bare cut at the plan root (no consuming fragment above): run its
+  // producer and apply the exchange at the current width.
   Shards in;
   COSTDB_ASSIGN_OR_RETURN(in, RunNode(node->children[0].get()));
-  switch (node->exchange_kind) {
-    case ExchangeKind::kShuffle:
-      return ShuffleShards(std::move(in), node);
-    case ExchangeKind::kBroadcast:
-      return BroadcastShards(std::move(in), node);
-    case ExchangeKind::kGather:
-      return GatherShards(std::move(in), node);
-    case ExchangeKind::kLocal:
-      break;  // not a cut; unreachable
-  }
-  return in;
+  return ApplyExchange(node, std::move(in), active_);
 }
 
 Result<ShardedEngine::Shards> ShardedEngine::RunFragment(
     const PhysicalPlan* frag_root) {
-  const size_t W = workers_.size();
-
   std::vector<const PhysicalPlan*> cuts;
   CollectCuts(frag_root, &cuts);
 
-  std::map<const PhysicalPlan*, FragmentInput> inputs;
-  bool all_inputs_single = !cuts.empty();
+  // ---- 1. Run the producer subtree of every cut. Producers are whole
+  // upstream fragments; they make their own width decisions recursively,
+  // so by the time control returns here their timings are known and the
+  // exact payload about to rebucket sits in `produced`.
+  const double producers_start = NowSeconds();
+  std::vector<Shards> produced;
+  produced.reserve(cuts.size());
   for (const PhysicalPlan* cut : cuts) {
     Shards s;
-    COSTDB_ASSIGN_OR_RETURN(s, RunNode(cut));
+    COSTDB_ASSIGN_OR_RETURN(s, RunNode(cut->children[0].get()));
+    produced.push_back(std::move(s));
+  }
+
+  // ---- 2. Fragment boundary: pick the width this fragment runs at.
+  // Every shuffle/broadcast cut rebuckets by hash % width regardless, so
+  // this is the one place a resize is free of extra data movement. A
+  // fragment fed only by gathers runs single-worker whatever the width,
+  // so no decision is made there.
+  bool resizable = false;
+  double pending_bytes = 0.0;
+  double pending_rows = 0.0;
+  for (size_t i = 0; i < cuts.size(); ++i) {
+    if (cuts[i]->exchange_kind == ExchangeKind::kGather) continue;
+    resizable = true;
+    const Shards& s = produced[i];
+    const size_t sources = (s.single || s.shared) ? 1 : s.chunks.size();
+    for (size_t w = 0; w < sources; ++w) {
+      pending_bytes += ChunkPayloadBytes(s.chunks[w]);
+      pending_rows += static_cast<double>(s.chunks[w].num_rows());
+    }
+  }
+  size_t width = active_;
+  if (resizable) {
+    width = DecideWidth(NowSeconds() - producers_start, pending_bytes,
+                        pending_rows);
+  }
+
+  // ---- 3. Apply the cut exchanges at that width and build the temp-table
+  // inputs the worker clones will scan.
+  std::map<const PhysicalPlan*, FragmentInput> inputs;
+  bool all_inputs_single = !cuts.empty();
+  for (size_t i = 0; i < cuts.size(); ++i) {
+    const PhysicalPlan* cut = cuts[i];
+    Shards s;
+    COSTDB_ASSIGN_OR_RETURN(s,
+                            ApplyExchange(cut, std::move(produced[i]), width));
     const double build_start = NowSeconds();
     FragmentInput fi;
     fi.shared = s.shared;
@@ -513,8 +616,8 @@ Result<ShardedEngine::Shards> ShardedEngine::RunFragment(
     if (s.shared || s.single) {
       fi.per_worker.push_back(MakeTempTable(cut, s.chunks[0]));
     } else {
-      fi.per_worker.reserve(W);
-      for (size_t w = 0; w < W; ++w) {
+      fi.per_worker.reserve(s.chunks.size());
+      for (size_t w = 0; w < s.chunks.size(); ++w) {
         fi.per_worker.push_back(MakeTempTable(cut, s.chunks[w]));
       }
     }
@@ -545,12 +648,13 @@ Result<ShardedEngine::Shards> ShardedEngine::RunFragment(
     }
   }
 
-  const size_t dop = single ? 1 : W;
+  // ---- 4. Fan the fragment out across the width's workers.
+  const size_t dop = single ? 1 : width;
   std::vector<PhysicalPlanPtr> plans(dop);
   std::vector<uint8_t> skip(dop, 0);
   for (size_t w = 0; w < dop; ++w) {
     double rows_in = 0.0;
-    plans[w] = CloneForWorker(frag_root, w, single, inputs, &rows_in);
+    plans[w] = CloneForWorker(frag_root, w, width, single, inputs, &rows_in);
     // A worker with no input contributes nothing — skipping it (rather
     // than running the engine on zero rows) keeps empty shards from
     // fabricating global-aggregate zero rows; the single-worker finalize
@@ -562,6 +666,7 @@ Result<ShardedEngine::Shards> ShardedEngine::RunFragment(
     Result<QueryResult> result{Status::Internal("not run")};
     ScanStats scan_stats;
   };
+  const double frag_start = NowSeconds();
   std::vector<SlotResult> slots(dop);
   auto run_one = [&](size_t w) {
     LocalEngine* engine = workers_[w].engine.get();
@@ -570,12 +675,14 @@ Result<ShardedEngine::Shards> ShardedEngine::RunFragment(
   };
   if (dop > 1) {
     for (size_t w = 0; w < dop; ++w) {
-      if (!skip[w]) pool_.Submit([&run_one, w] { run_one(w); });
+      if (!skip[w]) pool_->Submit([&run_one, w] { run_one(w); });
     }
-    pool_.WaitIdle();
+    pool_->WaitIdle();
   } else if (!skip.empty() && !skip[0]) {
     run_one(0);
   }
+  usage_.fragments.push_back(
+      FragmentUsage{dop, NowSeconds() - frag_start});
 
   Shards out;
   out.single = single;
@@ -598,11 +705,25 @@ Result<QueryResult> ShardedEngine::Execute(const PhysicalPlan* root) {
   COSTDB_RETURN_NOT_OK(ValidateCoPartitioning(root));
   exchange_stats_ = ExchangeStats();
   scan_stats_ = ScanStats();
+  usage_ = WorkerUsage();
+  // Every Execute starts from the constructed width; an elastic schedule
+  // is per-query, not engine state that leaks into the next query.
+  active_ = initial_workers_;
+  usage_.peak_workers = active_;
+  usage_.min_workers = active_;
+  boundary_index_ = 0;
+  cuts_remaining_ = CountCuts(root);
+  exec_start_ = NowSeconds();
+  segment_start_ = exec_start_;
 
   Shards shards;
   COSTDB_ASSIGN_OR_RETURN(shards, RunNode(root));
   DataChunk chunk = MergeShards(&shards, root->output_types);
   TruncateChunk(&chunk, RootLimit(root));
+
+  const double end = NowSeconds();
+  CloseUsageSegment(end);
+  usage_.wall_seconds = end - exec_start_;
 
   QueryResult result;
   result.names = root->output_names;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
@@ -34,6 +35,50 @@ struct ExchangeStats {
   std::vector<ExchangeTiming> timings;  // per executed exchange, plan order
 };
 
+/// What an elastic width decision can observe at one fragment boundary —
+/// the repartition point where an exchange is about to rebucket its input
+/// anyway, so changing the consumer's worker count costs only the delta
+/// (spin-up + extra receiver partitions), not an extra data movement.
+struct FragmentBoundary {
+  int index = 0;                 // 0-based ordinal of this boundary
+  size_t current_workers = 0;    // width the producers ran at
+  double elapsed_seconds = 0.0;  // wall time since Execute began
+  /// Wall time spent producing this fragment's exchange inputs (the
+  /// just-finished upstream fragments and their exchanges).
+  double producer_seconds = 0.0;
+  double pending_bytes = 0.0;    // exchange payload about to rebucket
+  double pending_rows = 0.0;
+  /// Cut exchanges not yet executed anywhere in the plan — a coarse
+  /// how-much-is-left signal (0 at the final gather).
+  size_t cuts_remaining = 0;
+};
+
+/// Width chosen for the fragment about to run; values are clamped to
+/// [1, +inf) and missing workers are spun up on demand.
+using WidthDecider = std::function<size_t(const FragmentBoundary&)>;
+
+/// One fragment execution at one width (elastic runs interleave widths).
+struct FragmentUsage {
+  size_t workers = 0;    // width the fragment ran at (1 for post-gather)
+  double seconds = 0.0;  // fragment wall time (workers run concurrently)
+};
+
+/// Machine-time ledger of one ShardedEngine::Execute call, billed the way
+/// the paper says clouds bill: every wall-clock second is charged at the
+/// worker count held during it — blocked or skipped workers included —
+/// plus the spin-up time of workers added mid-query. This is what the
+/// cloud billing layer converts to dollars for elastic runs.
+struct WorkerUsage {
+  double wall_seconds = 0.0;
+  double worker_seconds = 0.0;   // sum of wall segments x active width
+  size_t peak_workers = 0;
+  size_t min_workers = 0;
+  size_t resizes = 0;            // applied width changes
+  size_t workers_spun_up = 0;    // engines created after Execute began
+  double spinup_seconds = 0.0;   // wall time spent creating them
+  std::vector<FragmentUsage> fragments;  // per executed fragment, run order
+};
+
 /// In-memory payload bytes of a chunk (fixed 8B numerics, observed string
 /// lengths + a 4B offset word) — what the exchange stats and the shuffle
 /// calibration account as "bytes on the wire".
@@ -50,26 +95,38 @@ double ChunkPayloadBytes(const DataChunk& chunk);
 /// worker's contiguous row-group range (whole partitions for a partitioned
 /// table; see storage/partition.h), and exchange inputs arrive as temp
 /// tables filled by the parent exchange:
-///   - shuffle:   rows are re-bucketed by hash(partition_exprs) % workers,
+///   - shuffle:   rows are re-bucketed by hash(partition_exprs) % width,
 ///   - broadcast: every worker receives the full input,
 ///   - gather:    worker 0 receives everything; downstream fragments of a
 ///                gathered input run single-worker,
 ///   - local:     co-partitioned pass-through — no row moves; the fragment
 ///                keeps both sides and joins/aggregates partition-wise.
 ///
+/// Elasticity: the worker count may change at fragment boundaries. Before
+/// a fragment's cut exchanges rebucket, an optional WidthDecider (see
+/// SetResizer; runtime/elastic_controller.h supplies the policy-driven
+/// one) picks the width the fragment runs at; shuffles then hash into that
+/// many buckets and missing workers spin up lazily. Because exchanges
+/// rebucket by hash % width regardless, a resize changes no data-movement
+/// semantics — and because co-partitioned fragments assign whole
+/// partitions to workers via WorkerGroupRange at whatever width is active,
+/// partition-wise joins stay correctly aligned across resizes. Machine
+/// time is metered per width segment in last_usage() so elastic runs are
+/// billed the worker-seconds they actually held.
+///
 /// Determinism and LocalEngine parity: all cross-worker merges happen in
 /// worker order, worker slices are contiguous shares of the source order,
 /// and grouped-aggregate outputs are gathered by k-way merge on the same
 /// encoded group key that orders LocalEngine's aggregate output — so
-/// results are bit-identical to LocalEngine (and across worker counts) for
-/// order-stable plans: scans/filters/projections, broadcast and
-/// co-partitioned joins, grouped and global aggregates, and sorts.
-/// Repartition (shuffle) joins produce the same multiset in an order that
-/// is deterministic per worker count but only canonical up to the next
-/// order-fixing operator (aggregate or sort) across worker counts.
-/// Floating-point SUM/AVG over double columns re-associates across worker
-/// partials (integer aggregates stay exact). Partial aggregates emit
-/// nothing on an empty shard and NULL for value-less MIN/MAX states
+/// results are bit-identical to LocalEngine (and across worker counts AND
+/// across arbitrary resize schedules) for order-stable plans:
+/// scans/filters/projections, broadcast and co-partitioned joins, grouped
+/// and global aggregates, and sorts. Repartition (shuffle) joins produce
+/// the same multiset in an order that is deterministic per width schedule
+/// but only canonical up to the next order-fixing operator (aggregate or
+/// sort). Floating-point SUM/AVG over double columns re-associates across
+/// worker partials (integer aggregates stay exact). Partial aggregates
+/// emit nothing on an empty shard and NULL for value-less MIN/MAX states
 /// (PhysicalPlan::agg_is_partial), so empty or all-NULL shards cannot
 /// poison merged extrema.
 class ShardedEngine {
@@ -78,15 +135,26 @@ class ShardedEngine {
 
   Result<QueryResult> Execute(const PhysicalPlan* root);
 
+  /// Install (or clear, with nullptr-like default) the width decision hook
+  /// consulted at each resizable fragment boundary. The decider runs on
+  /// the coordinating thread between fragments; it must be fast and must
+  /// not call back into the engine.
+  void SetResizer(WidthDecider decider) { resizer_ = std::move(decider); }
+
   /// Exchange counters of the previous Execute call — the feedback signal
   /// of the shuffle-term calibration loop.
   const ExchangeStats& last_exchange_stats() const { return exchange_stats_; }
+
+  /// Worker-second ledger of the previous Execute call — the feedback
+  /// signal of the elastic billing loop.
+  const WorkerUsage& last_usage() const { return usage_; }
 
   /// Zone-map pruning counters of the previous Execute call, summed over
   /// workers.
   const ScanStats& last_scan_stats() const { return scan_stats_; }
 
-  size_t num_workers() const { return workers_.size(); }
+  /// Current execution width (the constructor's count until a resize).
+  size_t num_workers() const { return active_; }
 
  private:
   /// Per-worker chunks flowing between fragments and exchanges.
@@ -118,19 +186,39 @@ class ShardedEngine {
   Result<Shards> RunNode(const PhysicalPlan* node);
   Result<Shards> RunFragment(const PhysicalPlan* frag_root);
 
-  Result<Shards> ShuffleShards(Shards in, const PhysicalPlan* exchange);
-  Shards BroadcastShards(Shards in, const PhysicalPlan* exchange);
+  /// Apply one cut exchange to its producer's output, rebucketing for a
+  /// consumer fragment that will run at `width` workers.
+  Result<Shards> ApplyExchange(const PhysicalPlan* exchange, Shards in,
+                               size_t width);
+  Result<Shards> ShuffleShards(Shards in, const PhysicalPlan* exchange,
+                               size_t width);
+  Shards BroadcastShards(Shards in, const PhysicalPlan* exchange,
+                         size_t width);
   Shards GatherShards(Shards in, const PhysicalPlan* exchange);
+
+  /// Consult the resizer at a fragment boundary and switch the active
+  /// width (spinning up workers as needed). Returns the width to run at.
+  size_t DecideWidth(double producer_seconds, double pending_bytes,
+                     double pending_rows);
+
+  /// Grow the worker vector (and the fragment fan-out pool) to `n`,
+  /// metering the spin-up wall time into usage_.
+  void EnsureWorkers(size_t n);
+
+  /// Close the current constant-width billing segment at `now` and open
+  /// the next one (called on width changes and at Execute end).
+  void CloseUsageSegment(double now);
 
   /// Concatenate (or key-merge) shards into one chunk, in worker order.
   DataChunk MergeShards(Shards* shards,
                         const std::vector<LogicalType>& types) const;
 
-  /// Clone `node` for one worker: cut exchanges become temp-table scans,
-  /// base scans get the worker's row-group range. `input_rows` accumulates
-  /// the rows this worker would read (empty workers are skipped).
+  /// Clone `node` for one worker of `width`: cut exchanges become
+  /// temp-table scans, base scans get the worker's row-group range.
+  /// `input_rows` accumulates the rows this worker would read (empty
+  /// workers are skipped).
   PhysicalPlanPtr CloneForWorker(
-      const PhysicalPlan* node, size_t worker, bool single,
+      const PhysicalPlan* node, size_t worker, size_t width, bool single,
       const std::map<const PhysicalPlan*, FragmentInput>& inputs,
       double* input_rows) const;
 
@@ -138,10 +226,22 @@ class ShardedEngine {
     std::unique_ptr<LocalEngine> engine;
   };
 
+  size_t threads_per_worker_ = 1;
+  size_t initial_workers_ = 1;  // width every Execute starts from
   std::vector<Worker> workers_;
-  ThreadPool pool_;  // one slot per worker; fragments fan out across it
+  size_t active_ = 1;  // current execution width (<= workers_.size())
+  /// One slot per worker; fragments fan out across it. unique_ptr so a
+  /// mid-query grow can rebuild it wider between fragments.
+  std::unique_ptr<ThreadPool> pool_;
+  WidthDecider resizer_;
+
   ExchangeStats exchange_stats_;
   ScanStats scan_stats_;
+  WorkerUsage usage_;
+  double exec_start_ = 0.0;
+  double segment_start_ = 0.0;  // start of the current constant-width span
+  int boundary_index_ = 0;
+  size_t cuts_remaining_ = 0;
 };
 
 }  // namespace costdb

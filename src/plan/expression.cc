@@ -51,8 +51,14 @@ std::string Expr::ToString() const {
       if (agg == AggFunc::kCountStar) return "count(*)";
       return std::string(AggFuncName(agg)) + "(" + children[0]->ToString() +
              ")";
-    case Kind::kLike:
-      return children[0]->ToString() + " LIKE " + children[1]->ToString();
+    case Kind::kLike: {
+      std::string out =
+          children[0]->ToString() + " LIKE " + children[1]->ToString();
+      if (like_escape != '\0') {
+        out += std::string(" ESCAPE '") + like_escape + "'";
+      }
+      return out;
+    }
     case Kind::kParam:
       return "?" + std::to_string(param_index);
   }
@@ -171,10 +177,11 @@ ExprPtr Expr::MakeParam(int index, LogicalType type) {
   return e;
 }
 
-ExprPtr Expr::MakeLike(ExprPtr input, std::string pattern) {
+ExprPtr Expr::MakeLike(ExprPtr input, std::string pattern, char escape) {
   auto e = std::make_shared<Expr>();
   e->kind = Kind::kLike;
   e->type = LogicalType::kBool;
+  e->like_escape = escape;
   e->children = {std::move(input),
                  MakeConstant(Value(std::move(pattern)), LogicalType::kVarchar)};
   return e;

@@ -51,6 +51,9 @@ struct Expr {
   char arith_op = '+';  // kArith
   AggFunc agg = AggFunc::kCountStar;  // kAgg
   int param_index = 0;  // kParam: ordinal into the Execute bind vector
+  /// kLike: ESCAPE character ('\0' = no escape clause). The escaped
+  /// character matches literally, so patterns can match a literal % or _.
+  char like_escape = '\0';
   std::vector<ExprPtr> children;
 
   std::string ToString() const;
@@ -70,7 +73,8 @@ struct Expr {
   static ExprPtr MakeNot(ExprPtr child);
   static ExprPtr MakeArith(char op, ExprPtr l, ExprPtr r);
   static ExprPtr MakeAgg(AggFunc f, ExprPtr arg);  // arg may be nullptr
-  static ExprPtr MakeLike(ExprPtr input, std::string pattern);
+  static ExprPtr MakeLike(ExprPtr input, std::string pattern,
+                          char escape = '\0');
   static ExprPtr MakeParam(int index, LogicalType type);
 };
 

@@ -1,0 +1,190 @@
+#include "runtime/elastic_controller.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace costdb {
+
+namespace {
+
+/// Fraction of shuffled bytes that cross workers at width w (the shuffle
+/// model's frac_remote).
+double RemoteFraction(size_t w) {
+  if (w <= 1) return 0.0;
+  return static_cast<double>(w - 1) / static_cast<double>(w);
+}
+
+}  // namespace
+
+ElasticController::ElasticController(const CostEstimator* estimator,
+                                     ResizePolicy* policy,
+                                     ElasticControllerOptions options)
+    : estimator_(estimator), policy_(policy), options_(options) {
+  options_.min_workers = std::max<size_t>(1, options_.min_workers);
+  options_.max_workers =
+      std::max(options_.min_workers, options_.max_workers);
+}
+
+void ElasticController::BeginQuery(const PipelineGraph* graph,
+                                   const VolumeMap* volumes,
+                                   const UserConstraint& constraint,
+                                   Seconds planned_latency,
+                                   int planned_workers) {
+  graph_ = graph;
+  volumes_ = volumes;
+  constraint_ = constraint;
+  planned_latency_ = planned_latency;
+  planned_workers_ = std::max(1, planned_workers);
+  decisions_.clear();
+  resizes_applied_ = 0;
+  resizes_declined_ = 0;
+}
+
+size_t ElasticController::Decide(const FragmentBoundary& boundary) {
+  const size_t current = std::max<size_t>(1, boundary.current_workers);
+  Decision decision;
+  decision.boundary = boundary.index;
+  decision.from = current;
+  decision.proposed = current;
+  decision.applied = current;
+
+  // ---- 1. Translate the real observations into the policy's vocabulary.
+  // Fragments executed so far stand in for progress: with C cut exchanges
+  // total and R still pending, (C - R + 1) of (C + 1) fragment stages have
+  // produced observable work — coarse, but anchored in what actually ran
+  // rather than a simulated clock.
+  const double total_stages =
+      static_cast<double>(boundary.index + boundary.cuts_remaining) + 1.0;
+  const double done_stages =
+      std::max(1.0, total_stages - static_cast<double>(boundary.cuts_remaining));
+  const double progress =
+      std::clamp(done_stages / std::max(1.0, total_stages), 0.05, 0.99);
+  const double observed_duration =
+      boundary.elapsed_seconds > 0.0 ? boundary.elapsed_seconds / progress
+                                     : 0.0;
+  const double observed_remaining =
+      std::max(0.0, observed_duration - boundary.elapsed_seconds);
+
+  PipelineRunView run;
+  // Anchor the policy on a *real* pipeline of the plan: pipelines are
+  // topologically ordered and fragment boundaries advance with executed
+  // stages, so the done-stage count approximates the pipeline about to
+  // run. (A raw boundary ordinal is not a pipeline id — the monitor
+  // would extrapolate the wrong stage's scaling curve, or none at all.)
+  run.pipeline_id = boundary.index;
+  if (graph_ != nullptr && !graph_->pipelines.empty()) {
+    const size_t idx = std::min(static_cast<size_t>(done_stages),
+                                graph_->pipelines.size() - 1);
+    run.pipeline_id = graph_->pipelines[idx].id;
+  }
+  run.dop = static_cast<int>(current);
+  run.planned_dop = planned_workers_;
+  run.started_at = 0.0;
+  run.progress = progress;
+  run.planned_finish = planned_latency_;
+  run.planned_duration = planned_latency_;
+  run.observed_remaining = observed_remaining;
+  run.observed_duration = observed_duration;
+
+  PolicyContext ctx;
+  ctx.graph = graph_;
+  ctx.estimator = estimator_;
+  ctx.believed = volumes_;
+  ctx.truth = volumes_;
+  ctx.constraint = constraint_;
+  ctx.now = boundary.elapsed_seconds;
+  ctx.query_deadline = std::isfinite(constraint_.latency_sla)
+                           ? constraint_.latency_sla
+                           : 0.0;
+  ctx.planned_makespan = planned_latency_;
+  ctx.max_dop = static_cast<int>(options_.max_workers);
+
+  size_t proposed = current;
+  if (policy_ != nullptr) {
+    proposed = static_cast<size_t>(std::max(1, policy_->OnTick(ctx, run)));
+  }
+  proposed = std::clamp(proposed, options_.min_workers, options_.max_workers);
+  decision.proposed = proposed;
+
+  if (proposed == current) {
+    decision.reason = "hold";
+    decisions_.push_back(std::move(decision));
+    return current;
+  }
+
+  // ---- 2. Admission pressure: a saturated service refuses to grow.
+  if (proposed > current && queue_pressure_ > options_.max_queue_pressure) {
+    decision.declined = true;
+    ++resizes_declined_;
+    decision.reason = "declined: admission queue pressure";
+    decisions_.push_back(std::move(decision));
+    return current;
+  }
+
+  // ---- 3. Price the resize with the calibrated terms. The exchange
+  // rebuckets by hash % width regardless, so the incremental overhead is
+  // the spun-up workers plus the extra receiver partitions plus whatever
+  // additional fraction of the pending payload now crosses workers.
+  const HardwareCalibration& hw = estimator_->hardware();
+  const double grow =
+      proposed > current ? static_cast<double>(proposed - current) : 0.0;
+  const double extra_remote_fraction =
+      std::max(0.0, RemoteFraction(proposed) - RemoteFraction(current));
+  const Seconds overhead =
+      grow * (hw.worker_spinup_seconds + hw.shuffle_dispatch_seconds) +
+      boundary.pending_bytes * extra_remote_fraction /
+          (hw.shuffle_gibps * kGiB);
+
+  // Predicted remaining time at the proposal, anchored on the observed
+  // remaining time and scaled by the calibration's parallel-efficiency
+  // model (the same sublinear curve the DOP planner prices with).
+  const double eff_current =
+      EffectiveParallelism(static_cast<int>(current), hw.parallel_alpha);
+  const double eff_proposed =
+      EffectiveParallelism(static_cast<int>(proposed), hw.parallel_alpha);
+  const Seconds remaining_at_proposed =
+      eff_proposed > 0.0 ? observed_remaining * eff_current / eff_proposed
+                         : observed_remaining;
+  const Seconds saving = observed_remaining - remaining_at_proposed;
+  const Seconds net_saving = saving - overhead;
+
+  const Dollars price = estimator_->node_type().price_per_second();
+  decision.resize_overhead_seconds = overhead;
+  decision.predicted_saving_seconds = saving;
+  decision.dollar_delta =
+      (remaining_at_proposed + overhead) * static_cast<double>(proposed) *
+          price -
+      observed_remaining * static_cast<double>(current) * price;
+
+  bool accept;
+  if (proposed > current) {
+    // Growing buys latency with dollars: worth it only when the predicted
+    // saving clears the spin-up + repartition overhead.
+    accept = net_saving > options_.min_saving_seconds;
+    if (!accept) decision.reason = "declined: net-negative resize";
+  } else {
+    // Shrinking trades latency for dollars: worth it only when the bill
+    // actually drops and an SLA (when present) still holds.
+    accept = decision.dollar_delta < 0.0;
+    if (accept && ctx.query_deadline > 0.0) {
+      accept = boundary.elapsed_seconds + remaining_at_proposed + overhead <=
+               ctx.query_deadline;
+    }
+    if (!accept) decision.reason = "declined: shrink misses deadline or saves nothing";
+  }
+
+  if (!accept) {
+    decision.declined = true;
+    ++resizes_declined_;
+    decisions_.push_back(std::move(decision));
+    return current;
+  }
+  decision.applied = proposed;
+  decision.resized = true;
+  decision.reason = proposed > current ? "grow" : "shrink";
+  ++resizes_applied_;
+  decisions_.push_back(std::move(decision));
+  return proposed;
+}
+
+}  // namespace costdb

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exec/sharded_engine.h"
+#include "runtime/resize_policy.h"
+
+namespace costdb {
+
+struct ElasticControllerOptions {
+  size_t min_workers = 1;
+  size_t max_workers = 16;
+  /// Queued queries per admission slot above which the controller refuses
+  /// to grow: the service is already oversubscribed, so grabbing more
+  /// workers would move other queries' queue wait into this query's bill.
+  double max_queue_pressure = 1.0;
+  /// Minimum predicted net saving (seconds) a resize must clear before
+  /// its overhead is worth paying.
+  Seconds min_saving_seconds = 0.0;
+};
+
+/// Drives the ShardedEngine's elastic width from the existing ResizePolicy
+/// hierarchy, fed with *real* observations instead of simulated ones: the
+/// engine reports each fragment boundary (observed producer wall time,
+/// payload about to rebucket, cuts remaining), the service layer reports
+/// admission queue pressure, and the policy's proposal is accepted only
+/// when the cost model prices it as net-positive — the calibrated shuffle
+/// term plus a per-worker spin-up fee (HardwareCalibration::
+/// worker_spinup_seconds) against the predicted latency saving of the
+/// remaining work, billed in worker-seconds at the node price. This is the
+/// paper's Section 3.3 claim made executable: morsel-driven engines can
+/// resize cheaply at repartition points, and a cost model should decide
+/// when the resize pays for itself in dollars.
+///
+/// Usage: construct per query (policies carry per-pipeline state), call
+/// BeginQuery with the plan the engine will run, then install
+/// [this](const FragmentBoundary& b) { return controller.Decide(b); }
+/// as the engine's WidthDecider. Decisions are recorded for reporting.
+class ElasticController {
+ public:
+  ElasticController(const CostEstimator* estimator, ResizePolicy* policy,
+                    ElasticControllerOptions options = ElasticControllerOptions());
+
+  /// Arm the controller for one query. `graph`/`volumes` must outlive the
+  /// run (they feed the policy's deadline math); `planned_latency` is the
+  /// optimizer's whole-query estimate at `planned_workers`.
+  void BeginQuery(const PipelineGraph* graph, const VolumeMap* volumes,
+                  const UserConstraint& constraint, Seconds planned_latency,
+                  int planned_workers);
+
+  /// Admission backlog per concurrency slot (0 = idle service). Set by the
+  /// service layer before the run; compared against max_queue_pressure.
+  void SetQueuePressure(double queued_per_slot) {
+    queue_pressure_ = queued_per_slot;
+  }
+
+  /// One recorded width decision at a fragment boundary.
+  struct Decision {
+    int boundary = 0;
+    size_t from = 1;            // width before the decision
+    size_t proposed = 1;        // what the ResizePolicy wanted
+    size_t applied = 1;         // width the fragment actually ran at
+    bool resized = false;       // applied != from
+    bool declined = false;      // proposal rejected by pricing/pressure
+    Seconds resize_overhead_seconds = 0.0;  // spin-up + extra dispatch
+    Seconds predicted_saving_seconds = 0.0; // latency delta at `proposed`
+    Dollars dollar_delta = 0.0; // bill delta of accepting the proposal
+    std::string reason;
+  };
+
+  /// The engine hook: observe one fragment boundary, consult the policy,
+  /// price its proposal, return the width to run the next fragment at.
+  size_t Decide(const FragmentBoundary& boundary);
+
+  const std::vector<Decision>& decisions() const { return decisions_; }
+  size_t resizes_applied() const { return resizes_applied_; }
+  size_t resizes_declined() const { return resizes_declined_; }
+
+ private:
+  const CostEstimator* estimator_;
+  ResizePolicy* policy_;
+  ElasticControllerOptions options_;
+
+  const PipelineGraph* graph_ = nullptr;
+  const VolumeMap* volumes_ = nullptr;
+  UserConstraint constraint_;
+  Seconds planned_latency_ = 0.0;
+  int planned_workers_ = 1;
+  double queue_pressure_ = 0.0;
+
+  std::vector<Decision> decisions_;
+  size_t resizes_applied_ = 0;
+  size_t resizes_declined_ = 0;
+};
+
+}  // namespace costdb

@@ -107,6 +107,17 @@ AdmissionController::Stats AdmissionController::stats() const {
   return stats_;
 }
 
+size_t AdmissionController::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+double AdmissionController::queue_pressure() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<double>(queue_.size()) /
+         static_cast<double>(std::max<size_t>(1, workers_.size()));
+}
+
 AdmissionController::TicketPtr AdmissionController::PickNext() {
   if (queue_.empty()) return nullptr;
   const auto now = std::chrono::steady_clock::now();

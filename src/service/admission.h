@@ -102,6 +102,13 @@ class AdmissionController {
 
   size_t max_concurrent() const { return workers_.size(); }
 
+  /// Queries waiting in the queue right now (the admission backlog).
+  size_t queued() const;
+
+  /// Backlog per concurrency slot — the pressure signal the elastic
+  /// controller reads before growing a running query's worker count.
+  double queue_pressure() const;
+
  private:
   void WorkerLoop();
   /// Pick the best admissible queued ticket (nullptr when none fits).

@@ -199,6 +199,48 @@ Result<ExecutionResult> Database::ExecuteSharded(
   out.plan = std::move(plan);
   out.plan_cache_hit = cache_hit;
   out.workers = workers;
+
+  // Per-query elastic state: a fresh DOP monitor proposes widths from the
+  // engine's real fragment timings, the controller prices each proposal
+  // (spin-up + shuffle dispatch vs predicted saving) and reads the
+  // admission backlog before allowing growth. Policies are stateful per
+  // query, so nothing here outlives the run.
+  std::unique_ptr<PipelineDopMonitor> monitor;
+  std::unique_ptr<ElasticController> controller;
+  WidthDecider decider;
+  if (options_.enable_elastic) {
+    monitor = std::make_unique<PipelineDopMonitor>(options_.elastic_monitor);
+    ElasticControllerOptions elastic = options_.elastic;
+    elastic.max_workers = std::min<size_t>(
+        elastic.max_workers, std::max<size_t>(1, options_.max_workers));
+    controller = std::make_unique<ElasticController>(estimator_.get(),
+                                                     monitor.get(), elastic);
+    controller->BeginQuery(
+        &out.plan->pipelines, &out.plan->volumes,
+        UserConstraint().WithWorkers(static_cast<int>(workers)),
+        out.plan->estimate.latency, static_cast<int>(workers));
+    controller->SetQueuePressure(admission_->queue_pressure());
+    ElasticController* raw = controller.get();
+    decider = [this, raw](const FragmentBoundary& boundary) {
+      // The policy prices candidates through the shared estimator, which
+      // reads the calibrated hardware model — shut out calibration
+      // writers for the duration of the decision.
+      std::shared_lock<std::shared_mutex> hw_lock(hw_mu_);
+      return raw->Decide(boundary);
+    };
+  }
+
+  auto run = [&](ShardedEngine* engine) -> Status {
+    engine->SetResizer(decider);
+    auto result = engine->Execute(out.plan->plan.get());
+    engine->SetResizer(WidthDecider());  // cached engines are reused
+    out.exchange = engine->last_exchange_stats();
+    out.usage = engine->last_usage();
+    if (!result.ok()) return result.status();
+    out.result = std::move(*result);
+    return Status::OK();
+  };
+
   if (serial) {
     std::lock_guard<std::mutex> lock(engine_mu_);
     auto& engine = sharded_[workers];
@@ -206,14 +248,36 @@ Result<ExecutionResult> Database::ExecuteSharded(
       engine = std::make_unique<ShardedEngine>(
           workers, options_.sharded_threads_per_worker);
     }
-    COSTDB_ASSIGN_OR_RETURN(out.result, engine->Execute(out.plan->plan.get()));
-    out.exchange = engine->last_exchange_stats();
-    return out;
+    COSTDB_RETURN_NOT_OK(run(engine.get()));
+  } else {
+    ShardedEngine engine(workers, options_.sharded_threads_per_worker);
+    COSTDB_RETURN_NOT_OK(run(&engine));
   }
-  ShardedEngine engine(workers, options_.sharded_threads_per_worker);
-  COSTDB_ASSIGN_OR_RETURN(out.result, engine.Execute(out.plan->plan.get()));
-  out.exchange = engine.last_exchange_stats();
+  if (controller != nullptr) out.elastic = controller->decisions();
+
+  // Cloud billing: charge the measured machine time — wall seconds at the
+  // widths the run actually held (elastic runs interleave widths; fixed
+  // runs bill wall x workers) — at the facade's node price. The session
+  // ledger settles its estimate against this.
+  const Dollars price = node_.price_per_second();
+  out.billed_dollars = out.usage.worker_seconds * price;
+  {
+    std::lock_guard<std::mutex> lock(billing_mu_);
+    UsageRecord record;
+    record.label = controller != nullptr ? "query:elastic" : "query:sharded";
+    record.start = billing_clock_;
+    record.duration = out.usage.worker_seconds;  // machine-seconds, 1 "node"
+    record.node_count = 1;
+    record.price_per_node_second = price;
+    billing_.Charge(record);
+    billing_clock_ += out.usage.wall_seconds;
+  }
   return out;
+}
+
+BillingMeter Database::billing_snapshot() const {
+  std::lock_guard<std::mutex> lock(billing_mu_);
+  return billing_;
 }
 
 Result<ExecutionResult> Database::ExecutePlanned(

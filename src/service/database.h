@@ -9,9 +9,12 @@
 #include <string>
 #include <vector>
 
+#include "cloud/billing.h"
 #include "cost/calibration_updater.h"
 #include "exec/engine.h"
 #include "exec/sharded_engine.h"
+#include "runtime/elastic_controller.h"
+#include "runtime/policies.h"
 #include "service/admission.h"
 #include "service/query_service.h"
 #include "sim/harness.h"
@@ -46,6 +49,16 @@ struct DatabaseOptions {
   CalibrationUpdaterOptions calibration;
   /// Relative calibration movement that invalidates cached plans.
   double recalibration_threshold = 0.05;
+  /// Elastic sharded execution: when true, every sharded run (resolved
+  /// workers > 1) consults an ElasticController at fragment boundaries —
+  /// a fresh PipelineDopMonitor per query proposes widths from observed
+  /// fragment timings, admission queue pressure gates growth, and the
+  /// calibrated shuffle + spin-up terms veto net-negative resizes. Off by
+  /// default: fixed-width runs stay exactly as planned.
+  bool enable_elastic = false;
+  ElasticControllerOptions elastic;
+  /// Monitor thresholds for the per-query elastic policy.
+  DopMonitorOptions elastic_monitor;
   BiObjectiveOptions optimizer;
   SimOptions sim;
 };
@@ -69,6 +82,14 @@ struct ExecutionResult {
   /// calibration; empty timings on LocalEngine runs).
   size_t workers = 1;
   ExchangeStats exchange;
+  /// Sharded runs only: the worker-second ledger of the run (per-width
+  /// segments for elastic runs) and the dollars the cloud billing layer
+  /// charged for it at the facade's node price. Session ledgers settle to
+  /// `billed_dollars` so elastic runs are billed what they actually held.
+  WorkerUsage usage;
+  Dollars billed_dollars = 0.0;
+  /// Elastic runs only: every width decision the controller recorded.
+  std::vector<ElasticController::Decision> elastic;
 };
 
 /// The single front door of the query stack (the unified architecture the
@@ -180,6 +201,12 @@ class Database {
   /// and SubmitBatch.
   AdmissionController* admission() { return admission_.get(); }
 
+  /// Snapshot of the facade's cloud bill for real sharded executions:
+  /// every run is charged its measured worker-seconds (elastic runs at
+  /// the widths they actually held) at the node price. Simulated runs
+  /// bill their own CloudEnv, not this meter.
+  BillingMeter billing_snapshot() const;
+
   /// Execute a batch concurrently through the admission controller, as a
   /// thin deterministic shim over the Session API. Planning stays serial
   /// and in request order (deterministic cache hit/miss pattern), the
@@ -289,6 +316,12 @@ class Database {
   /// engine_.
   std::map<size_t, std::unique_ptr<ShardedEngine>> sharded_;
   std::mutex engine_mu_;
+
+  /// Real-execution cloud bill (sharded worker-seconds); own lock so the
+  /// concurrent (sink) execution path can charge without the engine lock.
+  mutable std::mutex billing_mu_;
+  BillingMeter billing_;
+  Seconds billing_clock_ = 0.0;  // monotone start offset for usage records
 
   mutable std::mutex cache_mu_;
   std::map<std::string, CacheEntry> plan_cache_;

@@ -109,6 +109,16 @@ struct Session::Ledger {
     spent -= amount;
     if (spent < 0.0) spent = 0.0;
   }
+
+  /// Replace a reserved estimate with the amount the cloud billing layer
+  /// actually charged (sharded/elastic runs report measured
+  /// worker-seconds). The money is already spent, so no budget check —
+  /// the ledger records truth even past the cap.
+  void Settle(Dollars reserved, Dollars actual) {
+    std::lock_guard<std::mutex> lock(mu);
+    spent += actual - reserved;
+    if (spent < 0.0) spent = 0.0;
+  }
 };
 
 // ------------------------------------------------- prepared statements
@@ -336,13 +346,19 @@ Result<Session::RunnablePlan> Session::PlanRaw(
 }
 
 Result<ExecutionResult> Session::RunSync(RunnablePlan runnable) {
-  COSTDB_RETURN_NOT_OK(ledger_->Charge(runnable.plan->estimate.cost));
+  const Dollars estimated = runnable.plan->estimate.cost;
+  COSTDB_RETURN_NOT_OK(ledger_->Charge(estimated));
   auto executed = db_->ExecutePlanned(runnable.plan, runnable.cache_hit);
   if (!executed.ok()) {
-    ledger_->Refund(runnable.plan->estimate.cost);
+    ledger_->Refund(estimated);
     return executed.status();
   }
   db_->CalibrateExecution(&*executed);
+  // Sharded runs billed their measured worker-seconds; the ledger settles
+  // the reservation to what the run actually cost (elastic runs included).
+  if (executed->billed_dollars > 0.0) {
+    ledger_->Settle(estimated, executed->billed_dollars);
+  }
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.executions;
   return executed;
@@ -456,6 +472,10 @@ Result<QueryHandlePtr> Session::SubmitPlanned(RunnablePlan runnable,
     if (executed.ok()) {
       result = std::move(*executed);
       if (state->calibrate) state->db->CalibrateExecution(&result);
+      // Settle the reservation to the actual sharded bill (see RunSync).
+      if (result.billed_dollars > 0.0 && state->ledger != nullptr) {
+        state->ledger->Settle(state->charged, result.billed_dollars);
+      }
     } else {
       final_status = executed.status();
       if (state->ledger != nullptr) state->ledger->Refund(state->charged);

@@ -96,6 +96,27 @@ ShardedParity CheckShardedParity(const PreparedQuery& prepared,
   return parity;
 }
 
+ElasticParity CheckElasticParity(const PreparedQuery& prepared,
+                                 const DistributedSimulator& simulator,
+                                 ResizePolicy* policy,
+                                 const UserConstraint& constraint,
+                                 const WorkerUsage& real_usage) {
+  ElasticParity parity;
+  SimResult sim = SimulateQuery(prepared, simulator, policy, constraint);
+  parity.simulated_resizes = sim.total_resizes;
+  parity.simulated_machine_seconds = sim.machine_seconds;
+  parity.simulated_cost = sim.cost;
+  parity.real_resizes = real_usage.resizes;
+  parity.real_machine_seconds = real_usage.worker_seconds;
+  parity.machine_seconds_ratio =
+      real_usage.worker_seconds > 0.0
+          ? sim.machine_seconds / real_usage.worker_seconds
+          : 0.0;
+  parity.resize_direction_agrees =
+      (sim.total_resizes > 0) == (real_usage.resizes > 0);
+  return parity;
+}
+
 SimResult SimulateQuery(const PreparedQuery& prepared,
                         const DistributedSimulator& simulator,
                         ResizePolicy* policy,

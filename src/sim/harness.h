@@ -57,4 +57,30 @@ ShardedParity CheckShardedParity(const PreparedQuery& prepared,
                                  Seconds measured_sharded,
                                  const ExchangeStats& measured);
 
+/// The same cross-check for *elastic* execution: until now the resize
+/// policies were exercised only by the DistributedSimulator's clock; the
+/// elastic ShardedEngine makes the same policy drive a real run, so the
+/// simulator's resize predictions become checkable against a real
+/// machine-time ledger — does the simulated run resize when the real one
+/// does, and are the billed machine-seconds the same order of magnitude?
+struct ElasticParity {
+  int simulated_resizes = 0;
+  Seconds simulated_machine_seconds = 0.0;
+  Dollars simulated_cost = 0.0;
+  size_t real_resizes = 0;
+  Seconds real_machine_seconds = 0.0;  // WorkerUsage::worker_seconds
+  double machine_seconds_ratio = 0.0;  // simulated / real (0 if real == 0)
+  /// Both runs resized, or both held their width.
+  bool resize_direction_agrees = false;
+};
+
+/// Simulate the prepared query under `policy` and compare the simulator's
+/// resize behavior and machine-time bill against the worker-second ledger
+/// of a real elastic ShardedEngine run (`real_usage`).
+ElasticParity CheckElasticParity(const PreparedQuery& prepared,
+                                 const DistributedSimulator& simulator,
+                                 ResizePolicy* policy,
+                                 const UserConstraint& constraint,
+                                 const WorkerUsage& real_usage);
+
 }  // namespace costdb

@@ -264,7 +264,36 @@ Result<ExprPtr> Binder::BindExpr(const ParsedExpr& e, const Scope& scope) {
         if (r->kind != Expr::Kind::kConstant || !r->constant.is_string()) {
           return Status::NotSupported("LIKE requires a string literal pattern");
         }
-        return Expr::MakeLike(std::move(l), r->constant.AsString());
+        char escape = '\0';
+        if (e.children.size() > 2) {
+          ExprPtr esc;
+          COSTDB_ASSIGN_OR_RETURN(esc, BindExpr(*e.children[2], scope));
+          if (esc->kind != Expr::Kind::kConstant ||
+              !esc->constant.is_string() ||
+              esc->constant.AsString().size() != 1) {
+            return Status::InvalidArgument(
+                "ESCAPE requires a single-character string literal");
+          }
+          escape = esc->constant.AsString()[0];
+          if (escape == '\0') {
+            return Status::InvalidArgument("ESCAPE character cannot be NUL");
+          }
+          // SQL-standard strictness at bind time: in the pattern, the
+          // escape character must be followed by %, _, or itself.
+          const std::string& pattern = r->constant.AsString();
+          for (size_t i = 0; i < pattern.size(); ++i) {
+            if (pattern[i] != escape) continue;
+            if (i + 1 >= pattern.size() ||
+                (pattern[i + 1] != '%' && pattern[i + 1] != '_' &&
+                 pattern[i + 1] != escape)) {
+              return Status::InvalidArgument(
+                  "LIKE pattern escape character must precede %, _, or "
+                  "itself");
+            }
+            ++i;  // skip the escaped character
+          }
+        }
+        return Expr::MakeLike(std::move(l), r->constant.AsString(), escape);
       }
       if (op == "+" || op == "-" || op == "*" || op == "/") {
         if (!IsNumeric(l->type) || !IsNumeric(r->type)) {

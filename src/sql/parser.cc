@@ -12,7 +12,8 @@ namespace {
 ///   or_expr    := and_expr (OR and_expr)*
 ///   and_expr   := not_expr (AND not_expr)*
 ///   not_expr   := [NOT] cmp_expr
-///   cmp_expr   := add_expr [(=|<>|<|<=|>|>=|LIKE) add_expr
+///   cmp_expr   := add_expr [(=|<>|<|<=|>|>=) add_expr
+///                           | LIKE add_expr [ESCAPE 'c']
 ///                           | IN '(' expr_list ')'
 ///                           | BETWEEN add_expr AND add_expr]
 ///   add_expr   := mul_expr (('+'|'-') mul_expr)*
@@ -249,7 +250,17 @@ class Parser {
       Advance();
       ParsedExprPtr right;
       COSTDB_ASSIGN_OR_RETURN(right, ParseAdditive());
-      return MakeBinary("LIKE", std::move(left), std::move(right));
+      ParsedExprPtr like = MakeBinary("LIKE", std::move(left),
+                                      std::move(right));
+      if (TokenIs(Current(), "ESCAPE")) {
+        Advance();
+        // A third child carries the escape character; the binder validates
+        // it is a single-character string literal.
+        ParsedExprPtr esc;
+        COSTDB_ASSIGN_OR_RETURN(esc, ParsePrimary());
+        like->children.push_back(std::move(esc));
+      }
+      return like;
     }
     if (TokenIs(Current(), "IN")) {
       Advance();

@@ -17,6 +17,7 @@ constexpr const char* kKeywords[] = {
     "SELECT", "FROM",    "WHERE", "GROUP", "BY",   "HAVING", "ORDER",
     "LIMIT",  "AND",     "OR",    "NOT",   "IN",   "BETWEEN", "LIKE",
     "AS",     "ON",      "JOIN",  "INNER", "ASC",  "DESC",    "DATE",
+    "ESCAPE",
 };
 
 bool IsKeyword(const Token& t) {

@@ -39,7 +39,15 @@ namespace {
 
 /// Partition id per row for a range spec: equi-depth buckets of the sorted
 /// key values (ties stay in one bucket, so equal keys never straddle a
-/// partition boundary).
+/// partition boundary). Hardened for heavily-duplicated and all-equal key
+/// columns, where partitions > distinct keys leaves some partitions empty:
+///  - a tie run larger than its equi-depth share is consumed whole by the
+///    partition it starts in (one linear sweep total, not a rescan per
+///    partition, so an all-equal column is O(n), not O(n * partitions));
+///  - a partition whose share was swallowed by an earlier tie run stays
+///    empty rather than stealing rows from the next run;
+///  - NULL keys sort first (Value ordering) and compare equal to each
+///    other, so they form one tie run owned by a single partition.
 std::vector<size_t> RangeBuckets(const ColumnVector& key, size_t partitions) {
   const size_t n = key.size();
   std::vector<uint32_t> order(n);
@@ -49,10 +57,14 @@ std::vector<size_t> RangeBuckets(const ColumnVector& key, size_t partitions) {
   });
   std::vector<size_t> bucket(n, 0);
   size_t pos = 0;
-  for (size_t p = 0; p < partitions; ++p) {
+  for (size_t p = 0; p < partitions && pos < n; ++p) {
     size_t end = (p + 1) * n / partitions;
+    // A partition whose equi-depth share was already consumed by an
+    // earlier partition's tie run contributes no rows (it must not grab
+    // the *next* run and shift every later boundary).
+    if (end <= pos) continue;
     // Grow the bucket until the value changes so equal keys stay together.
-    while (end < n && end > 0 &&
+    while (end < n &&
            key.GetValue(order[end]) == key.GetValue(order[end - 1])) {
       ++end;
     }

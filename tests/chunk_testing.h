@@ -1,0 +1,62 @@
+#pragma once
+
+// Shared result-comparison oracle for the engine-parity suites
+// (sharded_test, elastic_test): rows are compared via the engine's own
+// encoded row key (EncodeChunkKeyInto), so "identical" means identical
+// under the same encoding that orders grouped-aggregate output.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "exec/engine.h"
+
+namespace costdb {
+
+/// True when `a` and `b` have the same shape and byte-identical rows in
+/// the same order; fills `why` with the first divergence otherwise.
+inline bool ChunksBitIdentical(const DataChunk& a, const DataChunk& b,
+                               std::string* why) {
+  if (a.num_columns() != b.num_columns() || a.num_rows() != b.num_rows()) {
+    *why = "shape mismatch: " + std::to_string(a.num_rows()) + "x" +
+           std::to_string(a.num_columns()) + " vs " +
+           std::to_string(b.num_rows()) + "x" +
+           std::to_string(b.num_columns());
+    return false;
+  }
+  std::string ka, kb;
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    EncodeChunkKeyInto(a, a.num_columns(), r, &ka);
+    EncodeChunkKeyInto(b, b.num_columns(), r, &kb);
+    if (ka != kb) {
+      *why = "row " + std::to_string(r) + ": " + ka + " vs " + kb;
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Order-insensitive variant: same rows as a multiset (the documented
+/// contract for bare repartition-join output).
+inline bool ChunksSameMultiset(const DataChunk& a, const DataChunk& b,
+                               std::string* why) {
+  if (a.num_columns() != b.num_columns() || a.num_rows() != b.num_rows()) {
+    *why = "shape mismatch";
+    return false;
+  }
+  auto keys = [](const DataChunk& c) {
+    std::vector<std::string> out(c.num_rows());
+    for (size_t r = 0; r < c.num_rows(); ++r) {
+      EncodeChunkKeyInto(c, c.num_columns(), r, &out[r]);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  if (keys(a) != keys(b)) {
+    *why = "row multisets differ";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace costdb

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "chunk_testing.h"
 #include "common/rng.h"
 #include "exec/sharded_engine.h"
 #include "service/database.h"
@@ -77,48 +78,6 @@ class ShardedTest : public ::testing::Test {
     load(plain_.get(), false);
     load(part_.get(), true);
     load(shuffled_.get(), false);
-  }
-
-  static bool ChunksBitIdentical(const DataChunk& a, const DataChunk& b,
-                                 std::string* why) {
-    if (a.num_columns() != b.num_columns() || a.num_rows() != b.num_rows()) {
-      *why = "shape mismatch: " + std::to_string(a.num_rows()) + "x" +
-             std::to_string(a.num_columns()) + " vs " +
-             std::to_string(b.num_rows()) + "x" +
-             std::to_string(b.num_columns());
-      return false;
-    }
-    std::string ka, kb;
-    for (size_t r = 0; r < a.num_rows(); ++r) {
-      EncodeChunkKeyInto(a, a.num_columns(), r, &ka);
-      EncodeChunkKeyInto(b, b.num_columns(), r, &kb);
-      if (ka != kb) {
-        *why = "row " + std::to_string(r) + ": " + ka + " vs " + kb;
-        return false;
-      }
-    }
-    return true;
-  }
-
-  static bool ChunksSameMultiset(const DataChunk& a, const DataChunk& b,
-                                 std::string* why) {
-    if (a.num_columns() != b.num_columns() || a.num_rows() != b.num_rows()) {
-      *why = "shape mismatch";
-      return false;
-    }
-    auto keys = [](const DataChunk& c) {
-      std::vector<std::string> out(c.num_rows());
-      for (size_t r = 0; r < c.num_rows(); ++r) {
-        EncodeChunkKeyInto(c, c.num_columns(), r, &out[r]);
-      }
-      std::sort(out.begin(), out.end());
-      return out;
-    };
-    if (keys(a) != keys(b)) {
-      *why = "row multisets differ";
-      return false;
-    }
-    return true;
   }
 
   /// Plan through the facade, execute on LocalEngine and on ShardedEngine
@@ -207,6 +166,203 @@ TEST_F(ShardedTest, RangePartitionKeepsEqualKeysTogether) {
     }
   }
   EXPECT_EQ(owner.size(), 7u);
+}
+
+TEST_F(ShardedTest, RangePartitionHandlesDuplicateHeavyAndAllEqualKeys) {
+  // Partitions > distinct keys: tie runs are consumed whole, later
+  // partitions stay empty, and the group_begin boundaries must remain a
+  // monotone exact cover of the row groups so worker scan shares stay
+  // aligned (regression for RangeBuckets on heavily-duplicated columns).
+  struct Case {
+    std::vector<int64_t> keys;
+    size_t partitions;
+  };
+  std::vector<Case> cases;
+  cases.push_back({std::vector<int64_t>(1000, 42), 4});  // all equal
+  {
+    std::vector<int64_t> heavy;  // 3 distinct keys, 8 partitions
+    for (int64_t i = 0; i < 900; ++i) heavy.push_back(i % 3 == 0 ? 7 : i % 3);
+    cases.push_back({std::move(heavy), 8});
+  }
+  cases.push_back({{5, 5, 5}, 8});  // more partitions than rows
+  for (const auto& c : cases) {
+    auto t = std::make_shared<Table>(
+        "r", std::vector<ColumnDef>{{"k", LogicalType::kInt64}}, 64);
+    DataChunk chunk({LogicalType::kInt64});
+    for (int64_t k : c.keys) chunk.AppendRow({Value(k)});
+    t->Append(chunk);
+    ASSERT_TRUE(
+        PartitionTable(t.get(), PartitionSpec::Range("k", c.partitions)).ok());
+    const TablePartitioning* p = t->partitioning();
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(t->num_rows(), c.keys.size());
+    ASSERT_EQ(p->group_begin.size(), c.partitions + 1);
+    EXPECT_EQ(p->group_begin.front(), 0u);
+    EXPECT_EQ(p->group_begin.back(), t->row_groups().size());
+    for (size_t i = 1; i < p->group_begin.size(); ++i) {
+      EXPECT_LE(p->group_begin[i - 1], p->group_begin[i]);
+    }
+    // Each distinct key lives in exactly one partition.
+    std::map<int64_t, size_t> owner;
+    for (size_t part = 0; part < c.partitions; ++part) {
+      for (size_t g = p->group_begin[part]; g < p->group_begin[part + 1];
+           ++g) {
+        const auto& col = t->row_groups()[g].data.column(0);
+        for (size_t r = 0; r < col.size(); ++r) {
+          auto [it, inserted] = owner.emplace(col.GetInt(r), part);
+          EXPECT_EQ(it->second, part) << "key " << col.GetInt(r);
+        }
+      }
+    }
+    // Worker shares cover the groups contiguously and exhaustively at any
+    // width, empty partitions included.
+    for (size_t workers : {1u, 2u, 3u, 5u, 11u}) {
+      size_t expect_begin = 0;
+      for (size_t w = 0; w < workers; ++w) {
+        auto [b, e] = WorkerGroupRange(*t, w, workers);
+        EXPECT_EQ(b, expect_begin);
+        expect_begin = e;
+      }
+      EXPECT_EQ(expect_begin, t->row_groups().size());
+    }
+  }
+}
+
+TEST_F(ShardedTest, RangePartitionedAllEqualTableAnswersAcrossWorkers) {
+  // End to end: an all-equal range-partitioned key column leaves most
+  // workers with empty shares; queries must still be bit-identical to
+  // LocalEngine at every width.
+  DatabaseOptions opts;
+  opts.enable_calibration = false;
+  Database db(opts);
+  auto t = std::make_shared<Table>(
+      "dup", std::vector<ColumnDef>{{"k", LogicalType::kInt64},
+                                    {"v", LogicalType::kInt64}},
+      64);
+  DataChunk chunk({LogicalType::kInt64, LogicalType::kInt64});
+  for (int64_t i = 0; i < 2000; ++i) chunk.AppendRow({Value(int64_t{9}), Value(i)});
+  t->Append(chunk);
+  ASSERT_TRUE(PartitionTable(t.get(), PartitionSpec::Range("k", 6)).ok());
+  db.meta()->RegisterTable(t);
+  db.meta()->AnalyzeAll();
+  ExpectDeterministicAcrossWorkers(
+      &db, "SELECT k, count(*) AS c, sum(v) AS s FROM dup GROUP BY k");
+  ExpectDeterministicAcrossWorkers(&db,
+                                   "SELECT v FROM dup WHERE v < 100");
+}
+
+TEST_F(ShardedTest, NullJoinKeysMatchNothingAcrossEnginesAndWorkers) {
+  // NULL join keys must behave per SQL three-valued logic: they match
+  // nothing — in particular they must not collide with genuine 0 keys
+  // (the NULL payload filler) — and NULL-key rows must shuffle to one
+  // deterministic bucket so no plan shape can split or duplicate them.
+  DatabaseOptions opts;
+  opts.enable_calibration = false;
+  Database db(opts);
+  DatabaseOptions shuffle_opts = opts;
+  shuffle_opts.optimizer.physical.enable_copartition = false;
+  shuffle_opts.optimizer.physical.broadcast_threshold_bytes = 0.0;
+  Database shuffled(shuffle_opts);
+
+  Rng rng(77);
+  DataChunk fact({LogicalType::kInt64, LogicalType::kInt64,
+                  LogicalType::kDouble});
+  for (int64_t i = 0; i < 4000; ++i) {
+    // ~15% NULL keys, and plenty of genuine 0 keys to collide with.
+    Value key = rng.NextDouble() < 0.15
+                    ? Value::Null()
+                    : Value(rng.UniformInt(0, 49));
+    fact.AppendRow({Value(i), key, Value(rng.Uniform(0.0, 100.0))});
+  }
+  DataChunk dim({LogicalType::kInt64, LogicalType::kInt64});
+  for (int64_t k = 0; k < 50; ++k) {
+    Value key = k % 10 == 3 ? Value::Null() : Value(k);
+    dim.AppendRow({key, Value(k * 100)});
+  }
+  for (Database* d : {&db, &shuffled}) {
+    auto f = std::make_shared<Table>(
+        "fact", std::vector<ColumnDef>{{"id", LogicalType::kInt64},
+                                       {"key", LogicalType::kInt64},
+                                       {"x", LogicalType::kDouble}},
+        256);
+    f->Append(fact);
+    auto m = std::make_shared<Table>(
+        "dim", std::vector<ColumnDef>{{"k", LogicalType::kInt64},
+                                      {"score", LogicalType::kInt64}},
+        64);
+    m->Append(dim);
+    d->meta()->RegisterTable(f);
+    d->meta()->RegisterTable(m);
+    d->meta()->AnalyzeAll();
+  }
+
+  // Ground truth by brute force over the source chunks.
+  size_t expected_pairs = 0;
+  for (size_t i = 0; i < fact.num_rows(); ++i) {
+    if (fact.column(1).IsNull(i)) continue;
+    for (size_t j = 0; j < dim.num_rows(); ++j) {
+      if (dim.column(0).IsNull(j)) continue;
+      if (fact.column(1).GetInt(i) == dim.column(0).GetInt(j)) {
+        ++expected_pairs;
+      }
+    }
+  }
+  ASSERT_GT(expected_pairs, 0u);
+
+  const std::string join_sql =
+      "SELECT f.id, d.score FROM fact f JOIN dim d ON f.key = d.k";
+  auto planned = db.PlanSql(join_sql, UserConstraint());
+  ASSERT_TRUE(planned.ok());
+  LocalEngine local(4);
+  auto reference = local.Execute(planned->plan.get());
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(reference->chunk.num_rows(), expected_pairs);
+  for (size_t workers : {1u, 2u, 4u, 7u}) {
+    ShardedEngine sharded(workers);
+    auto result = sharded.Execute(planned->plan.get());
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    std::string why;
+    EXPECT_TRUE(ChunksBitIdentical(reference->chunk, result->chunk, &why))
+        << workers << " workers: " << why;
+  }
+
+  // Repartition join: both sides shuffle on the key, so NULL rows cross
+  // the shuffle path too; the grouped aggregate above canonicalizes
+  // order. The NULL group must appear exactly once per distinct key side.
+  const std::string agg_sql =
+      "SELECT d.score, count(*) AS n FROM fact f JOIN dim d "
+      "ON f.key = d.k GROUP BY d.score";
+  auto agg_planned = shuffled.PlanSql(agg_sql, UserConstraint());
+  ASSERT_TRUE(agg_planned.ok());
+  auto agg_reference = local.Execute(agg_planned->plan.get());
+  ASSERT_TRUE(agg_reference.ok());
+  for (size_t workers : {2u, 4u, 7u}) {
+    ShardedEngine sharded(workers);
+    auto result = sharded.Execute(agg_planned->plan.get());
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    std::string why;
+    EXPECT_TRUE(
+        ChunksBitIdentical(agg_reference->chunk, result->chunk, &why))
+        << workers << " workers: " << why;
+  }
+
+  // Grouping by the NULL-bearing key itself: the NULL group must not be
+  // split across workers by the shuffle (one output row, same as local).
+  const std::string group_sql =
+      "SELECT key, count(*) AS n, sum(id) AS s FROM fact GROUP BY key";
+  auto group_planned = db.PlanSql(group_sql, UserConstraint());
+  ASSERT_TRUE(group_planned.ok());
+  auto group_reference = local.Execute(group_planned->plan.get());
+  ASSERT_TRUE(group_reference.ok());
+  for (size_t workers : {2u, 4u, 7u}) {
+    ShardedEngine sharded(workers);
+    auto result = sharded.Execute(group_planned->plan.get());
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    std::string why;
+    EXPECT_TRUE(
+        ChunksBitIdentical(group_reference->chunk, result->chunk, &why))
+        << workers << " workers: " << why;
+  }
 }
 
 TEST_F(ShardedTest, ScanFilterProjectBitIdenticalAcrossWorkers) {

@@ -79,6 +79,17 @@ TEST(ParserTest, InBetweenLikeDate) {
   ASSERT_TRUE(r.ok()) << r.status().ToString();
 }
 
+TEST(ParserTest, LikeEscapeClause) {
+  auto r = ParseQuery("SELECT a FROM t WHERE s LIKE '50!%%' ESCAPE '!'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_NE(r->where, nullptr);
+  EXPECT_EQ(r->where->kind, ParsedExpr::Kind::kBinary);
+  EXPECT_EQ(r->where->str_val, "LIKE");
+  ASSERT_EQ(r->where->children.size(), 3u);  // input, pattern, escape
+  EXPECT_EQ(r->where->children[2]->kind, ParsedExpr::Kind::kString);
+  EXPECT_EQ(r->where->children[2]->str_val, "!");
+}
+
 TEST(ParserTest, ArithmeticPrecedence) {
   auto r = ParseQuery("SELECT a + b * c FROM t");
   ASSERT_TRUE(r.ok());
@@ -160,6 +171,49 @@ TEST_F(BinderTest, AggregateExtraction) {
   // Select list: group col + two agg refs.
   EXPECT_EQ(q->select_exprs[0]->column, "orders.cid");
   EXPECT_EQ(q->select_exprs[1]->kind, Expr::Kind::kColumn);
+}
+
+TEST_F(BinderTest, LikeEscapeBinding) {
+  Binder binder(&meta_);
+  auto q = binder.BindSql(
+      "SELECT name FROM customer WHERE name LIKE '100!%%' ESCAPE '!'");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->filters.size(), 1u);
+  const ExprPtr& f = q->filters[0];
+  EXPECT_EQ(f->kind, Expr::Kind::kLike);
+  EXPECT_EQ(f->like_escape, '!');
+  EXPECT_NE(f->ToString().find("ESCAPE '!'"), std::string::npos)
+      << f->ToString();
+  // Without the clause the escape stays unset.
+  auto plain = binder.BindSql("SELECT name FROM customer WHERE name LIKE 'a%'");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->filters[0]->like_escape, '\0');
+}
+
+TEST_F(BinderTest, LikeEscapeErrors) {
+  Binder binder(&meta_);
+  // Escape must be one character.
+  EXPECT_TRUE(binder
+                  .BindSql("SELECT name FROM customer WHERE name LIKE 'a%' "
+                           "ESCAPE '!!'")
+                  .status()
+                  .IsInvalidArgument());
+  // In the pattern, the escape must precede %, _, or itself.
+  EXPECT_TRUE(binder
+                  .BindSql("SELECT name FROM customer WHERE name LIKE 'a!b' "
+                           "ESCAPE '!'")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(binder
+                  .BindSql("SELECT name FROM customer WHERE name LIKE 'ab!' "
+                           "ESCAPE '!'")
+                  .status()
+                  .IsInvalidArgument());
+  // An escaped escape is fine.
+  EXPECT_TRUE(binder
+                  .BindSql("SELECT name FROM customer WHERE name LIKE 'a!!b' "
+                           "ESCAPE '!'")
+                  .ok());
 }
 
 TEST_F(BinderTest, NonGroupedColumnRejected) {

@@ -139,6 +139,76 @@ TEST(VectorizedParity, ProjectionMatchesScalarReference) {
   }
 }
 
+TEST(LikeEscape, EscapedWildcardsMatchLiterally) {
+  // '!' escapes the following wildcard (or itself).
+  EXPECT_TRUE(LikeMatch("50%", "50!%", '!'));
+  EXPECT_FALSE(LikeMatch("50x", "50!%", '!'));
+  EXPECT_TRUE(LikeMatch("a_b", "a!_b", '!'));
+  EXPECT_FALSE(LikeMatch("axb", "a!_b", '!'));
+  EXPECT_TRUE(LikeMatch("a!b", "a!!b", '!'));
+  // Unescaped wildcards still work around escaped ones.
+  EXPECT_TRUE(LikeMatch("price: 50% off", "%50!%%", '!'));
+  EXPECT_FALSE(LikeMatch("price: 500 off", "%50!%%", '!'));
+  // No escape char: '!' is an ordinary literal and % stays a wildcard.
+  EXPECT_TRUE(LikeMatch("50x", "50%"));
+  EXPECT_TRUE(LikeMatch("a!b", "a!b"));
+  // The compiled form agrees with the one-shot helper.
+  LikePattern compiled("%!%%", '!');
+  EXPECT_TRUE(compiled.Match("100% sure"));
+  EXPECT_FALSE(compiled.Match("100 percent"));
+}
+
+TEST(VectorizedParity, LikeEscapeMatchesScalarReference) {
+  DataChunk chunk({LogicalType::kInt64, LogicalType::kInt64,
+                   LogicalType::kDouble, LogicalType::kVarchar});
+  const char* samples[] = {"50%",   "50x",  "a_b",   "axb", "a!b",
+                           "100%",  "",     "%",     "_",   "!","50% off"};
+  int64_t i = 0;
+  for (const char* s : samples) {
+    chunk.AppendRow({Value(i++), Value(int64_t{0}), Value(0.0),
+                     Value(std::string(s))});
+  }
+  chunk.AppendRow({Value(i), Value(int64_t{0}), Value(0.0), Value::Null()});
+  Evaluator ev(&kSchema);
+  for (const char* pattern : {"50!%", "a!_b", "a!!b", "!%%", "%!%%", "!_"}) {
+    ExprPtr pred = Expr::MakeLike(
+        Expr::MakeColumn("s", LogicalType::kVarchar), pattern, '!');
+    auto fast = ev.EvaluateSelection(*pred, chunk);
+    auto slow = ev.EvaluateSelectionScalar(*pred, chunk);
+    ASSERT_TRUE(fast.ok()) << pattern;
+    ASSERT_TRUE(slow.ok()) << pattern;
+    EXPECT_EQ(*fast, *slow) << pattern;
+    // The mask path agrees too (NULL input row stays NULL).
+    auto mask = ev.Evaluate(*pred, chunk);
+    ASSERT_TRUE(mask.ok());
+    EXPECT_TRUE(mask->IsNull(chunk.num_rows() - 1));
+  }
+}
+
+TEST(HashKernel, NullKeysHashToOneTagNeverTheirPayload) {
+  // Two NULL slots with different stale payloads must hash identically,
+  // and a NULL must not hash like the genuine 0 its filler payload holds.
+  ColumnVector with_filler(LogicalType::kInt64);
+  with_filler.AppendInt(0);     // genuine 0
+  with_filler.AppendNull();     // payload filler is also 0
+  ColumnVector with_stale(LogicalType::kInt64);
+  with_stale.AppendInt(42);
+  with_stale.AppendInt(-7);
+  with_stale.MutableValidity()[0] = 0;  // NULL with stale payload 42
+  with_stale.MutableValidity()[1] = 0;  // NULL with stale payload -7
+
+  std::vector<uint64_t> h1, h2;
+  kernels::HashRows({with_filler}, {true}, 2, &h1);
+  kernels::HashRows({with_stale}, {true}, 2, &h2);
+  EXPECT_NE(h1[0], h1[1]) << "NULL hashed like a genuine 0";
+  EXPECT_EQ(h2[0], h2[1]) << "NULL hash depends on stale payload";
+  EXPECT_EQ(h1[1], h2[0]) << "NULL hash differs across vectors";
+
+  // AnyKeyNull is the probe/build guard.
+  EXPECT_FALSE(kernels::AnyKeyNull({with_filler}, 0));
+  EXPECT_TRUE(kernels::AnyKeyNull({with_filler}, 1));
+}
+
 TEST(VectorizedParity, NullComparisonNeverSelects) {
   Evaluator ev(&kSchema);
   DataChunk chunk({LogicalType::kInt64, LogicalType::kInt64,
