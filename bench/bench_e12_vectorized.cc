@@ -1,5 +1,5 @@
 // E12 — vectorized execution microbench: the same selective SSB filter
-// scan three ways over lineorder row groups.
+// scan four ways over lineorder row groups.
 //
 //   scalar      row-at-a-time reference interpreter (boxed Values), every
 //               row group touched — what the engine hot path looked like
@@ -9,12 +9,23 @@
 //   pruned      vectorized kernels behind zone-map morsel skipping — row
 //               groups whose min/max cannot satisfy the predicate are
 //               never read.
+//   fused       the fused-kernel tier behind the same zone maps: the whole
+//               conjunction compiled once (FusedKernelRegistry) and run as
+//               a single short-circuiting pass per morsel, so the three
+//               intermediate selection vectors and three extra kernel
+//               dispatches of the vectorized path never happen.
 //
-// All three must select the same rows (checked); the interesting outputs
-// are the speedups and the fraction of morsels the zone maps skip. This
-// bench probes the kernel layer directly (Expr + Evaluator + Table, the
-// same surface the unit tests use); end-to-end SQL still enters through
-// the Database facade as ROADMAP.md requires.
+// All paths must select the same rows with bit-identical revenue sums
+// (checked); the interesting outputs are the speedups, the fraction of
+// morsels the zone maps skip, and the fused-over-vectorized gain — the
+// measured gap the fuse_kernels cost term prices. This bench probes the
+// kernel layer directly (Expr + Evaluator + Table, the same surface the
+// unit tests use); end-to-end SQL still enters through the Database facade
+// as ROADMAP.md requires.
+//
+// --json <path> writes the numbers as a flat JSON snapshot (BenchJson);
+// ci/build_and_test.sh persists one per run and gates the gate_* keys
+// against the committed baseline.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -22,6 +33,7 @@
 
 #include "bench_util.h"
 #include "exec/evaluator.h"
+#include "exec/fused.h"
 
 using namespace costdb;
 using namespace costdb::bench;
@@ -50,7 +62,11 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       scale = 0.02;
-      iters = 1;
+      // The fused-over-vectorized ratio IS gated in smoke mode, so smoke
+      // needs enough repetitions for the per-iteration average to be a
+      // usable timer at tiny scale (single-iteration times are ~tens of
+      // microseconds on the pruned morsel set).
+      iters = 20;
       smoke = true;
     } else if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
       iters = std::atoi(argv[++i]);
@@ -58,10 +74,12 @@ int main(int argc, char** argv) {
       scale = std::atof(argv[++i]);
     }
   }
+  const std::string json_path = JsonPathFromArgs(argc, argv);
 
   PrintHeader("E12: vectorized scan/filter kernels",
               "Selective SSB filter scan: scalar reference interpreter vs\n"
-              "selection-vector kernels vs kernels + zone-map pruning.");
+              "selection-vector kernels vs kernels + zone-map pruning vs\n"
+              "the fused single-pass conjunction kernel.");
 
   MetadataService meta;
   SsbOptions opts;
@@ -92,9 +110,44 @@ int main(int argc, char** argv) {
   SplitConjuncts(predicate, &conjuncts);
 
   std::vector<std::string> schema;
-  for (const auto& c : table->columns()) schema.push_back(c.name);
+  std::vector<LogicalType> schema_types;
+  for (const auto& c : table->columns()) {
+    schema.push_back(c.name);
+    schema_types.push_back(c.type);
+  }
   Evaluator ev(&schema);
   const size_t revenue_idx = *table->ColumnIndex("lo_revenue");
+
+  // The fused tier: the whole conjunction compiled once, up front — the
+  // same dispatch point (FusedKernelRegistry) the optimizer's fuse_kernels
+  // pass and the engine use, so this bench measures exactly the kernel the
+  // engine runs when a plan is annotated fused.
+  auto fused_pred =
+      FusedKernelRegistry::Global().Compile(*predicate, schema, schema_types);
+  if (!fused_pred.has_value()) {
+    std::printf("FAIL: fused registry declined the bench predicate\n");
+    return 1;
+  }
+
+  // The fused tier's hot shape, measured separately and gated: the
+  // mid-selectivity residual conjunction that survives after the zone maps
+  // have consumed the clustering-key conjunct. Per-pass narrowing is at
+  // its worst here — every vectorized pass keeps 30-90% of its input, so
+  // the survivor-append branch mispredicts on a large fraction of rows and
+  // two intermediate selection vectors materialize — while the fused
+  // branch-free kernel's cost is flat. This is the shape the fuse_kernels
+  // cost term prices in favor of fusion.
+  ExprPtr hot_predicate = Expr::MakeAnd({
+      Expr::MakeCompare(CompareOp::kGe, col("lo_discount"), lit(1)),
+      Expr::MakeCompare(CompareOp::kLe, col("lo_discount"), lit(3)),
+      Expr::MakeCompare(CompareOp::kLt, col("lo_quantity"), lit(25)),
+  });
+  auto fused_hot = FusedKernelRegistry::Global().Compile(*hot_predicate,
+                                                         schema, schema_types);
+  if (!fused_hot.has_value()) {
+    std::printf("FAIL: fused registry declined the hot-shape predicate\n");
+    return 1;
+  }
 
   auto sum_selected = [&](const ColumnVector& rev, const SelectionVector& sel,
                           PhaseResult* r) {
@@ -102,8 +155,20 @@ int main(int argc, char** argv) {
     r->rows_selected += static_cast<int64_t>(sel.size());
   };
 
-  auto run_phase = [&](int mode) {  // 0 scalar, 1 vectorized, 2 pruned
+  // Modes: 0 scalar, 1 vectorized, 2 pruned vectorized, 3 pruned fused,
+  // 4 fused over every morsel (the hot-shape gate needs both paths to
+  // touch the identical morsel set without pruning in the way).
+  SelectionVector fused_sel;
+  // Each phase is timed as the best of `reps` repetitions of the whole
+  // iteration loop. The gated numbers are kernel-vs-kernel *ratios* at
+  // microsecond scale, where a scheduler hiccup during one phase skews the
+  // ratio by 2-3x; the minimum is the run least disturbed by interference
+  // and is what makes the smoke-mode gate reliable on a loaded CI box.
+  const int reps = 3;
+  auto run_phase = [&](int mode, const Expr& pred, const FusedPredicate& fp) {
     PhaseResult r;
+    double best_seconds = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
     auto t0 = std::chrono::steady_clock::now();
     for (int it = 0; it < iters; ++it) {
       r.rows_selected = 0;
@@ -112,7 +177,7 @@ int main(int argc, char** argv) {
       r.morsels_total = 0;
       for (const auto& group : table->row_groups()) {
         ++r.morsels_total;
-        if (mode == 2) {
+        if (mode == 2 || mode == 3) {
           bool prunable = false;
           for (const auto& f : conjuncts) {
             std::string c;
@@ -130,8 +195,17 @@ int main(int argc, char** argv) {
         }
         ++r.morsels_touched;
         ChunkView view(group.data);
-        auto sel = mode == 0 ? ev.EvaluateSelectionScalar(*predicate, view)
-                             : ev.EvaluateSelection(*predicate, view);
+        if (mode == 3 || mode == 4) {
+          Status st = fp.Select(view, &fused_sel);
+          if (!st.ok()) {
+            std::printf("fused phase failed: %s\n", st.ToString().c_str());
+            std::exit(1);
+          }
+          sum_selected(group.data.column(revenue_idx), fused_sel, &r);
+          continue;
+        }
+        auto sel = mode == 0 ? ev.EvaluateSelectionScalar(pred, view)
+                             : ev.EvaluateSelection(pred, view);
         if (!sel.ok()) {
           std::printf("phase failed: %s\n", sel.status().ToString().c_str());
           std::exit(1);
@@ -139,21 +213,50 @@ int main(int argc, char** argv) {
         sum_selected(group.data.column(revenue_idx), *sel, &r);
       }
     }
-    r.seconds = ElapsedSeconds(t0, std::chrono::steady_clock::now()) / iters;
+    const double s =
+        ElapsedSeconds(t0, std::chrono::steady_clock::now()) / iters;
+    if (rep == 0 || s < best_seconds) best_seconds = s;
+    }
+    r.seconds = best_seconds;
     return r;
   };
 
-  PhaseResult scalar = run_phase(0);
-  PhaseResult vectorized = run_phase(1);
-  PhaseResult pruned = run_phase(2);
+  PhaseResult scalar = run_phase(0, *predicate, *fused_pred);
+  PhaseResult vectorized = run_phase(1, *predicate, *fused_pred);
+  PhaseResult pruned = run_phase(2, *predicate, *fused_pred);
+  PhaseResult fused = run_phase(3, *predicate, *fused_pred);
+  PhaseResult hot_vec = run_phase(1, *hot_predicate, *fused_hot);
+  PhaseResult hot_fused = run_phase(4, *hot_predicate, *fused_hot);
 
   if (scalar.rows_selected != vectorized.rows_selected ||
-      scalar.rows_selected != pruned.rows_selected) {
+      scalar.rows_selected != pruned.rows_selected ||
+      scalar.rows_selected != fused.rows_selected) {
     std::printf("FAIL: paths disagree (scalar %lld, vectorized %lld, "
-                "pruned %lld)\n",
+                "pruned %lld, fused %lld)\n",
                 static_cast<long long>(scalar.rows_selected),
                 static_cast<long long>(vectorized.rows_selected),
-                static_cast<long long>(pruned.rows_selected));
+                static_cast<long long>(pruned.rows_selected),
+                static_cast<long long>(fused.rows_selected));
+    return 1;
+  }
+  if (hot_vec.rows_selected != hot_fused.rows_selected) {
+    std::printf("FAIL: hot-shape paths disagree (vectorized %lld, "
+                "fused %lld)\n",
+                static_cast<long long>(hot_vec.rows_selected),
+                static_cast<long long>(hot_fused.rows_selected));
+    return 1;
+  }
+  // Bit-identical, not approximately equal: every path visits survivors in
+  // ascending row order within the same group order (pruned groups
+  // contribute nothing), so the revenue folds of a shape add the same
+  // doubles in the same sequence.
+  if (scalar.revenue != vectorized.revenue || scalar.revenue != pruned.revenue ||
+      scalar.revenue != fused.revenue || hot_vec.revenue != hot_fused.revenue) {
+    std::printf("FAIL: revenue sums are not bit-identical "
+                "(scalar %.17g, vectorized %.17g, pruned %.17g, fused %.17g, "
+                "hot vectorized %.17g, hot fused %.17g)\n",
+                scalar.revenue, vectorized.revenue, pruned.revenue,
+                fused.revenue, hot_vec.revenue, hot_fused.revenue);
     return 1;
   }
 
@@ -183,16 +286,71 @@ int main(int argc, char** argv) {
   row("scalar (row-at-a-time)", scalar);
   row("vectorized", vectorized);
   row("vectorized + zone maps", pruned);
+  row("fused + zone maps", fused);
+  row("hot shape: vectorized", hot_vec);
+  row("hot shape: fused", hot_fused);
   std::printf("%s", t.ToString().c_str());
-  std::printf("zone maps pruned %.0f%% of morsels\n", 100.0 * pruned_frac);
+  std::printf("zone maps pruned %.0f%% of morsels; hot shape selects %lld "
+              "rows (%.1f%%) on every morsel\n",
+              100.0 * pruned_frac,
+              static_cast<long long>(hot_vec.rows_selected),
+              100.0 * static_cast<double>(hot_vec.rows_selected) /
+                  static_cast<double>(rows));
 
   const double speedup = scalar.seconds / pruned.seconds;
-  // A single tiny-scale iteration on a loaded CI box is not a reliable
-  // timer, so smoke mode gates only on parity (above) and pruning.
-  const bool ok = (smoke || speedup >= 3.0) && pruned_frac >= 0.5;
+  // Same pruned morsel set, full 4-conjunct predicate: reported for the
+  // trajectory, not gated — the boundary morsel (partially matching the
+  // clustering-key conjunct) makes this ratio geometry-dependent.
+  const double fused_speedup = pruned.seconds / fused.seconds;
+  // The gated kernel-vs-kernel comparison: the mid-selectivity residual
+  // conjunction over the identical (every-morsel) set. One branch-free
+  // pass against k narrowing passes with k-1 intermediate selection
+  // vectors and a mispredict-prone survivor branch per pass. Gated even in
+  // smoke mode — smoke runs enough iterations to make the ratio stable.
+  const double hot_speedup = hot_vec.seconds / hot_fused.seconds;
+  // A single tiny-scale run on a loaded CI box is not a reliable absolute
+  // timer, so smoke mode does not gate the scalar-path speedup — but
+  // parity (above), pruning, and the hot-shape fused ratio always gate.
+  const bool ok = (smoke || speedup >= 3.0) && pruned_frac >= 0.5 &&
+                  hot_speedup >= 1.5;
   std::printf("%s: vectorized+pruned is %.1fx the scalar path "
-              "(target >= 3x%s), pruning %.0f%% of morsels (target >= 50%%)\n",
+              "(target >= 3x%s), pruning %.0f%% of morsels (target >= 50%%), "
+              "fused is %.2fx the vectorized kernels on the hot shape "
+              "(target >= 1.5x; %.2fx on the pruned 4-conjunct shape, "
+              "not gated)\n",
               ok ? "PASS" : "FAIL", speedup,
-              smoke ? ", not gated in smoke mode" : "", 100.0 * pruned_frac);
+              smoke ? ", not gated in smoke mode" : "", 100.0 * pruned_frac,
+              hot_speedup, fused_speedup);
+
+  if (!json_path.empty()) {
+    BenchJson j;
+    j.SetStr("bench", "bench_e12_vectorized");
+    j.Set("scale", scale);
+    j.SetInt("iters", iters);
+    j.SetBool("smoke", smoke);
+    j.SetInt("rows", static_cast<long long>(rows));
+    j.SetInt("row_groups", static_cast<long long>(pruned.morsels_total));
+    // gate_* keys are deterministic for a fixed --smoke configuration;
+    // CI's regression gate compares them against the committed snapshot.
+    j.SetInt("gate_rows_selected",
+             static_cast<long long>(scalar.rows_selected));
+    j.SetInt("gate_hot_rows_selected",
+             static_cast<long long>(hot_vec.rows_selected));
+    j.Set("gate_pruned_frac", pruned_frac);
+    j.SetInt("gate_pass", ok ? 1 : 0);
+    // Trajectory-only metrics: machine-dependent, persisted but ungated.
+    j.Set("scalar_seconds", scalar.seconds);
+    j.Set("vectorized_seconds", vectorized.seconds);
+    j.Set("pruned_seconds", pruned.seconds);
+    j.Set("fused_seconds", fused.seconds);
+    j.Set("hot_vectorized_seconds", hot_vec.seconds);
+    j.Set("hot_fused_seconds", hot_fused.seconds);
+    j.Set("pruned_speedup_vs_scalar", speedup);
+    j.Set("fused_speedup_vs_vectorized", fused_speedup);
+    j.Set("hot_fused_speedup_vs_vectorized", hot_speedup);
+    j.Set("hot_fused_mrows_per_sec",
+          static_cast<double>(rows) / hot_fused.seconds / 1e6);
+    if (!j.WriteFile(json_path)) return 1;
+  }
   return ok ? 0 : 1;
 }

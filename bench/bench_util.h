@@ -1,8 +1,11 @@
 #pragma once
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/table_printer.h"
 #include "runtime/policies.h"
@@ -72,6 +75,76 @@ struct BenchContext {
     return db->Prepare(sql, c);
   }
 };
+
+/// Machine-readable bench output: a flat JSON object written next to the
+/// human table, so CI can persist a `BENCH_<name>.json` snapshot per run
+/// and trend the numbers over time. Two kinds of keys by convention:
+///   gate_*  deterministic for a fixed --smoke configuration (row counts,
+///           pruning fractions, pass bits) — CI's regression gate compares
+///           these against the committed snapshot within a tolerance;
+///   others  trajectory data (wall times, throughputs, speedups) — they
+///           are machine- and load-dependent, so they are recorded for
+///           trend analysis but never gated against a snapshot.
+/// Insertion order is preserved; values are emitted one per line so the
+/// CI comparator can stay a line-oriented awk script.
+class BenchJson {
+ public:
+  void SetStr(const std::string& key, const std::string& value) {
+    entries_.emplace_back(key, "\"" + value + "\"");
+  }
+  void Set(const std::string& key, double value) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    entries_.emplace_back(key, buf);
+  }
+  void SetInt(const std::string& key, long long value) {
+    entries_.emplace_back(key, std::to_string(value));
+  }
+  void SetBool(const std::string& key, bool value) {
+    entries_.emplace_back(key, value ? "true" : "false");
+  }
+
+  std::string ToString() const {
+    std::string out = "{\n";
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      out += "  \"" + entries_[i].first + "\": " + entries_[i].second;
+      if (i + 1 < entries_.size()) out += ",";
+      out += "\n";
+    }
+    out += "}\n";
+    return out;
+  }
+
+  /// Returns false (with a message on stdout) when the file can't be
+  /// written, so benches can fail loudly instead of silently skipping the
+  /// snapshot CI expects.
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::printf("cannot write bench json to %s\n", path.c_str());
+      return false;
+    }
+    const std::string body = ToString();
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    std::printf("bench json written to %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+/// Pull `--json <path>` out of argv (empty string when absent). Kept here
+/// so every bench_util-based binary advertises the flag the same way — the
+/// CI smoke loop greps for "--json" to decide whether to request a
+/// snapshot.
+inline std::string JsonPathFromArgs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return argv[i + 1];
+  }
+  return std::string();
+}
 
 inline void PrintHeader(const std::string& id, const std::string& claim) {
   std::printf("==========================================================\n");

@@ -20,6 +20,56 @@ if command -v ccache >/dev/null 2>&1; then
   CMAKE_LAUNCHER_ARGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
 fi
 
+# Regression-gate a fresh bench snapshot against the committed baseline.
+# Snapshots are flat one-key-per-line JSON (BenchJson in bench/bench_util.h);
+# only gate_* keys are compared — they are deterministic for the fixed
+# --smoke configuration (row counts, pruning fractions, pass bits), so any
+# drift means behavior changed, not the machine. Trajectory keys (wall
+# times, speedups) are persisted but never gated here; the perf targets
+# live inside the bench binaries' own PASS/FAIL exit codes.
+check_bench_snapshot() {
+  local name="$1" baseline="$2" current="$3"
+  awk -v tol="${BENCH_GATE_TOL:-0.10}" -v bench="$name" '
+    function val(v) { return v == "true" ? 1 : v == "false" ? 0 : v + 0 }
+    function keyval(line, kv) {
+      kv["key"] = substr(line, RSTART + 1, RLENGTH - 2)
+      sub(/^[^:]*: */, "", line); sub(/,[ \t]*$/, "", line)
+      kv["val"] = line
+    }
+    FNR == NR {
+      if (match($0, /"gate_[^"]*"/)) { keyval($0, kv); base[kv["key"]] = kv["val"] }
+      next
+    }
+    {
+      if (match($0, /"gate_[^"]*"/)) { keyval($0, kv); cur[kv["key"]] = kv["val"] }
+    }
+    END {
+      bad = 0
+      if (length(base) == 0) {
+        printf "bench snapshot %s: baseline has no gate_* keys\n", bench
+        exit 1
+      }
+      for (key in base) {
+        if (!(key in cur)) {
+          printf "MISSING gate key %s in fresh %s snapshot\n", key, bench
+          bad++
+          continue
+        }
+        b = val(base[key]); c = val(cur[key])
+        denom = (b < 0 ? -b : b); if (denom < 1e-12) denom = 1e-12
+        d = (c - b) / denom; if (d < 0) d = -d
+        if (d > tol) {
+          printf "REGRESSION %s.%s: baseline %s, got %s (rel diff %.3f > tol %.2f)\n", \
+                 bench, key, base[key], cur[key], d, tol
+          bad++
+        }
+      }
+      if (bad) exit 1
+      printf "bench snapshot %s: %d gate keys within tolerance\n", bench, length(base)
+    }
+  ' "$baseline" "$current"
+}
+
 run_build_stage() {
   local build_dir="${BUILD_DIR:-build-ci}"
   cmake -B "$build_dir" -S . -DCOSTDB_WERROR=ON "${CMAKE_LAUNCHER_ARGS[@]}"
@@ -54,10 +104,14 @@ run_build_stage() {
   # ---- bench smoke: data-driven over every bench that supports --smoke.
   # A new bench advertises smoke support simply by handling the flag in
   # its source; a broken or unwired bench binary fails CI instead of
-  # bitrotting in a hand-maintained list.
+  # bitrotting in a hand-maintained list. Benches that additionally
+  # advertise --json (the BenchJson helper in bench/bench_util.h) get a
+  # BENCH_<name>.json snapshot persisted per run — the machine-readable
+  # bench trajectory — and their deterministic gate_* keys are regression-
+  # gated against the committed baseline in ci/bench_baselines/.
   echo "== bench smoke =="
-  local smoked=0
-  local src name bin
+  local smoked=0 gated=0
+  local src name bin json baseline
   for src in bench/bench_*.cc; do
     name="$(basename "$src" .cc)"
     bin="$build_dir/$name"
@@ -66,8 +120,21 @@ run_build_stage() {
       echo "bench $name supports --smoke but was not built"
       exit 1
     fi
-    echo "-- $name --smoke"
-    "$bin" --smoke
+    if grep -q -- '--json' "$src"; then
+      json="$build_dir/BENCH_$name.json"
+      echo "-- $name --smoke --json $json"
+      "$bin" --smoke --json "$json"
+      baseline="ci/bench_baselines/BENCH_$name.json"
+      if [ -f "$baseline" ]; then
+        check_bench_snapshot "$name" "$baseline" "$json"
+        gated=$((gated + 1))
+      else
+        echo "NOTE: no committed baseline at $baseline; snapshot not gated"
+      fi
+    else
+      echo "-- $name --smoke"
+      "$bin" --smoke
+    fi
     smoked=$((smoked + 1))
   done
   if [ "$smoked" -eq 0 ]; then
@@ -75,7 +142,7 @@ run_build_stage() {
     exit 1
   fi
   "$build_dir/bench_f3_endtoend" > /dev/null
-  echo "bench smoke OK ($smoked benches)"
+  echo "bench smoke OK ($smoked benches, $gated snapshot-gated)"
 
   # ---- markdown link check: relative links in the docs must resolve.
   # Globs cover nested docs (docs/**/ and examples/); zero files checked
@@ -139,13 +206,18 @@ run_tsan_stage() {
   # streaming result sinks) and the multi-worker sharded engine are the
   # concurrency hot spots; race them under ThreadSanitizer. Scoped to
   # those tests to keep CI time sane.
-  echo "== TSAN (service + session + sharded + elastic) =="
+  # vectorized_test rides along because the fused kernel tier shares one
+  # stateless registry across all morsel-processing threads — the parity
+  # suite is the densest driver of that shared dispatch point.
+  echo "== TSAN (service + session + sharded + elastic + vectorized) =="
   local build_dir="${TSAN_BUILD_DIR:-build-tsan}"
   cmake -B "$build_dir" -S . -DCOSTDB_TSAN=ON "${CMAKE_LAUNCHER_ARGS[@]}"
   cmake --build "$build_dir" -j "$JOBS" \
-    --target service_test session_test sharded_test elastic_test
+    --target service_test session_test sharded_test elastic_test \
+    vectorized_test
   local t
-  for t in service_test session_test sharded_test elastic_test; do
+  for t in service_test session_test sharded_test elastic_test \
+           vectorized_test; do
     TSAN_OPTIONS="halt_on_error=1" "$build_dir/$t"
   done
   echo "TSAN OK"

@@ -50,6 +50,19 @@ struct HardwareCalibration {
   double vector_batch_rows = 4096;
   Seconds batch_dispatch_seconds = 5e-7;
 
+  // Fused-kernel tier: a compiled conjunction (and the probe/aggregate
+  // fused onto it) runs as ONE single-pass kernel per morsel instead of
+  // one vectorized kernel invocation per conjunct. The single pass
+  // evaluates every surviving conjunct per row with short-circuit, so its
+  // row rate is *below* one simple vectorized pass — fusion wins by
+  // eliminating the per-conjunct passes and per-kernel dispatch, not by
+  // being a faster loop. That makes fusion a genuine costed trade the
+  // fuse_kernels pass prices per scan (it loses on single cheap
+  // conjuncts), and these two terms are what measured fused-pipeline
+  // timings recalibrate (CalibrationUpdater::ObserveFused).
+  double fused_filter_rows_per_sec = 300e6;  // whole conjunction, one pass
+  Seconds fused_dispatch_seconds = 8e-7;     // per morsel, whole fused chain
+
   // Parallel-efficiency decay: effective speedup of a data-exchange-heavy
   // operator at dop d is d / (1 + alpha * log2(d)).
   double parallel_alpha = 0.12;

@@ -120,6 +120,38 @@ CalibrationReport CalibrationUpdater::ObserveShuffles(
   return report;
 }
 
+CalibrationReport CalibrationUpdater::ObserveFused(
+    const std::vector<FusedObservation>& timings) {
+  std::vector<CalibrationObservation> pairs;
+  for (const auto& t : timings) {
+    if (t.seconds <= 0.0) continue;
+    CalibrationObservation obs;
+    obs.actual = t.seconds;
+    obs.predicted = t.rows / hw_->fused_filter_rows_per_sec +
+                    t.batches * hw_->fused_dispatch_seconds;
+    if (obs.predicted > 0.0) pairs.push_back(obs);
+  }
+  CalibrationReport report;
+  report.pipelines_observed = static_cast<int>(pairs.size());
+  if (pairs.empty()) return report;
+  report.q_error_before = GeoMeanQError(pairs);
+
+  double scale = ScaleFor(pairs, fused_total_scale_);
+  // Scale only the fused tier: rate divides, per-morsel dispatch
+  // multiplies, so every predicted fused-chain duration scales by exactly
+  // `scale` while the interpreted rates it competes with stay put.
+  hw_->fused_filter_rows_per_sec /= scale;
+  hw_->fused_dispatch_seconds *= scale;
+  fused_total_scale_ *= scale;
+  ++rounds_;
+  report.applied_scale = scale;
+
+  std::vector<CalibrationObservation> after = pairs;
+  for (auto& p : after) p.predicted *= scale;
+  report.q_error_after = GeoMeanQError(after);
+  return report;
+}
+
 void CalibrationUpdater::ApplyScale(double scale) {
   if (scale == 1.0) return;
   // Times are volume/rate plus fixed seconds: dividing rates and
@@ -141,6 +173,9 @@ void CalibrationUpdater::ApplyScale(double scale) {
   // the shuffle drift tracker so ObserveShuffles' max_total_drift clamp
   // is measured against the term's true cumulative movement.
   shuffle_total_scale_ *= scale;
+  hw_->fused_filter_rows_per_sec /= scale;
+  hw_->fused_dispatch_seconds *= scale;
+  fused_total_scale_ *= scale;  // same drift bookkeeping as the shuffle term
   hw_->shuffle_sync_per_node *= scale;
   hw_->pipeline_startup *= scale;
   hw_->worker_spinup_seconds *= scale;

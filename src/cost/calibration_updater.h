@@ -9,6 +9,15 @@ namespace costdb {
 struct PipelineTiming;   // exec/engine.h; kept forward to avoid a cycle
 struct ExchangeTiming;   // exec/sharded_engine.h; same
 
+/// One measured fused-chain execution: rows pushed through the fused
+/// kernel, morsels dispatched to it, and the wall time of the kernel
+/// calls themselves (FusedExecStats, aggregated per query).
+struct FusedObservation {
+  double rows = 0.0;
+  double batches = 0.0;
+  Seconds seconds = 0.0;
+};
+
 /// One observed pipeline execution, in the vocabulary of the cost model:
 /// what the estimator predicted for it and what the engine measured.
 struct CalibrationObservation {
@@ -86,6 +95,19 @@ class CalibrationUpdater {
   /// the uniform pipeline scales (which move the shuffle term too).
   double shuffle_total_scale() const { return shuffle_total_scale_; }
 
+  /// Fold measured fused-kernel timings into the calibration's fused tier:
+  /// predictions use the current rows/fused_rate + batches*fused_dispatch
+  /// model and only fused_filter_rows_per_sec / fused_dispatch_seconds are
+  /// rescaled, so fusion pricing tracks what the fused kernels actually
+  /// deliver on this hardware without disturbing the interpreted rates it
+  /// is compared against.
+  CalibrationReport ObserveFused(
+      const std::vector<FusedObservation>& timings);
+
+  /// Cumulative movement of the fused term (ObserveFused scales plus the
+  /// uniform pipeline scales, which move it too).
+  double fused_total_scale() const { return fused_total_scale_; }
+
   /// Product of every scale applied so far (1.0 = still at the initial
   /// calibration).
   double total_scale() const { return total_scale_; }
@@ -104,6 +126,7 @@ class CalibrationUpdater {
   CalibrationUpdaterOptions options_;
   double total_scale_ = 1.0;
   double shuffle_total_scale_ = 1.0;
+  double fused_total_scale_ = 1.0;
   int rounds_ = 0;
 };
 

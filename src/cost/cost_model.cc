@@ -85,10 +85,31 @@ Seconds CostEstimator::PipelineDuration(const Pipeline& pipeline, int dop,
     }
   };
 
-  // Source stage.
+  // Source stage. A scan source also charges the CPU of its pushed filter
+  // chain (the IO model is bytes-only): interpreted per-conjunct kernels
+  // or — when the fuse_kernels pass annotated the scan — the fused
+  // single-pass kernel. Dispatch is charged per *surviving* morsel: the
+  // engine never touches a zone-map-pruned row group, so pruned morsels
+  // cost no batch dispatch (SurvivingScanMorsels uses the real row-group
+  // geometry; src_w.rows_in is already post-pruning).
   StageWorkload src_w = SourceWorkload(pipeline, volumes);
+  double scan_batches = -1.0;
   if (!pipeline.source_is_breaker) {
     account(*pipeline.source, src_w);
+    scan_batches = SurvivingScanMorsels(*pipeline.source);
+    if (!pipeline.source->scan_filters.empty() && src_w.rows_in > 0.0) {
+      const int conjuncts =
+          static_cast<int>(pipeline.source->scan_filters.size());
+      const double selectivity =
+          src_w.rows_in > 0.0
+              ? std::min(1.0, src_w.rows_out / src_w.rows_in)
+              : 1.0;
+      cpu_total +=
+          pipeline.source->fuse_scan_filter
+              ? FusedFilterChainTime(*hw_, src_w.rows_in, scan_batches, dop)
+              : InterpretedFilterChainTime(*hw_, src_w.rows_in, conjuncts,
+                                           selectivity, scan_batches, dop);
+    }
   } else {
     // Reading a materialized intermediate: memory-speed pass.
     PhysicalPlan pseudo;
@@ -107,6 +128,11 @@ Seconds CostEstimator::PipelineDuration(const Pipeline& pipeline, int dop,
     w.rows_in = in.out_rows;
     w.bytes_in = in.out_bytes;
     w.rows_out = out.out_rows;
+    // An operator fed directly by the scan is dispatched once per
+    // surviving morsel, not once per ceil(rows/4096).
+    if (prev == pipeline.source && scan_batches >= 0.0) {
+      w.dispatch_batches = scan_batches;
+    }
     account(*op, w);
     prev = op;
   }
@@ -114,6 +140,9 @@ Seconds CostEstimator::PipelineDuration(const Pipeline& pipeline, int dop,
   // Sink stage (hash build / aggregate / sort).
   if (pipeline.sink != nullptr) {
     StageWorkload w = SinkWorkload(pipeline, volumes);
+    if (pipeline.operators.empty() && scan_batches >= 0.0) {
+      w.dispatch_batches = scan_batches;
+    }
     if (pipeline.sink_is_build_side) {
       double eff = EffectiveParallelism(dop, hw_->parallel_alpha);
       cpu_total += w.rows_in / (hw_->hash_build_rows_per_sec * eff);

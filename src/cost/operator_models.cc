@@ -31,10 +31,16 @@ class ScanModel : public OperatorModel {
 
 /// Per-batch dispatch cost of a vectorized operator: every DataChunk pays
 /// a fixed kernel-entry fee on top of its per-row throughput. The ceil
-/// keeps a one-row input from costing zero batches.
-Seconds BatchDispatch(const HardwareCalibration* hw, double rows, int dop) {
+/// keeps a one-row input from costing zero batches. `known_batches` >= 0
+/// overrides the row-derived count — scan pipelines dispatch one batch
+/// per zone-map-*surviving* morsel, so fully pruned morsels are never
+/// charged.
+Seconds BatchDispatch(const HardwareCalibration* hw, double rows, int dop,
+                      double known_batches = -1.0) {
   if (rows <= 0.0) return 0.0;
-  double batches = std::ceil(rows / hw->vector_batch_rows);
+  double batches = known_batches >= 0.0
+                       ? known_batches
+                       : std::ceil(rows / hw->vector_batch_rows);
   return batches * hw->batch_dispatch_seconds / dop;
 }
 
@@ -45,7 +51,8 @@ class FilterModel : public OperatorModel {
   Seconds StageTime(const StageWorkload& w, int dop) const override {
     // Batch-at-a-time: selection-vector kernels stream rows at `rate_`,
     // plus a fixed dispatch per chunk.
-    return w.rows_in / (rate_ * dop) + BatchDispatch(hw_, w.rows_in, dop);
+    return w.rows_in / (rate_ * dop) +
+           BatchDispatch(hw_, w.rows_in, dop, w.dispatch_batches);
   }
   const char* name() const override { return "filter"; }
 
@@ -69,32 +76,39 @@ class HashBuildModel : public OperatorModel {
 
 class HashProbeModel : public OperatorModel {
  public:
-  explicit HashProbeModel(const HardwareCalibration* hw) : hw_(hw) {}
+  HashProbeModel(const HardwareCalibration* hw, bool fused)
+      : hw_(hw), fused_(fused) {}
   Seconds StageTime(const StageWorkload& w, int dop) const override {
     double eff = EffectiveParallelism(dop, hw_->parallel_alpha);
     double work = w.rows_in + 0.5 * w.rows_out;  // matches cost extra emits
     // Probe hashes column-at-a-time and gathers matches in bulk, so it
-    // pays the same per-chunk dispatch fee as the other batch operators.
-    return work / (hw_->hash_probe_rows_per_sec * eff) +
-           BatchDispatch(hw_, w.rows_in, dop);
+    // pays the same per-chunk dispatch fee as the other batch operators —
+    // unless it is fused onto the scan's filter chain, whose single fused
+    // dispatch already covers it.
+    Seconds dispatch =
+        fused_ ? 0.0 : BatchDispatch(hw_, w.rows_in, dop, w.dispatch_batches);
+    return work / (hw_->hash_probe_rows_per_sec * eff) + dispatch;
   }
   const char* name() const override { return "hash_probe"; }
 
  private:
   const HardwareCalibration* hw_;
+  bool fused_;
 };
 
 class AggregateModel : public OperatorModel {
  public:
-  explicit AggregateModel(const HardwareCalibration* hw) : hw_(hw) {}
+  AggregateModel(const HardwareCalibration* hw, bool fused)
+      : hw_(hw), fused_(fused) {}
   Seconds StageTime(const StageWorkload& w, int dop) const override {
     // Local aggregation parallelizes (morsel partials fold batch-at-a-
-    // time, so the per-chunk dispatch fee applies); merging per-node
-    // partial tables does not — each extra node adds another partial of
-    // `groups` entries. This term is why aggregation has a finite
-    // cost-optimal DOP.
-    Seconds local = w.rows_in / (hw_->agg_rows_per_sec * dop) +
-                    BatchDispatch(hw_, w.rows_in, dop);
+    // time, so the per-chunk dispatch fee applies — waived when the fold
+    // is fused onto the scan's filter chain); merging per-node partial
+    // tables does not — each extra node adds another partial of `groups`
+    // entries. This term is why aggregation has a finite cost-optimal DOP.
+    Seconds dispatch =
+        fused_ ? 0.0 : BatchDispatch(hw_, w.rows_in, dop, w.dispatch_batches);
+    Seconds local = w.rows_in / (hw_->agg_rows_per_sec * dop) + dispatch;
     Seconds merge =
         w.groups * std::max(0, dop - 1) / hw_->agg_merge_groups_per_sec;
     return local + merge;
@@ -103,6 +117,7 @@ class AggregateModel : public OperatorModel {
 
  private:
   const HardwareCalibration* hw_;
+  bool fused_;
 };
 
 class SortModel : public OperatorModel {
@@ -226,9 +241,9 @@ std::unique_ptr<OperatorModel> MakeAnalyticModel(
     case PhysicalPlan::Kind::kLimit:
       return std::make_unique<FilterModel>(hw, hw->project_rows_per_sec);
     case PhysicalPlan::Kind::kHashJoin:
-      return std::make_unique<HashProbeModel>(hw);
+      return std::make_unique<HashProbeModel>(hw, op.fuse_probe);
     case PhysicalPlan::Kind::kHashAggregate:
-      return std::make_unique<AggregateModel>(hw);
+      return std::make_unique<AggregateModel>(hw, op.fuse_aggregate);
     case PhysicalPlan::Kind::kSort:
       return std::make_unique<SortModel>(hw);
     case PhysicalPlan::Kind::kExchange:
@@ -244,6 +259,51 @@ std::unique_ptr<OperatorModel> MakeAnalyticModel(
       }
   }
   return std::make_unique<FilterModel>(hw, hw->project_rows_per_sec);
+}
+
+double SurvivingScanMorsels(const PhysicalPlan& scan) {
+  if (scan.kind != PhysicalPlan::Kind::kTableScan || scan.table == nullptr) {
+    return -1.0;
+  }
+  const size_t total_groups = scan.table->row_groups().size();
+  const size_t g_end = std::min(total_groups, scan.scan_group_end);
+  const size_t g_begin = std::min(scan.scan_group_begin, g_end);
+  const double groups = static_cast<double>(g_end - g_begin);
+  if (groups <= 0.0) return 0.0;
+  const double keep =
+      std::min(1.0, std::max(0.0, scan.prune_keep_fraction));
+  return std::ceil(groups * keep);
+}
+
+Seconds InterpretedFilterChainTime(const HardwareCalibration& hw, double rows,
+                                   int conjuncts, double selectivity,
+                                   double batches, int dop) {
+  if (rows <= 0.0 || conjuncts <= 0) return 0.0;
+  if (batches < 0.0) batches = std::ceil(rows / hw.vector_batch_rows);
+  const double d = std::max(1, dop);
+  const double s = std::min(1.0, std::max(1e-9, selectivity));
+  // Progressive narrowing: conjunct c only inspects rows that survived the
+  // first c-1 conjuncts; with per-conjunct selectivity s^(1/k) the total
+  // rows touched are rows * (1 + s^(1/k) + s^(2/k) + ...).
+  const double per = std::pow(s, 1.0 / conjuncts);
+  double touched = 0.0;
+  double surviving = 1.0;
+  for (int c = 0; c < conjuncts; ++c) {
+    touched += surviving;
+    surviving *= per;
+  }
+  return rows * touched / (hw.filter_rows_per_sec * d) +
+         static_cast<double>(conjuncts) * batches *
+             hw.batch_dispatch_seconds / d;
+}
+
+Seconds FusedFilterChainTime(const HardwareCalibration& hw, double rows,
+                             double batches, int dop) {
+  if (rows <= 0.0) return 0.0;
+  if (batches < 0.0) batches = std::ceil(rows / hw.vector_batch_rows);
+  const double d = std::max(1, dop);
+  return rows / (hw.fused_filter_rows_per_sec * d) +
+         batches * hw.fused_dispatch_seconds / d;
 }
 
 std::vector<double> RegressionOperatorModel::Features(const StageWorkload& w,

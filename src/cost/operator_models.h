@@ -15,6 +15,12 @@ struct StageWorkload {
   double bytes_in = 0.0;
   double rows_out = 0.0;
   double groups = 1.0;  // aggregate output groups / sort runs
+  /// Batches the engine will actually dispatch for this stage, when the
+  /// caller knows the real batching geometry (a scan pipeline dispatches
+  /// one batch per *surviving* zone-map morsel, not ceil(rows/4096)).
+  /// Negative = unknown; models fall back to deriving batches from
+  /// rows_in and the calibrated vector_batch_rows.
+  double dispatch_batches = -1.0;
 };
 
 /// Per-operator scalability model: time for the stage to process a
@@ -32,9 +38,37 @@ class OperatorModel {
 double EffectiveParallelism(int dop, double alpha);
 
 /// Factory for the analytic model of a physical operator. `hw` must
-/// outlive the returned model.
+/// outlive the returned model. Fusion annotations on the node change the
+/// model: a fused probe/aggregate pays no per-batch dispatch of its own
+/// (the fused chain's single dispatch covers it).
 std::unique_ptr<OperatorModel> MakeAnalyticModel(
     const PhysicalPlan& op, const HardwareCalibration* hw);
+
+/// Scan morsels that survive zone-map pruning — the batch-dispatch unit of
+/// a scan pipeline. Counted from the table's actual row-group geometry in
+/// the node's [scan_group_begin, scan_group_end) range scaled by the
+/// planner's prune_keep_fraction (zone maps are metadata, so this is fair
+/// game for the cost model). Returns -1 when the node has no table handle
+/// (callers fall back to row-derived batching).
+double SurvivingScanMorsels(const PhysicalPlan& scan);
+
+/// Cost of running a k-conjunct pushed filter chain with the per-kernel
+/// vectorized path: one selection-vector pass per conjunct (progressively
+/// narrowed assuming equal per-conjunct selectivity s^(1/k)) plus one
+/// batch dispatch per conjunct per surviving morsel. `selectivity` is the
+/// overall keep fraction of the whole chain; `batches` < 0 derives from
+/// rows and vector_batch_rows.
+Seconds InterpretedFilterChainTime(const HardwareCalibration& hw, double rows,
+                                   int conjuncts, double selectivity,
+                                   double batches, int dop);
+
+/// Cost of the same chain as one fused single-pass kernel: every row is
+/// touched once (short-circuit across conjuncts) at the calibrated fused
+/// row rate, and each surviving morsel pays one fused dispatch for the
+/// whole chain. The fuse_kernels pass compares this against
+/// InterpretedFilterChainTime to decide fusion per scan.
+Seconds FusedFilterChainTime(const HardwareCalibration& hw, double rows,
+                             double batches, int dop);
 
 /// Pre-trained regression model for exchange-heavy operators (paper: "we
 /// pre-train regression models for them with synthetic workloads that

@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "exec/fused.h"
 #include "plan/pipeline.h"
 
 namespace costdb {
@@ -116,6 +117,13 @@ class LocalEngine {
   /// Zone-map pruning counters of the previous Execute call.
   const ScanStats& last_scan_stats() const { return scan_stats_; }
 
+  /// Fused-kernel counters of the previous Execute call: which morsels ran
+  /// through the fused tier the fuse_kernels pass annotated, which hit the
+  /// runtime fallback, and the wall time spent inside fused kernels (the
+  /// signal CalibrationUpdater::ObserveFused folds back into the fused
+  /// cost terms).
+  const FusedExecStats& last_fused_stats() const { return fused_stats_; }
+
   size_t num_threads() const { return pool_.num_threads(); }
 
   // Execution state shared across the pipelines of one query; public so the
@@ -134,6 +142,7 @@ class LocalEngine {
   ThreadPool pool_;
   std::vector<PipelineTiming> timings_;
   ScanStats scan_stats_;
+  FusedExecStats fused_stats_;
 };
 
 }  // namespace costdb

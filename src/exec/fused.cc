@@ -1,0 +1,532 @@
+#include "exec/fused.h"
+
+#include <algorithm>
+
+namespace costdb {
+
+namespace {
+
+template <typename T>
+inline bool CmpApply(CompareOp op, T a, T b) {
+  switch (op) {
+    case CompareOp::kEq:
+      return a == b;
+    case CompareOp::kNe:
+      return a != b;
+    case CompareOp::kLt:
+      return a < b;
+    case CompareOp::kLe:
+      return a <= b;
+    case CompareOp::kGt:
+      return a > b;
+    case CompareOp::kGe:
+      return a >= b;
+  }
+  return false;
+}
+
+/// A term bound to one chunk's flat payloads. Only the pointers matching
+/// the compiled TermKind are set.
+struct BoundTerm {
+  FusedPredicate::TermKind kind;
+  CompareOp cmp;
+  const int64_t* i64 = nullptr;
+  const double* f64 = nullptr;
+  const std::string* str = nullptr;
+  const uint8_t* valid = nullptr;  // nullptr = all rows valid
+  // kNumColCol right-hand side.
+  const int64_t* ri64 = nullptr;
+  const double* rf64 = nullptr;
+  const uint8_t* rvalid = nullptr;
+  bool both_int = false;
+  int64_t iconst = 0;
+  double dconst = 0.0;
+  const std::string* sconst = nullptr;
+  const LikePattern* like = nullptr;
+};
+
+inline bool EvalBoundTerm(const BoundTerm& t, uint32_t i) {
+  if (t.valid != nullptr && t.valid[i] == 0) return false;  // NULL deselects
+  using TK = FusedPredicate::TermKind;
+  switch (t.kind) {
+    case TK::kIntColConst:
+      return CmpApply(t.cmp, t.i64[i], t.iconst);
+    case TK::kNumColConst:
+      return CmpApply(
+          t.cmp, t.f64 != nullptr ? t.f64[i] : static_cast<double>(t.i64[i]),
+          t.dconst);
+    case TK::kNumColCol: {
+      if (t.rvalid != nullptr && t.rvalid[i] == 0) return false;
+      if (t.both_int) return CmpApply(t.cmp, t.i64[i], t.ri64[i]);
+      const double a =
+          t.f64 != nullptr ? t.f64[i] : static_cast<double>(t.i64[i]);
+      const double b =
+          t.rf64 != nullptr ? t.rf64[i] : static_cast<double>(t.ri64[i]);
+      return CmpApply(t.cmp, a, b);
+    }
+    case TK::kStrColConst: {
+      const int cmp3 = t.str[i].compare(*t.sconst);
+      return CmpApply(t.cmp, cmp3, 0);
+    }
+    case TK::kLike:
+      return t.like->Match(t.str[i]);
+  }
+  return false;
+}
+
+// ---- template-instantiated hot kernels -------------------------------
+// The registry's "instantiation" tier: the shapes the pushed-predicate
+// workload actually hits are monomorphized so the inner loop carries no
+// per-row dispatch at all. Everything else runs the generic single-pass
+// loop above, and shapes the registry declines never get here (they stay
+// on the vectorized per-kernel path).
+
+/// One int64-vs-constant conjunct, monomorphized per CompareOp. The
+/// append is branch-free (write the row id unconditionally, advance the
+/// cursor by the predicate bit) — with mid-range selectivities the
+/// data-dependent `if (pass) push_back` of the per-kernel vectorized path
+/// mispredicts on a large fraction of rows, and that mispredict tax is
+/// the single biggest cost of a selection loop over flat payloads.
+template <CompareOp Op>
+void SelectIntConstKernel(const int64_t* vals, const uint8_t* valid,
+                          int64_t c, size_t n, SelectionVector* out) {
+  out->resize(n);
+  uint32_t* dst = out->data();
+  size_t m = 0;
+  if (valid == nullptr) {
+    for (uint32_t i = 0; i < n; ++i) {
+      dst[m] = i;
+      m += static_cast<size_t>(CmpApply(Op, vals[i], c));
+    }
+  } else {
+    for (uint32_t i = 0; i < n; ++i) {
+      dst[m] = i;
+      m += static_cast<size_t>(valid[i] != 0 && CmpApply(Op, vals[i], c));
+    }
+  }
+  out->resize(m);
+}
+
+/// K int64-vs-constant conjuncts in one branch-free pass: every conjunct
+/// is evaluated for every row and AND-folded into a pass bit, and the
+/// survivor append advances a cursor by that bit. No short-circuit — a
+/// few redundant comparisons per failing row — but also no data-dependent
+/// branch anywhere, where the vectorized path pays one likely-mispredicted
+/// branch per row per conjunct pass plus K-1 intermediate selection
+/// vectors. The per-term CompareOp switch inside CmpApply is loop-invariant
+/// per term, so it predicts perfectly. K is a compile-time bound so the
+/// term loop unrolls.
+template <size_t K>
+void SelectIntConjunctionKernel(const BoundTerm* terms, size_t n,
+                                SelectionVector* out) {
+  out->resize(n);
+  uint32_t* dst = out->data();
+  size_t m = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    unsigned pass = 1;
+    for (size_t t = 0; t < K; ++t) {
+      const BoundTerm& bt = terms[t];
+      pass &= static_cast<unsigned>(
+          (bt.valid == nullptr || bt.valid[i] != 0) &&
+          CmpApply(bt.cmp, bt.i64[i], bt.iconst));
+    }
+    dst[m] = i;
+    m += pass;
+  }
+  out->resize(m);
+}
+
+/// Generic single-pass conjunction: any mix of supported term kinds.
+void SelectGenericKernel(const std::vector<BoundTerm>& terms, size_t n,
+                         SelectionVector* out) {
+  for (uint32_t i = 0; i < n; ++i) {
+    bool pass = true;
+    for (const BoundTerm& t : terms) {
+      if (!EvalBoundTerm(t, i)) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) out->push_back(i);
+  }
+}
+
+void DispatchIntConst(CompareOp op, const int64_t* vals, const uint8_t* valid,
+                      int64_t c, size_t n, SelectionVector* out) {
+  switch (op) {
+    case CompareOp::kEq:
+      return SelectIntConstKernel<CompareOp::kEq>(vals, valid, c, n, out);
+    case CompareOp::kNe:
+      return SelectIntConstKernel<CompareOp::kNe>(vals, valid, c, n, out);
+    case CompareOp::kLt:
+      return SelectIntConstKernel<CompareOp::kLt>(vals, valid, c, n, out);
+    case CompareOp::kLe:
+      return SelectIntConstKernel<CompareOp::kLe>(vals, valid, c, n, out);
+    case CompareOp::kGt:
+      return SelectIntConstKernel<CompareOp::kGt>(vals, valid, c, n, out);
+    case CompareOp::kGe:
+      return SelectIntConstKernel<CompareOp::kGe>(vals, valid, c, n, out);
+  }
+}
+
+const uint8_t* ValidityOf(const ColumnVector& col) {
+  return col.has_nulls() ? col.validity().data() : nullptr;
+}
+
+}  // namespace
+
+Status FusedPredicate::Select(const ChunkView& chunk,
+                              SelectionVector* out) const {
+  out->clear();
+  const size_t n = chunk.num_rows();
+  if (always_false_) return Status::OK();
+  if (terms_.empty()) {
+    out->reserve(n);
+    for (uint32_t i = 0; i < n; ++i) out->push_back(i);
+    return Status::OK();
+  }
+
+  // Bind compiled terms to this chunk's payloads, re-checking the physical
+  // families: a mismatch means the plan annotation went stale and the
+  // caller must fall back to the vectorized path.
+  std::vector<BoundTerm> bound;
+  bound.reserve(terms_.size());
+  bool all_int_const = true;
+  for (const Term& t : terms_) {
+    if (t.lhs >= chunk.num_columns() ||
+        (t.kind == TermKind::kNumColCol && t.rhs >= chunk.num_columns())) {
+      return Status::Internal("fused predicate binds out-of-range column");
+    }
+    const ColumnVector& l = chunk.column(t.lhs);
+    BoundTerm b;
+    b.kind = t.kind;
+    b.cmp = t.cmp;
+    b.valid = ValidityOf(l);
+    switch (t.kind) {
+      case TermKind::kIntColConst:
+        if (l.physical_type() != PhysicalType::kInt64) {
+          return Status::Internal("fused int term over non-int column");
+        }
+        b.i64 = l.ints().data();
+        b.iconst = t.iconst;
+        break;
+      case TermKind::kNumColConst:
+        if (l.physical_type() == PhysicalType::kDouble) {
+          b.f64 = l.doubles().data();
+        } else if (l.physical_type() == PhysicalType::kInt64) {
+          b.i64 = l.ints().data();
+        } else {
+          return Status::Internal("fused numeric term over string column");
+        }
+        b.dconst = t.dconst;
+        all_int_const = false;
+        break;
+      case TermKind::kNumColCol: {
+        const ColumnVector& r = chunk.column(t.rhs);
+        if (l.physical_type() == PhysicalType::kString ||
+            r.physical_type() == PhysicalType::kString) {
+          return Status::Internal("fused numeric term over string column");
+        }
+        if (l.physical_type() == PhysicalType::kDouble) {
+          b.f64 = l.doubles().data();
+        } else {
+          b.i64 = l.ints().data();
+        }
+        if (r.physical_type() == PhysicalType::kDouble) {
+          b.rf64 = r.doubles().data();
+        } else {
+          b.ri64 = r.ints().data();
+        }
+        b.both_int = b.i64 != nullptr && b.ri64 != nullptr;
+        b.rvalid = ValidityOf(r);
+        all_int_const = false;
+        break;
+      }
+      case TermKind::kStrColConst:
+        if (l.physical_type() != PhysicalType::kString) {
+          return Status::Internal("fused string term over non-string column");
+        }
+        b.str = l.strings().data();
+        b.sconst = &t.sconst;
+        all_int_const = false;
+        break;
+      case TermKind::kLike:
+        if (l.physical_type() != PhysicalType::kString) {
+          return Status::Internal("fused LIKE over non-string column");
+        }
+        b.str = l.strings().data();
+        b.like = &t.like;
+        all_int_const = false;
+        break;
+    }
+    bound.push_back(b);
+  }
+
+  // Hot-shape dispatch: the pushed-filter workload is dominated by int
+  // range conjunctions, so those get monomorphized kernels.
+  if (all_int_const) {
+    switch (bound.size()) {
+      case 1:
+        DispatchIntConst(bound[0].cmp, bound[0].i64, bound[0].valid,
+                         bound[0].iconst, n, out);
+        return Status::OK();
+      case 2:
+        SelectIntConjunctionKernel<2>(bound.data(), n, out);
+        return Status::OK();
+      case 3:
+        SelectIntConjunctionKernel<3>(bound.data(), n, out);
+        return Status::OK();
+      case 4:
+        SelectIntConjunctionKernel<4>(bound.data(), n, out);
+        return Status::OK();
+      default:
+        break;  // unusual arity: generic loop below
+    }
+  }
+  SelectGenericKernel(bound, n, out);
+  return Status::OK();
+}
+
+Status FusedPredicate::SelectGather(const ChunkView& view,
+                                    const std::vector<size_t>& columns,
+                                    DataChunk* out,
+                                    SelectionVector* sel_scratch) const {
+  COSTDB_RETURN_NOT_OK(Select(view, sel_scratch));
+  DataChunk gathered;
+  for (size_t idx : columns) {
+    gathered.AddColumn(view.column(idx).Gather(*sel_scratch));
+  }
+  *out = std::move(gathered);
+  return Status::OK();
+}
+
+Result<size_t> FusedFilterAggregate(const FusedPredicate* pred,
+                                    const ChunkView& view,
+                                    const std::vector<FusedAggSpec>& specs,
+                                    std::vector<FusedAggState>* states,
+                                    SelectionVector* sel_scratch) {
+  const SelectionVector* sel = nullptr;
+  if (pred != nullptr) {
+    COSTDB_RETURN_NOT_OK(pred->Select(view, sel_scratch));
+    sel = sel_scratch;
+  } else {
+    sel_scratch->clear();
+    sel_scratch->reserve(view.num_rows());
+    for (uint32_t i = 0; i < view.num_rows(); ++i) sel_scratch->push_back(i);
+    sel = sel_scratch;
+  }
+  const size_t rows = sel->size();
+  if (rows == 0) return size_t{0};
+  if (states->size() < specs.size()) states->resize(specs.size());
+  for (size_t a = 0; a < specs.size(); ++a) {
+    const FusedAggSpec& spec = specs[a];
+    FusedAggState& st = (*states)[a];
+    if (spec.func == AggFunc::kCountStar) {
+      st.count += static_cast<int64_t>(rows);
+      continue;
+    }
+    const ColumnVector& in = view.column(static_cast<size_t>(spec.col));
+    switch (spec.func) {
+      case AggFunc::kCount:
+        st.count += kernels::CountValidSelected(in, *sel);
+        break;
+      case AggFunc::kSum:
+      case AggFunc::kAvg:
+        kernels::AccumulateSelected(in, *sel, &st.count, &st.isum, &st.dsum);
+        break;
+      case AggFunc::kMin:
+      case AggFunc::kMax:
+        kernels::MinMaxSelected(in, *sel, &st.min, &st.max, &st.has_value);
+        break;
+      default:
+        return Status::Internal("unexpected fused aggregate function");
+    }
+  }
+  return rows;
+}
+
+// ------------------------------------------------------------- registry
+
+const FusedKernelRegistry& FusedKernelRegistry::Global() {
+  static const FusedKernelRegistry registry;
+  return registry;
+}
+
+namespace {
+
+int FindSchemaColumn(const std::vector<std::string>& schema,
+                     const std::string& name) {
+  for (size_t i = 0; i < schema.size(); ++i) {
+    if (schema[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+/// Compile one conjunct into a fused term; returns false when the shape
+/// has no instantiation. `always_false` is set when the conjunct compares
+/// against a NULL constant (the whole conjunction selects nothing —
+/// matching the vectorized fast path).
+bool CompileTerm(const Expr& e, const std::vector<std::string>& schema,
+                 const std::vector<LogicalType>& types,
+                 FusedPredicate::Term* term, bool* always_false) {
+  using TK = FusedPredicate::TermKind;
+  if (e.kind == Expr::Kind::kLike) {
+    const Expr& input = *e.children[0];
+    const Expr& pattern = *e.children[1];
+    if (input.kind != Expr::Kind::kColumn ||
+        pattern.kind != Expr::Kind::kConstant ||
+        !pattern.constant.is_string()) {
+      return false;
+    }
+    int idx = FindSchemaColumn(schema, input.column);
+    if (idx < 0 || PhysicalTypeOf(types[idx]) != PhysicalType::kString) {
+      return false;
+    }
+    term->kind = TK::kLike;
+    term->lhs = static_cast<uint32_t>(idx);
+    term->like = LikePattern(pattern.constant.AsString(), e.like_escape);
+    return true;
+  }
+  if (e.kind != Expr::Kind::kCompare) return false;
+  const Expr* l = e.children[0].get();
+  const Expr* r = e.children[1].get();
+  CompareOp op = e.cmp;
+  if (l->kind == Expr::Kind::kConstant && r->kind == Expr::Kind::kColumn) {
+    std::swap(l, r);  // normalize to column <op> constant
+    op = SwapCompareOp(op);
+  }
+  if (l->kind != Expr::Kind::kColumn) return false;
+  const int lhs = FindSchemaColumn(schema, l->column);
+  if (lhs < 0) return false;
+  const PhysicalType lt = PhysicalTypeOf(types[lhs]);
+  term->cmp = op;
+  term->lhs = static_cast<uint32_t>(lhs);
+  term->lhs_is_double = lt == PhysicalType::kDouble;
+
+  if (r->kind == Expr::Kind::kColumn) {
+    const int rhs = FindSchemaColumn(schema, r->column);
+    if (rhs < 0) return false;
+    const PhysicalType rt = PhysicalTypeOf(types[rhs]);
+    if (lt == PhysicalType::kString || rt == PhysicalType::kString) {
+      return false;  // string col-col compare stays on the vectorized path
+    }
+    term->kind = TK::kNumColCol;
+    term->rhs = static_cast<uint32_t>(rhs);
+    term->rhs_is_double = rt == PhysicalType::kDouble;
+    term->both_int =
+        lt == PhysicalType::kInt64 && rt == PhysicalType::kInt64;
+    return true;
+  }
+  if (r->kind != Expr::Kind::kConstant) return false;
+  const Value& c = r->constant;
+  if (c.is_null()) {
+    // Comparison with a NULL constant selects nothing; the conjunction is
+    // statically empty (same answer the vectorized fast path computes).
+    *always_false = true;
+    term->kind = TK::kIntColConst;
+    return true;
+  }
+  if (lt == PhysicalType::kString) {
+    if (!c.is_string()) return false;  // type-error shape: keep vectorized
+    term->kind = TK::kStrColConst;
+    term->sconst = c.AsString();
+    return true;
+  }
+  if (c.is_string()) return false;  // numeric col vs string constant
+  if (lt == PhysicalType::kInt64 && c.is_int()) {
+    term->kind = TK::kIntColConst;
+    term->iconst = c.AsInt();
+    return true;
+  }
+  term->kind = TK::kNumColConst;
+  term->dconst = c.AsDouble();
+  return true;
+}
+
+}  // namespace
+
+bool FusedKernelRegistry::CanCompile(
+    const Expr& predicate, const std::vector<std::string>& schema,
+    const std::vector<LogicalType>& types) const {
+  return Compile(predicate, schema, types).has_value();
+}
+
+std::optional<FusedPredicate> FusedKernelRegistry::Compile(
+    const Expr& predicate, const std::vector<std::string>& schema,
+    const std::vector<LogicalType>& types) const {
+  if (schema.size() != types.size()) return std::nullopt;
+  std::vector<ExprPtr> conjuncts;
+  // SplitConjuncts needs a shared_ptr; clone the root once at compile time
+  // (per pipeline, not per morsel).
+  SplitConjuncts(predicate.Clone(), &conjuncts);
+  FusedPredicate fused;
+  for (const auto& conjunct : conjuncts) {
+    FusedPredicate::Term term;
+    bool always_false = false;
+    if (!CompileTerm(*conjunct, schema, types, &term, &always_false)) {
+      return std::nullopt;
+    }
+    if (always_false) {
+      fused.always_false_ = true;
+      continue;
+    }
+    fused.terms_.push_back(std::move(term));
+  }
+  return fused;
+}
+
+bool FusedKernelRegistry::CompileAggregates(
+    const std::vector<ExprPtr>& aggregates,
+    const std::vector<std::string>& schema,
+    const std::vector<LogicalType>& types,
+    std::vector<FusedAggSpec>* specs) const {
+  specs->clear();
+  for (const auto& a : aggregates) {
+    if (a->kind != Expr::Kind::kAgg) return false;
+    FusedAggSpec spec;
+    spec.func = a->agg;
+    if (a->agg == AggFunc::kCountStar) {
+      specs->push_back(spec);
+      continue;
+    }
+    if (a->children.empty() || a->children[0]->kind != Expr::Kind::kColumn) {
+      return false;  // computed aggregate input: needs the evaluator
+    }
+    const int idx = FindSchemaColumn(schema, a->children[0]->column);
+    if (idx < 0) return false;
+    const PhysicalType pt = PhysicalTypeOf(types[static_cast<size_t>(idx)]);
+    const bool numeric = pt != PhysicalType::kString;
+    switch (a->agg) {
+      case AggFunc::kCount:
+      case AggFunc::kMin:
+      case AggFunc::kMax:
+        break;  // any type
+      case AggFunc::kSum:
+      case AggFunc::kAvg:
+        if (!numeric) return false;
+        break;
+      default:
+        return false;
+    }
+    spec.col = idx;
+    specs->push_back(spec);
+  }
+  return true;
+}
+
+std::vector<std::string> FusedKernelRegistry::Instantiations() const {
+  std::vector<std::string> out;
+  for (const char* op : {"eq", "ne", "lt", "le", "gt", "ge"}) {
+    out.push_back(std::string("select_int_const<") + op + ">");
+  }
+  for (int k = 2; k <= 4; ++k) {
+    out.push_back("select_int_conjunction<" + std::to_string(k) + ">");
+  }
+  out.push_back("select_generic(int|num|num_col|str|like)*");
+  out.push_back("filter_gather_scan");
+  out.push_back("filter_aggregate_global");
+  out.push_back("filter_hash_probe");
+  return out;
+}
+
+}  // namespace costdb

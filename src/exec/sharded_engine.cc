@@ -665,6 +665,7 @@ Result<ShardedEngine::Shards> ShardedEngine::RunFragment(
   struct SlotResult {
     Result<QueryResult> result{Status::Internal("not run")};
     ScanStats scan_stats;
+    FusedExecStats fused_stats;
   };
   const double frag_start = NowSeconds();
   std::vector<SlotResult> slots(dop);
@@ -672,6 +673,7 @@ Result<ShardedEngine::Shards> ShardedEngine::RunFragment(
     LocalEngine* engine = workers_[w].engine.get();
     slots[w].result = engine->Execute(plans[w].get());
     slots[w].scan_stats = engine->last_scan_stats();
+    slots[w].fused_stats = engine->last_fused_stats();
   };
   if (dop > 1) {
     for (size_t w = 0; w < dop; ++w) {
@@ -696,6 +698,7 @@ Result<ShardedEngine::Shards> ShardedEngine::RunFragment(
     scan_stats_.morsels_pruned += slots[w].scan_stats.morsels_pruned;
     scan_stats_.rows_scanned += slots[w].scan_stats.rows_scanned;
     scan_stats_.rows_pruned += slots[w].scan_stats.rows_pruned;
+    fused_stats_.MergeFrom(slots[w].fused_stats);
   }
   return out;
 }
@@ -705,6 +708,7 @@ Result<QueryResult> ShardedEngine::Execute(const PhysicalPlan* root) {
   COSTDB_RETURN_NOT_OK(ValidateCoPartitioning(root));
   exchange_stats_ = ExchangeStats();
   scan_stats_ = ScanStats();
+  fused_stats_ = FusedExecStats();
   usage_ = WorkerUsage();
   // Every Execute starts from the constructed width; an elastic schedule
   // is per-query, not engine state that leaks into the next query.

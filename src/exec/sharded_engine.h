@@ -153,6 +153,11 @@ class ShardedEngine {
   /// workers.
   const ScanStats& last_scan_stats() const { return scan_stats_; }
 
+  /// Fused-kernel counters of the previous Execute call, summed over
+  /// workers (fusion annotations ride on each worker's plan clone, so
+  /// every shard runs — or falls back — independently).
+  const FusedExecStats& last_fused_stats() const { return fused_stats_; }
+
   /// Current execution width (the constructor's count until a resize).
   size_t num_workers() const { return active_; }
 
@@ -237,6 +242,7 @@ class ShardedEngine {
 
   ExchangeStats exchange_stats_;
   ScanStats scan_stats_;
+  FusedExecStats fused_stats_;
   WorkerUsage usage_;
   double exec_start_ = 0.0;
   double segment_start_ = 0.0;  // start of the current constant-width span

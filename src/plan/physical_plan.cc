@@ -55,6 +55,7 @@ std::string PhysicalPlan::ToString(int indent) const {
         }
         out += "]";
       }
+      if (fuse_scan_filter) out += " fused";
       break;
     }
     case Kind::kFilter:
@@ -65,8 +66,12 @@ std::string PhysicalPlan::ToString(int indent) const {
         out += " " + probe_keys[i]->ToString() + "=" +
                build_keys[i]->ToString();
       }
+      if (fuse_probe) out += " fused";
       break;
     }
+    case Kind::kHashAggregate:
+      if (fuse_aggregate) out += " fused";
+      break;
     case Kind::kExchange:
       out += std::string(" ") + ExchangeKindName(exchange_kind);
       break;

@@ -236,6 +236,7 @@ Result<ExecutionResult> Database::ExecuteSharded(
     engine->SetResizer(WidthDecider());  // cached engines are reused
     out.exchange = engine->last_exchange_stats();
     out.usage = engine->last_usage();
+    out.fused = engine->last_fused_stats();
     if (!result.ok()) return result.status();
     out.result = std::move(*result);
     return Status::OK();
@@ -299,6 +300,7 @@ Result<ExecutionResult> Database::ExecutePlanned(
   if (engine != nullptr) {
     COSTDB_ASSIGN_OR_RETURN(out.result, engine->Execute(out.plan->plan.get()));
     out.timings = engine->last_timings();
+    out.fused = engine->last_fused_stats();
     return out;
   }
   // Serial path: reuse the long-lived engine (its worker pool outlives
@@ -306,6 +308,7 @@ Result<ExecutionResult> Database::ExecutePlanned(
   std::lock_guard<std::mutex> lock(engine_mu_);
   COSTDB_ASSIGN_OR_RETURN(out.result, engine_->Execute(out.plan->plan.get()));
   out.timings = engine_->last_timings();
+  out.fused = engine_->last_fused_stats();
   return out;
 }
 
@@ -343,6 +346,7 @@ Result<ExecutionResult> Database::ExecutePlannedToSink(
   COSTDB_ASSIGN_OR_RETURN(streamed,
                           engine->ExecuteToSink(out.plan->plan.get(), sink));
   out.timings = engine->last_timings();
+  out.fused = engine->last_fused_stats();
   out.result.names = std::move(streamed.names);
   out.result.types = std::move(streamed.types);
   // Rows went to the sink; leave an empty, correctly-laid-out chunk so a
@@ -368,6 +372,19 @@ CalibrationReport Database::Calibrate(const ExecutionResult& executed) {
         calibration_->ObserveShuffles(executed.exchange.timings);
     if (executed.timings.empty()) report = shuffle;
     moved = moved || shuffle.changed(options_.recalibration_threshold);
+  }
+  if (executed.fused.any_fused() && executed.fused.fused_seconds > 0.0) {
+    // Fused morsels ran: fold the measured fused-kernel wall time into the
+    // fused dispatch/throughput terms, so the fuse_kernels pass's
+    // fused-vs-interpreted pricing tracks delivered performance.
+    FusedObservation obs;
+    obs.rows = static_cast<double>(executed.fused.fused_rows);
+    obs.batches = static_cast<double>(executed.fused.fused_filter_morsels +
+                                      executed.fused.fused_probe_morsels +
+                                      executed.fused.fused_agg_morsels);
+    obs.seconds = executed.fused.fused_seconds;
+    CalibrationReport fused = calibration_->ObserveFused({obs});
+    moved = moved || fused.changed(options_.recalibration_threshold);
   }
   if (moved) {
     // Estimates produced before this round are stale; lazily invalidate

@@ -82,6 +82,11 @@ struct ExecutionResult {
   /// calibration; empty timings on LocalEngine runs).
   size_t workers = 1;
   ExchangeStats exchange;
+  /// Which morsels ran through the fused-kernel tier the fuse_kernels pass
+  /// annotated (summed over workers on sharded runs), including runtime
+  /// fallbacks and the wall time spent inside fused kernels — the feedback
+  /// signal of the fused-term calibration.
+  FusedExecStats fused;
   /// Sharded runs only: the worker-second ledger of the run (per-width
   /// segments for elastic runs) and the dollars the cloud billing layer
   /// charged for it at the facade's node price. Session ledgers settle to

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <functional>
+#include <vector>
 
 #include "common/stats_math.h"
+#include "cost/calibration_updater.h"
 #include "cost/cost_model.h"
 #include "optimizer/optimizer.h"
 #include "workload/ssb.h"
@@ -235,6 +238,89 @@ TEST_F(CostTest, VolumesEstimateVsTruthDivergeUnderInjectedError) {
   ASSERT_NE(scan, nullptr);
   double ratio = v_served.at(scan).source_rows / v_truth.at(scan).source_rows;
   EXPECT_NEAR(ratio, 4.0, 0.2);
+}
+
+TEST_F(CostTest, FilterChainChargesDispatchOnlyForSurvivingMorsels) {
+  // Zone-map pruning drops whole morsels before any kernel runs, so the
+  // batch-dispatch term must be charged per *surviving* morsel. With rows
+  // and selectivity held fixed, shrinking `batches` from 200 to 20 must
+  // cut exactly the dispatch fee of the 180 pruned morsels — per conjunct
+  // on the interpreted chain, once for the whole fused chain.
+  const double rows = 1e6;
+  const int conjuncts = 3;
+  const double sel = 0.2;
+  Seconds full = InterpretedFilterChainTime(hw_, rows, conjuncts, sel,
+                                            /*batches=*/200.0, 1);
+  Seconds pruned = InterpretedFilterChainTime(hw_, rows, conjuncts, sel,
+                                              /*batches=*/20.0, 1);
+  EXPECT_LT(pruned, full);
+  EXPECT_NEAR(full - pruned,
+              conjuncts * 180.0 * hw_.batch_dispatch_seconds, 1e-12);
+
+  Seconds fused_full = FusedFilterChainTime(hw_, rows, 200.0, 1);
+  Seconds fused_pruned = FusedFilterChainTime(hw_, rows, 20.0, 1);
+  EXPECT_NEAR(fused_full - fused_pruned, 180.0 * hw_.fused_dispatch_seconds,
+              1e-12);
+
+  // The fused chain's whole point: one dispatch per morsel instead of one
+  // per conjunct per morsel, and one row pass instead of k narrowing
+  // passes — cheaper on a multi-conjunct mid-selectivity chain.
+  EXPECT_LT(FusedFilterChainTime(hw_, rows, 200.0, 1),
+            InterpretedFilterChainTime(hw_, rows, 4, 0.3, 200.0, 1));
+}
+
+TEST_F(CostTest, SurvivingMorselsFollowPlannerPruneFraction) {
+  PhysicalPlan scan;
+  scan.kind = PhysicalPlan::Kind::kHashJoin;
+  EXPECT_EQ(SurvivingScanMorsels(scan), -1.0);  // not a scan
+
+  scan.kind = PhysicalPlan::Kind::kTableScan;
+  EXPECT_EQ(SurvivingScanMorsels(scan), -1.0);  // no table handle
+
+  auto lineorder = meta_.GetTable("lineorder");
+  ASSERT_TRUE(lineorder.ok());
+  scan.table = *lineorder;
+  ASSERT_NE(scan.table, nullptr);
+  const double total = static_cast<double>(scan.table->row_groups().size());
+  EXPECT_EQ(SurvivingScanMorsels(scan), total);  // keep = 1.0 default
+  scan.prune_keep_fraction = 0.25;
+  EXPECT_EQ(SurvivingScanMorsels(scan), std::ceil(total * 0.25));
+  scan.prune_keep_fraction = 0.0;
+  EXPECT_EQ(SurvivingScanMorsels(scan), 0.0);
+}
+
+TEST_F(CostTest, ObserveFusedMovesOnlyTheFusedTerms) {
+  HardwareCalibration hw;
+  const HardwareCalibration before = hw;
+  CalibrationUpdater updater(&hw);
+
+  // The fused kernels run 4x slower here than the seeded calibration
+  // claims: predictions must grow by ~scale, nothing else may move.
+  std::vector<FusedObservation> obs(3);
+  for (auto& o : obs) {
+    o.rows = 1e6;
+    o.batches = 120.0;
+    o.seconds = 4.0 * (o.rows / hw.fused_filter_rows_per_sec +
+                       o.batches * hw.fused_dispatch_seconds);
+  }
+  CalibrationReport report = updater.ObserveFused(obs);
+  EXPECT_EQ(report.pipelines_observed, 3);
+  EXPECT_GT(report.applied_scale, 1.0);
+  EXPECT_LT(report.q_error_after, report.q_error_before);
+  EXPECT_DOUBLE_EQ(updater.fused_total_scale(), report.applied_scale);
+
+  // Fused rate slowed, fused dispatch grew...
+  EXPECT_LT(hw.fused_filter_rows_per_sec, before.fused_filter_rows_per_sec);
+  EXPECT_GT(hw.fused_dispatch_seconds, before.fused_dispatch_seconds);
+  // ...and the interpreted rates fusion competes against stayed put.
+  EXPECT_DOUBLE_EQ(hw.filter_rows_per_sec, before.filter_rows_per_sec);
+  EXPECT_DOUBLE_EQ(hw.batch_dispatch_seconds, before.batch_dispatch_seconds);
+  EXPECT_DOUBLE_EQ(hw.scan_gibps_per_node, before.scan_gibps_per_node);
+  EXPECT_DOUBLE_EQ(hw.shuffle_gibps, before.shuffle_gibps);
+
+  // Converges: repeated identical observations shrink the remaining gap.
+  CalibrationReport second = updater.ObserveFused(obs);
+  EXPECT_LT(second.q_error_before, report.q_error_before);
 }
 
 }  // namespace
