@@ -1,0 +1,428 @@
+// E16 — the multi-tenant front door under tenant stress:
+//
+//   part 1  deterministic flood: N equal-weight tenants pre-submit the
+//           same seeded schedule into a one-slot admission controller
+//           held closed by a blocker, then the queue drains. Because the
+//           whole backlog exists before the first admission, the
+//           admission log is a pure function of the schedule: the
+//           fair-share spread across tenants over the first half of the
+//           log gates at 1.0-ish (<= 1.25), the shared result cache must
+//           execute each distinct statement exactly once (single
+//           flight), and every tenant's session ledger must equal its
+//           entry in Database::tenant_billing to the cent (zero
+//           cross-tenant budget bleed under tiered volume pricing).
+//
+//   part 2  closed loop: T tenants x S sessions each drive an
+//           interactive/batch mix (every 4th query is a star join
+//           submitted as query_class "batch"), next query only after the
+//           previous completed. Reports p50/p99 per class, the
+//           result-cache hit rate, and the completed-work spread across
+//           tenants; gates that the per-class p99s stay under generous
+//           absolute bounds (the starvation guard keeps batch bounded
+//           under the interactive flood) and that budget conservation
+//           also holds per tenant when M sessions share one tenant id.
+//
+// `--smoke` runs the tiny configuration and exits 1 if any gate fails —
+// the acceptance checks for the multi-tenant front door, wired into CI.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <map>
+#include <mutex>
+#include <random>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "service/session.h"
+
+using namespace costdb;
+using namespace costdb::bench;
+
+namespace {
+
+double ElapsedSeconds(std::chrono::steady_clock::time_point a,
+                      std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  size_t idx = static_cast<size_t>(p * double(v.size() - 1));
+  return v[idx];
+}
+
+std::unique_ptr<Database> MakeDb(double scale, size_t cap) {
+  DatabaseOptions opts;
+  opts.exec_threads = 2;
+  opts.enable_calibration = false;  // fixed estimates: schedule-exact flood
+  opts.enable_result_cache = true;
+  opts.admission.max_concurrent = cap;
+  opts.admission.record_admissions = true;
+  // Tiered volume pricing so billing exercises the cumulative fold (the
+  // rates are arbitrary; the gates check conservation, not magnitude).
+  opts.pricing.compute_second_tiers = {{0.01, 0.002}, {1.0, 0.001}};
+  auto db = std::make_unique<Database>(opts);
+  SsbOptions data;
+  data.scale = scale;
+  data.row_group_size = 256;
+  LoadSsb(db->meta(), data);
+  return db;
+}
+
+std::string TenantName(int i) { return StrFormat("tenant%d", i); }
+
+/// The seeded statement mix. Every tenant replays the *same* schedule, so
+/// equal-weight fair share should interleave them almost perfectly and
+/// every statement past the first tenant's is a result-cache hit.
+std::vector<std::string> SeededSchedule(int queries, uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> quantity(1, 6);
+  std::uniform_int_distribution<int> discount(0, 3);
+  std::vector<std::string> out;
+  for (int i = 0; i < queries; ++i) {
+    switch (i % 3) {
+      case 0:
+        out.push_back(StrFormat(
+            "SELECT count(*) AS n FROM lineorder WHERE lo_quantity < %d",
+            5 * quantity(rng)));
+        break;
+      case 1:
+        out.push_back(StrFormat(
+            "SELECT sum(lo_revenue) AS rev FROM lineorder "
+            "WHERE lo_discount BETWEEN %d AND %d",
+            discount(rng), 4 + discount(rng)));
+        break;
+      default:
+        out.push_back("SELECT count(*) AS n FROM supplier");
+        break;
+    }
+  }
+  return out;
+}
+
+struct FloodResult {
+  int tenants = 0;
+  double fairness_spread = 0.0;       // first-half max/min admissions
+  long long distinct_statements = 0;  // distinct result-cache keys
+  long long cache_misses = 0;
+  long long cache_hits = 0;
+  bool single_execution = false;  // misses == distinct statements
+  bool bleed_zero = false;        // per-tenant ledger == tenant bill
+  bool all_ok = false;            // every query returned rows
+  double wall_seconds = 0.0;
+};
+
+FloodResult RunFlood(double scale, int tenants, int per_tenant) {
+  FloodResult out;
+  out.tenants = tenants;
+  auto db = MakeDb(scale, /*cap=*/1);
+
+  // Hold the only slot until the whole backlog is queued: the admission
+  // order then depends on the schedule alone, not on submission timing.
+  std::promise<void> release;
+  auto gate = std::shared_future<void>(release.get_future());
+  AdmissionController::Submission blocker;
+  blocker.est_latency = 0.0;
+  blocker.run = [gate] { gate.wait(); };
+  auto blocker_ticket = db->admission()->Submit(std::move(blocker));
+  while (db->admission()->state(blocker_ticket) !=
+         AdmissionController::Ticket::State::kRunning) {
+    std::this_thread::yield();
+  }
+
+  const std::vector<std::string> schedule = SeededSchedule(per_tenant, 1234);
+  std::set<std::string> distinct(schedule.begin(), schedule.end());
+  out.distinct_statements = static_cast<long long>(distinct.size());
+
+  std::vector<std::unique_ptr<Session>> sessions;
+  std::vector<QueryHandlePtr> handles;
+  for (int t = 0; t < tenants; ++t) {
+    SessionOptions so;
+    so.tenant_id = TenantName(t);
+    sessions.push_back(std::make_unique<Session>(db.get(), so));
+    for (const std::string& sql : schedule) {
+      auto handle = sessions.back()->Submit(sql);
+      if (!handle.ok()) {
+        std::printf("flood submit failed: %s\n",
+                    handle.status().ToString().c_str());
+        release.set_value();
+        return out;
+      }
+      handles.push_back(std::move(*handle));
+    }
+  }
+
+  auto t0 = std::chrono::steady_clock::now();
+  release.set_value();
+  out.all_ok = true;
+  for (auto& handle : handles) {
+    auto taken = handle->Take();
+    if (!taken.ok()) {
+      std::printf("flood query failed: %s\n",
+                  taken.status().ToString().c_str());
+      out.all_ok = false;
+    }
+  }
+  out.wall_seconds = ElapsedSeconds(t0, std::chrono::steady_clock::now());
+
+  // Fairness over the first half of the log — while every tenant still
+  // has backlog, so the tail (some tenants done) cannot dilute it.
+  std::map<std::string, size_t> admitted;
+  const auto log = db->admission()->admission_log();
+  size_t counted = 0;
+  const size_t window = (log.size() - 1) / 2;  // minus the blocker
+  for (const auto& e : log) {
+    if (e.tenant.empty()) continue;  // the blocker
+    if (counted++ >= window) break;
+    ++admitted[e.tenant];
+  }
+  size_t min_admitted = SIZE_MAX, max_admitted = 0;
+  for (const auto& [tenant, n] : admitted) {
+    min_admitted = std::min(min_admitted, n);
+    max_admitted = std::max(max_admitted, n);
+  }
+  out.fairness_spread =
+      min_admitted == 0 || admitted.size() < size_t(tenants)
+          ? std::numeric_limits<double>::infinity()
+          : double(max_admitted) / double(min_admitted);
+
+  auto cache = db->result_cache_stats();
+  out.cache_misses = static_cast<long long>(cache.misses);
+  out.cache_hits = static_cast<long long>(cache.hits);
+  out.single_execution = out.cache_misses == out.distinct_statements;
+
+  // Budget conservation: each tenant's session ledger must equal its
+  // tenant bill exactly — dollars never leak across tenants.
+  out.bleed_zero = true;
+  const auto billing = db->tenant_billing();
+  for (int t = 0; t < tenants; ++t) {
+    auto it = billing.find(TenantName(t));
+    if (it == billing.end() ||
+        std::abs(sessions[t]->spent() - it->second.dollars) > 1e-9) {
+      out.bleed_zero = false;
+    }
+  }
+  return out;
+}
+
+struct LoopResult {
+  std::vector<double> interactive;  // per-query seconds
+  std::vector<double> batch;
+  double fairness_spread = 0.0;  // completed work across tenants
+  double cache_hit_rate = 0.0;
+  bool bleed_zero = false;
+  bool all_ok = false;
+  double wall_seconds = 0.0;
+};
+
+LoopResult RunClosedLoop(double scale, int tenants, int sessions_per_tenant,
+                         int iters) {
+  LoopResult out;
+  auto db = MakeDb(scale, /*cap=*/2);
+
+  std::mutex mu;
+  std::map<std::string, Dollars> spent_by_tenant;
+  bool all_ok = true;
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> drivers;
+  for (int t = 0; t < tenants; ++t) {
+    for (int s = 0; s < sessions_per_tenant; ++s) {
+      drivers.emplace_back([&, t, s] {
+        SessionOptions so;
+        so.tenant_id = TenantName(t);
+        Session session(db.get(), so);
+        std::mt19937 rng(1000u + 31u * t + s);
+        std::uniform_int_distribution<int> quantity(1, 6);
+        std::vector<double> inter, batch;
+        bool ok = true;
+        for (int i = 0; i < iters; ++i) {
+          const bool is_batch = i % 4 == 3;
+          Session::SubmitOptions sub;
+          sub.query_class = is_batch ? "batch" : "interactive";
+          const std::string sql =
+              is_batch ? FindQuery("Q3").sql
+                       : StrFormat("SELECT count(*) AS n FROM lineorder "
+                                   "WHERE lo_quantity < %d",
+                                   5 * quantity(rng));
+          auto q0 = std::chrono::steady_clock::now();
+          auto handle = session.Submit(sql, sub);
+          if (!handle.ok()) {
+            ok = false;
+            continue;
+          }
+          auto taken = (*handle)->Take();
+          auto q1 = std::chrono::steady_clock::now();
+          if (!taken.ok()) {
+            ok = false;
+            continue;
+          }
+          (is_batch ? batch : inter).push_back(ElapsedSeconds(q0, q1));
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        out.interactive.insert(out.interactive.end(), inter.begin(),
+                               inter.end());
+        out.batch.insert(out.batch.end(), batch.begin(), batch.end());
+        spent_by_tenant[so.tenant_id] += session.spent();
+        all_ok = all_ok && ok;
+      });
+    }
+  }
+  for (auto& d : drivers) d.join();
+  out.wall_seconds = ElapsedSeconds(t0, std::chrono::steady_clock::now());
+  out.all_ok = all_ok;
+
+  // Equal-weight tenants driving identical closed loops should complete
+  // near-identical work.
+  auto stats = db->admission()->tenant_stats();
+  size_t min_done = SIZE_MAX, max_done = 0;
+  for (const auto& [tenant, ts] : stats) {
+    min_done = std::min(min_done, ts.completed);
+    max_done = std::max(max_done, ts.completed);
+  }
+  out.fairness_spread =
+      min_done == 0 ? std::numeric_limits<double>::infinity()
+                    : double(max_done) / double(min_done);
+
+  auto cache = db->result_cache_stats();
+  const double lookups = double(cache.hits + cache.misses);
+  out.cache_hit_rate = lookups == 0.0 ? 0.0 : double(cache.hits) / lookups;
+
+  // M sessions of one tenant settle into one bill; the sum of their
+  // ledgers must still equal it exactly.
+  out.bleed_zero = true;
+  const auto billing = db->tenant_billing();
+  for (const auto& [tenant, spent] : spent_by_tenant) {
+    auto it = billing.find(tenant);
+    if (it == billing.end() || std::abs(spent - it->second.dollars) > 1e-9) {
+      out.bleed_zero = false;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int tenants = 4;
+  int flood_per_tenant = 40;
+  int loop_sessions = 3;
+  int loop_iters = 40;
+  double scale = 0.02;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      tenants = 3;
+      flood_per_tenant = 12;
+      loop_sessions = 2;
+      loop_iters = 12;
+      scale = 0.01;
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--tenants") == 0 && i + 1 < argc) {
+      tenants = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--per-tenant") == 0 && i + 1 < argc) {
+      flood_per_tenant = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--sessions") == 0 && i + 1 < argc) {
+      loop_sessions = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
+      loop_iters = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+      scale = std::atof(argv[++i]);
+    }
+  }
+
+  PrintHeader("E16 — multi-tenant front door under tenant stress",
+              "Weighted fair share interleaves tenants, the result cache "
+              "single-flights hot statements, and tiered per-tenant bills "
+              "conserve every dollar.");
+
+  std::printf("\nflood: %d tenants x %d queries, one admission slot\n",
+              tenants, flood_per_tenant);
+  FloodResult flood = RunFlood(scale, tenants, flood_per_tenant);
+  TablePrinter ft({"metric", "value"});
+  ft.AddRow({"fairness spread (first half)",
+             StrFormat("%.3f", flood.fairness_spread)});
+  ft.AddRow({"distinct statements",
+             StrFormat("%lld", flood.distinct_statements)});
+  ft.AddRow({"result-cache misses", StrFormat("%lld", flood.cache_misses)});
+  ft.AddRow({"result-cache hits", StrFormat("%lld", flood.cache_hits)});
+  ft.AddRow({"single execution per statement",
+             flood.single_execution ? "yes" : "NO"});
+  ft.AddRow({"zero budget bleed", flood.bleed_zero ? "yes" : "NO"});
+  ft.AddRow({"drain wall", StrFormat("%.2f s", flood.wall_seconds)});
+  std::printf("%s", ft.ToString().c_str());
+
+  std::printf(
+      "\nclosed loop: %d tenants x %d sessions x %d queries (cap=2), "
+      "every 4th a star join in class \"batch\"\n",
+      tenants, loop_sessions, loop_iters);
+  LoopResult loop =
+      RunClosedLoop(scale, tenants, loop_sessions, loop_iters);
+  const double inter_p50 = Percentile(loop.interactive, 0.5);
+  const double inter_p99 = Percentile(loop.interactive, 0.99);
+  const double batch_p50 = Percentile(loop.batch, 0.5);
+  const double batch_p99 = Percentile(loop.batch, 0.99);
+  TablePrinter lt({"class", "queries", "p50", "p99"});
+  lt.AddRow({"interactive", StrFormat("%zu", loop.interactive.size()),
+             StrFormat("%.2f ms", 1e3 * inter_p50),
+             StrFormat("%.2f ms", 1e3 * inter_p99)});
+  lt.AddRow({"batch", StrFormat("%zu", loop.batch.size()),
+             StrFormat("%.2f ms", 1e3 * batch_p50),
+             StrFormat("%.2f ms", 1e3 * batch_p99)});
+  std::printf("%s", lt.ToString().c_str());
+  std::printf(
+      "completed-work spread %.3f, cache hit rate %.2f, budget "
+      "conserved: %s\n",
+      loop.fairness_spread, loop.cache_hit_rate,
+      loop.bleed_zero ? "yes" : "NO");
+
+  // Generous absolute bounds: the gate catches a scheduler that starves a
+  // class (seconds of queue wait), not machine-speed variance.
+  const bool fairness_ok =
+      flood.fairness_spread <= 1.25 && loop.fairness_spread <= 1.25;
+  const bool p99_ok = loop.all_ok && inter_p99 < 2.0 && batch_p99 < 15.0;
+  const bool bleed_zero = flood.bleed_zero && loop.bleed_zero;
+  const bool cache_ok = flood.single_execution && loop.cache_hit_rate > 0.0;
+
+  const std::string json_path = JsonPathFromArgs(argc, argv);
+  if (!json_path.empty()) {
+    BenchJson json;
+    json.SetInt("gate_tenants", tenants);
+    json.Set("gate_flood_fairness_spread", flood.fairness_spread);
+    json.SetBool("gate_fairness_ok", fairness_ok);
+    json.SetInt("gate_distinct_statements", flood.distinct_statements);
+    json.SetBool("gate_cache_single_execution", flood.single_execution);
+    json.SetBool("gate_bleed_zero", bleed_zero);
+    json.SetBool("gate_p99_ok", p99_ok);
+    json.SetBool("gate_cache_hits_nonzero", loop.cache_hit_rate > 0.0);
+    json.Set("flood_wall_s", flood.wall_seconds);
+    json.SetInt("flood_cache_hits", flood.cache_hits);
+    json.Set("loop_wall_s", loop.wall_seconds);
+    json.Set("loop_interactive_p50_ms", 1e3 * inter_p50);
+    json.Set("loop_interactive_p99_ms", 1e3 * inter_p99);
+    json.Set("loop_batch_p50_ms", 1e3 * batch_p50);
+    json.Set("loop_batch_p99_ms", 1e3 * batch_p99);
+    json.Set("loop_fairness_spread", loop.fairness_spread);
+    json.Set("loop_cache_hit_rate", loop.cache_hit_rate);
+    if (!json.WriteFile(json_path)) return 1;
+  }
+
+  if (smoke) {
+    std::printf(
+        "\nsmoke: fairness: %s; single-flight cache: %s; budget "
+        "conserved: %s; p99 bounded: %s\n",
+        fairness_ok ? "yes" : "NO", cache_ok ? "yes" : "NO",
+        bleed_zero ? "yes" : "NO", p99_ok ? "yes" : "NO");
+    if (!flood.all_ok || !fairness_ok || !cache_ok || !bleed_zero ||
+        !p99_ok) {
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -141,6 +141,14 @@ run_build_stage() {
     echo "bench smoke FAILED: no --smoke-capable bench found"
     exit 1
   fi
+  # The tenant stress suite is a hard acceptance gate for the multi-tenant
+  # front door: assert the data-driven discovery actually picked it up
+  # (and snapshot-gated it), so a rename or a dropped --smoke flag cannot
+  # silently retire it.
+  if [ ! -f "$build_dir/BENCH_bench_e16_tenants.json" ]; then
+    echo "bench smoke FAILED: bench_e16_tenants was not discovered/snapshotted"
+    exit 1
+  fi
   "$build_dir/bench_f3_endtoend" > /dev/null
   echo "bench smoke OK ($smoked benches, $gated snapshot-gated)"
 
@@ -187,14 +195,17 @@ run_asan_stage() {
   # ---- ASAN/UBSAN: the execution layer moves borrowed row-group columns,
   # selection vectors, and cross-worker chunks around — shake out lifetime
   # and indexing bugs on the tests that drive it hardest.
-  echo "== ASAN/UBSAN (exec + vectorized + sharded + elastic) =="
+  # tenant_test rides along: result-cache hits copy materialized chunks
+  # across sessions and the cache leader publishes rows other threads
+  # consume — lifetime bugs there are exactly ASAN's domain.
+  echo "== ASAN/UBSAN (exec + vectorized + sharded + elastic + tenant) =="
   local build_dir="${ASAN_BUILD_DIR:-build-asan}"
   cmake -B "$build_dir" -S . -DCOSTDB_ASAN=ON -DCMAKE_BUILD_TYPE=Debug \
     "${CMAKE_LAUNCHER_ARGS[@]}"
   cmake --build "$build_dir" -j "$JOBS" \
-    --target exec_test vectorized_test sharded_test elastic_test
+    --target exec_test vectorized_test sharded_test elastic_test tenant_test
   local t
-  for t in exec_test vectorized_test sharded_test elastic_test; do
+  for t in exec_test vectorized_test sharded_test elastic_test tenant_test; do
     ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
       "$build_dir/$t"
   done
@@ -209,14 +220,17 @@ run_tsan_stage() {
   # vectorized_test rides along because the fused kernel tier shares one
   # stateless registry across all morsel-processing threads — the parity
   # suite is the densest driver of that shared dispatch point.
-  echo "== TSAN (service + session + sharded + elastic + vectorized) =="
+  # tenant_test is required here by design: the concurrent-cancel ledger
+  # property and the 16-way single-flight result-cache test only prove
+  # anything under the race detector.
+  echo "== TSAN (service + session + tenant + sharded + elastic + vectorized) =="
   local build_dir="${TSAN_BUILD_DIR:-build-tsan}"
   cmake -B "$build_dir" -S . -DCOSTDB_TSAN=ON "${CMAKE_LAUNCHER_ARGS[@]}"
   cmake --build "$build_dir" -j "$JOBS" \
-    --target service_test session_test sharded_test elastic_test \
-    vectorized_test
+    --target service_test session_test tenant_test sharded_test \
+    elastic_test vectorized_test
   local t
-  for t in service_test session_test sharded_test elastic_test \
+  for t in service_test session_test tenant_test sharded_test elastic_test \
            vectorized_test; do
     TSAN_OPTIONS="halt_on_error=1" "$build_dir/$t"
   done

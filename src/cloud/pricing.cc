@@ -1,6 +1,28 @@
 #include "cloud/pricing.h"
 
+#include <algorithm>
+
 namespace costdb {
+
+Dollars TieredCost(double from, double to, const TieredSchedule& schedule,
+                   Dollars flat_price_per_unit) {
+  if (to <= from) return 0.0;
+  if (schedule.empty()) return (to - from) * flat_price_per_unit;
+  Dollars total = 0.0;
+  double cursor = from;
+  for (const PriceTier& tier : schedule) {
+    if (cursor >= to) break;
+    if (tier.upto <= cursor) continue;  // tier fully below the span
+    const double slice_end = std::min(to, tier.upto);
+    total += (slice_end - cursor) * tier.price_per_unit;
+    cursor = slice_end;
+  }
+  // Consumption past the last boundary keeps the last tier's rate.
+  if (cursor < to) {
+    total += (to - cursor) * schedule.back().price_per_unit;
+  }
+  return total;
+}
 
 PricingCatalog PricingCatalog::Default() {
   PricingCatalog c;

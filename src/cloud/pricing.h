@@ -23,6 +23,30 @@ struct InstanceType {
   Dollars price_per_second() const { return price_per_hour / kSecondsPerHour; }
 };
 
+/// One level of a tiered volume price: consumption up to `upto` units
+/// (cumulative, from the start of the billing window) is charged at
+/// `price_per_unit`. Tiers are ordered by ascending `upto`; consumption
+/// beyond the last tier's boundary stays at the last tier's rate.
+struct PriceTier {
+  double upto = 0.0;            // cumulative-units upper bound of this tier
+  Dollars price_per_unit = 0.0;
+};
+
+/// A tiered volume price schedule (production clouds price storage and
+/// egress this way: the first N units at one rate, the next M cheaper,
+/// ...). Empty = flat pricing at whatever rate the caller falls back to.
+using TieredSchedule = std::vector<PriceTier>;
+
+/// Price the marginal consumption (from, to] against a tiered schedule by
+/// folding it across the tier boundaries: each tier charges only the
+/// slice of (from, to] that falls inside it. Cumulative positioning is
+/// what makes the schedule "volume" pricing — a tenant resuming at 150
+/// units pays tier-2 rates even for a small increment. With an empty
+/// schedule the whole span is charged at `flat_price_per_unit`; beyond
+/// the last tier boundary the last tier's rate applies.
+Dollars TieredCost(double from, double to, const TieredSchedule& schedule,
+                   Dollars flat_price_per_unit);
+
 /// Price list for the simulated provider. Prices are modeled on typical
 /// public-cloud on-demand rates circa the paper (general-purpose 8 vCPU
 /// node ~ $0.40/h); absolute values only scale the dollar axis of every

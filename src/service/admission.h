@@ -6,14 +6,35 @@
 #include <deque>
 #include <functional>
 #include <limits>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/units.h"
 
 namespace costdb {
+
+/// Admission quota of one tenant. The controller schedules tenants by
+/// weighted fair share: each admission advances the tenant's virtual work
+/// by (predicted latency / weight), and the tenant with the least virtual
+/// work owns the next slot — so over a contended window every tenant's
+/// share of admitted work is proportional to its weight, regardless of how
+/// fast it submits. Quotas bound what one tenant can hold at once.
+struct TenantQuota {
+  /// Fair-share weight. A weight-3 tenant is admitted 3x the work of a
+  /// weight-1 tenant while both have queued queries.
+  double weight = 1.0;
+  /// Queries of this tenant running at once (0 = only the global cap).
+  size_t max_concurrent = 0;
+  /// Cap on the summed estimated working set of this tenant's running
+  /// queries. Like the global cap, a single oversized query still runs —
+  /// alone within the tenant — so it degrades to serial, not starvation.
+  double max_estimated_memory_bytes =
+      std::numeric_limits<double>::infinity();
+};
 
 struct AdmissionOptions {
   /// Queries running at once (admission worker count). 0 = pick up the
@@ -25,18 +46,36 @@ struct AdmissionOptions {
   double max_estimated_memory_bytes =
       std::numeric_limits<double>::infinity();
   /// Starvation guard: a queued query older than this is admitted next
-  /// regardless of its cost ranking.
+  /// regardless of its cost ranking. The guard is per *class* (each
+  /// submission's query_class), not just global — a stream of cheap
+  /// interactive queries cannot indefinitely defer the batch class,
+  /// because the oldest ticket of every class is tracked separately.
   Seconds max_queue_wait = 300.0;
+  /// Quota applied to tenants without an explicit entry in tenant_quotas.
+  TenantQuota default_quota;
+  /// Per-tenant quota overrides, keyed by Submission::tenant.
+  std::map<std::string, TenantQuota> tenant_quotas;
+  /// Time source for queue-wait accounting. Tests inject a virtual clock
+  /// (tests/admission_testing.h) so starvation/fairness assertions are
+  /// schedule-exact instead of sleep-based. Null = steady_clock::now.
+  std::function<std::chrono::steady_clock::time_point()> clock;
+  /// Record every admission (tenant, class, predicted work) in order.
+  /// Diagnostics for fairness tests and benches; off by default because
+  /// the log grows unbounded.
+  bool record_admissions = false;
 };
 
-/// Cost-aware admission control for asynchronously submitted queries: the
-/// run queue is ordered by the shared CostEstimator's predictions rather
-/// than submission order. Under a saturated concurrency cap the cheapest
-/// (shortest-predicted) admissible query runs first, with the earlier SLA
-/// deadline breaking ties — the scheduling analogue of the paper's
-/// cost-intelligence argument: admission, not just plan choice, decides
-/// what a query costs at the front door. A wall-clock starvation guard
-/// bounds how long cost ordering can defer an expensive query.
+/// Cost-aware, tenant-fair admission control for asynchronously submitted
+/// queries. The run queue is a weighted fair-share scheduler across
+/// tenants layered over the shared CostEstimator's predictions: the tenant
+/// with the least weight-normalized admitted work owns the next slot, and
+/// within that tenant the cheapest (shortest-predicted) admissible query
+/// runs first, with the earlier SLA deadline breaking ties — the
+/// scheduling analogue of the paper's cost-intelligence argument:
+/// admission, not just plan choice, decides what a query costs at the
+/// front door. Per-tenant concurrency/memory quotas bound what one tenant
+/// can hold, and a per-class wall-clock starvation guard bounds how long
+/// cost ordering can defer any class of query.
 class AdmissionController {
  public:
   using RunFn = std::function<void()>;
@@ -47,6 +86,11 @@ class AdmissionController {
     Dollars est_cost = 0.0;      // estimator's predicted bill
     double est_memory_bytes = 0.0;  // predicted working set (breakers)
     Seconds sla_deadline = std::numeric_limits<double>::infinity();
+    /// Fair-share accounting key ("" = the default tenant).
+    std::string tenant;
+    /// Starvation-guard class ("" = unclassified). Typically the
+    /// workload class: "interactive", "batch", ...
+    std::string query_class;
     RunFn run;                   // executed on an admission worker
     /// Invoked (outside the controller lock, at most once) when the
     /// ticket is cancelled while queued — by Cancel() or by controller
@@ -61,9 +105,13 @@ class AdmissionController {
 
    private:
     friend class AdmissionController;
-    // All fields guarded by the controller's mutex.
+    // All fields guarded by the controller's mutex. Tenant/work are
+    // copied out of the submission so completion accounting survives the
+    // sub reset that breaks owner<->ticket reference cycles.
     State state = State::kQueued;
     uint64_t seq = 0;
+    std::string tenant;
+    Seconds est_latency = 0.0;
     Submission sub;
     std::chrono::steady_clock::time_point enqueued_at;
   };
@@ -89,6 +137,15 @@ class AdmissionController {
 
   Ticket::State state(const TicketPtr& ticket) const;
 
+  /// Re-evaluate the queue now. Only needed when admissibility changed
+  /// without a queue event — e.g. a test advanced the injected clock past
+  /// the starvation deadline, or a quota was edited mid-run.
+  void Poke();
+
+  /// Replace (or register) one tenant's quota. Applies to queued and
+  /// future submissions; running queries are never evicted.
+  void SetTenantQuota(const std::string& tenant, TenantQuota quota);
+
   struct Stats {
     size_t submitted = 0;
     size_t started = 0;
@@ -100,6 +157,30 @@ class AdmissionController {
   };
   Stats stats() const;
 
+  /// Per-tenant scheduling ledger.
+  struct TenantStats {
+    size_t submitted = 0;
+    size_t admitted = 0;
+    size_t completed = 0;
+    size_t cancelled = 0;
+    size_t queued = 0;   // waiting right now
+    size_t running = 0;  // admitted, not yet finished
+    /// Sum of predicted latency over admitted queries — the "work" whose
+    /// share the fair-share scheduler equalizes by weight.
+    double admitted_work = 0.0;
+    double weight = 1.0;
+  };
+  std::map<std::string, TenantStats> tenant_stats() const;
+
+  /// One admission, in order (options.record_admissions only).
+  struct AdmissionEvent {
+    std::string tenant;
+    std::string query_class;
+    Seconds est_latency = 0.0;
+    uint64_t seq = 0;
+  };
+  std::vector<AdmissionEvent> admission_log() const;
+
   size_t max_concurrent() const { return workers_.size(); }
 
   /// Queries waiting in the queue right now (the admission backlog).
@@ -110,20 +191,47 @@ class AdmissionController {
   double queue_pressure() const;
 
  private:
+  /// Scheduling state of one tenant. Created on first submission; quota
+  /// resolved from options (tenant_quotas else default_quota).
+  struct TenantState {
+    TenantQuota quota;
+    size_t running = 0;
+    double running_memory = 0.0;
+    /// Weight-normalized admitted work (the deficit counter): admitting a
+    /// query adds est_latency / weight. The scheduler always serves the
+    /// tenant with the least virtual work among those with an admissible
+    /// queued query.
+    double virtual_work = 0.0;
+    TenantStats stats;
+  };
+
   void WorkerLoop();
   /// Pick the best admissible queued ticket (nullptr when none fits).
   /// Caller holds mu_.
   TicketPtr PickNext();
+  std::chrono::steady_clock::time_point Now() const;
+  /// Tenant state, created (and fair-share-aligned) on first use. Caller
+  /// holds mu_.
+  TenantState& TenantOf(const std::string& tenant);
+  /// Global memory cap + the ticket's tenant quotas. Caller holds mu_.
+  bool Admissible(const Ticket& t);
+  /// Tenant quota portion of Admissible — split out so the starvation
+  /// guard can distinguish "blocked by its own tenant's quota" (skip it;
+  /// that tenant is not starved, it is saturated) from "blocked by the
+  /// global memory cap" (hold the door until the pool drains).
+  bool TenantBlocked(const Ticket& t);
 
   AdmissionOptions options_;
   mutable std::mutex mu_;
   std::condition_variable cv_;        // queue/shutdown changes
   std::condition_variable done_cv_;   // ticket completion
   std::deque<TicketPtr> queue_;
+  std::map<std::string, TenantState> tenants_;
   double running_memory_ = 0.0;
   size_t running_ = 0;
   uint64_t next_seq_ = 0;
   Stats stats_;
+  std::vector<AdmissionEvent> admission_log_;
   bool shutdown_ = false;
   std::vector<std::thread> workers_;
 };

@@ -22,7 +22,14 @@ Database::Database(DatabaseOptions options)
       std::make_unique<DistributedSimulator>(estimator_.get(), options_.sim);
   calibration_ =
       std::make_unique<CalibrationUpdater>(&hw_, options_.calibration);
-  engine_ = std::make_unique<LocalEngine>(options_.exec_threads);
+  // Serial engines live in tenant-hashed lock shards and are built
+  // lazily: a process serving one tenant spins up one engine pool, not
+  // engine_shards of them.
+  const size_t shards = std::max<size_t>(1, options_.engine_shards);
+  engine_shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    engine_shards_.push_back(std::make_unique<EngineShard>());
+  }
   AdmissionOptions admission = options_.admission;
   if (admission.max_concurrent == 0) {
     admission.max_concurrent = options_.batch_threads;
@@ -42,6 +49,34 @@ std::string Database::CacheKey(const std::string& shape,
   key += StrFormat("%.17g|%.17g|w%d", constraint.latency_sla,
                    constraint.budget, constraint.workers);
   return key;
+}
+
+std::string Database::ResultKey(const std::string& shape,
+                                const UserConstraint& constraint,
+                                const std::vector<Value>& params) {
+  std::string key = CacheKey(shape, constraint);
+  key += '\x1e';
+  for (const Value& v : params) {
+    // Type tags keep 1, 1.0, and '1' distinct keys — same printed form,
+    // different scan predicates.
+    if (v.is_null()) {
+      key += 'n';
+    } else if (v.is_int()) {
+      key += 'i';
+    } else if (v.is_double()) {
+      key += 'd';
+    } else {
+      key += 's';
+    }
+    key += v.ToString();
+    key += '\x1e';
+  }
+  return key;
+}
+
+Database::EngineShard& Database::ShardFor(const std::string& tenant) {
+  return *engine_shards_[std::hash<std::string>{}(tenant) %
+                         engine_shards_.size()];
 }
 
 namespace {
@@ -194,7 +229,7 @@ Result<PlannedQuery> Database::BindPreparedPlan(
 
 Result<ExecutionResult> Database::ExecuteSharded(
     std::shared_ptr<const PlannedQuery> plan, bool cache_hit, size_t workers,
-    bool serial) {
+    bool serial, const std::string& tenant) {
   ExecutionResult out;
   out.plan = std::move(plan);
   out.plan_cache_hit = cache_hit;
@@ -243,8 +278,9 @@ Result<ExecutionResult> Database::ExecuteSharded(
   };
 
   if (serial) {
-    std::lock_guard<std::mutex> lock(engine_mu_);
-    auto& engine = sharded_[workers];
+    EngineShard& shard = ShardFor(tenant);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto& engine = shard.sharded[workers];
     if (engine == nullptr) {
       engine = std::make_unique<ShardedEngine>(
           workers, options_.sharded_threads_per_worker);
@@ -283,16 +319,25 @@ BillingMeter Database::billing_snapshot() const {
 
 Result<ExecutionResult> Database::ExecutePlanned(
     std::shared_ptr<const PlannedQuery> plan, bool cache_hit,
-    LocalEngine* engine) {
+    LocalEngine* engine, const std::string& tenant) {
+  // A caller-owned LocalEngine means the caller runs concurrently.
+  const bool concurrent = engine != nullptr;
+  return ExecuteMaterialized(std::move(plan), cache_hit, engine, tenant,
+                             concurrent);
+}
+
+Result<ExecutionResult> Database::ExecuteMaterialized(
+    std::shared_ptr<const PlannedQuery> plan, bool cache_hit,
+    LocalEngine* engine, const std::string& tenant, bool concurrent) {
   const size_t workers = std::min<size_t>(
       plan->workers > 0 ? static_cast<size_t>(plan->workers) : 1,
       std::max<size_t>(1, options_.max_workers));
   if (workers > 1) {
     // Partitioned execution: the plan's resolved worker knob routes the
-    // query to the sharded backend. A caller-owned LocalEngine means the
-    // caller runs concurrently — build a private sharded engine too.
+    // query to the sharded backend; concurrent callers get a private
+    // sharded engine instead of the tenant shard's cached one.
     return ExecuteSharded(std::move(plan), cache_hit, workers,
-                          /*serial=*/engine == nullptr);
+                          /*serial=*/!concurrent, tenant);
   }
   ExecutionResult out;
   out.plan = std::move(plan);
@@ -303,18 +348,24 @@ Result<ExecutionResult> Database::ExecutePlanned(
     out.fused = engine->last_fused_stats();
     return out;
   }
-  // Serial path: reuse the long-lived engine (its worker pool outlives
-  // queries); timings are per-run engine state, so access is exclusive.
-  std::lock_guard<std::mutex> lock(engine_mu_);
-  COSTDB_ASSIGN_OR_RETURN(out.result, engine_->Execute(out.plan->plan.get()));
-  out.timings = engine_->last_timings();
-  out.fused = engine_->last_fused_stats();
+  // Serial path: reuse the tenant shard's long-lived engine (its worker
+  // pool outlives queries); timings are per-run engine state, so access
+  // within the shard is exclusive.
+  EngineShard& shard = ShardFor(tenant);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.engine == nullptr) {
+    shard.engine = std::make_unique<LocalEngine>(options_.exec_threads);
+  }
+  COSTDB_ASSIGN_OR_RETURN(out.result,
+                          shard.engine->Execute(out.plan->plan.get()));
+  out.timings = shard.engine->last_timings();
+  out.fused = shard.engine->last_fused_stats();
   return out;
 }
 
 Result<ExecutionResult> Database::ExecutePlannedToSink(
     std::shared_ptr<const PlannedQuery> plan, bool cache_hit, ChunkSink* sink,
-    LocalEngine* engine) {
+    LocalEngine* engine, const std::string& tenant) {
   const size_t workers = std::min<size_t>(
       plan->workers > 0 ? static_cast<size_t>(plan->workers) : 1,
       std::max<size_t>(1, options_.max_workers));
@@ -329,7 +380,7 @@ Result<ExecutionResult> Database::ExecutePlannedToSink(
     ExecutionResult out;
     COSTDB_ASSIGN_OR_RETURN(
         out, ExecuteSharded(std::move(plan), cache_hit, workers,
-                            /*serial=*/false));
+                            /*serial=*/false, tenant));
     QueryResult gathered = std::move(out.result);
     out.result.names = gathered.names;
     out.result.types = gathered.types;
@@ -353,6 +404,180 @@ Result<ExecutionResult> Database::ExecutePlannedToSink(
   // caller draining leftovers (QueryHandle::Take) can append into it.
   out.result.chunk = DataChunk(out.result.types);
   return out;
+}
+
+Result<ExecutionResult> Database::ExecutePlannedCached(
+    std::shared_ptr<const PlannedQuery> plan, bool cache_hit,
+    const std::string& result_key, ChunkSink* sink, LocalEngine* engine,
+    const std::string& tenant) {
+  if (!options_.enable_result_cache || result_key.empty()) {
+    if (sink != nullptr) {
+      return ExecutePlannedToSink(std::move(plan), cache_hit, sink, engine,
+                                  tenant);
+    }
+    return ExecutePlanned(std::move(plan), cache_hit, engine, tenant);
+  }
+  std::shared_ptr<PlanInFlight> flight;
+  int executed_under_version = 0;
+  {
+    std::unique_lock<std::mutex> lock(cache_mu_);
+    while (true) {
+      auto it = result_cache_.find(result_key);
+      if (it != result_cache_.end()) {
+        if (it->second.calibration_version == calibration_version_ &&
+            TableLayoutsCurrent(it->second.table_layouts)) {
+          ++result_cache_stats_.hits;
+          it->second.last_used = ++result_cache_tick_;
+          std::shared_ptr<const QueryResult> rows = it->second.result;
+          lock.unlock();
+          // Serve the materialized rows; no engine runs, timings stay
+          // empty (the calibration loop correctly observes nothing).
+          ExecutionResult out;
+          out.plan = std::move(plan);
+          out.plan_cache_hit = cache_hit;
+          out.result_cache_hit = true;
+          out.result.names = rows->names;
+          out.result.types = rows->types;
+          if (sink != nullptr) {
+            out.result.chunk = DataChunk(rows->types);
+            if (rows->chunk.num_rows() > 0) {
+              DataChunk copy = rows->chunk;
+              COSTDB_RETURN_NOT_OK(sink->Push(std::move(copy)));
+            }
+          } else {
+            out.result.chunk = rows->chunk;
+          }
+          return out;
+        }
+        // The calibration moved or a scanned table's layout changed since
+        // these rows were produced; they may describe data that no longer
+        // exists. Drop and re-execute.
+        result_cache_.erase(it);
+        ++result_cache_stats_.invalidations;
+        break;
+      }
+      // Single-flight: someone is already executing this exact statement;
+      // wait for their rows instead of running the same plan again.
+      auto in_flight = result_flights_.find(result_key);
+      if (in_flight == result_flights_.end()) break;  // become the leader
+      auto ticket = in_flight->second;
+      ticket->cv.wait(lock, [&] { return ticket->done; });
+      // Re-check: the leader published (hit), failed (we take over), or
+      // the entry went stale meanwhile (we re-execute).
+    }
+    ++result_cache_stats_.misses;
+    // Snapshot before executing: if calibration moves during the run, the
+    // entry must record the version the rows were produced under.
+    executed_under_version = calibration_version_;
+    flight = std::make_shared<PlanInFlight>();
+    result_flights_[result_key] = flight;
+  }
+  // Leader: run once, materialized (the cache stores rows), preserving
+  // the caller's concurrency — a sink/engine caller is an admission
+  // worker and must not serialize on the tenant shard's engines.
+  const bool concurrent = sink != nullptr || engine != nullptr;
+  auto executed =
+      ExecuteMaterialized(plan, cache_hit, engine, tenant, concurrent);
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (executed.ok()) {
+      ResultCacheEntry entry;
+      entry.result = std::make_shared<const QueryResult>(executed->result);
+      entry.calibration_version = executed_under_version;
+      CollectScanTables(plan->plan.get(), &entry.table_layouts);
+      entry.last_used = ++result_cache_tick_;
+      result_cache_[result_key] = std::move(entry);
+      while (result_cache_.size() >
+             std::max<size_t>(1, options_.result_cache_max_entries)) {
+        auto victim = result_cache_.begin();
+        for (auto it = result_cache_.begin(); it != result_cache_.end();
+             ++it) {
+          if (it->second.last_used < victim->second.last_used) victim = it;
+        }
+        result_cache_.erase(victim);
+        ++result_cache_stats_.evictions;
+      }
+    }
+    // On failure the flight is simply abandoned — the next waiter wakes,
+    // finds no entry, and takes over as leader.
+    result_flights_.erase(result_key);
+    flight->done = true;
+  }
+  flight->cv.notify_all();
+  if (!executed.ok()) return executed.status();
+  if (sink != nullptr) {
+    // Streaming contract: rows go through the sink, the result keeps an
+    // empty correctly-laid-out chunk (see ExecutePlannedToSink).
+    QueryResult materialized = std::move(executed->result);
+    executed->result.names = materialized.names;
+    executed->result.types = materialized.types;
+    executed->result.chunk = DataChunk(materialized.types);
+    if (materialized.chunk.num_rows() > 0) {
+      COSTDB_RETURN_NOT_OK(sink->Push(std::move(materialized.chunk)));
+    }
+  }
+  return executed;
+}
+
+Dollars Database::SettleTenantBill(const std::string& tenant,
+                                   ExecutionResult* executed,
+                                   Dollars reserved) {
+  if (executed == nullptr) return reserved;
+  Dollars actual = reserved;
+  double seconds = 0.0;
+  if (!executed->result_cache_hit) {
+    // Machine time consumed: measured worker-seconds for sharded runs,
+    // summed pipeline wall times for local ones.
+    seconds = executed->usage.worker_seconds;
+    if (seconds <= 0.0) {
+      for (const auto& t : executed->timings) seconds += t.seconds;
+    }
+  }
+  std::lock_guard<std::mutex> lock(tenant_mu_);
+  TenantBill& bill = tenant_billing_[tenant];
+  if (executed->result_cache_hit) {
+    // Serving cached rows costs memory bandwidth, not an execution.
+    actual = reserved * options_.pricing.result_cache_hit_factor;
+    executed->billed_dollars = actual;
+    ++bill.result_cache_hits;
+  } else if (!options_.pricing.compute_second_tiers.empty()) {
+    // Tiered volume pricing folds this run's marginal consumption across
+    // the tenant's *cumulative* position in the schedule — heavy tenants
+    // slide into cheaper tiers, exactly like production storage/egress
+    // price sheets.
+    actual =
+        TieredCost(bill.machine_seconds, bill.machine_seconds + seconds,
+                   options_.pricing.compute_second_tiers,
+                   node_.price_per_second());
+    executed->billed_dollars = actual;
+  } else if (executed->billed_dollars > 0.0) {
+    // Flat pricing, sharded run: settle to the measured cloud bill.
+    actual = executed->billed_dollars;
+  }
+  // Flat pricing, local run: the reservation stands (pre-tenancy
+  // behavior; billed_dollars stays 0 so callers can tell).
+  bill.machine_seconds += seconds;
+  bill.dollars += actual;
+  ++bill.runs;
+  return actual;
+}
+
+std::map<std::string, Database::TenantBill> Database::tenant_billing() const {
+  std::lock_guard<std::mutex> lock(tenant_mu_);
+  return tenant_billing_;
+}
+
+Database::ResultCacheStats Database::result_cache_stats() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  ResultCacheStats stats = result_cache_stats_;
+  stats.entries = result_cache_.size();
+  return stats;
+}
+
+void Database::ClearResultCache() {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  result_cache_.clear();
+  result_cache_stats_ = ResultCacheStats{};
 }
 
 CalibrationReport Database::Calibrate(const ExecutionResult& executed) {

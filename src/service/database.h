@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "cloud/billing.h"
+#include "cloud/pricing.h"
 #include "cost/calibration_updater.h"
 #include "exec/engine.h"
 #include "exec/sharded_engine.h"
@@ -20,6 +21,19 @@
 #include "sim/harness.h"
 
 namespace costdb {
+
+/// Production-shaped billing knobs, applied per tenant when sessions
+/// settle through Database::SettleTenantBill.
+struct TenantPricingOptions {
+  /// Tiered volume price over a tenant's *cumulative* compute
+  /// machine-seconds (cloud/pricing.h): the first N seconds at one rate,
+  /// the next cheaper, ... Empty = flat pricing at the node price — the
+  /// pre-tenancy behavior, byte for byte.
+  TieredSchedule compute_second_tiers;
+  /// A result-cache hit is billed this fraction of the query's estimated
+  /// cost (serving bytes from memory, not running the plan).
+  double result_cache_hit_factor = 0.05;
+};
 
 struct DatabaseOptions {
   /// Morsel workers per executed query (one local "node").
@@ -43,6 +57,23 @@ struct DatabaseOptions {
   /// case do not fragment the cache, and prepared statements share one
   /// entry across all parameter values.
   bool enable_plan_cache = true;
+  /// Shared result cache keyed by (statement shape, constraint, bound
+  /// parameter vector): a hot repeated statement costs one execution, and
+  /// every later identical submit is served the materialized rows.
+  /// Entries are stamped with the calibration version and the layout
+  /// versions of every scanned table; any drift misses. Single-flighted
+  /// like the plan cache: N concurrent identical submits run the plan
+  /// once. Off by default — results can be large and callers must opt
+  /// into staleness-by-version semantics.
+  bool enable_result_cache = false;
+  /// LRU capacity of the result cache (entries, not bytes).
+  size_t result_cache_max_entries = 256;
+  /// Lock shards of the facade's serial execution engines: tenants hash
+  /// onto shards, so one tenant's serial query never queues behind
+  /// another tenant's engine lock.
+  size_t engine_shards = 4;
+  /// Per-tenant billing shape (tiered volume pricing, cache-hit rate).
+  TenantPricingOptions pricing;
   /// Feed executed-pipeline wall times back into the hardware calibration
   /// after every local execution (the paper's calibration loop).
   bool enable_calibration = true;
@@ -75,6 +106,10 @@ struct ExecutionResult {
   QueryResult result;
   std::shared_ptr<const PlannedQuery> plan;
   bool plan_cache_hit = false;
+  /// Rows came from the shared result cache — no engine ran, timings are
+  /// empty, and the billing layer charges the cache rate instead of the
+  /// execution estimate.
+  bool result_cache_hit = false;
   std::vector<PipelineTiming> timings;
   CalibrationReport calibration;
   /// Sharded runs only: which backend width executed and what the
@@ -184,7 +219,7 @@ class Database {
   /// execution primitive.
   Result<ExecutionResult> ExecutePlanned(
       std::shared_ptr<const PlannedQuery> plan, bool cache_hit,
-      LocalEngine* engine = nullptr);
+      LocalEngine* engine = nullptr, const std::string& tenant = {});
 
   /// Execute a shared plan with the result pipeline streaming into
   /// `sink` (exec/engine.h) instead of materializing rows. The returned
@@ -193,7 +228,28 @@ class Database {
   /// required: streaming callers run concurrently by construction.
   Result<ExecutionResult> ExecutePlannedToSink(
       std::shared_ptr<const PlannedQuery> plan, bool cache_hit,
-      ChunkSink* sink, LocalEngine* engine);
+      ChunkSink* sink, LocalEngine* engine, const std::string& tenant = {});
+
+  /// Execute through the shared result cache (Session's execution
+  /// primitive). With the cache disabled or `result_key` empty this is
+  /// exactly ExecutePlanned / ExecutePlannedToSink (sink != nullptr picks
+  /// the streaming form). Otherwise: a valid cached entry is served
+  /// without running anything (result_cache_hit set, rows copied — to
+  /// `sink` when streaming); a miss executes once under a single-flight
+  /// guard, so concurrent identical submits wait for the one leader
+  /// instead of running the same plan N times, then publishes the
+  /// materialized rows for later submits.
+  Result<ExecutionResult> ExecutePlannedCached(
+      std::shared_ptr<const PlannedQuery> plan, bool cache_hit,
+      const std::string& result_key, ChunkSink* sink, LocalEngine* engine,
+      const std::string& tenant);
+
+  /// Result-cache identity of one executable statement: the plan-cache
+  /// key (shape + constraint) extended with the bound parameter vector,
+  /// type-tagged so 1 and "1" and 1.0 are distinct keys.
+  static std::string ResultKey(const std::string& shape,
+                               const UserConstraint& constraint,
+                               const std::vector<Value>& params);
 
   /// Fold one executed result's timings into the calibration (serialized
   /// internally; a no-op when options.enable_calibration is off). The
@@ -211,6 +267,31 @@ class Database {
   /// the widths they actually held) at the node price. Simulated runs
   /// bill their own CloudEnv, not this meter.
   BillingMeter billing_snapshot() const;
+
+  /// Cumulative bill of one tenant, as settled by SettleTenantBill.
+  struct TenantBill {
+    double machine_seconds = 0.0;  // compute consumption billed so far
+    Dollars dollars = 0.0;
+    size_t runs = 0;
+    size_t result_cache_hits = 0;
+  };
+
+  /// Turn one executed result into the dollars the tenant actually owes
+  /// and fold it into the tenant's cumulative bill. Result-cache hits are
+  /// billed at pricing.result_cache_hit_factor x the reservation; real
+  /// runs consume machine-seconds (measured worker-seconds for sharded
+  /// runs, summed pipeline wall times for local ones) priced through the
+  /// tenant's cumulative position in the tiered schedule — with no tiers
+  /// configured, sharded runs settle to the flat cloud bill and local
+  /// runs keep their reservation, the pre-tenancy behavior. Returns the
+  /// amount the session ledger should settle `reserved` against.
+  Dollars SettleTenantBill(const std::string& tenant,
+                           ExecutionResult* executed, Dollars reserved);
+
+  /// Per-tenant bill snapshot. Tenants only appear once they settle a
+  /// run; disjoint sessions spend into disjoint entries (no cross-tenant
+  /// bleed, by construction — tested in tenant_test).
+  std::map<std::string, TenantBill> tenant_billing() const;
 
   /// Execute a batch concurrently through the admission controller, as a
   /// thin deterministic shim over the Session API. Planning stays serial
@@ -259,6 +340,17 @@ class Database {
   CacheStats plan_cache_stats() const;
   void ClearPlanCache();
 
+  // -- Result cache ------------------------------------------------------
+  struct ResultCacheStats {
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t invalidations = 0;  // stale entries dropped on lookup
+    size_t evictions = 0;      // LRU capacity evictions
+    size_t entries = 0;
+  };
+  ResultCacheStats result_cache_stats() const;
+  void ClearResultCache();
+
   const DatabaseOptions& options() const { return options_; }
 
  private:
@@ -291,12 +383,21 @@ class Database {
   /// measured exchange timings into the shuffle-term loop.
   CalibrationReport Calibrate(const ExecutionResult& executed);
 
-  /// Sharded execution backend: serial callers reuse the cached engine
-  /// under engine_mu_, concurrent (`serial == false`) callers build their
-  /// own.
+  /// Sharded execution backend: serial callers reuse the tenant shard's
+  /// cached engine under its lock, concurrent (`serial == false`) callers
+  /// build their own.
   Result<ExecutionResult> ExecuteSharded(
       std::shared_ptr<const PlannedQuery> plan, bool cache_hit,
-      size_t workers, bool serial);
+      size_t workers, bool serial, const std::string& tenant);
+
+  /// ExecutePlanned with the concurrency decision explicit: `concurrent`
+  /// callers never serialize a sharded run on the tenant shard's engine —
+  /// the result-cache leader on the async path needs materialized rows
+  /// *and* private-engine concurrency, which the public signatures can't
+  /// both express.
+  Result<ExecutionResult> ExecuteMaterialized(
+      std::shared_ptr<const PlannedQuery> plan, bool cache_hit,
+      LocalEngine* engine, const std::string& tenant, bool concurrent);
 
   /// Cache key: normalized statement shape + constraint slot.
   static std::string CacheKey(const std::string& shape,
@@ -311,16 +412,21 @@ class Database {
   std::unique_ptr<DistributedSimulator> simulator_;
   std::unique_ptr<CalibrationUpdater> calibration_;
 
-  /// Long-lived engine for serial ExecuteSql (its timings are per-run
-  /// state, so access is exclusive); batch workers build their own.
-  std::unique_ptr<LocalEngine> engine_;
-  /// Long-lived sharded backends for serial execution, one per requested
-  /// worker count (bounded by the few widths a deployment uses);
-  /// concurrent (sink) callers build their own, mirroring the
-  /// LocalEngine-per-admitted-query pattern. Guarded by engine_mu_ like
-  /// engine_.
-  std::map<size_t, std::unique_ptr<ShardedEngine>> sharded_;
-  std::mutex engine_mu_;
+  /// One lock shard of the serial execution engines. Engine timings are
+  /// per-run state, so access within a shard is exclusive; sharding by
+  /// tenant means tenants hashed to different shards never contend for a
+  /// serial engine. Engines are built lazily — a shard no tenant executes
+  /// on spawns no thread pools. Concurrent (sink/batch) callers build
+  /// their own engines and never touch a shard.
+  struct EngineShard {
+    std::mutex mu;
+    std::unique_ptr<LocalEngine> engine;  // lazy; guarded by mu
+    /// Sharded backends, one per requested worker count (bounded by the
+    /// few widths a deployment uses). Guarded by mu like engine.
+    std::map<size_t, std::unique_ptr<ShardedEngine>> sharded;
+  };
+  EngineShard& ShardFor(const std::string& tenant);
+  std::vector<std::unique_ptr<EngineShard>> engine_shards_;
 
   /// Real-execution cloud bill (sharded worker-seconds); own lock so the
   /// concurrent (sink) execution path can charge without the engine lock.
@@ -328,10 +434,31 @@ class Database {
   BillingMeter billing_;
   Seconds billing_clock_ = 0.0;  // monotone start offset for usage records
 
+  /// Per-tenant cumulative bills; own lock so settling never contends
+  /// with engines or caches.
+  mutable std::mutex tenant_mu_;
+  std::map<std::string, TenantBill> tenant_billing_;
+
   mutable std::mutex cache_mu_;
   std::map<std::string, CacheEntry> plan_cache_;
   std::map<std::string, std::shared_ptr<PlanInFlight>> planning_;
   CacheStats cache_stats_;
+
+  /// One materialized result, stamped like a plan-cache entry: served
+  /// only while the calibration version and every scanned table's layout
+  /// version still match.
+  struct ResultCacheEntry {
+    std::shared_ptr<const QueryResult> result;
+    int calibration_version = 0;
+    std::vector<std::pair<std::shared_ptr<Table>, uint64_t>> table_layouts;
+    uint64_t last_used = 0;  // LRU tick
+  };
+  /// Result cache + its single-flight markers; guarded by cache_mu_ like
+  /// the plan cache (lookups are map probes, never executions).
+  std::map<std::string, ResultCacheEntry> result_cache_;
+  std::map<std::string, std::shared_ptr<PlanInFlight>> result_flights_;
+  ResultCacheStats result_cache_stats_;
+  uint64_t result_cache_tick_ = 0;
 
   /// Readers (planning, simulation) take it shared; the calibration
   /// writer takes it exclusive — the estimator reads hw_ on every

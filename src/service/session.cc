@@ -150,6 +150,8 @@ struct QueryHandle::SharedState : ChunkSink {
   std::shared_ptr<const PlannedQuery> planned;
   bool cache_hit = false;
   bool calibrate = true;
+  std::string tenant;
+  std::string result_key;
   size_t exec_threads = 4;
   AdmissionController* controller = nullptr;
   AdmissionController::TicketPtr ticket;
@@ -313,6 +315,8 @@ Result<Session::RunnablePlan> Session::PlanStatement(
   }
   RunnablePlan runnable;
   runnable.cache_hit = hit;
+  runnable.result_key =
+      Database::ResultKey(statement->shape_, constraint, params);
   if (params.empty()) {
     runnable.plan = std::move(cached);
     return runnable;
@@ -336,6 +340,8 @@ Result<Session::RunnablePlan> Session::PlanRaw(
         "statement has '?' placeholders; use Prepare + Execute to bind "
         "them");
   }
+  runnable.result_key =
+      Database::ResultKey(NormalizeStatementShape(sql), constraint, {});
   std::lock_guard<std::mutex> lock(mu_);
   if (hit) {
     ++stats_.replans_avoided;
@@ -348,17 +354,20 @@ Result<Session::RunnablePlan> Session::PlanRaw(
 Result<ExecutionResult> Session::RunSync(RunnablePlan runnable) {
   const Dollars estimated = runnable.plan->estimate.cost;
   COSTDB_RETURN_NOT_OK(ledger_->Charge(estimated));
-  auto executed = db_->ExecutePlanned(runnable.plan, runnable.cache_hit);
+  auto executed = db_->ExecutePlannedCached(
+      runnable.plan, runnable.cache_hit, runnable.result_key,
+      /*sink=*/nullptr, /*engine=*/nullptr, options_.tenant_id);
   if (!executed.ok()) {
     ledger_->Refund(estimated);
     return executed.status();
   }
   db_->CalibrateExecution(&*executed);
-  // Sharded runs billed their measured worker-seconds; the ledger settles
-  // the reservation to what the run actually cost (elastic runs included).
-  if (executed->billed_dollars > 0.0) {
-    ledger_->Settle(estimated, executed->billed_dollars);
-  }
+  // Settle the reservation to what the run actually cost the tenant —
+  // the measured sharded/elastic bill, the tiered-volume price, or the
+  // cache rate on a result-cache hit.
+  const Dollars actual =
+      db_->SettleTenantBill(options_.tenant_id, &*executed, estimated);
+  if (actual != estimated) ledger_->Settle(estimated, actual);
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.executions;
   return executed;
@@ -412,7 +421,8 @@ Result<QueryHandlePtr> Session::Submit(const std::string& sql,
       options.constraint.value_or(options_.default_constraint);
   RunnablePlan runnable;
   COSTDB_ASSIGN_OR_RETURN(runnable, PlanRaw(sql, constraint));
-  return SubmitPlanned(std::move(runnable), constraint, options.calibrate);
+  return SubmitPlanned(std::move(runnable), constraint, options.calibrate,
+                       options.query_class);
 }
 
 Result<QueryHandlePtr> Session::Submit(const PreparedStatementPtr& statement,
@@ -429,12 +439,14 @@ Result<QueryHandlePtr> Session::Submit(const PreparedStatementPtr& statement,
   RunnablePlan runnable;
   COSTDB_ASSIGN_OR_RETURN(runnable,
                           PlanStatement(statement, params, constraint));
-  return SubmitPlanned(std::move(runnable), constraint, options.calibrate);
+  return SubmitPlanned(std::move(runnable), constraint, options.calibrate,
+                       options.query_class);
 }
 
 Result<QueryHandlePtr> Session::SubmitPlanned(RunnablePlan runnable,
                                               const UserConstraint& constraint,
-                                              bool calibrate) {
+                                              bool calibrate,
+                                              const std::string& query_class) {
   const Dollars estimated = runnable.plan->estimate.cost;
   COSTDB_RETURN_NOT_OK(ledger_->Charge(estimated));
 
@@ -443,6 +455,8 @@ Result<QueryHandlePtr> Session::SubmitPlanned(RunnablePlan runnable,
   state->planned = std::move(runnable.plan);
   state->cache_hit = runnable.cache_hit;
   state->calibrate = calibrate;
+  state->tenant = options_.tenant_id;
+  state->result_key = std::move(runnable.result_key);
   state->exec_threads = db_->options().exec_threads;
   state->controller = db_->admission();
   state->ledger = ledger_;
@@ -456,6 +470,8 @@ Result<QueryHandlePtr> Session::SubmitPlanned(RunnablePlan runnable,
       constraint.mode == UserConstraint::Mode::kMinCostUnderSla
           ? constraint.latency_sla
           : std::numeric_limits<double>::infinity();
+  submission.tenant = options_.tenant_id;
+  submission.query_class = query_class;
   submission.run = [state] {
     // One engine per admitted query — the local stand-in for "one node".
     // Plans resolved to > 1 worker run on a ShardedEngine inside
@@ -465,16 +481,20 @@ Result<QueryHandlePtr> Session::SubmitPlanned(RunnablePlan runnable,
     if (state->planned->workers <= 1) {
       engine = std::make_unique<LocalEngine>(state->exec_threads);
     }
-    auto executed = state->db->ExecutePlannedToSink(
-        state->planned, state->cache_hit, state.get(), engine.get());
+    auto executed = state->db->ExecutePlannedCached(
+        state->planned, state->cache_hit, state->result_key, state.get(),
+        engine.get(), state->tenant);
     ExecutionResult result;
     Status final_status;
     if (executed.ok()) {
       result = std::move(*executed);
       if (state->calibrate) state->db->CalibrateExecution(&result);
-      // Settle the reservation to the actual sharded bill (see RunSync).
-      if (result.billed_dollars > 0.0 && state->ledger != nullptr) {
-        state->ledger->Settle(state->charged, result.billed_dollars);
+      // Settle the reservation to what the run actually cost the tenant
+      // (see RunSync).
+      const Dollars actual = state->db->SettleTenantBill(
+          state->tenant, &result, state->charged);
+      if (actual != state->charged && state->ledger != nullptr) {
+        state->ledger->Settle(state->charged, actual);
       }
     } else {
       final_status = executed.status();

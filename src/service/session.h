@@ -27,6 +27,13 @@ struct SessionOptions {
   /// the ledger; past the cap, calls fail with ResourceExhausted. Ledgers
   /// are per-session — concurrent sessions spend disjoint budgets.
   Dollars budget = std::numeric_limits<double>::infinity();
+  /// The tenant this session belongs to. Admission fair-shares across
+  /// tenants (AdmissionOptions::tenant_quotas), serial engine locks shard
+  /// by tenant, and every run settles into the tenant's cumulative bill
+  /// (Database::tenant_billing) — many sessions of one tenant share one
+  /// scheduling/billing identity, while their dollar ledgers stay
+  /// per-session.
+  std::string tenant_id = "default";
 };
 
 struct SessionStats {
@@ -184,6 +191,9 @@ class Session {
   struct RunnablePlan {
     std::shared_ptr<const PlannedQuery> plan;
     bool cache_hit = false;
+    /// Result-cache identity (shape + constraint + bound params); empty
+    /// disables result caching for this run.
+    std::string result_key;
   };
 
   Result<RunnablePlan> PlanStatement(const PreparedStatementPtr& statement,
@@ -196,7 +206,8 @@ class Session {
   Result<ExecutionResult> RunSync(RunnablePlan runnable);
   Result<QueryHandlePtr> SubmitPlanned(RunnablePlan runnable,
                                        const UserConstraint& constraint,
-                                       bool calibrate);
+                                       bool calibrate,
+                                       const std::string& query_class);
 
   Database* db_;
   SessionOptions options_;
@@ -211,6 +222,10 @@ struct Session::SubmitOptions {
   /// Fold the run's timings into the calibration on completion. Batch
   /// drivers defer this and run one serialized feedback round instead.
   bool calibrate = true;
+  /// Starvation-guard class for admission ("" = unclassified): the oldest
+  /// queued query of *each* class is aged independently, so a flood of
+  /// cheap "interactive" queries cannot indefinitely defer "batch".
+  std::string query_class;
 };
 
 }  // namespace costdb

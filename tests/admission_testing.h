@@ -1,0 +1,96 @@
+#pragma once
+
+// Deterministic concurrency harness for admission-controller tests: a
+// virtual clock injected through AdmissionOptions::clock so queue-wait /
+// starvation assertions are schedule-exact (no sleeps, no wall-clock
+// flakiness), and a slot blocker that saturates a controller's
+// concurrency slots until released, so tests control exactly when the
+// queue drains and in what state it is observed.
+
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "service/admission.h"
+#include "service/database.h"
+
+namespace costdb {
+
+/// A steady_clock the test advances by hand. Pass AsClock() into
+/// AdmissionOptions::clock; Advance() then moves queue-wait time forward
+/// exactly as far as the test says — pair with
+/// AdmissionController::Poke() to make the controller re-evaluate.
+class VirtualClock {
+ public:
+  VirtualClock() : epoch_(std::chrono::steady_clock::now()) {}
+
+  void Advance(Seconds seconds) {
+    nanos_.fetch_add(static_cast<int64_t>(seconds * 1e9));
+  }
+
+  std::chrono::steady_clock::time_point now() const {
+    return epoch_ + std::chrono::nanoseconds(nanos_.load());
+  }
+
+  std::function<std::chrono::steady_clock::time_point()> AsClock() {
+    return [this] { return now(); };
+  }
+
+ private:
+  const std::chrono::steady_clock::time_point epoch_;
+  std::atomic<int64_t> nanos_{0};
+};
+
+/// Occupies `slots` admission slots until released — deterministic
+/// saturation for cancel/ordering/fairness tests. Blockers estimate as
+/// free (est_latency 0) so cost ordering always admits them first, and
+/// the constructor returns only once every blocker is running, so
+/// everything submitted afterwards provably queues.
+class SlotBlocker {
+ public:
+  explicit SlotBlocker(AdmissionController* controller, size_t slots = 1)
+      : controller_(controller) {
+    auto gate = std::shared_future<void>(release_.get_future());
+    tickets_.reserve(slots);
+    for (size_t i = 0; i < slots; ++i) {
+      AdmissionController::Submission blocker;
+      blocker.est_latency = 0.0;
+      blocker.run = [gate] { gate.wait(); };
+      tickets_.push_back(controller_->Submit(std::move(blocker)));
+    }
+    for (const auto& ticket : tickets_) {
+      while (controller_->state(ticket) !=
+             AdmissionController::Ticket::State::kRunning) {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  explicit SlotBlocker(Database* db, size_t slots = 1)
+      : SlotBlocker(db->admission(), slots) {}
+
+  void Release() {
+    if (!released_) release_.set_value();
+    released_ = true;
+  }
+
+  ~SlotBlocker() { Release(); }
+
+ private:
+  AdmissionController* controller_;
+  std::promise<void> release_;
+  bool released_ = false;
+  std::vector<AdmissionController::TicketPtr> tickets_;
+};
+
+/// Spin until the controller reports at least `n` queued tickets —
+/// submissions from other threads are visibly enqueued before the test
+/// asserts on queue state.
+inline void WaitForQueued(AdmissionController* controller, size_t n) {
+  while (controller->queued() < n) {
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace costdb

@@ -19,6 +19,56 @@ TEST(PricingTest, UnknownInstanceTypeNotFound) {
   EXPECT_TRUE(catalog.Find("gpu-monster").status().IsNotFound());
 }
 
+TEST(TieredCostTest, EmptyScheduleIsFlat) {
+  EXPECT_DOUBLE_EQ(TieredCost(0.0, 10.0, {}, 2.0), 20.0);
+  EXPECT_DOUBLE_EQ(TieredCost(5.0, 7.0, {}, 2.0), 4.0);
+}
+
+TEST(TieredCostTest, ZeroOrNegativeSpanCostsNothing) {
+  TieredSchedule tiers = {{10.0, 2.0}};
+  EXPECT_DOUBLE_EQ(TieredCost(5.0, 5.0, tiers, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(TieredCost(7.0, 5.0, tiers, 1.0), 0.0);
+}
+
+TEST(TieredCostTest, ConsumptionWithinFirstTier) {
+  TieredSchedule tiers = {{10.0, 2.0}, {100.0, 1.0}};
+  EXPECT_DOUBLE_EQ(TieredCost(0.0, 4.0, tiers, 99.0), 8.0);
+}
+
+TEST(TieredCostTest, SpanAcrossBoundarySplitsAtTheBoundary) {
+  TieredSchedule tiers = {{10.0, 2.0}, {100.0, 1.0}};
+  // 6 units at 2.0 up to the boundary, 5 units at 1.0 past it.
+  EXPECT_DOUBLE_EQ(TieredCost(4.0, 15.0, tiers, 99.0), 17.0);
+}
+
+TEST(TieredCostTest, ResumingMidTierChargesThatTiersRate) {
+  TieredSchedule tiers = {{10.0, 2.0}, {100.0, 1.0}};
+  // A tenant already 20 units in buys purely at the second tier's rate —
+  // the cumulative position, not the span, decides the price level.
+  EXPECT_DOUBLE_EQ(TieredCost(20.0, 30.0, tiers, 99.0), 10.0);
+}
+
+TEST(TieredCostTest, BeyondLastBoundaryUsesLastRate) {
+  TieredSchedule tiers = {{10.0, 2.0}, {100.0, 0.5}};
+  EXPECT_DOUBLE_EQ(TieredCost(100.0, 200.0, tiers, 99.0), 50.0);
+  // Spanning the last boundary: 50 inside the last tier + 100 beyond,
+  // both at the last rate.
+  EXPECT_DOUBLE_EQ(TieredCost(50.0, 200.0, tiers, 99.0), 75.0);
+}
+
+TEST(TieredCostTest, MarginalChargesTelescope) {
+  // Billing run by run from the cumulative position must sum to one fold
+  // over the whole consumption — the invariant SettleTenantBill leans on.
+  TieredSchedule tiers = {{1.0, 4.0}, {5.0, 2.0}, {20.0, 1.0}};
+  double cursor = 0.0;
+  Dollars summed = 0.0;
+  for (double step : {0.4, 0.9, 2.2, 6.5, 12.0, 3.0}) {
+    summed += TieredCost(cursor, cursor + step, tiers, 99.0);
+    cursor += step;
+  }
+  EXPECT_NEAR(summed, TieredCost(0.0, cursor, tiers, 99.0), 1e-12);
+}
+
 TEST(PricingTest, PriceLadderIsLinearInVcpus) {
   // Required for the paper's "100 machines x 1 min == 1 machine x 100 min".
   auto catalog = PricingCatalog::Default();

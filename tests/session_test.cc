@@ -1,9 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <future>
 #include <thread>
 
+#include "admission_testing.h"
 #include "service/session.h"
 #include "sql/shape.h"
 #include "workload/ssb.h"
@@ -347,32 +347,9 @@ DatabaseOptions SingleSlotOptions() {
   return opts;
 }
 
-/// Occupies the database's single admission slot until released —
-/// deterministic saturation for the cancel/ordering tests. Estimated as
-/// free so cost ordering always admits it first.
-class SlotBlocker {
- public:
-  explicit SlotBlocker(Database* db) {
-    AdmissionController::Submission blocker;
-    blocker.est_latency = 0.0;
-    blocker.run = [this] { release_.get_future().wait(); };
-    ticket_ = db->admission()->Submit(std::move(blocker));
-    while (db->admission()->state(ticket_) !=
-           AdmissionController::Ticket::State::kRunning) {
-      std::this_thread::yield();
-    }
-  }
-  void Release() {
-    if (!released_) release_.set_value();
-    released_ = true;
-  }
-  ~SlotBlocker() { Release(); }
-
- private:
-  std::promise<void> release_;
-  bool released_ = false;
-  AdmissionController::TicketPtr ticket_;
-};
+// Slot saturation and queue observation come from the shared harness
+// (tests/admission_testing.h): SlotBlocker holds the single admission
+// slot, WaitForQueued makes submissions visible before assertions.
 
 TEST(SessionTest, CancelBeforeAdmissionAndAfterStart) {
   auto db = MakeSsbDatabase(SingleSlotOptions());
