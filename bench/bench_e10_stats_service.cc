@@ -1,5 +1,8 @@
 // E10 — paper Section 4: the Statistics Service must itself be cheap;
 // sampling trades summary accuracy for profiling overhead and storage.
+// bench-baseline: none — this bench emits no JSON snapshot; its
+// acceptance gates are its PASS/FAIL exit code, not a committed
+// ci/bench_baselines/ entry (see the drift guard in ci/build_and_test.sh).
 #include <cmath>
 
 #include "bench_util.h"

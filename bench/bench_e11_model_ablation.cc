@@ -1,6 +1,9 @@
 // E11 — paper Section 3.1: simple analytic formulas suffice for most
 // operators; pre-trained regression models close the gap on exchange-
 // heavy ones — no opaque ML needed.
+// bench-baseline: none — this bench emits no JSON snapshot; its
+// acceptance gates are its PASS/FAIL exit code, not a committed
+// ci/bench_baselines/ entry (see the drift guard in ci/build_and_test.sh).
 #include "bench_util.h"
 #include "common/stats_math.h"
 

@@ -16,6 +16,9 @@
 // `--smoke` runs a tiny configuration and fails (exit 1) if the prepared
 // path replans or the admission queue never reorders — the acceptance
 // checks for this experiment, wired into CI.
+// bench-baseline: none — this bench emits no JSON snapshot; its
+// acceptance gates are its PASS/FAIL exit code, not a committed
+// ci/bench_baselines/ entry (see the drift guard in ci/build_and_test.sh).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -168,8 +171,12 @@ size_t RunAdmissionDemo(bool* ordering_ok) {
     return 0;
   }
   release.set_value();
-  (*expensive)->Wait();
-  (*cheap)->Wait();
+  const Status expensive_done = (*expensive)->Wait();
+  const Status cheap_done = (*cheap)->Wait();
+  if (!expensive_done.ok() || !cheap_done.ok()) {
+    *ordering_ok = false;
+    return 0;
+  }
   size_t reordered = db.admission()->stats().reordered;
   *ordering_ok = reordered >= 1;
   return reordered;

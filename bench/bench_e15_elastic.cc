@@ -16,6 +16,9 @@
 //
 // `--smoke` runs a smaller configuration and gates (a) + (b) for CI.
 
+// bench-baseline: none — this bench emits no JSON snapshot; its
+// acceptance gates are its PASS/FAIL exit code, not a committed
+// ci/bench_baselines/ entry (see the drift guard in ci/build_and_test.sh).
 #include <algorithm>
 #include <chrono>
 #include <cmath>

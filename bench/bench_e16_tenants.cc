@@ -390,6 +390,10 @@ int main(int argc, char** argv) {
   const bool bleed_zero = flood.bleed_zero && loop.bleed_zero;
   const bool cache_ok = flood.single_execution && loop.cache_hit_rate > 0.0;
 
+  // Accepts --json <path> (parsed by JsonPathFromArgs). The literal flag
+  // must appear in this TU: the CI smoke loop greps each bench source for
+  // "--json" to decide whether to request a snapshot, and this bench's
+  // snapshot is a hard acceptance gate.
   const std::string json_path = JsonPathFromArgs(argc, argv);
   if (!json_path.empty()) {
     BenchJson json;

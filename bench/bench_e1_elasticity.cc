@@ -2,6 +2,9 @@
 // costs the same as 100 machines for 1 minute" — true for embarrassingly
 // parallel operators (scan), false for exchange-heavy ones, where
 // over-scaling wastes money AND can hurt latency.
+// bench-baseline: none — this bench emits no JSON snapshot; its
+// acceptance gates are its PASS/FAIL exit code, not a committed
+// ci/bench_baselines/ entry (see the drift guard in ci/build_and_test.sh).
 #include "bench_util.h"
 
 using namespace costdb;

@@ -1,6 +1,9 @@
 // E2 — paper Section 3.1: the cost estimator (per-operator scalability
 // models + query-level pipeline simulator) predicts time and dollars at
 // pipeline granularity, accurately and cheaply, for the whole query suite.
+// bench-baseline: none — this bench emits no JSON snapshot; its
+// acceptance gates are its PASS/FAIL exit code, not a committed
+// ci/bench_baselines/ entry (see the drift guard in ci/build_and_test.sh).
 #include <chrono>
 
 #include "bench_util.h"

@@ -1,6 +1,9 @@
 // E3 — paper Section 3.2: downgrading full multi-objective (Pareto-set)
 // optimization to constrained single-objective search keeps plan quality
 // while shrinking optimizer effort by orders of magnitude.
+// bench-baseline: none — this bench emits no JSON snapshot; its
+// acceptance gates are its PASS/FAIL exit code, not a committed
+// ci/bench_baselines/ entry (see the drift guard in ci/build_and_test.sh).
 #include <chrono>
 
 #include "bench_util.h"

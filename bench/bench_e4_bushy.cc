@@ -1,6 +1,9 @@
 // E4 — paper Section 3.2: exploring bounded bushy variants of the chosen
 // left-deep join order at DOP-planning time trades a little extra machine
 // time for materially lower latency in an elastic cloud.
+// bench-baseline: none — this bench emits no JSON snapshot; its
+// acceptance gates are its PASS/FAIL exit code, not a committed
+// ci/bench_baselines/ entry (see the drift guard in ci/build_and_test.sh).
 #include "bench_util.h"
 
 using namespace costdb;

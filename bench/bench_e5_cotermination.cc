@@ -2,6 +2,9 @@
 // (C1/T1(d1) ~= C2/T2(d2) for concurrent dependent pipelines) prunes the
 // DOP search and reduces the blocked machine time that siblings finishing
 // at different times would otherwise bill.
+// bench-baseline: none — this bench emits no JSON snapshot; its
+// acceptance gates are its PASS/FAIL exit code, not a committed
+// ci/bench_baselines/ entry (see the drift guard in ci/build_and_test.sh).
 #include "bench_util.h"
 
 using namespace costdb;

@@ -2,6 +2,9 @@
 // granular runtime resizing (the DOP monitor) keeps the SLA at lower cost
 // than (a) trusting the static plan, (b) Jockey-style whole-cluster
 // interval scaling, (c) BigQuery-style stage-boundary scaling.
+// bench-baseline: none — this bench emits no JSON snapshot; its
+// acceptance gates are its PASS/FAIL exit code, not a committed
+// ci/bench_baselines/ entry (see the drift guard in ci/build_and_test.sh).
 #include "bench_util.h"
 
 using namespace costdb;

@@ -2,6 +2,9 @@
 // cluster resize mid-pipeline at small coordination cost; engines with
 // materialized "clean cuts" between stages can only act at boundaries and
 // pay to write/read every intermediate.
+// bench-baseline: none — this bench emits no JSON snapshot; its
+// acceptance gates are its PASS/FAIL exit code, not a committed
+// ci/bench_baselines/ entry (see the drift guard in ci/build_and_test.sh).
 #include "bench_util.h"
 
 using namespace costdb;

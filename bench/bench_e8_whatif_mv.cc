@@ -1,6 +1,9 @@
 // E8 — paper Section 4: the What-If Service prices a materialized-view
 // proposal in dollars (benefit x vs cost y per day, accept iff x-y>0) and
 // the decision matches ground truth obtained by actually applying it.
+// bench-baseline: none — this bench emits no JSON snapshot; its
+// acceptance gates are its PASS/FAIL exit code, not a committed
+// ci/bench_baselines/ entry (see the drift guard in ci/build_and_test.sh).
 #include "bench_util.h"
 #include "tuning/what_if.h"
 

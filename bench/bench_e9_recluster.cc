@@ -1,6 +1,9 @@
 // E9 — paper Section 4's motivating example: reclustering a huge table
 // speeds up matching predicates but repopulating it is enormous; the
 // dollar report makes the break-even horizon visible to a non-expert.
+// bench-baseline: none — this bench emits no JSON snapshot; its
+// acceptance gates are its PASS/FAIL exit code, not a committed
+// ci/bench_baselines/ entry (see the drift guard in ci/build_and_test.sh).
 #include "bench_util.h"
 #include "tuning/what_if.h"
 

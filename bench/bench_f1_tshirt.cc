@@ -1,6 +1,9 @@
 // F1 — paper Figure 1 / Section 2: fixed "T-shirt" warehouse sizes force
 // users to over- or under-provision; per-query cost-intelligent deployment
 // meets the same latency target at lower cost.
+// bench-baseline: none — this bench emits no JSON snapshot; its
+// acceptance gates are its PASS/FAIL exit code, not a committed
+// ci/bench_baselines/ entry (see the drift guard in ci/build_and_test.sh).
 #include "bench_util.h"
 
 using namespace costdb;

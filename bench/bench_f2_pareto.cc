@@ -2,6 +2,9 @@
 // scatter above the Pareto frontier; the cost-intelligent optimizer's
 // constrained search lands on (or near) the frontier for any user
 // preference point.
+// bench-baseline: none — this bench emits no JSON snapshot; its
+// acceptance gates are its PASS/FAIL exit code, not a committed
+// ci/bench_baselines/ entry (see the drift guard in ci/build_and_test.sh).
 #include <algorithm>
 
 #include "bench_util.h"

@@ -3,6 +3,9 @@
 // feed the Statistics Service; advisors propose tuning actions; the
 // What-If Service prices them in dollars; accepted actions run on
 // background compute; the workload gets cheaper.
+// bench-baseline: none — this bench emits no JSON snapshot; its
+// acceptance gates are its PASS/FAIL exit code, not a committed
+// ci/bench_baselines/ entry (see the drift guard in ci/build_and_test.sh).
 #include <chrono>
 
 #include "bench_util.h"

@@ -1,6 +1,9 @@
 // Microbenchmarks (google-benchmark) for the hot planning-path pieces the
 // paper requires to be lightweight: cost-estimator invocations, DOP
 // planning, and full bi-objective optimization.
+// bench-baseline: none — this bench emits no JSON snapshot; its
+// acceptance gates are its PASS/FAIL exit code, not a committed
+// ci/bench_baselines/ entry (see the drift guard in ci/build_and_test.sh).
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"

@@ -5,10 +5,15 @@
 # layer under ASAN/UBSAN, and check that the markdown docs' links resolve.
 #
 # STAGE selects what runs (the GitHub matrix runs one stage per job):
-#   all   - everything below, in order (the default; local tier-1 verify)
-#   build - Release+Werror build, ctest, bench smoke, markdown link check
-#   asan  - Debug AddressSanitizer+UBSan on the execution-layer tests
-#   tsan  - ThreadSanitizer on the concurrent service + sharded tests
+#   all    - everything below, in order (the default; local tier-1 verify)
+#   static - compile-time correctness: architecture-layering linter
+#            (ci/check_layering.py, fixture self-test + real tree), Clang
+#            thread-safety analysis (ci/check_thread_safety.sh), clang-tidy
+#            (ci/check_clang_tidy.sh). The clang-based stages skip loudly
+#            on runners without a clang toolchain; the linter always runs.
+#   build  - Release+Werror build, ctest, bench smoke, markdown link check
+#   asan   - Debug AddressSanitizer+UBSan on the execution-layer tests
+#   tsan   - ThreadSanitizer on the concurrent service + sharded tests
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -70,6 +75,24 @@ check_bench_snapshot() {
   ' "$baseline" "$current"
 }
 
+run_static_stage() {
+  # ---- architecture layering: the #include graph must respect the layer
+  # rules (clients enter via service/, nobody reaches optimizer internals
+  # around the pass facade). --self-test first proves the linter rejects
+  # the committed bad fixtures before trusting its verdict on the tree.
+  echo "== layering linter =="
+  python3 ci/check_layering.py --self-test
+
+  # ---- Clang-only analyses: thread-safety annotations and clang-tidy.
+  # Both discover their tool and skip loudly (exit 0) when the runner has
+  # no clang toolchain; see the script headers for the rationale.
+  echo "== thread-safety analysis =="
+  ./ci/check_thread_safety.sh
+
+  echo "== clang-tidy =="
+  ./ci/check_clang_tidy.sh
+}
+
 run_build_stage() {
   local build_dir="${BUILD_DIR:-build-ci}"
   cmake -B "$build_dir" -S . -DCOSTDB_WERROR=ON "${CMAKE_LAUNCHER_ARGS[@]}"
@@ -100,6 +123,44 @@ run_build_stage() {
     exit 1
   fi
   echo "test registration OK ($(wc -l <<<"$registered") targets)"
+
+  # ---- bench baseline drift guard: every bench must either have a
+  # committed gate snapshot in ci/bench_baselines/ or carry an explicit
+  # "bench-baseline: none" marker comment explaining why it has none. A
+  # bench added without either silently opts out of regression gating —
+  # this makes the opt-out a reviewed, committed decision. The inverse is
+  # guarded too: a baseline whose bench source is gone is stale and fails.
+  echo "== bench baseline drift guard =="
+  local base_drift=0 base
+  for src in bench/bench_*.cc; do
+    name="$(basename "$src" .cc)"
+    if [ -f "ci/bench_baselines/BENCH_$name.json" ]; then
+      if ! grep -q -- '--json' "$src"; then
+        echo "DRIFT: ci/bench_baselines/BENCH_$name.json exists but $src does" \
+             "not advertise a JSON snapshot (the smoke loop greps the literal" \
+             "flag) — the baseline can never be gated"
+        base_drift=$((base_drift + 1))
+      fi
+    elif ! grep -q 'bench-baseline: none' "$src"; then
+      echo "DRIFT: $src has neither ci/bench_baselines/BENCH_$name.json nor" \
+           "an explicit 'bench-baseline: none' marker"
+      base_drift=$((base_drift + 1))
+    fi
+  done
+  for base in ci/bench_baselines/BENCH_*.json; do
+    [ -f "$base" ] || continue
+    name="$(basename "$base" .json)"
+    name="${name#BENCH_}"
+    if [ ! -f "bench/$name.cc" ]; then
+      echo "DRIFT: $base has no matching bench/$name.cc (stale baseline)"
+      base_drift=$((base_drift + 1))
+    fi
+  done
+  if [ "$base_drift" -ne 0 ]; then
+    echo "bench baseline drift guard FAILED ($base_drift problems)"
+    exit 1
+  fi
+  echo "bench baselines OK (every bench gated or explicitly marked)"
 
   # ---- bench smoke: data-driven over every bench that supports --smoke.
   # A new bench advertises smoke support simply by handling the flag in
@@ -223,31 +284,37 @@ run_tsan_stage() {
   # tenant_test is required here by design: the concurrent-cancel ledger
   # property and the 16-way single-flight result-cache test only prove
   # anything under the race detector.
-  echo "== TSAN (service + session + tenant + sharded + elastic + vectorized) =="
+  # catalog_test rides along for the stats-knob race regressions
+  # (StatsKnobsRaceServedStatsReads): the what-if planner flips error
+  # factors and virtual scales while sessions read served stats, and the
+  # locked rewrite is only proven under TSAN.
+  echo "== TSAN (service + session + tenant + sharded + elastic + vectorized + catalog) =="
   local build_dir="${TSAN_BUILD_DIR:-build-tsan}"
   cmake -B "$build_dir" -S . -DCOSTDB_TSAN=ON "${CMAKE_LAUNCHER_ARGS[@]}"
   cmake --build "$build_dir" -j "$JOBS" \
     --target service_test session_test tenant_test sharded_test \
-    elastic_test vectorized_test
+    elastic_test vectorized_test catalog_test
   local t
   for t in service_test session_test tenant_test sharded_test elastic_test \
-           vectorized_test; do
+           vectorized_test catalog_test; do
     TSAN_OPTIONS="halt_on_error=1" "$build_dir/$t"
   done
   echo "TSAN OK"
 }
 
 case "$STAGE" in
-  build) run_build_stage ;;
-  asan)  run_asan_stage ;;
-  tsan)  run_tsan_stage ;;
+  static) run_static_stage ;;
+  build)  run_build_stage ;;
+  asan)   run_asan_stage ;;
+  tsan)   run_tsan_stage ;;
   all)
+    run_static_stage
     run_build_stage
     run_asan_stage
     run_tsan_stage
     ;;
   *)
-    echo "unknown STAGE '$STAGE' (expected all|build|asan|tsan)" >&2
+    echo "unknown STAGE '$STAGE' (expected all|static|build|asan|tsan)" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Clang thread-safety analysis stage: compile every src/ TU with
+# -Werror=thread-safety so any access to a GUARDED_BY member outside its
+# lock, or any call to a REQUIRES function without the capability, fails
+# the build. Before linting the tree, a fixture self-check proves the
+# stage has teeth: tests/thread_safety_fixtures/bad_unguarded_access.cc
+# (a seeded unguarded read) must be rejected and good_guarded_access.cc
+# must pass.
+#
+# The analysis is Clang-only. The stage discovers a clang++ via
+# $COSTDB_CLANGXX, PATH (plain and versioned names), or the usual LLVM
+# install prefixes; when none exists (the GCC-only CI image) it SKIPS
+# loudly with exit 0 — the annotations still compile as no-ops under GCC
+# in every other stage, so the tree cannot rot, it just is not proven
+# until a clang-equipped runner picks it up.
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root"
+
+find_clang() {
+  if [ -n "${COSTDB_CLANGXX:-}" ]; then
+    echo "$COSTDB_CLANGXX"
+    return
+  fi
+  local c
+  for c in clang++ clang++-20 clang++-19 clang++-18 clang++-17 clang++-16 \
+           clang++-15 clang++-14; do
+    if command -v "$c" >/dev/null 2>&1; then
+      echo "$c"
+      return
+    fi
+  done
+  for c in /usr/lib/llvm-*/bin/clang++ /usr/local/opt/llvm/bin/clang++ \
+           /opt/homebrew/opt/llvm/bin/clang++; do
+    if [ -x "$c" ]; then
+      echo "$c"
+      return
+    fi
+  done
+}
+
+clangxx="$(find_clang)"
+if [ -z "$clangxx" ] || ! "$clangxx" --version >/dev/null 2>&1; then
+  echo "thread-safety: SKIPPED — no working clang++ found" \
+       "(set COSTDB_CLANGXX to enable). The annotations compiled as" \
+       "no-ops in the GCC stages; analysis runs on clang-equipped runners."
+  exit 0
+fi
+echo "thread-safety: using $clangxx ($("$clangxx" --version | head -1))"
+
+flags=(-std=c++17 -fsyntax-only -I "$root/src"
+       -Wthread-safety -Werror=thread-safety -Wno-everything
+       -Wthread-safety-analysis)
+
+# ---- fixture self-check: the stage must reject the seeded bug ----------
+if "$clangxx" "${flags[@]}" tests/thread_safety_fixtures/bad_unguarded_access.cc \
+     >/dev/null 2>&1; then
+  echo "thread-safety: FAIL — seeded unguarded access in" \
+       "tests/thread_safety_fixtures/bad_unguarded_access.cc was NOT" \
+       "rejected; the analysis stage is not working"
+  exit 1
+fi
+echo "thread-safety: self-check ok (seeded unguarded access rejected)"
+
+if ! "$clangxx" "${flags[@]}" \
+     tests/thread_safety_fixtures/good_guarded_access.cc; then
+  echo "thread-safety: FAIL — clean fixture" \
+       "tests/thread_safety_fixtures/good_guarded_access.cc did not pass"
+  exit 1
+fi
+echo "thread-safety: self-check ok (guarded fixture accepted)"
+
+# ---- whole tree ---------------------------------------------------------
+fail=0
+while IFS= read -r tu; do
+  if ! "$clangxx" "${flags[@]}" "$tu"; then
+    echo "thread-safety: violation(s) in $tu"
+    fail=1
+  fi
+done < <(find src -name '*.cc' | sort)
+
+if [ "$fail" -ne 0 ]; then
+  echo "thread-safety: FAILED"
+  exit 1
+fi
+echo "thread-safety: all src/ translation units clean"

@@ -16,6 +16,7 @@ Result<std::shared_ptr<Table>> MetadataService::GetTable(
 Status MetadataService::DropTable(const std::string& name) {
   if (tables_.erase(name) == 0) return Status::NotFound("no table " + name);
   true_stats_.erase(name);
+  MutexLock lock(stats_mu_);
   stats_.erase(name);
   true_served_.erase(name);
   return Status::OK();
@@ -25,6 +26,7 @@ Status MetadataService::Analyze(const std::string& name) {
   auto it = tables_.find(name);
   if (it == tables_.end()) return Status::NotFound("no table " + name);
   true_stats_[name] = TableStats::Analyze(*it->second);
+  MutexLock lock(stats_mu_);
   stats_.erase(name);  // invalidate served copies
   true_served_.erase(name);
   return Status::OK();
@@ -34,6 +36,7 @@ void MetadataService::AnalyzeAll() {
   for (const auto& [name, table] : tables_) {
     true_stats_[name] = TableStats::Analyze(*table);
   }
+  MutexLock lock(stats_mu_);
   stats_.clear();
   true_served_.clear();
 }
@@ -61,7 +64,7 @@ TableStats ScaleStats(const TableStats& stats, double factor) {
 }  // namespace
 
 MetadataService::MetadataService(const MetadataService& other) {
-  std::lock_guard<std::mutex> lock(other.stats_mu_);
+  MutexLock lock(other.stats_mu_);
   tables_ = other.tables_;
   stats_ = other.stats_;
   true_served_ = other.true_served_;
@@ -74,7 +77,7 @@ MetadataService::MetadataService(const MetadataService& other) {
 MetadataService& MetadataService::operator=(const MetadataService& other) {
   if (this == &other) return *this;
   MetadataService copy(other);
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   tables_ = std::move(copy.tables_);
   stats_ = std::move(copy.stats_);
   true_served_ = std::move(copy.true_served_);
@@ -88,10 +91,10 @@ MetadataService& MetadataService::operator=(const MetadataService& other) {
 const TableStats* MetadataService::GetStats(const std::string& name) const {
   auto it = true_stats_.find(name);
   if (it == true_stats_.end()) return nullptr;
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   auto cached = stats_.find(name);
   if (cached != stats_.end()) return &cached->second;
-  double factor = virtual_scale(name) * stats_error_factor(name);
+  double factor = VirtualScaleLocked(name) * StatsErrorFactorLocked(name);
   auto [pos, _] = stats_.emplace(name, ScaleStats(it->second, factor));
   return &pos->second;
 }
@@ -100,9 +103,9 @@ const TableStats* MetadataService::GetTrueStats(
     const std::string& name) const {
   auto it = true_stats_.find(name);
   if (it == true_stats_.end()) return nullptr;
-  double scale = virtual_scale(name);
+  MutexLock lock(stats_mu_);
+  double scale = VirtualScaleLocked(name);
   if (scale == 1.0) return &it->second;
-  std::lock_guard<std::mutex> lock(stats_mu_);
   auto cached = true_served_.find(name);
   if (cached != true_served_.end()) return &cached->second;
   auto [pos, _] = true_served_.emplace(name, ScaleStats(it->second, scale));
@@ -111,23 +114,36 @@ const TableStats* MetadataService::GetTrueStats(
 
 void MetadataService::SetStatsErrorFactor(const std::string& table,
                                           double factor) {
+  MutexLock lock(stats_mu_);
   error_factors_[table] = factor;
   stats_.erase(table);
 }
 
 double MetadataService::stats_error_factor(const std::string& table) const {
+  MutexLock lock(stats_mu_);
+  return StatsErrorFactorLocked(table);
+}
+
+double MetadataService::StatsErrorFactorLocked(
+    const std::string& table) const {
   auto it = error_factors_.find(table);
   return it == error_factors_.end() ? 1.0 : it->second;
 }
 
 void MetadataService::SetVirtualScale(const std::string& table,
                                       double scale) {
+  MutexLock lock(stats_mu_);
   virtual_scales_[table] = scale;
   stats_.erase(table);
   true_served_.erase(table);
 }
 
 double MetadataService::virtual_scale(const std::string& table) const {
+  MutexLock lock(stats_mu_);
+  return VirtualScaleLocked(table);
+}
+
+double MetadataService::VirtualScaleLocked(const std::string& table) const {
   auto it = virtual_scales_.find(table);
   return it == virtual_scales_.end() ? 1.0 : it->second;
 }

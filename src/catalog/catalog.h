@@ -2,11 +2,11 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "catalog/table_stats.h"
+#include "common/annotated_mutex.h"
 #include "cloud/cloud_env.h"
 #include "common/result.h"
 #include "storage/table.h"
@@ -65,17 +65,21 @@ class MetadataService {
 
   /// Scale the *served* row counts of `table` by `factor` (1.0 = truthful).
   /// Lets experiments reproduce cardinality misestimation without touching
-  /// data.
-  void SetStatsErrorFactor(const std::string& table, double factor);
-  double stats_error_factor(const std::string& table) const;
+  /// data. Safe to call while planners run concurrently: the served-stats
+  /// caches invalidate under the same lock that fills them.
+  void SetStatsErrorFactor(const std::string& table, double factor)
+      EXCLUDES(stats_mu_);
+  double stats_error_factor(const std::string& table) const
+      EXCLUDES(stats_mu_);
 
   /// Pretend `table` is `scale`x its in-process size — applied to BOTH the
   /// true and the served statistics (key NDVs scale along, bounded by the
   /// row count). This is how experiments run warehouse-sized workloads on
   /// the simulator while keeping in-process data small; the error factor
   /// then injects *disagreement* on top.
-  void SetVirtualScale(const std::string& table, double scale);
-  double virtual_scale(const std::string& table) const;
+  void SetVirtualScale(const std::string& table, double scale)
+      EXCLUDES(stats_mu_);
+  double virtual_scale(const std::string& table) const EXCLUDES(stats_mu_);
 
   /// Mirror every table as objects in the cloud object store so storage
   /// rent accrues (one object per row group, Parquet-file style).
@@ -90,18 +94,29 @@ class MetadataService {
   std::vector<std::string> TableNames() const;
 
  private:
+  /// Error factor / virtual scale for `table`; caller holds stats_mu_
+  /// (the public accessors lock and delegate — the cache-fill paths call
+  /// these while already holding the non-recursive lock).
+  double StatsErrorFactorLocked(const std::string& table) const
+      REQUIRES(stats_mu_);
+  double VirtualScaleLocked(const std::string& table) const
+      REQUIRES(stats_mu_);
+
   std::map<std::string, std::shared_ptr<Table>> tables_;
   /// Guards the lazily memoized served-stats maps below: concurrent
   /// planners (Database::ExecuteSql from several threads) race on the
-  /// first GetStats for a table otherwise. Returned pointers stay valid
+  /// first GetStats for a table otherwise, and the error/scale knobs are
+  /// flipped mid-run by experiments. Returned pointers stay valid
   /// without the lock — map nodes are stable and entries are only erased
   /// by catalog mutations, which don't run concurrently with planning.
-  mutable std::mutex stats_mu_;
-  mutable std::map<std::string, TableStats> stats_;       // served copies
-  mutable std::map<std::string, TableStats> true_served_;  // scaled truth
-  std::map<std::string, TableStats> true_stats_;           // as analyzed
-  std::map<std::string, double> error_factors_;
-  std::map<std::string, double> virtual_scales_;
+  mutable Mutex stats_mu_;
+  mutable std::map<std::string, TableStats> stats_
+      GUARDED_BY(stats_mu_);  // served copies
+  mutable std::map<std::string, TableStats> true_served_
+      GUARDED_BY(stats_mu_);  // scaled truth
+  std::map<std::string, TableStats> true_stats_;  // as analyzed
+  std::map<std::string, double> error_factors_ GUARDED_BY(stats_mu_);
+  std::map<std::string, double> virtual_scales_ GUARDED_BY(stats_mu_);
   std::vector<MaterializedViewInfo> mvs_;
 };
 

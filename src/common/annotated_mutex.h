@@ -1,0 +1,229 @@
+#pragma once
+
+/// Clang thread-safety-annotated mutex wrappers (no-ops off Clang).
+///
+/// Clang's -Wthread-safety analysis proves locking discipline at compile
+/// time: every member annotated GUARDED_BY(mu) may only be touched while
+/// `mu` is held, every function annotated REQUIRES(mu) may only be called
+/// with `mu` held, and the analysis runs on every build for every path —
+/// unlike TSAN, which only sees the interleavings a test happens to hit.
+/// The analysis needs the mutex *type* to be a declared capability, which
+/// std::mutex is not under libstdc++, so the service layer uses these thin
+/// wrappers instead of the std types directly. On GCC (and on Clang
+/// without the warning enabled) every macro expands to nothing and the
+/// wrappers compile down to the underlying std types.
+///
+/// Conventions (enforced by ci/check_thread_safety.sh when a clang++ is
+/// available):
+///   - A member protected by a lock is declared `T x_ GUARDED_BY(mu_);`.
+///   - A private helper that expects the caller to hold the lock is
+///     declared `void Helper() REQUIRES(mu_);` — replacing the prose
+///     "Caller holds mu_." comments with a machine-checked contract.
+///   - Scoped locking uses MutexLock / ReaderMutexLock / WriterMutexLock;
+///     condition-variable waits use UniqueMutexLock (relockable) with
+///     std::condition_variable_any, and are written as explicit
+///     `while (!cond) cv.wait(lock);` loops — the analysis cannot see
+///     into a wait-predicate lambda, so predicate-form waits would flag
+///     every guarded access inside the lambda as unlocked.
+
+#include <mutex>
+#include <shared_mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define COSTDB_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define COSTDB_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op off Clang
+#endif
+
+#ifndef CAPABILITY
+#define CAPABILITY(x) COSTDB_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+#endif
+
+#ifndef SCOPED_CAPABILITY
+#define SCOPED_CAPABILITY COSTDB_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+#endif
+
+#ifndef GUARDED_BY
+#define GUARDED_BY(x) COSTDB_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+#endif
+
+#ifndef PT_GUARDED_BY
+#define PT_GUARDED_BY(x) COSTDB_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+#endif
+
+#ifndef ACQUIRED_BEFORE
+#define ACQUIRED_BEFORE(...) \
+  COSTDB_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#endif
+
+#ifndef ACQUIRED_AFTER
+#define ACQUIRED_AFTER(...) \
+  COSTDB_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+#endif
+
+#ifndef REQUIRES
+#define REQUIRES(...) \
+  COSTDB_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#endif
+
+#ifndef REQUIRES_SHARED
+#define REQUIRES_SHARED(...) \
+  COSTDB_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+#endif
+
+#ifndef ACQUIRE
+#define ACQUIRE(...) \
+  COSTDB_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#endif
+
+#ifndef ACQUIRE_SHARED
+#define ACQUIRE_SHARED(...) \
+  COSTDB_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+#endif
+
+#ifndef RELEASE
+#define RELEASE(...) \
+  COSTDB_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+#endif
+
+#ifndef RELEASE_SHARED
+#define RELEASE_SHARED(...) \
+  COSTDB_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+#endif
+
+#ifndef RELEASE_GENERIC
+#define RELEASE_GENERIC(...) \
+  COSTDB_THREAD_ANNOTATION_ATTRIBUTE(release_generic_capability(__VA_ARGS__))
+#endif
+
+#ifndef TRY_ACQUIRE
+#define TRY_ACQUIRE(...) \
+  COSTDB_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+#endif
+
+#ifndef EXCLUDES
+#define EXCLUDES(...) \
+  COSTDB_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+#endif
+
+#ifndef ASSERT_CAPABILITY
+#define ASSERT_CAPABILITY(x) \
+  COSTDB_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+#endif
+
+#ifndef RETURN_CAPABILITY
+#define RETURN_CAPABILITY(x) \
+  COSTDB_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+#endif
+
+#ifndef NO_THREAD_SAFETY_ANALYSIS
+#define NO_THREAD_SAFETY_ANALYSIS \
+  COSTDB_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+#endif
+
+namespace costdb {
+
+/// std::mutex declared as a capability. Keeps the standard BasicLockable
+/// interface so std::condition_variable_any and generic lockers work.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// std::shared_mutex declared as a capability (exclusive + shared modes).
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  void lock_shared() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock (std::lock_guard equivalent the analysis can see).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII exclusive lock that can be dropped and re-taken mid-scope — the
+/// std::unique_lock role, usable with std::condition_variable_any.
+class SCOPED_CAPABILITY UniqueMutexLock {
+ public:
+  explicit UniqueMutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.lock();
+  }
+  ~UniqueMutexLock() RELEASE() {
+    if (held_) mu_.unlock();
+  }
+
+  void lock() ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+  void unlock() RELEASE() {
+    held_ = false;
+    mu_.unlock();
+  }
+
+  UniqueMutexLock(const UniqueMutexLock&) = delete;
+  UniqueMutexLock& operator=(const UniqueMutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+  bool held_;
+};
+
+/// RAII shared (reader) lock over a SharedMutex.
+class SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~ReaderMutexLock() RELEASE() { mu_.unlock_shared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII exclusive (writer) lock over a SharedMutex.
+class SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~WriterMutexLock() RELEASE() { mu_.unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+}  // namespace costdb

@@ -9,9 +9,10 @@
 namespace costdb {
 
 /// Holds either a value of type T or an error Status. Arrow-style companion
-/// to Status for functions that produce a value.
+/// to Status for functions that produce a value. [[nodiscard]] like Status:
+/// ignoring a returned Result silently drops both the value and the error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}            // NOLINT(implicit)
   Result(Status status) : status_(std::move(status)) {     // NOLINT(implicit)

@@ -8,7 +8,11 @@ namespace costdb {
 /// RocksDB-style status object used for error handling throughout the
 /// warehouse. Core paths never throw; every fallible function returns a
 /// Status (or a Result<T>, see result.h).
-class Status {
+///
+/// [[nodiscard]] on the class makes dropping any returned Status a
+/// compile-time warning (an error under the -Werror CI build): a caller
+/// must check it, propagate it, or explicitly discard with a (void) cast.
+class [[nodiscard]] Status {
  public:
   enum class Code {
     kOk = 0,

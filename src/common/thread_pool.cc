@@ -12,7 +12,7 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
   cv_task_.notify_all();
@@ -21,31 +21,36 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push(std::move(task));
   }
   cv_task_.notify_one();
 }
 
 void ThreadPool::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  UniqueMutexLock lock(mu_);
+  while (!(queue_.empty() && in_flight_ == 0)) cv_idle_.wait(lock);
+}
+
+std::function<void()> ThreadPool::TakeTask() {
+  std::function<void()> task = std::move(queue_.front());
+  queue_.pop();
+  ++in_flight_;
+  return task;
 }
 
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_task_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      UniqueMutexLock lock(mu_);
+      while (!shutdown_ && queue_.empty()) cv_task_.wait(lock);
       if (shutdown_ && queue_.empty()) return;
-      task = std::move(queue_.front());
-      queue_.pop();
-      ++in_flight_;
+      task = TakeTask();
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --in_flight_;
       if (queue_.empty() && in_flight_ == 0) cv_idle_.notify_all();
     }

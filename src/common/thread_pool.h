@@ -2,16 +2,39 @@
 
 #include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/annotated_mutex.h"
 
 namespace costdb {
 
 /// Minimal fixed-size worker pool for morsel-parallel pipeline execution.
 /// Tasks are fire-and-forget; WaitIdle() blocks until every submitted task
 /// has finished.
+///
+/// The queue state is annotated for Clang's thread-safety analysis: every
+/// member below `mu_` is GUARDED_BY(mu_), so a build with
+/// -Werror=thread-safety (ci/check_thread_safety.sh) refuses any access
+/// outside the lock. For example, this "fast path" — a real bug class, an
+/// unguarded read racing Submit's push — does not compile under the
+/// analysis:
+///
+///   bool HasWork() const {
+///     return !queue_.empty();   // error: reading variable 'queue_'
+///   }                           //        requires holding mutex 'mu_'
+///
+/// whereas the correct form passes:
+///
+///   bool HasWork() const {
+///     MutexLock lock(mu_);
+///     return !queue_.empty();
+///   }
+///
+/// Internal helpers that expect the caller to hold the lock say so with
+/// REQUIRES(mu_) instead of a comment — calling them unlocked is a
+/// compile error, not a latent race.
 class ThreadPool {
  public:
   explicit ThreadPool(size_t num_threads);
@@ -20,23 +43,26 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Block until the queue is drained and all workers are idle.
-  void WaitIdle();
+  void WaitIdle() EXCLUDES(mu_);
 
   size_t num_threads() const { return workers_.size(); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
-  std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_idle_;
-  size_t in_flight_ = 0;
-  bool shutdown_ = false;
+  /// Pop the next task; caller holds the lock (enforced at compile time).
+  std::function<void()> TakeTask() REQUIRES(mu_);
+
+  std::vector<std::thread> workers_;  // set in the constructor only
+  mutable Mutex mu_;
+  std::condition_variable_any cv_task_;
+  std::condition_variable_any cv_idle_;
+  std::queue<std::function<void()>> queue_ GUARDED_BY(mu_);
+  size_t in_flight_ GUARDED_BY(mu_) = 0;
+  bool shutdown_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace costdb

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "catalog/hll.h"
+#include "common/annotated_mutex.h"
 #include "exec/evaluator.h"
 
 namespace costdb {
@@ -626,7 +627,7 @@ Status LocalEngine::RunPipeline(const Pipeline& pipeline, ExecContext* ctx,
       }
     }
   }
-  std::mutex push_mu;
+  Mutex push_mu;
   std::vector<uint8_t> slot_ready(morsels.size(), 0);
   size_t next_push = 0;
   size_t pushed_rows = 0;
@@ -825,7 +826,7 @@ Status LocalEngine::RunPipeline(const Pipeline& pipeline, ExecContext* ctx,
     // Mark this slot delivered (even on error — a stuck prefix would
     // otherwise pin every later chunk) and push all consecutive ready
     // slots. The lock serializes pushes; order is morsel order.
-    std::lock_guard<std::mutex> lock(push_mu);
+    MutexLock lock(push_mu);
     slot_ready[slot] = 1;
     while (next_push < slot_ready.size() && slot_ready[next_push]) {
       DataChunk& ready = slot_outputs[next_push];

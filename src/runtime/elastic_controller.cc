@@ -35,12 +35,17 @@ void ElasticController::BeginQuery(const PipelineGraph* graph,
   constraint_ = constraint;
   planned_latency_ = planned_latency;
   planned_workers_ = std::max(1, planned_workers);
+  MutexLock lock(mu_);
   decisions_.clear();
   resizes_applied_ = 0;
   resizes_declined_ = 0;
 }
 
 size_t ElasticController::Decide(const FragmentBoundary& boundary) {
+  // One boundary decision is atomic with respect to the service layer's
+  // pressure updates and reporting reads. Held across the policy/pricing
+  // calls too — they touch no other lock.
+  MutexLock lock(mu_);
   const size_t current = std::max<size_t>(1, boundary.current_workers);
   Decision decision;
   decision.boundary = boundary.index;

@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotated_mutex.h"
 #include "exec/sharded_engine.h"
 #include "runtime/resize_policy.h"
 
@@ -47,11 +48,13 @@ class ElasticController {
   /// optimizer's whole-query estimate at `planned_workers`.
   void BeginQuery(const PipelineGraph* graph, const VolumeMap* volumes,
                   const UserConstraint& constraint, Seconds planned_latency,
-                  int planned_workers);
+                  int planned_workers) EXCLUDES(mu_);
 
   /// Admission backlog per concurrency slot (0 = idle service). Set by the
-  /// service layer before the run; compared against max_queue_pressure.
-  void SetQueuePressure(double queued_per_slot) {
+  /// service layer before the run (and possibly re-set while the engine's
+  /// worker threads call Decide); compared against max_queue_pressure.
+  void SetQueuePressure(double queued_per_slot) EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     queue_pressure_ = queued_per_slot;
   }
 
@@ -71,11 +74,23 @@ class ElasticController {
 
   /// The engine hook: observe one fragment boundary, consult the policy,
   /// price its proposal, return the width to run the next fragment at.
-  size_t Decide(const FragmentBoundary& boundary);
+  size_t Decide(const FragmentBoundary& boundary) EXCLUDES(mu_);
 
-  const std::vector<Decision>& decisions() const { return decisions_; }
-  size_t resizes_applied() const { return resizes_applied_; }
-  size_t resizes_declined() const { return resizes_declined_; }
+  /// Snapshot of the decisions recorded so far. By value: the engine's
+  /// worker threads append under mu_ (a reference would be read racily
+  /// and invalidated by vector growth).
+  std::vector<Decision> decisions() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return decisions_;
+  }
+  size_t resizes_applied() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return resizes_applied_;
+  }
+  size_t resizes_declined() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return resizes_declined_;
+  }
 
  private:
   const CostEstimator* estimator_;
@@ -87,11 +102,15 @@ class ElasticController {
   UserConstraint constraint_;
   Seconds planned_latency_ = 0.0;
   int planned_workers_ = 1;
-  double queue_pressure_ = 0.0;
 
-  std::vector<Decision> decisions_;
-  size_t resizes_applied_ = 0;
-  size_t resizes_declined_ = 0;
+  /// Guards the observation/decision state shared between the service
+  /// layer (SetQueuePressure, reporting accessors) and the engine threads
+  /// driving Decide.
+  mutable Mutex mu_;
+  double queue_pressure_ GUARDED_BY(mu_) = 0.0;
+  std::vector<Decision> decisions_ GUARDED_BY(mu_);
+  size_t resizes_applied_ GUARDED_BY(mu_) = 0;
+  size_t resizes_declined_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace costdb

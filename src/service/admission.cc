@@ -18,7 +18,7 @@ AdmissionController::AdmissionController(AdmissionOptions options)
 AdmissionController::~AdmissionController() {
   std::vector<RunFn> cancel_callbacks;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
     // Whatever never started never will: fail fast rather than running
     // work whose owners are being torn down. Owners are told via
@@ -80,7 +80,7 @@ AdmissionController::TenantState& AdmissionController::TenantOf(
 void AdmissionController::SetTenantQuota(const std::string& tenant,
                                          TenantQuota quota) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     options_.tenant_quotas[tenant] = quota;
     auto it = tenants_.find(tenant);
     if (it != tenants_.end()) {
@@ -98,7 +98,7 @@ AdmissionController::TicketPtr AdmissionController::Submit(
   auto ticket = std::make_shared<Ticket>();
   RunFn on_cancel;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ticket->seq = next_seq_++;
     ticket->enqueued_at = Now();
     ticket->tenant = submission.tenant;
@@ -130,7 +130,7 @@ bool AdmissionController::Cancel(const TicketPtr& ticket) {
   RunFn on_cancel;
   bool cancelled = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (ticket->state == Ticket::State::kQueued) {
       ticket->state = Ticket::State::kCancelled;
       queue_.erase(std::remove(queue_.begin(), queue_.end(), ticket),
@@ -152,27 +152,27 @@ bool AdmissionController::Cancel(const TicketPtr& ticket) {
 }
 
 void AdmissionController::Await(const TicketPtr& ticket) {
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] {
-    return ticket->state == Ticket::State::kDone ||
-           ticket->state == Ticket::State::kCancelled;
-  });
+  UniqueMutexLock lock(mu_);
+  while (ticket->state != Ticket::State::kDone &&
+         ticket->state != Ticket::State::kCancelled) {
+    done_cv_.wait(lock);
+  }
 }
 
 AdmissionController::Ticket::State AdmissionController::state(
     const TicketPtr& ticket) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return ticket->state;
 }
 
 AdmissionController::Stats AdmissionController::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 std::map<std::string, AdmissionController::TenantStats>
 AdmissionController::tenant_stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::map<std::string, TenantStats> out;
   for (const auto& [tenant, state] : tenants_) {
     TenantStats stats = state.stats;
@@ -184,17 +184,17 @@ AdmissionController::tenant_stats() const {
 
 std::vector<AdmissionController::AdmissionEvent>
 AdmissionController::admission_log() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return admission_log_;
 }
 
 size_t AdmissionController::queued() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queue_.size();
 }
 
 double AdmissionController::queue_pressure() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return static_cast<double>(queue_.size()) /
          static_cast<double>(std::max<size_t>(1, workers_.size()));
 }
@@ -270,18 +270,19 @@ AdmissionController::TicketPtr AdmissionController::PickNext() {
 }
 
 void AdmissionController::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  UniqueMutexLock lock(mu_);
   while (true) {
+    // Explicit wait loop (not the predicate form): the thread-safety
+    // analysis treats a wait-predicate lambda as a separate unlocked
+    // function, so PickNext's REQUIRES(mu_) would not typecheck inside
+    // one. condition_variable_any::wait re-takes mu_ before returning.
     TicketPtr ticket;
-    cv_.wait(lock, [&] {
-      if (shutdown_) return true;
+    while (!shutdown_) {
       ticket = PickNext();
-      return ticket != nullptr;
-    });
-    if (ticket == nullptr) {
-      if (shutdown_) return;
-      continue;
+      if (ticket != nullptr) break;
+      cv_.wait(lock);
     }
+    if (ticket == nullptr) return;  // shutting down, nothing admitted
     queue_.erase(std::remove(queue_.begin(), queue_.end(), ticket),
                  queue_.end());
     // Did this admission jump an earlier submission?
@@ -312,8 +313,11 @@ void AdmissionController::WorkerLoop() {
                                   ticket->est_latency, ticket->seq});
       }
     }
+    // Move the closure out while still locked; Ticket fields are guarded
+    // by mu_ and must not be touched while running unlocked.
+    RunFn run = std::move(ticket->sub.run);
     lock.unlock();
-    ticket->sub.run();
+    run();
     lock.lock();
     ticket->state = Ticket::State::kDone;
     // The closures captured the owner's state; dropping them here breaks

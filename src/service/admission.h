@@ -8,11 +8,11 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/annotated_mutex.h"
 #include "common/units.h"
 
 namespace costdb {
@@ -205,34 +205,32 @@ class AdmissionController {
     TenantStats stats;
   };
 
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
   /// Pick the best admissible queued ticket (nullptr when none fits).
-  /// Caller holds mu_.
-  TicketPtr PickNext();
+  TicketPtr PickNext() REQUIRES(mu_);
   std::chrono::steady_clock::time_point Now() const;
-  /// Tenant state, created (and fair-share-aligned) on first use. Caller
-  /// holds mu_.
-  TenantState& TenantOf(const std::string& tenant);
-  /// Global memory cap + the ticket's tenant quotas. Caller holds mu_.
-  bool Admissible(const Ticket& t);
+  /// Tenant state, created (and fair-share-aligned) on first use.
+  TenantState& TenantOf(const std::string& tenant) REQUIRES(mu_);
+  /// Global memory cap + the ticket's tenant quotas.
+  bool Admissible(const Ticket& t) REQUIRES(mu_);
   /// Tenant quota portion of Admissible — split out so the starvation
   /// guard can distinguish "blocked by its own tenant's quota" (skip it;
   /// that tenant is not starved, it is saturated) from "blocked by the
   /// global memory cap" (hold the door until the pool drains).
-  bool TenantBlocked(const Ticket& t);
+  bool TenantBlocked(const Ticket& t) REQUIRES(mu_);
 
   AdmissionOptions options_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;        // queue/shutdown changes
-  std::condition_variable done_cv_;   // ticket completion
-  std::deque<TicketPtr> queue_;
-  std::map<std::string, TenantState> tenants_;
-  double running_memory_ = 0.0;
-  size_t running_ = 0;
-  uint64_t next_seq_ = 0;
-  Stats stats_;
-  std::vector<AdmissionEvent> admission_log_;
-  bool shutdown_ = false;
+  mutable Mutex mu_;
+  std::condition_variable_any cv_;       // queue/shutdown changes
+  std::condition_variable_any done_cv_;  // ticket completion
+  std::deque<TicketPtr> queue_ GUARDED_BY(mu_);
+  std::map<std::string, TenantState> tenants_ GUARDED_BY(mu_);
+  double running_memory_ GUARDED_BY(mu_) = 0.0;
+  size_t running_ GUARDED_BY(mu_) = 0;
+  uint64_t next_seq_ GUARDED_BY(mu_) = 0;
+  Stats stats_ GUARDED_BY(mu_);
+  std::vector<AdmissionEvent> admission_log_ GUARDED_BY(mu_);
+  bool shutdown_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

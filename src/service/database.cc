@@ -108,7 +108,7 @@ Result<std::shared_ptr<const PlannedQuery>> Database::PlanCachedImpl(
     const std::function<Result<PlannedQuery>()>& plan_fn, bool* cache_hit) {
   *cache_hit = false;
   if (!options_.enable_plan_cache) {
-    std::shared_lock<std::shared_mutex> hw_lock(hw_mu_);
+    ReaderMutexLock hw_lock(hw_mu_);
     auto planned = plan_fn();
     if (!planned.ok()) return planned.status();
     return std::make_shared<const PlannedQuery>(std::move(*planned));
@@ -116,7 +116,7 @@ Result<std::shared_ptr<const PlannedQuery>> Database::PlanCachedImpl(
   int planned_under_version = 0;
   std::shared_ptr<PlanInFlight> flight;
   {
-    std::unique_lock<std::mutex> lock(cache_mu_);
+    UniqueMutexLock lock(cache_mu_);
     while (true) {
       auto it = plan_cache_.find(cache_key);
       if (it != plan_cache_.end()) {
@@ -140,7 +140,7 @@ Result<std::shared_ptr<const PlannedQuery>> Database::PlanCachedImpl(
       auto in_flight = planning_.find(cache_key);
       if (in_flight == planning_.end()) break;  // become the planner
       auto ticket = in_flight->second;
-      ticket->cv.wait(lock, [&] { return ticket->done; });
+      while (!ticket->done) ticket->cv.wait(lock);
       // Re-check: the planner filled the cache (hit), failed (we take
       // over), or the calibration moved meanwhile (we replan).
     }
@@ -156,7 +156,7 @@ Result<std::shared_ptr<const PlannedQuery>> Database::PlanCachedImpl(
   {
     // The estimator reads hw_ on every estimate; hold off calibration
     // writers while planning.
-    std::shared_lock<std::shared_mutex> hw_lock(hw_mu_);
+    ReaderMutexLock hw_lock(hw_mu_);
     auto planned = plan_fn();
     if (planned.ok()) {
       shared = std::make_shared<const PlannedQuery>(std::move(*planned));
@@ -165,7 +165,7 @@ Result<std::shared_ptr<const PlannedQuery>> Database::PlanCachedImpl(
     }
   }
   {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    MutexLock lock(cache_mu_);
     if (shared != nullptr) {
       CacheEntry entry{shared, planned_under_version, {}};
       CollectScanTables(shared->plan.get(), &entry.table_layouts);
@@ -220,7 +220,7 @@ Result<PlannedQuery> Database::BindPreparedPlan(
   CardinalityEstimator cards(&meta_, &query.relations);
   out.volumes = ComputeVolumes(out.plan.get(), cards);
   {
-    std::shared_lock<std::shared_mutex> hw_lock(hw_mu_);
+    ReaderMutexLock hw_lock(hw_mu_);
     out.estimate = estimator_->EstimatePlan(out.pipelines, out.dops,
                                             out.volumes);
   }
@@ -260,7 +260,7 @@ Result<ExecutionResult> Database::ExecuteSharded(
       // The policy prices candidates through the shared estimator, which
       // reads the calibrated hardware model — shut out calibration
       // writers for the duration of the decision.
-      std::shared_lock<std::shared_mutex> hw_lock(hw_mu_);
+      ReaderMutexLock hw_lock(hw_mu_);
       return raw->Decide(boundary);
     };
   }
@@ -279,7 +279,7 @@ Result<ExecutionResult> Database::ExecuteSharded(
 
   if (serial) {
     EngineShard& shard = ShardFor(tenant);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto& engine = shard.sharded[workers];
     if (engine == nullptr) {
       engine = std::make_unique<ShardedEngine>(
@@ -299,7 +299,7 @@ Result<ExecutionResult> Database::ExecuteSharded(
   const Dollars price = node_.price_per_second();
   out.billed_dollars = out.usage.worker_seconds * price;
   {
-    std::lock_guard<std::mutex> lock(billing_mu_);
+    MutexLock lock(billing_mu_);
     UsageRecord record;
     record.label = controller != nullptr ? "query:elastic" : "query:sharded";
     record.start = billing_clock_;
@@ -313,7 +313,7 @@ Result<ExecutionResult> Database::ExecuteSharded(
 }
 
 BillingMeter Database::billing_snapshot() const {
-  std::lock_guard<std::mutex> lock(billing_mu_);
+  MutexLock lock(billing_mu_);
   return billing_;
 }
 
@@ -352,7 +352,7 @@ Result<ExecutionResult> Database::ExecuteMaterialized(
   // pool outlives queries); timings are per-run engine state, so access
   // within the shard is exclusive.
   EngineShard& shard = ShardFor(tenant);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   if (shard.engine == nullptr) {
     shard.engine = std::make_unique<LocalEngine>(options_.exec_threads);
   }
@@ -420,7 +420,7 @@ Result<ExecutionResult> Database::ExecutePlannedCached(
   std::shared_ptr<PlanInFlight> flight;
   int executed_under_version = 0;
   {
-    std::unique_lock<std::mutex> lock(cache_mu_);
+    UniqueMutexLock lock(cache_mu_);
     while (true) {
       auto it = result_cache_.find(result_key);
       if (it != result_cache_.end()) {
@@ -461,7 +461,7 @@ Result<ExecutionResult> Database::ExecutePlannedCached(
       auto in_flight = result_flights_.find(result_key);
       if (in_flight == result_flights_.end()) break;  // become the leader
       auto ticket = in_flight->second;
-      ticket->cv.wait(lock, [&] { return ticket->done; });
+      while (!ticket->done) ticket->cv.wait(lock);
       // Re-check: the leader published (hit), failed (we take over), or
       // the entry went stale meanwhile (we re-execute).
     }
@@ -479,7 +479,7 @@ Result<ExecutionResult> Database::ExecutePlannedCached(
   auto executed =
       ExecuteMaterialized(plan, cache_hit, engine, tenant, concurrent);
   {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    MutexLock lock(cache_mu_);
     if (executed.ok()) {
       ResultCacheEntry entry;
       entry.result = std::make_shared<const QueryResult>(executed->result);
@@ -533,7 +533,7 @@ Dollars Database::SettleTenantBill(const std::string& tenant,
       for (const auto& t : executed->timings) seconds += t.seconds;
     }
   }
-  std::lock_guard<std::mutex> lock(tenant_mu_);
+  MutexLock lock(tenant_mu_);
   TenantBill& bill = tenant_billing_[tenant];
   if (executed->result_cache_hit) {
     // Serving cached rows costs memory bandwidth, not an execution.
@@ -563,25 +563,25 @@ Dollars Database::SettleTenantBill(const std::string& tenant,
 }
 
 std::map<std::string, Database::TenantBill> Database::tenant_billing() const {
-  std::lock_guard<std::mutex> lock(tenant_mu_);
+  MutexLock lock(tenant_mu_);
   return tenant_billing_;
 }
 
 Database::ResultCacheStats Database::result_cache_stats() const {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  MutexLock lock(cache_mu_);
   ResultCacheStats stats = result_cache_stats_;
   stats.entries = result_cache_.size();
   return stats;
 }
 
 void Database::ClearResultCache() {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  MutexLock lock(cache_mu_);
   result_cache_.clear();
   result_cache_stats_ = ResultCacheStats{};
 }
 
 CalibrationReport Database::Calibrate(const ExecutionResult& executed) {
-  std::unique_lock<std::shared_mutex> hw_lock(hw_mu_);
+  WriterMutexLock hw_lock(hw_mu_);
   CalibrationReport report;
   if (!executed.timings.empty()) {
     report = calibration_->Observe(executed.plan->pipelines,
@@ -614,7 +614,7 @@ CalibrationReport Database::Calibrate(const ExecutionResult& executed) {
   if (moved) {
     // Estimates produced before this round are stale; lazily invalidate
     // cached plans by versioning.
-    std::lock_guard<std::mutex> cache_lock(cache_mu_);
+    MutexLock cache_lock(cache_mu_);
     ++calibration_version_;
   }
   return report;
@@ -641,7 +641,7 @@ Result<ExecutionResult> Database::ExecuteSql(const std::string& sql,
 
 std::vector<Result<ExecutionResult>> Database::SubmitBatch(
     const std::vector<QueryRequest>& requests) {
-  std::lock_guard<std::mutex> batch_lock(batch_mu_);
+  MutexLock batch_lock(batch_mu_);
   std::vector<Result<ExecutionResult>> results(
       requests.size(), Result<ExecutionResult>(Status::Internal("pending")));
 
@@ -681,7 +681,7 @@ Result<PreparedQuery> Database::Prepare(const std::string& sql,
   PreparedQuery out;
   COSTDB_ASSIGN_OR_RETURN(out.query, BindSql(sql));
   {
-    std::shared_lock<std::shared_mutex> hw_lock(hw_mu_);
+    ReaderMutexLock hw_lock(hw_mu_);
     COSTDB_ASSIGN_OR_RETURN(out.planned,
                             query_service_->Plan(out.query, constraint));
   }
@@ -699,19 +699,19 @@ Result<SimResult> Database::SimulateSql(const std::string& sql,
   StaticPolicy static_policy;
   if (policy == nullptr) policy = &static_policy;
   // The simulator estimates against hw_ too; shut out calibration writers.
-  std::shared_lock<std::shared_mutex> hw_lock(hw_mu_);
+  ReaderMutexLock hw_lock(hw_mu_);
   return SimulateQuery(prepared, *simulator_, policy, constraint, env);
 }
 
 Database::CacheStats Database::plan_cache_stats() const {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  MutexLock lock(cache_mu_);
   CacheStats stats = cache_stats_;
   stats.entries = plan_cache_.size();
   return stats;
 }
 
 void Database::ClearPlanCache() {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  MutexLock lock(cache_mu_);
   plan_cache_.clear();
   cache_stats_ = CacheStats{};
 }

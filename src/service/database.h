@@ -4,12 +4,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "cloud/billing.h"
+#include "common/annotated_mutex.h"
 #include "cloud/pricing.h"
 #include "cost/calibration_updater.h"
 #include "exec/engine.h"
@@ -328,7 +327,13 @@ class Database {
   /// version they were planned under; any entry older than the current
   /// version is invalidated lazily on its next lookup, so estimates that
   /// drifted materially can never serve a stale plan.
-  int calibration_version() const { return calibration_version_; }
+  int calibration_version() const {
+    // Locked read: Calibrate bumps the version concurrently with running
+    // queries, and a torn/stale read here would let a racing lookup serve
+    // a plan priced under a calibration the reader believes is current.
+    MutexLock lock(cache_mu_);
+    return calibration_version_;
+  }
 
   // -- Plan cache --------------------------------------------------------
   struct CacheStats {
@@ -368,8 +373,11 @@ class Database {
   /// Single-flight marker: one optimizer run per missed shape, with
   /// concurrent misses waiting on the planner instead of duplicating it.
   struct PlanInFlight {
-    std::condition_variable cv;
-    bool done = false;  // guarded by cache_mu_
+    std::condition_variable_any cv;
+    /// Guarded by the owning Database's cache_mu_ (not annotatable here:
+    /// the analysis cannot express a member guarded by another object's
+    /// mutex; waiters access it only under that lock).
+    bool done = false;
   };
 
   /// Cache lookup + fill shared by the SQL and bound planning paths;
@@ -419,30 +427,32 @@ class Database {
   /// on spawns no thread pools. Concurrent (sink/batch) callers build
   /// their own engines and never touch a shard.
   struct EngineShard {
-    std::mutex mu;
-    std::unique_ptr<LocalEngine> engine;  // lazy; guarded by mu
+    Mutex mu;
+    std::unique_ptr<LocalEngine> engine GUARDED_BY(mu);  // lazy
     /// Sharded backends, one per requested worker count (bounded by the
-    /// few widths a deployment uses). Guarded by mu like engine.
-    std::map<size_t, std::unique_ptr<ShardedEngine>> sharded;
+    /// few widths a deployment uses).
+    std::map<size_t, std::unique_ptr<ShardedEngine>> sharded GUARDED_BY(mu);
   };
   EngineShard& ShardFor(const std::string& tenant);
   std::vector<std::unique_ptr<EngineShard>> engine_shards_;
 
   /// Real-execution cloud bill (sharded worker-seconds); own lock so the
   /// concurrent (sink) execution path can charge without the engine lock.
-  mutable std::mutex billing_mu_;
-  BillingMeter billing_;
-  Seconds billing_clock_ = 0.0;  // monotone start offset for usage records
+  mutable Mutex billing_mu_;
+  BillingMeter billing_ GUARDED_BY(billing_mu_);
+  /// Monotone start offset for usage records.
+  Seconds billing_clock_ GUARDED_BY(billing_mu_) = 0.0;
 
   /// Per-tenant cumulative bills; own lock so settling never contends
   /// with engines or caches.
-  mutable std::mutex tenant_mu_;
-  std::map<std::string, TenantBill> tenant_billing_;
+  mutable Mutex tenant_mu_;
+  std::map<std::string, TenantBill> tenant_billing_ GUARDED_BY(tenant_mu_);
 
-  mutable std::mutex cache_mu_;
-  std::map<std::string, CacheEntry> plan_cache_;
-  std::map<std::string, std::shared_ptr<PlanInFlight>> planning_;
-  CacheStats cache_stats_;
+  mutable Mutex cache_mu_;
+  std::map<std::string, CacheEntry> plan_cache_ GUARDED_BY(cache_mu_);
+  std::map<std::string, std::shared_ptr<PlanInFlight>> planning_
+      GUARDED_BY(cache_mu_);
+  CacheStats cache_stats_ GUARDED_BY(cache_mu_);
 
   /// One materialized result, stamped like a plan-cache entry: served
   /// only while the calibration version and every scanned table's layout
@@ -455,18 +465,21 @@ class Database {
   };
   /// Result cache + its single-flight markers; guarded by cache_mu_ like
   /// the plan cache (lookups are map probes, never executions).
-  std::map<std::string, ResultCacheEntry> result_cache_;
-  std::map<std::string, std::shared_ptr<PlanInFlight>> result_flights_;
-  ResultCacheStats result_cache_stats_;
-  uint64_t result_cache_tick_ = 0;
+  std::map<std::string, ResultCacheEntry> result_cache_ GUARDED_BY(cache_mu_);
+  std::map<std::string, std::shared_ptr<PlanInFlight>> result_flights_
+      GUARDED_BY(cache_mu_);
+  ResultCacheStats result_cache_stats_ GUARDED_BY(cache_mu_);
+  uint64_t result_cache_tick_ GUARDED_BY(cache_mu_) = 0;
 
   /// Readers (planning, simulation) take it shared; the calibration
   /// writer takes it exclusive — the estimator reads hw_ on every
   /// estimate, so planning must not overlap an update.
-  std::shared_mutex hw_mu_;
-  int calibration_version_ = 0;
+  SharedMutex hw_mu_;
+  /// Bumped by Calibrate under cache_mu_ (it stamps cache entries), so it
+  /// shares that guard rather than hw_mu_.
+  int calibration_version_ GUARDED_BY(cache_mu_) = 0;
 
-  std::mutex batch_mu_;
+  Mutex batch_mu_;
 
   /// Declared last: admission workers run closures that touch the members
   /// above, so the controller must be torn down (drained) first.

@@ -88,12 +88,12 @@ double EstimateWorkingSetBytes(const PlannedQuery& planned) {
 // ------------------------------------------------------------- ledger
 
 struct Session::Ledger {
-  std::mutex mu;
-  Dollars budget = std::numeric_limits<double>::infinity();
-  Dollars spent = 0.0;
+  mutable Mutex mu;
+  Dollars budget GUARDED_BY(mu) = std::numeric_limits<double>::infinity();
+  Dollars spent GUARDED_BY(mu) = 0.0;
 
   Status Charge(Dollars amount) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     if (spent + amount > budget) {
       return Status::ResourceExhausted(StrFormat(
           "session budget exceeded: %s spent + %s estimated > %s budget",
@@ -105,7 +105,7 @@ struct Session::Ledger {
   }
 
   void Refund(Dollars amount) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     spent -= amount;
     if (spent < 0.0) spent = 0.0;
   }
@@ -115,7 +115,7 @@ struct Session::Ledger {
   /// worker-seconds). The money is already spent, so no budget check —
   /// the ledger records truth even past the cap.
   void Settle(Dollars reserved, Dollars actual) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     spent += actual - reserved;
     if (spent < 0.0) spent = 0.0;
   }
@@ -124,17 +124,17 @@ struct Session::Ledger {
 // ------------------------------------------------- prepared statements
 
 size_t PreparedStatement::times_planned() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return times_planned_;
 }
 
 size_t PreparedStatement::reuses() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return reuses_;
 }
 
 size_t PreparedStatement::executions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return executions_;
 }
 
@@ -158,16 +158,17 @@ struct QueryHandle::SharedState : ChunkSink {
   std::shared_ptr<Session::Ledger> ledger;
   Dollars charged = 0.0;
 
-  std::mutex mu;
-  std::condition_variable cv;
-  std::deque<DataChunk> chunks;
-  bool producer_done = false;
-  Status final_status;
-  ExecutionResult result;  // rows stay in `chunks` until drained
+  Mutex mu;
+  std::condition_variable_any cv;
+  std::deque<DataChunk> chunks GUARDED_BY(mu);
+  bool producer_done GUARDED_BY(mu) = false;
+  Status final_status GUARDED_BY(mu);
+  // Rows stay in `chunks` until drained.
+  ExecutionResult result GUARDED_BY(mu);
 
   Status Push(DataChunk chunk) override {
     {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       chunks.push_back(std::move(chunk));
     }
     cv.notify_all();
@@ -177,7 +178,7 @@ struct QueryHandle::SharedState : ChunkSink {
 
 QueryHandle::State QueryHandle::Poll() const {
   {
-    std::lock_guard<std::mutex> lock(state_->mu);
+    MutexLock lock(state_->mu);
     if (state_->producer_done) {
       if (state_->final_status.IsCancelled()) return State::kCancelled;
       return state_->final_status.ok() ? State::kDone : State::kFailed;
@@ -198,14 +199,14 @@ QueryHandle::State QueryHandle::Poll() const {
 }
 
 Status QueryHandle::Wait() const {
-  std::unique_lock<std::mutex> lock(state_->mu);
-  state_->cv.wait(lock, [&] { return state_->producer_done; });
+  UniqueMutexLock lock(state_->mu);
+  while (!state_->producer_done) state_->cv.wait(lock);
   return state_->final_status;
 }
 
 Result<ExecutionResult> QueryHandle::Take() {
   COSTDB_RETURN_NOT_OK(Wait());
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   ExecutionResult out = std::move(state_->result);
   for (auto& chunk : state_->chunks) {
     out.result.chunk.Append(chunk);
@@ -216,10 +217,10 @@ Result<ExecutionResult> QueryHandle::Take() {
 }
 
 Result<bool> QueryHandle::FetchChunk(DataChunk* out) {
-  std::unique_lock<std::mutex> lock(state_->mu);
-  state_->cv.wait(lock, [&] {
-    return !state_->chunks.empty() || state_->producer_done;
-  });
+  UniqueMutexLock lock(state_->mu);
+  while (state_->chunks.empty() && !state_->producer_done) {
+    state_->cv.wait(lock);
+  }
   if (!state_->chunks.empty()) {
     *out = std::move(state_->chunks.front());
     state_->chunks.pop_front();
@@ -241,6 +242,7 @@ const PlannedQuery& QueryHandle::plan() const { return *state_->planned; }
 
 Session::Session(Database* db, SessionOptions options)
     : db_(db), options_(options), ledger_(std::make_shared<Ledger>()) {
+  MutexLock lock(ledger_->mu);
   ledger_->budget = options_.budget;
 }
 
@@ -262,14 +264,14 @@ Result<PreparedStatementPtr> Session::Prepare(
                                       constraint, &hit);
   if (!planned.ok()) return planned.status();
   {
-    std::lock_guard<std::mutex> lock(statement->mu_);
+    MutexLock lock(statement->mu_);
     if (hit) {
       ++statement->reuses_;
     } else {
       ++statement->times_planned_;
     }
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (hit) {
     ++stats_.replans_avoided;
   } else {
@@ -297,7 +299,7 @@ Result<Session::RunnablePlan> Session::PlanStatement(
       cached, db_->PlanCachedBound(statement->query_, statement->shape_,
                                    constraint, &hit));
   {
-    std::lock_guard<std::mutex> lock(statement->mu_);
+    MutexLock lock(statement->mu_);
     ++statement->executions_;
     if (hit) {
       ++statement->reuses_;
@@ -306,7 +308,7 @@ Result<Session::RunnablePlan> Session::PlanStatement(
     }
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (hit) {
       ++stats_.replans_avoided;
     } else {
@@ -342,7 +344,7 @@ Result<Session::RunnablePlan> Session::PlanRaw(
   }
   runnable.result_key =
       Database::ResultKey(NormalizeStatementShape(sql), constraint, {});
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (hit) {
     ++stats_.replans_avoided;
   } else {
@@ -368,7 +370,7 @@ Result<ExecutionResult> Session::RunSync(RunnablePlan runnable) {
   const Dollars actual =
       db_->SettleTenantBill(options_.tenant_id, &*executed, estimated);
   if (actual != estimated) ledger_->Settle(estimated, actual);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++stats_.executions;
   return executed;
 }
@@ -501,7 +503,7 @@ Result<QueryHandlePtr> Session::SubmitPlanned(RunnablePlan runnable,
       if (state->ledger != nullptr) state->ledger->Refund(state->charged);
     }
     {
-      std::lock_guard<std::mutex> lock(state->mu);
+      MutexLock lock(state->mu);
       state->result = std::move(result);
       state->final_status = final_status;
       state->producer_done = true;
@@ -517,7 +519,7 @@ Result<QueryHandlePtr> Session::SubmitPlanned(RunnablePlan runnable,
     // producer_done already sees the reservation returned.
     if (state->ledger != nullptr) state->ledger->Refund(state->charged);
     {
-      std::lock_guard<std::mutex> lock(state->mu);
+      MutexLock lock(state->mu);
       state->final_status =
           Status::Cancelled("query cancelled before admission");
       state->producer_done = true;
@@ -527,24 +529,24 @@ Result<QueryHandlePtr> Session::SubmitPlanned(RunnablePlan runnable,
 
   state->ticket = state->controller->Submit(std::move(submission));
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.submissions;
   }
   return QueryHandlePtr(new QueryHandle(std::move(state)));
 }
 
 Dollars Session::spent() const {
-  std::lock_guard<std::mutex> lock(ledger_->mu);
+  MutexLock lock(ledger_->mu);
   return ledger_->spent;
 }
 
 Dollars Session::budget_remaining() const {
-  std::lock_guard<std::mutex> lock(ledger_->mu);
+  MutexLock lock(ledger_->mu);
   return ledger_->budget - ledger_->spent;
 }
 
 SessionStats Session::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

@@ -3,11 +3,11 @@
 #include <deque>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/annotated_mutex.h"
 #include "service/admission.h"
 #include "service/database.h"
 #include "sql/shape.h"
@@ -77,10 +77,10 @@ class PreparedStatement {
   BoundQuery query_;           // carries param_types and relation handles
   UserConstraint constraint_;  // session default at Prepare time
 
-  mutable std::mutex mu_;
-  size_t times_planned_ = 0;
-  size_t reuses_ = 0;
-  size_t executions_ = 0;
+  mutable Mutex mu_;
+  size_t times_planned_ GUARDED_BY(mu_) = 0;
+  size_t reuses_ GUARDED_BY(mu_) = 0;
+  size_t executions_ GUARDED_BY(mu_) = 0;
 };
 
 /// Future-like handle to an asynchronously submitted query. Rows stream
@@ -212,8 +212,8 @@ class Session {
   Database* db_;
   SessionOptions options_;
   std::shared_ptr<Ledger> ledger_;
-  mutable std::mutex mu_;
-  SessionStats stats_;
+  mutable Mutex mu_;
+  SessionStats stats_ GUARDED_BY(mu_);
 };
 
 struct Session::SubmitOptions {

@@ -171,8 +171,10 @@ SimResult DistributedSimulator::Run(const Request& request,
                      runs[c->second].phase == RunState::Phase::kRunning ||
                      runs[c->second].phase == RunState::Phase::kFinished;
       if (release) {
-        env->clusters()->Release(&rs.cluster, now);
-        rs.cluster_released = true;
+        // Release fails only on double-release, which cluster_released
+        // excludes; marking released only on success keeps the billing
+        // ledger and the flag in agreement either way.
+        rs.cluster_released = env->clusters()->Release(&rs.cluster, now).ok();
       }
     }
 
@@ -208,8 +210,7 @@ SimResult DistributedSimulator::Run(const Request& request,
   // Release anything still held (e.g. root pipeline).
   for (auto& [id, rs] : runs) {
     if (!rs.cluster_released && rs.cluster.node_count > 0) {
-      env->clusters()->Release(&rs.cluster, now);
-      rs.cluster_released = true;
+      rs.cluster_released = env->clusters()->Release(&rs.cluster, now).ok();
     }
   }
 

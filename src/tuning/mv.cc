@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <set>
 
-#include "optimizer/optimizer.h"
+#include "optimizer/passes.h"
 
 namespace costdb {
 
@@ -43,9 +43,25 @@ std::string MvDefiningSql(const TuningAction& action) {
 Result<std::shared_ptr<Table>> BuildMaterializedView(
     const MetadataService& meta, const TuningAction& action,
     LocalEngine* engine) {
-  Optimizer optimizer(&meta);
-  PhysicalPlanPtr plan;
-  COSTDB_ASSIGN_OR_RETURN(plan, optimizer.OptimizeSql(MvDefiningSql(action)));
+  // Plan the defining query through the optimizer's pass facade
+  // (bind -> dag_plan -> physical_plan) rather than wiring the internal
+  // Binder/DagPlanner/PhysicalPlanner stages directly — the layering rule
+  // ci/check_layering.py enforces for src/tuning. No DOP pass: the MV
+  // build runs once on the caller's local engine, so the left-deep
+  // physical candidate is all that is needed (no estimator required).
+  QueryPlanContext ctx;
+  ctx.meta = &meta;
+  ctx.sql = MvDefiningSql(action);
+  PassPipeline passes;
+  passes.push_back(std::make_unique<BindPass>());
+  passes.push_back(std::make_unique<DagPlanPass>());
+  passes.push_back(std::make_unique<PhysicalPlanPass>());
+  for (const auto& pass : passes) {
+    COSTDB_RETURN_NOT_OK(pass->Run(&ctx).WithContext(
+        std::string("materialized view '") + action.mv_name + "', pass '" +
+        pass->name() + "'"));
+  }
+  PhysicalPlanPtr plan = std::move(ctx.candidates.front().plan);
   QueryResult result;
   COSTDB_ASSIGN_OR_RETURN(result, engine->Execute(plan.get()));
   // MV columns: unqualified base column names, so rewritten plans resolve.

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "catalog/catalog.h"
 #include "common/rng.h"
 
@@ -139,6 +143,64 @@ TEST(MetadataServiceTest, SyncToObjectStoreCreatesObjects) {
   EXPECT_TRUE(env.object_store()->Exists("t/part-0"));
   EXPECT_TRUE(env.object_store()->Exists("t/part-3"));
   EXPECT_GT(env.object_store()->total_bytes(), 0.0);
+}
+
+// Regression (TSAN): SetStatsErrorFactor and SetVirtualScale used to
+// mutate their maps and invalidate the served-stats cache WITHOUT taking
+// stats_mu_, racing every concurrent GetStats/accessor (which do lock).
+// The what-if planner flips these knobs while sessions plan, so the race
+// was reachable in production paths, not just tests. Run catalog_test
+// under the TSAN CI stage to prove the locked rewrite holds; values are
+// also checked so a torn read that happens not to trap still fails.
+TEST(MetadataServiceTest, StatsKnobsRaceServedStatsReads) {
+  MetadataService meta;
+  meta.RegisterTable(MakeTable("t", 1000, 10));
+  ASSERT_TRUE(meta.Analyze("t").ok());
+
+  constexpr int kFlips = 400;
+  std::atomic<bool> done{false};
+  std::atomic<int> bad_reads{0};
+
+  std::thread error_writer([&] {
+    for (int i = 0; i < kFlips; ++i) {
+      meta.SetStatsErrorFactor("t", (i % 2) ? 2.0 : 0.5);
+    }
+  });
+  std::thread scale_writer([&] {
+    for (int i = 0; i < kFlips; ++i) {
+      meta.SetVirtualScale("t", (i % 2) ? 4.0 : 1.0);
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      while (!done.load(std::memory_order_relaxed)) {
+        // GetStats rebuilds the served copy from the knobs under the lock;
+        // every knob value pair yields a row count from this closed set.
+        const TableStats* stats = meta.GetStats("t");
+        if (stats == nullptr) {
+          bad_reads.fetch_add(1);
+          continue;
+        }
+        double ef = meta.stats_error_factor("t");
+        double vs = meta.virtual_scale("t");
+        if ((ef != 2.0 && ef != 0.5 && ef != 1.0) ||
+            (vs != 4.0 && vs != 1.0)) {
+          bad_reads.fetch_add(1);
+        }
+      }
+    });
+  }
+  error_writer.join();
+  scale_writer.join();
+  done.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(bad_reads.load(), 0);
+
+  // Settled state serves the last-written factors exactly.
+  meta.SetStatsErrorFactor("t", 1.0);
+  meta.SetVirtualScale("t", 1.0);
+  EXPECT_DOUBLE_EQ(meta.GetStats("t")->row_count, 1000.0);
 }
 
 TEST(MetadataServiceTest, MaterializedViewRegistry) {

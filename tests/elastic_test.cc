@@ -287,7 +287,7 @@ TEST_F(ElasticTest, ControllerAcceptsNetPositiveGrow) {
   boundary.pending_bytes = 1000.0;
   EXPECT_EQ(controller.Decide(boundary), 8u);
   ASSERT_EQ(controller.decisions().size(), 1u);
-  const auto& d = controller.decisions()[0];
+  const auto d = controller.decisions()[0];
   EXPECT_TRUE(d.resized);
   EXPECT_EQ(d.from, 2u);
   EXPECT_EQ(d.applied, 8u);
@@ -313,7 +313,7 @@ TEST_F(ElasticTest, ControllerDeclinesNetNegativeGrow) {
   boundary.cuts_remaining = 3;
   EXPECT_EQ(controller.Decide(boundary), 2u);  // proposal rejected
   ASSERT_EQ(controller.decisions().size(), 1u);
-  const auto& d = controller.decisions()[0];
+  const auto d = controller.decisions()[0];
   EXPECT_TRUE(d.declined);
   EXPECT_FALSE(d.resized);
   EXPECT_EQ(d.proposed, 8u);
@@ -359,7 +359,7 @@ TEST_F(ElasticTest, ControllerAcceptsDollarSavingShrink) {
   boundary.cuts_remaining = 2;
   EXPECT_EQ(controller.Decide(boundary), 1u);
   ASSERT_EQ(controller.decisions().size(), 1u);
-  const auto& d = controller.decisions()[0];
+  const auto d = controller.decisions()[0];
   EXPECT_TRUE(d.resized);
   EXPECT_LT(d.dollar_delta, 0.0);  // shrinking saves dollars
 }

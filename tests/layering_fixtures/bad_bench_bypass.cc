@@ -1,0 +1,5 @@
+// Layering-linter fixture (never compiled): a bench driving the planning
+// service directly instead of entering through Session.
+// pretend: bench/bench_rogue.cc
+// expect: session-bypass
+#include "service/query_service.h"

@@ -1,0 +1,5 @@
+// Layering-linter fixture (never compiled): an example wiring the
+// optimizer facade itself — client code must go through Session.
+// pretend: examples/rogue_example.cpp
+// expect: session-bypass
+#include "optimizer/passes.h"

@@ -1,0 +1,6 @@
+// Layering-linter fixture (never compiled): engine code reaching into a
+// planner stage. The linter must reject this include when the file lives
+// outside src/optimizer/ and tests/.
+// pretend: src/exec/rogue_planner_use.cc
+// expect: optimizer-internal
+#include "optimizer/dag_planner.h"

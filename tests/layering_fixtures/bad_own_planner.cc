@@ -1,0 +1,5 @@
+// Layering-linter fixture (never compiled): a tuning component running
+// its own bind stage — tuning/stats/workload consume the pass facade.
+// pretend: src/tuning/rogue_binder_use.cc
+// expect: own-planner
+#include "sql/binder.h"

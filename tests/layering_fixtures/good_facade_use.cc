@@ -1,0 +1,7 @@
+// Layering-linter fixture (never compiled): the sanctioned shape — a
+// tuning component planning through the pass facade and the service
+// layer planning through query_service. Must be accepted.
+// pretend: src/tuning/facade_use.cc
+// expect: none
+#include "optimizer/passes.h"
+#include "service/database.h"

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <thread>
 
 #include "exec/engine.h"
 #include "optimizer/optimizer.h"
@@ -279,6 +281,36 @@ TEST(QueryServiceTest, RemovingBushyRewriteStillPlans) {
                                    UserConstraint::Sla(60.0));
   ASSERT_TRUE(planned.ok());
   EXPECT_EQ(planned->bushiness, 0);
+}
+
+// Regression (TSAN): Database::calibration_version() used to read the
+// counter without cache_mu_, racing Calibrate's increment (which runs
+// under the lock after every query when calibration is on). Sessions poll
+// the version to decide plan-cache freshness, so the unguarded read was
+// on the hot path. Monotonicity is asserted too: a torn or stale-forever
+// read shows up as a decreasing or frozen sequence.
+TEST(DatabaseTest, CalibrationVersionReadRacesCalibrate) {
+  auto db = MakeSsbDatabase();
+  std::atomic<bool> done{false};
+  std::atomic<bool> monotonic{true};
+  std::thread poller([&] {
+    int last = db->calibration_version();
+    while (!done.load(std::memory_order_relaxed)) {
+      int v = db->calibration_version();
+      if (v < last) monotonic.store(false);
+      last = v;
+    }
+  });
+  Session session(db.get());
+  const UserConstraint sla = UserConstraint::Sla(60.0);
+  for (int i = 0; i < 4; ++i) {
+    auto run = session.ExecuteSql(FindQuery("Q1").sql, sla);
+    ASSERT_TRUE(run.ok());
+  }
+  done.store(true);
+  poller.join();
+  EXPECT_TRUE(monotonic.load());
+  EXPECT_GE(db->calibration_version(), 1);
 }
 
 TEST(QueryServiceTest, SimulationBackendBillsTheQuery) {

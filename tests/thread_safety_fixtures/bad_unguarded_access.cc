@@ -1,0 +1,25 @@
+// Thread-safety fixture: the seeded bug ci/check_thread_safety.sh proves
+// the analysis catches. Reading a GUARDED_BY member without the lock must
+// fail to compile under -Werror=thread-safety. Never linked into a target;
+// compiled standalone (-fsyntax-only) by the fixture self-check only.
+#include "common/annotated_mutex.h"
+
+namespace costdb {
+
+class UnguardedCounter {
+ public:
+  void Increment() {
+    MutexLock lock(mu_);
+    ++count_;
+  }
+
+  // BUG (intentional): unguarded read racing Increment. The analysis
+  // reports: reading variable 'count_' requires holding mutex 'mu_'.
+  int value() const { return count_; }
+
+ private:
+  mutable Mutex mu_;
+  int count_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace costdb

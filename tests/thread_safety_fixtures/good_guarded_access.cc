@@ -1,0 +1,40 @@
+// Thread-safety fixture: the corrected form of bad_unguarded_access.cc,
+// exercising the full annotation vocabulary the service layer uses. Must
+// compile clean under -Werror=thread-safety (the fixture self-check fails
+// if it does not, catching a broken wrapper header or stage wiring).
+#include "common/annotated_mutex.h"
+
+namespace costdb {
+
+class GuardedCounter {
+ public:
+  void Increment() EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    IncrementLocked();
+  }
+
+  int value() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return count_;
+  }
+
+  int reads() const EXCLUDES(rw_mu_) {
+    ReaderMutexLock lock(rw_mu_);
+    return reads_;
+  }
+
+  void ResetReads() EXCLUDES(rw_mu_) {
+    WriterMutexLock lock(rw_mu_);
+    reads_ = 0;
+  }
+
+ private:
+  void IncrementLocked() REQUIRES(mu_) { ++count_; }
+
+  mutable Mutex mu_;
+  int count_ GUARDED_BY(mu_) = 0;
+  mutable SharedMutex rw_mu_;
+  int reads_ GUARDED_BY(rw_mu_) = 0;
+};
+
+}  // namespace costdb
