@@ -75,6 +75,25 @@ check_bench_snapshot() {
   ' "$baseline" "$current"
 }
 
+# Print every valid anchor slug of a markdown file, one per line, using
+# GitHub's slugification: lowercase the heading text, strip everything but
+# [a-z0-9 _-], turn spaces into hyphens, and suffix repeats with -1, -2, …
+# Headings inside fenced code blocks do not produce anchors.
+md_anchors() {
+  awk '
+    /^```/ { fence = !fence; next }
+    !fence && /^#+ / {
+      s = $0
+      sub(/^#+ +/, "", s)
+      s = tolower(s)
+      gsub(/[^a-z0-9 _-]/, "", s)
+      gsub(/ /, "-", s)
+      if (seen[s]++) s = s "-" (seen[s] - 1)
+      print s
+    }
+  ' "$1"
+}
+
 run_static_stage() {
   # ---- architecture layering: the #include graph must respect the layer
   # rules (clients enter via service/, nobody reaches optimizer internals
@@ -213,31 +232,55 @@ run_build_stage() {
   "$build_dir/bench_f3_endtoend" > /dev/null
   echo "bench smoke OK ($smoked benches, $gated snapshot-gated)"
 
-  # ---- markdown link check: relative links in the docs must resolve.
-  # Globs cover nested docs (docs/**/ and examples/); zero files checked
-  # means the globs (or the repo layout) broke and must fail, not
-  # silently pass — the `checked` guard below enforces that.
+  # ---- markdown link check: relative links in the docs must resolve, and
+  # so must their #anchors — a fragment pointing at a markdown file must
+  # match one of that file's heading slugs (md_anchors above implements
+  # GitHub's slugification). Globs cover nested docs (docs/**/ and
+  # examples/); zero files checked means the globs (or the repo layout)
+  # broke and must fail, not silently pass — the `checked` guard below
+  # enforces that.
   echo "== markdown link check =="
   shopt -s nullglob globstar
   local files=(README.md ROADMAP.md docs/**/*.md examples/**/*.md)
   shopt -u nullglob globstar
-  local link_errors=0 checked=0 md dir link target
+  local link_errors=0 checked=0 md dir link target anchor file
   for md in "${files[@]}"; do
     [ -f "$md" ] || continue
     checked=$((checked + 1))
     dir=$(dirname "$md")
     # Extract (target) parts of [text](target) links; keep repo-relative
-    # paths only (skip URLs and pure #anchors).
+    # paths only (skip URLs). A bare #anchor refers to this file.
     while IFS= read -r link; do
-      target="${link%%#*}"           # drop any #anchor
+      target="${link%%#*}"           # path part (empty for pure #anchors)
+      anchor=""
+      case "$link" in
+        *'#'*) anchor="${link#*#}"; anchor="${anchor%% *}" ;;
+      esac
       target="${target%% *}"         # drop a 'title' after the path
-      [ -n "$target" ] || continue
       case "$target" in
         http://*|https://*|mailto:*) continue ;;
       esac
-      if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then
+      if [ -z "$target" ]; then
+        file="$md"
+      elif [ -e "$dir/$target" ]; then
+        file="$dir/$target"
+      elif [ -e "$target" ]; then
+        file="$target"
+      else
         echo "BROKEN LINK in $md: $link"
         link_errors=$((link_errors + 1))
+        continue
+      fi
+      if [ -n "$anchor" ]; then
+        case "$file" in
+          *.md)
+            anchor=$(printf '%s' "$anchor" | tr '[:upper:]' '[:lower:]')
+            if ! md_anchors "$file" | grep -qxF -- "$anchor"; then
+              echo "BROKEN ANCHOR in $md: $link (no heading '#$anchor' in $file)"
+              link_errors=$((link_errors + 1))
+            fi
+            ;;
+        esac
       fi
     done < <(grep -oE '\]\([^)]+\)' "$md" | sed -E 's/^\]\(//; s/\)$//')
   done
@@ -259,14 +302,20 @@ run_asan_stage() {
   # tenant_test rides along: result-cache hits copy materialized chunks
   # across sessions and the cache leader publishes rows other threads
   # consume — lifetime bugs there are exactly ASAN's domain.
-  echo "== ASAN/UBSAN (exec + vectorized + sharded + elastic + tenant) =="
+  # storage_test rides along: block decode walks untrusted encoded bytes
+  # (checksum/truncation fixtures), the block cache hands shared_ptr chunks
+  # to scans that outlive eviction, and compaction retires blocks while
+  # readers may still pin them — all lifetime/bounds territory.
+  echo "== ASAN/UBSAN (exec + vectorized + sharded + elastic + tenant + storage) =="
   local build_dir="${ASAN_BUILD_DIR:-build-asan}"
   cmake -B "$build_dir" -S . -DCOSTDB_ASAN=ON -DCMAKE_BUILD_TYPE=Debug \
     "${CMAKE_LAUNCHER_ARGS[@]}"
   cmake --build "$build_dir" -j "$JOBS" \
-    --target exec_test vectorized_test sharded_test elastic_test tenant_test
+    --target exec_test vectorized_test sharded_test elastic_test \
+    tenant_test storage_test
   local t
-  for t in exec_test vectorized_test sharded_test elastic_test tenant_test; do
+  for t in exec_test vectorized_test sharded_test elastic_test tenant_test \
+           storage_test; do
     ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
       "$build_dir/$t"
   done

@@ -23,6 +23,20 @@ boundary the architecture forbids:
                       planner stage header directly means the component
                       wired its own planner.
 
+  storage-internal    The block format under src/storage/block/ (typed
+                      pages, zone maps, manifest) is an implementation
+                      detail of the persistent table tier. Only the
+                      storage layer itself, the catalog (which surfaces
+                      manifest summaries), and unit tests may include it;
+                      everyone else goes through storage/persistent.h or
+                      the table/catalog layer.
+
+  engine-object-store Execution engines (src/exec/) scan through
+                      TableStorage/BlockCache and must never talk to the
+                      SimulatedObjectStore directly — GETs issued outside
+                      the priced cache path would escape both the billing
+                      ledger and the storage-term calibration.
+
 Legitimate exceptions live in ci/layering_allowlist.txt as
 "includer -> included" lines; stale entries fail the check so the
 allowlist cannot rot.
@@ -65,6 +79,14 @@ CLIENT_FORBIDDEN_FILES = {"service/query_service.h"}
 
 # Components that must consume the planning facade, not wire stages.
 NO_OWN_PLANNER_PREFIXES = ("src/tuning/", "src/stats/", "src/workload/")
+
+# Block-format internals: reachable only via the table/catalog layer.
+STORAGE_INTERNAL_PREFIX = "storage/block/"
+STORAGE_INTERNAL_OK_PREFIXES = ("src/storage/", "src/catalog/", "tests/")
+
+# Engines scan through TableStorage/BlockCache, never the store itself.
+ENGINE_PREFIXES = ("src/exec/",)
+ENGINE_FORBIDDEN_FILES = {"cloud/object_store.h"}
 
 SCAN_DIRS = ("src", "examples", "bench", "tests", "tools")
 SOURCE_EXTS = (".h", ".hpp", ".cc", ".cpp")
@@ -119,6 +141,25 @@ def check_file(path, includes, allowlist, used_allowlist):
                         f"header '{inc}' — only src/optimizer/ and tests/ "
                         "may; use optimizer/passes.h or the Database/"
                         "Session facade"))
+
+        # Rule: storage-internal
+        if (inc.startswith(STORAGE_INTERNAL_PREFIX)
+                and not path.startswith(STORAGE_INTERNAL_OK_PREFIXES)):
+            violations.append((
+                "storage-internal", lineno, inc,
+                f"{path}:{lineno}: includes block-format internal '{inc}' — "
+                "only src/storage/, src/catalog/, and tests/ may; consume "
+                "storage/persistent.h or the table/catalog layer"))
+
+        # Rule: engine-object-store
+        if (path.startswith(ENGINE_PREFIXES)
+                and inc in ENGINE_FORBIDDEN_FILES):
+            violations.append((
+                "engine-object-store", lineno, inc,
+                f"{path}:{lineno}: engine includes '{inc}' — engines scan "
+                "through TableStorage/BlockCache (storage/persistent.h); "
+                "direct object-store GETs would bypass the priced cache, "
+                "the billing ledger, and the storage-term calibration"))
 
         # Rule: session-bypass
         if path.startswith(CLIENT_PREFIXES):

@@ -162,6 +162,17 @@ void MetadataService::SyncToObjectStore(CloudEnv* env) const {
   }
 }
 
+Result<BlockManifestSummary> MetadataService::GetBlockManifest(
+    const std::string& name) const {
+  std::shared_ptr<Table> table;
+  COSTDB_ASSIGN_OR_RETURN(table, GetTable(name));
+  if (!table->persistent()) {
+    return Status::InvalidArgument("table '" + name +
+                                   "' has no persistent storage attached");
+  }
+  return table->storage()->Summary();
+}
+
 void MetadataService::RegisterMaterializedView(MaterializedViewInfo info) {
   mvs_.push_back(std::move(info));
 }

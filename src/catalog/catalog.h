@@ -9,6 +9,7 @@
 #include "common/annotated_mutex.h"
 #include "cloud/cloud_env.h"
 #include "common/result.h"
+#include "storage/persistent.h"
 #include "storage/table.h"
 
 namespace costdb {
@@ -84,6 +85,13 @@ class MetadataService {
   /// Mirror every table as objects in the cloud object store so storage
   /// rent accrues (one object per row group, Parquet-file style).
   void SyncToObjectStore(CloudEnv* env) const;
+
+  /// Block-manifest summary of a persistent table (levels, runs, blocks,
+  /// bytes, flush/compaction counts). NotFound for unknown tables,
+  /// InvalidArgument for RAM-resident ones — the catalog is the only way
+  /// service-layer code observes the block layout (docs/STORAGE.md).
+  Result<BlockManifestSummary> GetBlockManifest(const std::string& name)
+      const;
 
   /// Materialized views (registered by the background tuner).
   void RegisterMaterializedView(MaterializedViewInfo info);

@@ -15,8 +15,13 @@ TableStats TableStats::Analyze(const Table& table, size_t histogram_buckets) {
     if (is_numeric) numeric_values.reserve(table.num_rows());
     double total_width = 0.0;
     bool first = true;
-    for (const auto& group : table.row_groups()) {
-      const ColumnVector& col = group.data.column(c);
+    // Pin each group: resident groups borrow in place, evicted groups come
+    // back through the block cache. A cold-read failure skips that group —
+    // stats stay usable (slightly under-counted) instead of failing ANALYZE.
+    for (size_t g = 0; g < table.row_groups().size(); ++g) {
+      auto pin = table.PinRowGroup(g);
+      if (!pin.ok()) continue;
+      const ColumnVector& col = pin->chunk->column(c);
       for (size_t i = 0; i < col.size(); ++i) {
         switch (col.physical_type()) {
           case PhysicalType::kInt64: {

@@ -63,6 +63,17 @@ struct HardwareCalibration {
   double fused_filter_rows_per_sec = 300e6;  // whole conjunction, one pass
   Seconds fused_dispatch_seconds = 8e-7;     // per morsel, whole fused chain
 
+  // Persistent block storage (docs/STORAGE.md): a cold block read costs
+  // bytes / (storage_read_gibps * GiB) + storage_get_seconds of node time
+  // on top of the object-store GET fee. These price the block cache's
+  // admission benefit and the LSM compaction trade, and measured cold
+  // reads recalibrate them (CalibrationUpdater::ObserveStorage) — the
+  // same two-term rate+fixed split as the shuffle and fused tiers. The
+  // seed bandwidth is deliberately below scan_gibps_per_node: cold reads
+  // pay decode + checksum verification on top of raw I/O.
+  double storage_read_gibps = 0.5;     // cold-block fetch+decode bandwidth
+  Seconds storage_get_seconds = 2e-3;  // fixed per-GET latency
+
   // Parallel-efficiency decay: effective speedup of a data-exchange-heavy
   // operator at dop d is d / (1 + alpha * log2(d)).
   double parallel_alpha = 0.12;

@@ -152,6 +152,39 @@ CalibrationReport CalibrationUpdater::ObserveFused(
   return report;
 }
 
+CalibrationReport CalibrationUpdater::ObserveStorage(
+    const std::vector<StorageObservation>& timings) {
+  std::vector<CalibrationObservation> pairs;
+  for (const auto& t : timings) {
+    if (t.seconds <= 0.0) continue;
+    CalibrationObservation obs;
+    obs.actual = t.seconds;
+    obs.predicted = t.bytes / (hw_->storage_read_gibps * kGiB) +
+                    t.blocks * hw_->storage_get_seconds;
+    if (obs.predicted > 0.0) pairs.push_back(obs);
+  }
+  CalibrationReport report;
+  report.pipelines_observed = static_cast<int>(pairs.size());
+  if (pairs.empty()) return report;
+  report.q_error_before = GeoMeanQError(pairs);
+
+  double scale = ScaleFor(pairs, storage_total_scale_);
+  // Scale only the storage tier: fetch+decode bandwidth divides, the
+  // per-GET fixed latency multiplies, so every predicted cold-read
+  // duration scales by exactly `scale` while the rest of the calibration
+  // (and the dollar side of block-cache pricing) stays put.
+  hw_->storage_read_gibps /= scale;
+  hw_->storage_get_seconds *= scale;
+  storage_total_scale_ *= scale;
+  ++rounds_;
+  report.applied_scale = scale;
+
+  std::vector<CalibrationObservation> after = pairs;
+  for (auto& p : after) p.predicted *= scale;
+  report.q_error_after = GeoMeanQError(after);
+  return report;
+}
+
 void CalibrationUpdater::ApplyScale(double scale) {
   if (scale == 1.0) return;
   // Times are volume/rate plus fixed seconds: dividing rates and
@@ -176,6 +209,9 @@ void CalibrationUpdater::ApplyScale(double scale) {
   hw_->fused_filter_rows_per_sec /= scale;
   hw_->fused_dispatch_seconds *= scale;
   fused_total_scale_ *= scale;  // same drift bookkeeping as the shuffle term
+  hw_->storage_read_gibps /= scale;
+  hw_->storage_get_seconds *= scale;
+  storage_total_scale_ *= scale;  // ditto for the cold-read storage tier
   hw_->shuffle_sync_per_node *= scale;
   hw_->pipeline_startup *= scale;
   hw_->worker_spinup_seconds *= scale;

@@ -18,6 +18,15 @@ struct FusedObservation {
   Seconds seconds = 0.0;
 };
 
+/// One measured cold-block storage read: bytes fetched from the object
+/// store, GET requests issued, and the wall time of fetch+decode
+/// (BlockCacheStats, aggregated per query).
+struct StorageObservation {
+  double bytes = 0.0;
+  double blocks = 0.0;
+  Seconds seconds = 0.0;
+};
+
 /// One observed pipeline execution, in the vocabulary of the cost model:
 /// what the estimator predicted for it and what the engine measured.
 struct CalibrationObservation {
@@ -108,6 +117,18 @@ class CalibrationUpdater {
   /// uniform pipeline scales, which move it too).
   double fused_total_scale() const { return fused_total_scale_; }
 
+  /// Fold measured cold-block read timings into the calibration's storage
+  /// tier: predictions use the current bytes/storage_read_gibps +
+  /// blocks*storage_get_seconds model and only those two terms are
+  /// rescaled, so block-cache admission pricing and the LSM compaction
+  /// trade track what cold reads actually cost on this hardware.
+  CalibrationReport ObserveStorage(
+      const std::vector<StorageObservation>& timings);
+
+  /// Cumulative movement of the storage term (ObserveStorage scales plus
+  /// the uniform pipeline scales, which move it too).
+  double storage_total_scale() const { return storage_total_scale_; }
+
   /// Product of every scale applied so far (1.0 = still at the initial
   /// calibration).
   double total_scale() const { return total_scale_; }
@@ -127,6 +148,7 @@ class CalibrationUpdater {
   double total_scale_ = 1.0;
   double shuffle_total_scale_ = 1.0;
   double fused_total_scale_ = 1.0;
+  double storage_total_scale_ = 1.0;
   int rounds_ = 0;
 };
 

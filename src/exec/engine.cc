@@ -9,6 +9,7 @@
 #include "catalog/hll.h"
 #include "common/annotated_mutex.h"
 #include "exec/evaluator.h"
+#include "storage/table.h"
 
 namespace costdb {
 
@@ -461,6 +462,7 @@ Status LocalEngine::RunPipeline(const Pipeline& pipeline, ExecContext* ctx,
     size_t begin = 0;
     size_t end = 0;  // rows [begin, end)
     const RowGroup* row_group = nullptr;
+    size_t group_index = 0;  // index into the table's row groups
   };
   std::vector<Morsel> morsels;
   std::vector<std::string> source_names;
@@ -503,6 +505,7 @@ Status LocalEngine::RunPipeline(const Pipeline& pipeline, ExecContext* ctx,
       scan_stats_.rows_scanned += group.num_rows();
       Morsel m;
       m.row_group = &group;
+      m.group_index = g;
       m.begin = 0;
       m.end = group.num_rows();
       morsels.push_back(m);
@@ -611,6 +614,8 @@ Status LocalEngine::RunPipeline(const Pipeline& pipeline, ExecContext* ctx,
     }
   }
   std::vector<FusedExecStats> slot_fused(morsels.size());
+  // Per-slot cold-read counters; merged after the barrier like slot_fused.
+  std::vector<BlockCacheStats> slot_blocks(morsels.size());
 
   double source_rows = 0.0;
   for (const Morsel& m : morsels) source_rows += double(m.end - m.begin);
@@ -646,9 +651,24 @@ Status LocalEngine::RunPipeline(const Pipeline& pipeline, ExecContext* ctx,
     std::vector<std::string> names = source_names;
     size_t first_op = 0;  // fused probes resume Apply after their join
     if (m.row_group != nullptr) {
+      // Pin the group's payload for the duration of the morsel: resident
+      // groups borrow in place, cold groups come through the block cache
+      // (or one object-store GET) — the engine itself never sees the
+      // storage tier, only this Table-level pin.
+      Table::RowGroupPin pin;
+      {
+        auto pinned = src->table->PinRowGroup(m.group_index,
+                                              &slot_blocks[slot]);
+        if (!pinned.ok()) {
+          slot_status[slot] = pinned.status();
+          return;
+        }
+        pin = std::move(*pinned);
+      }
+      const DataChunk& group_data = *pin.chunk;
       ChunkView view;
       for (size_t idx : src->scan_column_indices) {
-        view.AddColumn(&m.row_group->data.column(idx));
+        view.AddColumn(&group_data.column(idx));
       }
       const size_t view_rows = view.num_rows();
       FusedExecStats& fstats = slot_fused[slot];
@@ -760,13 +780,13 @@ Status LocalEngine::RunPipeline(const Pipeline& pipeline, ExecContext* ctx,
           }
           DataChunk projected;
           for (size_t idx : src->scan_column_indices) {
-            projected.AddColumn(m.row_group->data.column(idx).Gather(*sel));
+            projected.AddColumn(group_data.column(idx).Gather(*sel));
           }
           chunk = std::move(projected);
         } else {
           DataChunk projected;
           for (size_t idx : src->scan_column_indices) {
-            projected.AddColumn(m.row_group->data.column(idx));
+            projected.AddColumn(group_data.column(idx));
           }
           chunk = std::move(projected);
         }
@@ -870,6 +890,7 @@ Status LocalEngine::RunPipeline(const Pipeline& pipeline, ExecContext* ctx,
   // Per-slot fused counters merge after the barrier (no atomics on the
   // morsel path), like the aggregate partials.
   for (const auto& fs : slot_fused) fused_stats_.MergeFrom(fs);
+  for (const auto& bs : slot_blocks) block_stats_.MergeFrom(bs);
 
   // Merge aggregate partials in morsel order (deterministic for any thread
   // count; the per-row path above never took a lock).
@@ -1080,6 +1101,7 @@ Status LocalEngine::RunAll(const PhysicalPlan* root, ExecContext* ctx) {
   timings_.clear();
   scan_stats_ = ScanStats();
   fused_stats_ = FusedExecStats();
+  block_stats_ = BlockCacheStats();
   for (const auto& pipeline : graph.pipelines) {
     PipelineTiming t;
     t.pipeline_id = pipeline.id;

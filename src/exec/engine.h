@@ -8,6 +8,7 @@
 #include "common/thread_pool.h"
 #include "exec/fused.h"
 #include "plan/pipeline.h"
+#include "storage/cache.h"
 
 namespace costdb {
 
@@ -124,6 +125,12 @@ class LocalEngine {
   /// cost terms).
   const FusedExecStats& last_fused_stats() const { return fused_stats_; }
 
+  /// Block-cache counters of the previous Execute call: cold-block hits,
+  /// misses (each one object-store GET), and the measured read+decode time
+  /// CalibrationUpdater::ObserveStorage folds back into the storage terms.
+  /// All-zero for purely RAM-resident scans.
+  const BlockCacheStats& last_block_stats() const { return block_stats_; }
+
   size_t num_threads() const { return pool_.num_threads(); }
 
   // Execution state shared across the pipelines of one query; public so the
@@ -143,6 +150,7 @@ class LocalEngine {
   std::vector<PipelineTiming> timings_;
   ScanStats scan_stats_;
   FusedExecStats fused_stats_;
+  BlockCacheStats block_stats_;
 };
 
 }  // namespace costdb

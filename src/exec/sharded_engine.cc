@@ -666,6 +666,7 @@ Result<ShardedEngine::Shards> ShardedEngine::RunFragment(
     Result<QueryResult> result{Status::Internal("not run")};
     ScanStats scan_stats;
     FusedExecStats fused_stats;
+    BlockCacheStats block_stats;
   };
   const double frag_start = NowSeconds();
   std::vector<SlotResult> slots(dop);
@@ -674,6 +675,7 @@ Result<ShardedEngine::Shards> ShardedEngine::RunFragment(
     slots[w].result = engine->Execute(plans[w].get());
     slots[w].scan_stats = engine->last_scan_stats();
     slots[w].fused_stats = engine->last_fused_stats();
+    slots[w].block_stats = engine->last_block_stats();
   };
   if (dop > 1) {
     for (size_t w = 0; w < dop; ++w) {
@@ -699,6 +701,7 @@ Result<ShardedEngine::Shards> ShardedEngine::RunFragment(
     scan_stats_.rows_scanned += slots[w].scan_stats.rows_scanned;
     scan_stats_.rows_pruned += slots[w].scan_stats.rows_pruned;
     fused_stats_.MergeFrom(slots[w].fused_stats);
+    block_stats_.MergeFrom(slots[w].block_stats);
   }
   return out;
 }
@@ -709,6 +712,7 @@ Result<QueryResult> ShardedEngine::Execute(const PhysicalPlan* root) {
   exchange_stats_ = ExchangeStats();
   scan_stats_ = ScanStats();
   fused_stats_ = FusedExecStats();
+  block_stats_ = BlockCacheStats();
   usage_ = WorkerUsage();
   // Every Execute starts from the constructed width; an elastic schedule
   // is per-query, not engine state that leaks into the next query.

@@ -158,6 +158,11 @@ class ShardedEngine {
   /// every shard runs — or falls back — independently).
   const FusedExecStats& last_fused_stats() const { return fused_stats_; }
 
+  /// Block-cache counters of the previous Execute call, summed over
+  /// workers (each worker pins its own shard's cold blocks through the
+  /// shared BlockCache).
+  const BlockCacheStats& last_block_stats() const { return block_stats_; }
+
   /// Current execution width (the constructor's count until a resize).
   size_t num_workers() const { return active_; }
 
@@ -243,6 +248,7 @@ class ShardedEngine {
   ExchangeStats exchange_stats_;
   ScanStats scan_stats_;
   FusedExecStats fused_stats_;
+  BlockCacheStats block_stats_;
   WorkerUsage usage_;
   double exec_start_ = 0.0;
   double segment_start_ = 0.0;  // start of the current constant-width span

@@ -1,6 +1,8 @@
 #include "service/database.h"
 
 #include <algorithm>
+#include <filesystem>
+#include <sstream>
 
 #include "common/table_printer.h"
 #include "optimizer/cardinality.h"
@@ -10,7 +12,7 @@
 namespace costdb {
 
 Database::Database(DatabaseOptions options)
-    : options_(options), node_(PricingCatalog::Default().default_node()) {
+    : options_(options), node_(pricing_.default_node()) {
   // One worker-count cap end to end: the optimizer's 0-auto resolution
   // honors the facade's limit.
   options_.optimizer.max_workers =
@@ -30,11 +32,110 @@ Database::Database(DatabaseOptions options)
   for (size_t i = 0; i < shards; ++i) {
     engine_shards_.push_back(std::make_unique<EngineShard>());
   }
+  if (options_.enable_persistent_storage) {
+    // The whole tier is built here and never reassigned: execution threads
+    // read storage_store_/block_cache_ raw, so late initialization would
+    // need a lock on every scan.
+    std::string dir = options_.storage_spill_dir;
+    if (dir.empty()) {
+      // Per-instance default under the system temp path; two facades in
+      // one process must not interleave spill files.
+      std::ostringstream name;
+      name << "costdb-spill-" << static_cast<const void*>(this);
+      std::error_code ec;
+      auto base = std::filesystem::temp_directory_path(ec);
+      dir = (ec ? std::filesystem::path(".") : base) / name.str();
+    }
+    auto store = std::make_unique<SimulatedObjectStore>(&pricing_);
+    storage_env_status_ = store->EnableSpill(dir);
+    if (storage_env_status_.ok()) {
+      block_cache_ =
+          std::make_unique<BlockCache>(options_.block_cache_bytes);
+      storage_store_ = std::move(store);
+    }
+  }
   AdmissionOptions admission = options_.admission;
   if (admission.max_concurrent == 0) {
     admission.max_concurrent = options_.batch_threads;
   }
   admission_ = std::make_unique<AdmissionController>(admission);
+}
+
+Status Database::PersistTable(const std::string& name) {
+  if (!options_.enable_persistent_storage) {
+    return Status::NotSupported(
+        "persistent storage is disabled "
+        "(DatabaseOptions::enable_persistent_storage)");
+  }
+  COSTDB_RETURN_NOT_OK(storage_env_status_);
+  std::shared_ptr<Table> table;
+  COSTDB_ASSIGN_OR_RETURN(table, meta_.GetTable(name));
+  if (table->persistent()) {
+    return Status::AlreadyExists("table '" + name +
+                                 "' already has persistent storage");
+  }
+  std::vector<LogicalType> types;
+  types.reserve(table->columns().size());
+  for (const auto& c : table->columns()) types.push_back(c.type);
+  // The pricing supplier snapshots the calibrated storage terms under the
+  // hardware lock each time the storage layer prices a miss, an admission,
+  // or a compaction — so cache and compaction economics track calibration
+  // movement without storage ever reaching into cost/cloud state.
+  auto pricing = [this]() {
+    StoragePricing p;
+    {
+      ReaderMutexLock hw_lock(hw_mu_);
+      p.read_gibps = hw_.storage_read_gibps;
+      p.get_seconds = hw_.storage_get_seconds;
+    }
+    p.get_dollars = pricing_.per_1k_get_requests / 1000.0;
+    p.put_dollars = pricing_.per_1k_put_requests / 1000.0;
+    p.node_dollars_per_second = node_.price_per_second();
+    return p;
+  };
+  auto storage = std::make_shared<TableStorage>(
+      name, std::move(types), table->row_group_size(), storage_store_.get(),
+      block_cache_.get(), options_.storage, std::move(pricing));
+  return table->AttachStorage(std::move(storage));
+}
+
+Result<bool> Database::CompactTable(const std::string& name, bool force) {
+  std::shared_ptr<Table> table;
+  COSTDB_ASSIGN_OR_RETURN(table, meta_.GetTable(name));
+  if (!table->persistent()) {
+    return Status::InvalidArgument("table '" + name +
+                                   "' has no persistent storage attached");
+  }
+  return table->CompactStorage(force);
+}
+
+Database::StorageBilling Database::SettleStorageRequests() {
+  if (storage_store_ == nullptr) return StorageBilling{};
+  const int64_t gets = storage_store_->get_requests();
+  const int64_t puts = storage_store_->put_requests();
+  MutexLock lock(billing_mu_);
+  const int64_t new_gets = gets - storage_billed_.gets;
+  const int64_t new_puts = puts - storage_billed_.puts;
+  if (new_gets > 0) {
+    const Dollars d =
+        static_cast<double>(new_gets) * pricing_.per_1k_get_requests / 1000.0;
+    billing_.ChargeFlat("storage:get", d);
+    storage_billed_.dollars += d;
+    storage_billed_.gets = gets;
+  }
+  if (new_puts > 0) {
+    const Dollars d =
+        static_cast<double>(new_puts) * pricing_.per_1k_put_requests / 1000.0;
+    billing_.ChargeFlat("storage:put", d);
+    storage_billed_.dollars += d;
+    storage_billed_.puts = puts;
+  }
+  return storage_billed_;
+}
+
+Database::StorageBilling Database::storage_billing() const {
+  MutexLock lock(billing_mu_);
+  return storage_billed_;
 }
 
 Result<BoundQuery> Database::BindSql(const std::string& sql) const {
@@ -272,6 +373,7 @@ Result<ExecutionResult> Database::ExecuteSharded(
     out.exchange = engine->last_exchange_stats();
     out.usage = engine->last_usage();
     out.fused = engine->last_fused_stats();
+    out.storage = engine->last_block_stats();
     if (!result.ok()) return result.status();
     out.result = std::move(*result);
     return Status::OK();
@@ -346,6 +448,7 @@ Result<ExecutionResult> Database::ExecuteMaterialized(
     COSTDB_ASSIGN_OR_RETURN(out.result, engine->Execute(out.plan->plan.get()));
     out.timings = engine->last_timings();
     out.fused = engine->last_fused_stats();
+    out.storage = engine->last_block_stats();
     return out;
   }
   // Serial path: reuse the tenant shard's long-lived engine (its worker
@@ -360,6 +463,7 @@ Result<ExecutionResult> Database::ExecuteMaterialized(
                           shard.engine->Execute(out.plan->plan.get()));
   out.timings = shard.engine->last_timings();
   out.fused = shard.engine->last_fused_stats();
+  out.storage = shard.engine->last_block_stats();
   return out;
 }
 
@@ -398,6 +502,7 @@ Result<ExecutionResult> Database::ExecutePlannedToSink(
                           engine->ExecuteToSink(out.plan->plan.get(), sink));
   out.timings = engine->last_timings();
   out.fused = engine->last_fused_stats();
+  out.storage = engine->last_block_stats();
   out.result.names = std::move(streamed.names);
   out.result.types = std::move(streamed.types);
   // Rows went to the sink; leave an empty, correctly-laid-out chunk so a
@@ -556,6 +661,14 @@ Dollars Database::SettleTenantBill(const std::string& tenant,
   }
   // Flat pricing, local run: the reservation stands (pre-tenancy
   // behavior; billed_dollars stays 0 so callers can tell).
+  if (executed->storage.misses > 0) {
+    // Cold reads this run caused are the tenant's traffic: attribute the
+    // GET fees on top of compute (compaction's own GETs are maintenance
+    // and settle to the facade bill via SettleStorageRequests instead).
+    bill.storage_gets += executed->storage.misses;
+    bill.storage_get_dollars += executed->storage.miss_get_dollars;
+    actual += executed->storage.miss_get_dollars;
+  }
   bill.machine_seconds += seconds;
   bill.dollars += actual;
   ++bill.runs;
@@ -610,6 +723,17 @@ CalibrationReport Database::Calibrate(const ExecutionResult& executed) {
     obs.seconds = executed.fused.fused_seconds;
     CalibrationReport fused = calibration_->ObserveFused({obs});
     moved = moved || fused.changed(options_.recalibration_threshold);
+  }
+  if (executed.storage.misses > 0 && executed.storage.miss_seconds > 0.0) {
+    // Cold blocks were read: fold the measured fetch+decode wall time into
+    // the storage tier's bandwidth/latency terms, so block-cache admission
+    // pricing and the compaction trade track delivered cold-read speed.
+    StorageObservation obs;
+    obs.bytes = executed.storage.bytes_read;
+    obs.blocks = static_cast<double>(executed.storage.misses);
+    obs.seconds = executed.storage.miss_seconds;
+    CalibrationReport storage = calibration_->ObserveStorage({obs});
+    moved = moved || storage.changed(options_.recalibration_threshold);
   }
   if (moved) {
     // Estimates produced before this round are stale; lazily invalidate

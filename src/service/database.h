@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "cloud/billing.h"
+#include "cloud/object_store.h"
 #include "common/annotated_mutex.h"
 #include "cloud/pricing.h"
 #include "cost/calibration_updater.h"
@@ -18,6 +19,7 @@
 #include "service/admission.h"
 #include "service/query_service.h"
 #include "sim/harness.h"
+#include "storage/persistent.h"
 
 namespace costdb {
 
@@ -71,6 +73,20 @@ struct DatabaseOptions {
   /// onto shards, so one tenant's serial query never queues behind
   /// another tenant's engine lock.
   size_t engine_shards = 4;
+  /// Persistent block storage (docs/STORAGE.md): when true the facade owns
+  /// a byte-backed SimulatedObjectStore plus a shared cost-priced
+  /// BlockCache, and PersistTable() attaches an LSM-lite block tier to
+  /// catalog tables — scans of persisted tables then page cold blocks
+  /// through the cache, paying (and billing) real GET fees.
+  bool enable_persistent_storage = false;
+  /// Decoded-byte budget of the shared BlockCache.
+  size_t block_cache_bytes = 64u << 20;
+  /// Directory for the object store's byte-backed spill files; empty picks
+  /// a per-instance directory under the system temp path.
+  std::string storage_spill_dir;
+  /// LSM-lite layout knobs shared by every persisted table (flush
+  /// threshold, level fanout, compaction horizon).
+  StorageOptions storage;
   /// Per-tenant billing shape (tiered volume pricing, cache-hit rate).
   TenantPricingOptions pricing;
   /// Feed executed-pipeline wall times back into the hardware calibration
@@ -121,6 +137,11 @@ struct ExecutionResult {
   /// fallbacks and the wall time spent inside fused kernels — the feedback
   /// signal of the fused-term calibration.
   FusedExecStats fused;
+  /// Block-cache traffic of the run's scans (all-zero unless a scanned
+  /// table has persistent storage attached): cold-read wall time feeds the
+  /// storage-term calibration, and the GET fees feed per-tenant billing.
+  /// See docs/STORAGE.md for how to read the counters.
+  BlockCacheStats storage;
   /// Sharded runs only: the worker-second ledger of the run (per-width
   /// segments for elastic runs) and the dollars the cloud billing layer
   /// charged for it at the facade's node price. Session ledgers settle to
@@ -273,6 +294,10 @@ class Database {
     Dollars dollars = 0.0;
     size_t runs = 0;
     size_t result_cache_hits = 0;
+    /// Cold-read traffic this tenant's scans caused: block-cache misses
+    /// and the object-store GET fees attributed on top of compute.
+    int64_t storage_gets = 0;
+    Dollars storage_get_dollars = 0.0;
   };
 
   /// Turn one executed result into the dollars the tenant actually owes
@@ -291,6 +316,45 @@ class Database {
   /// run; disjoint sessions spend into disjoint entries (no cross-tenant
   /// bleed, by construction — tested in tenant_test).
   std::map<std::string, TenantBill> tenant_billing() const;
+
+  // -- Persistent storage tier (docs/STORAGE.md) -------------------------
+  /// Attach the facade's persistent block tier to a registered table:
+  /// currently resident rows flush into level-0 runs, later appends
+  /// auto-flush past the memtable threshold and re-evaluate costed
+  /// compaction. NotSupported unless
+  /// DatabaseOptions::enable_persistent_storage; NotFound for unknown
+  /// tables; AlreadyExists when the table is already persistent.
+  Status PersistTable(const std::string& name);
+
+  /// Run one costed compaction round on a persisted table (`force` merges
+  /// the best candidate even at negative modeled net). Returns whether a
+  /// merge happened; on a merge the table's layout_version() bumps, so
+  /// cached plans and results invalidate on their next lookup.
+  Result<bool> CompactTable(const std::string& name, bool force = false);
+
+  /// The facade's byte-backed object store / shared block cache (nullptr
+  /// unless options.enable_persistent_storage initialized them).
+  SimulatedObjectStore* storage_store() { return storage_store_.get(); }
+  const SimulatedObjectStore* storage_store() const {
+    return storage_store_.get();
+  }
+  BlockCache* block_cache() { return block_cache_.get(); }
+
+  /// Object-store request fees billed so far through
+  /// SettleStorageRequests.
+  struct StorageBilling {
+    int64_t gets = 0;
+    int64_t puts = 0;
+    Dollars dollars = 0.0;
+  };
+
+  /// Charge the object store's request-counter growth since the last
+  /// settle to the facade bill (flat labels "storage:get"/"storage:put" at
+  /// the pricing catalog's per-request rates). After a settle,
+  /// storage_billing()'s counters equal the store's own request counters
+  /// exactly — the dollar-conservation invariant bench_e17_storage gates.
+  StorageBilling SettleStorageRequests();
+  StorageBilling storage_billing() const;
 
   /// Execute a batch concurrently through the admission controller, as a
   /// thin deterministic shim over the Session API. Planning stays serial
@@ -414,6 +478,9 @@ class Database {
   DatabaseOptions options_;
   MetadataService meta_;
   HardwareCalibration hw_;
+  /// Price list the node shape and the storage request rates come from
+  /// (declared before node_: the constructor reads it).
+  PricingCatalog pricing_ = PricingCatalog::Default();
   InstanceType node_;
   std::unique_ptr<CostEstimator> estimator_;
   std::unique_ptr<QueryService> query_service_;
@@ -436,12 +503,28 @@ class Database {
   EngineShard& ShardFor(const std::string& tenant);
   std::vector<std::unique_ptr<EngineShard>> engine_shards_;
 
+  /// Persistent tier (options.enable_persistent_storage): built in the
+  /// constructor, const thereafter — execution threads read the raw
+  /// pointers without a lock. Catalog tables keep these raw pointers
+  /// inside their TableStorage facades; that is safe across teardown
+  /// because ~TableStorage never touches the store or cache, and no query
+  /// can be running by then (admission_ is declared last and drains
+  /// first).
+  std::unique_ptr<BlockCache> block_cache_;
+  std::unique_ptr<SimulatedObjectStore> storage_store_;
+  /// Why the persistent tier is unavailable (spill-dir creation failed);
+  /// OK when available or never requested.
+  Status storage_env_status_;
+
   /// Real-execution cloud bill (sharded worker-seconds); own lock so the
   /// concurrent (sink) execution path can charge without the engine lock.
   mutable Mutex billing_mu_;
   BillingMeter billing_ GUARDED_BY(billing_mu_);
   /// Monotone start offset for usage records.
   Seconds billing_clock_ GUARDED_BY(billing_mu_) = 0.0;
+  /// Request counters already charged by SettleStorageRequests (the next
+  /// settle bills only the delta).
+  StorageBilling storage_billed_ GUARDED_BY(billing_mu_);
 
   /// Per-tenant cumulative bills; own lock so settling never contends
   /// with engines or caches.

@@ -1,0 +1,149 @@
+#pragma once
+
+/// On-"disk" layout of an immutable columnar block — the persistent unit of
+/// the tiered storage layer (docs/STORAGE.md has the annotated diagram).
+///
+/// A block holds one sorted row slice of a table, column at a time:
+///
+///   [magic u64]
+///   [page 0][page 1]...[page N-1]        typed column payload + validity
+///   [footer]                             schema, page table, zone maps
+///   [footer_size u32][footer_fnv u64][magic u64]
+///
+/// Every page and the footer carry an FNV-1a checksum; the reader verifies
+/// before handing bytes to the engine so a corrupt spill file surfaces as a
+/// Status instead of wrong query results. All integers are fixed-width
+/// little-endian so blocks round-trip across toolchains.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "storage/types.h"
+#include "storage/zone_map.h"
+
+namespace costdb {
+namespace block {
+
+/// "CDBBLK1\0" — leading and trailing magic of every block file.
+inline constexpr uint64_t kBlockMagic = 0x0031'4B4C'4242'4443ULL;
+inline constexpr uint32_t kBlockFormatVersion = 1;
+/// Sentinel page index meaning "column has no validity page" (all valid).
+inline constexpr uint32_t kNoPage = 0xFFFFFFFFu;
+
+/// What a page stores. Fixed-width payloads are rows*8 bytes; strings are
+/// u32-length-prefixed; validity is one byte per row (1 = valid, 0 = NULL),
+/// mirroring ColumnVector's in-memory mask exactly.
+enum class PageKind : uint8_t {
+  kInt64 = 0,
+  kDouble = 1,
+  kString = 2,
+  kValidity = 3,
+};
+
+/// One entry of the footer's page table.
+struct PageEntry {
+  uint64_t offset = 0;  // from start of block
+  uint64_t size = 0;    // payload bytes
+  uint64_t checksum = 0;
+  PageKind kind = PageKind::kInt64;
+  uint32_t column = 0;  // owning column index
+};
+
+/// Per-column schema entry in the footer.
+struct ColumnEntry {
+  LogicalType type = LogicalType::kInt64;
+  uint32_t payload_page = kNoPage;
+  uint32_t validity_page = kNoPage;  // kNoPage when the column is all-valid
+};
+
+/// Decoded footer: everything needed to interpret the pages, plus the
+/// block's zone maps (kept resident so pruning never touches cold bytes).
+struct BlockFooter {
+  uint32_t version = kBlockFormatVersion;
+  uint64_t rows = 0;
+  std::vector<ColumnEntry> columns;
+  std::vector<PageEntry> pages;
+  std::vector<ZoneMapEntry> zones;  // one per column
+};
+
+/// 64-bit FNV-1a over a byte range — the block format's checksum. Not
+/// cryptographic; it catches torn writes and bit rot, which is the failure
+/// mode a local spill directory actually has.
+inline uint64_t Fnv1a64(const char* data, size_t n) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+// -- Little-endian primitives ----------------------------------------------
+// memcpy-based so they are safe on any alignment; the compiler folds them
+// to plain loads/stores on little-endian targets.
+
+inline void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+inline void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+inline void PutDouble(std::string* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  PutU64(out, bits);
+}
+
+/// Bounds-checked little-endian cursor used by the reader; `ok` latches
+/// false on any out-of-range read so decode loops can check once at the end.
+struct ByteCursor {
+  const char* data = nullptr;
+  size_t size = 0;
+  size_t pos = 0;
+  bool ok = true;
+
+  bool Need(size_t n) {
+    if (!ok || size - pos < n || pos > size) {
+      ok = false;
+      return false;
+    }
+    return true;
+  }
+  uint32_t GetU32() {
+    if (!Need(4)) return 0;
+    uint32_t v;
+    std::memcpy(&v, data + pos, 4);
+    pos += 4;
+    return v;
+  }
+  uint64_t GetU64() {
+    if (!Need(8)) return 0;
+    uint64_t v;
+    std::memcpy(&v, data + pos, 8);
+    pos += 8;
+    return v;
+  }
+  double GetDouble() {
+    uint64_t bits = GetU64();
+    double v;
+    std::memcpy(&v, &bits, 8);
+    return v;
+  }
+  std::string GetBytes(size_t n) {
+    if (!Need(n)) return {};
+    std::string s(data + pos, n);
+    pos += n;
+    return s;
+  }
+};
+
+}  // namespace block
+}  // namespace costdb

@@ -1,0 +1,45 @@
+#pragma once
+
+/// BlockWriter — encodes one immutable columnar block (see block_format.h).
+/// Internal to the storage layer: only src/storage/ and src/catalog/ may
+/// include this (ci/check_layering.py rule "storage-internal"); engines and
+/// the service layer reach blocks through Table::PinRowGroup.
+
+#include <string>
+#include <vector>
+
+#include "storage/data_chunk.h"
+#include "storage/zone_map.h"
+
+namespace costdb {
+namespace block {
+
+/// Encoded-size accounting the cost model and EstimateColumnBytes consume
+/// once the payload is evicted from RAM.
+struct BlockLayout {
+  size_t rows = 0;
+  double total_bytes = 0.0;          // whole block file, incl. footer
+  std::vector<double> column_bytes;  // payload (+validity) bytes per column
+};
+
+class BlockWriter {
+ public:
+  explicit BlockWriter(std::vector<LogicalType> types)
+      : types_(std::move(types)) {}
+
+  /// Encode `chunk` (whose columns must match the writer's types) into a
+  /// self-contained block file image. Zone maps are built per column and
+  /// embedded in the footer; `zones_out`/`layout_out` receive copies for
+  /// the resident manifest (either may be null).
+  std::string Encode(const DataChunk& chunk,
+                     std::vector<ZoneMapEntry>* zones_out,
+                     BlockLayout* layout_out) const;
+
+  const std::vector<LogicalType>& types() const { return types_; }
+
+ private:
+  std::vector<LogicalType> types_;
+};
+
+}  // namespace block
+}  // namespace costdb

@@ -1,0 +1,79 @@
+#pragma once
+
+/// Resident manifest of a table's persistent layout: which blocks exist, in
+/// which leveled runs, holding which rows — the LSM-lite bookkeeping that
+/// TableStorage maintains. Zone maps live here (always in RAM) so pruning
+/// decisions never touch cold bytes; payloads live in the object store and
+/// come back through the BlockCache.
+///
+/// Internal to the storage layer (ci/check_layering.py rule
+/// "storage-internal"); catalog/service code sees BlockManifestSummary from
+/// storage/persistent.h instead.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/zone_map.h"
+
+namespace costdb {
+namespace block {
+
+/// One immutable block: object-store key plus resident metadata.
+struct BlockMeta {
+  uint64_t block_id = 0;  // monotonic per table, never reused — stale cache
+                          // entries for compacted-away blocks are simply
+                          // unreachable under their old ids
+  std::string object_key;
+  size_t rows = 0;
+  double bytes = 0.0;                // encoded block file size
+  std::vector<double> column_bytes;  // encoded bytes per column
+  std::vector<ZoneMapEntry> zones;   // one per column
+};
+
+/// One immutable sorted run: the unit a memtable flush produces and
+/// compaction consumes. Blocks within a run are in row order.
+struct RunMeta {
+  uint64_t run_id = 0;
+  std::vector<BlockMeta> blocks;
+
+  size_t rows() const {
+    size_t n = 0;
+    for (const BlockMeta& b : blocks) n += b.rows;
+    return n;
+  }
+  double bytes() const {
+    double n = 0.0;
+    for (const BlockMeta& b : blocks) n += b.bytes;
+    return n;
+  }
+};
+
+/// Leveled manifest. Age invariant (docs/STORAGE.md): rows only ever move
+/// from level L to L+1 and every compaction moves ALL of level L, so runs
+/// within a level are oldest-first and every run at L+1 predates every run
+/// at L. Scan order is therefore deepest level first, then level-0 runs in
+/// flush order — which reproduces insertion order exactly and is what makes
+/// cold scans bit-identical to the RAM-resident path.
+struct Manifest {
+  std::vector<std::vector<RunMeta>> levels;  // levels[0] = freshest
+  uint64_t next_block_id = 0;
+  uint64_t next_run_id = 0;
+  size_t compactions = 0;
+
+  size_t total_blocks() const {
+    size_t n = 0;
+    for (const auto& level : levels) {
+      for (const RunMeta& run : level) n += run.blocks.size();
+    }
+    return n;
+  }
+  size_t total_runs() const {
+    size_t n = 0;
+    for (const auto& level : levels) n += level.size();
+    return n;
+  }
+};
+
+}  // namespace block
+}  // namespace costdb

@@ -1,0 +1,106 @@
+#include "storage/cache.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace costdb {
+
+std::shared_ptr<const DataChunk> BlockCache::Lookup(const std::string& key,
+                                                    BlockCacheStats* stats) {
+  MutexLock lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return nullptr;
+  Entry& e = it->second;
+  ++e.hits;
+  e.priority = PriorityOf(e);
+  if (stats != nullptr) {
+    ++stats->hits;
+    stats->bytes_hit += e.bytes;
+  }
+  ++totals_.hits;
+  totals_.bytes_hit += e.bytes;
+  return e.chunk;
+}
+
+void BlockCache::Insert(const std::string& key,
+                        std::shared_ptr<const DataChunk> chunk, double bytes,
+                        Dollars miss_cost_dollars, BlockCacheStats* stats) {
+  MutexLock lock(mu_);
+  if (bytes > static_cast<double>(capacity_)) {
+    if (stats != nullptr) ++stats->rejected;
+    ++totals_.rejected;
+    return;
+  }
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Raced with another pin of the same block: keep the resident entry.
+    return;
+  }
+  EvictToFit(bytes, stats);
+  Entry e;
+  e.chunk = std::move(chunk);
+  e.bytes = bytes;
+  e.miss_cost = miss_cost_dollars;
+  e.hits = 0;
+  e.priority = PriorityOf(e);
+  used_bytes_ += bytes;
+  entries_.emplace(key, std::move(e));
+}
+
+void BlockCache::EvictToFit(double incoming_bytes, BlockCacheStats* stats) {
+  while (!entries_.empty() &&
+         used_bytes_ + incoming_bytes > static_cast<double>(capacity_)) {
+    auto victim = entries_.begin();
+    for (auto it = std::next(entries_.begin()); it != entries_.end(); ++it) {
+      if (it->second.priority < victim->second.priority) victim = it;
+    }
+    // GDSF aging: the clock rises to the evicted priority, so entries that
+    // stop being hit eventually fall below newly admitted ones regardless
+    // of how expensive their misses are.
+    clock_ = std::max(clock_, victim->second.priority);
+    used_bytes_ -= victim->second.bytes;
+    entries_.erase(victim);
+    if (stats != nullptr) ++stats->evictions;
+    ++totals_.evictions;
+  }
+}
+
+void BlockCache::RecordMiss(double bytes, Seconds seconds,
+                            Dollars get_dollars, BlockCacheStats* stats) {
+  MutexLock lock(mu_);
+  if (stats != nullptr) {
+    ++stats->misses;
+    stats->bytes_read += bytes;
+    stats->miss_seconds += seconds;
+    stats->miss_get_dollars += get_dollars;
+  }
+  ++totals_.misses;
+  totals_.bytes_read += bytes;
+  totals_.miss_seconds += seconds;
+  totals_.miss_get_dollars += get_dollars;
+}
+
+void BlockCache::Erase(const std::string& key) {
+  MutexLock lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  used_bytes_ -= it->second.bytes;
+  entries_.erase(it);
+}
+
+size_t BlockCache::bytes_used() const {
+  MutexLock lock(mu_);
+  return static_cast<size_t>(used_bytes_);
+}
+
+size_t BlockCache::entries() const {
+  MutexLock lock(mu_);
+  return entries_.size();
+}
+
+BlockCacheStats BlockCache::totals() const {
+  MutexLock lock(mu_);
+  return totals_;
+}
+
+}  // namespace costdb

@@ -1,0 +1,117 @@
+#pragma once
+
+/// BlockCache — a byte-budgeted cache for decoded cold blocks, with
+/// admission and eviction priced in dollars rather than recency alone.
+///
+/// Each entry's retention priority follows GDSF (greedy-dual-size-frequency):
+///
+///   priority = clock + hits * miss_cost_dollars / bytes
+///
+/// where miss_cost_dollars is what re-materializing the block would cost —
+/// the object-store GET fee plus (bytes / storage_read_gibps +
+/// storage_get_seconds) of rented node time (docs/STORAGE.md works the
+/// formula through with the calibrated terms). Eviction removes the lowest
+/// priority entries; `clock` rises to each victim's priority so long-idle
+/// entries age out no matter how expensive they once were. The upshot:
+/// between two blocks of equal size, the one that is dearer to re-fetch
+/// survives.
+///
+/// Thread-safe: sharded-engine workers pin blocks concurrently.
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/annotated_mutex.h"
+#include "common/units.h"
+#include "storage/data_chunk.h"
+
+namespace costdb {
+
+/// Per-query (and cache-lifetime) counters for the cold-read path; surfaced
+/// on ExecutionResult::storage. See docs/STORAGE.md for how to read them.
+struct BlockCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;          // cold reads: each issued one object-store GET
+  int64_t evictions = 0;
+  int64_t rejected = 0;        // blocks larger than the whole cache budget
+  double bytes_read = 0.0;     // decoded bytes fetched on misses
+  double bytes_hit = 0.0;      // decoded bytes served from cache
+  Seconds miss_seconds = 0.0;  // measured wall time of fetch+decode
+  Dollars miss_get_dollars = 0.0;  // GET fees attributable to the misses
+
+  void MergeFrom(const BlockCacheStats& other) {
+    hits += other.hits;
+    misses += other.misses;
+    evictions += other.evictions;
+    rejected += other.rejected;
+    bytes_read += other.bytes_read;
+    bytes_hit += other.bytes_hit;
+    miss_seconds += other.miss_seconds;
+    miss_get_dollars += other.miss_get_dollars;
+  }
+};
+
+class BlockCache {
+ public:
+  explicit BlockCache(size_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  /// Look up a decoded block. On a hit the shared_ptr keeps the chunk alive
+  /// for the caller even if the entry is evicted mid-scan. Updates `stats`
+  /// (hit counters) when non-null.
+  std::shared_ptr<const DataChunk> Lookup(const std::string& key,
+                                          BlockCacheStats* stats);
+
+  /// Admit a freshly decoded block. `bytes` is its decoded footprint and
+  /// `miss_cost_dollars` the priced cost of re-materializing it (GET fee +
+  /// rented read/decode time) — the GDSF benefit density. Evicts lowest
+  /// priority entries to fit; a block larger than the whole budget is
+  /// rejected (counted in `stats->rejected`).
+  void Insert(const std::string& key, std::shared_ptr<const DataChunk> chunk,
+              double bytes, Dollars miss_cost_dollars, BlockCacheStats* stats);
+
+  /// Account one cold read (fetch + decode) in the per-query stats and the
+  /// cache-lifetime totals. Called by the storage layer on every miss it
+  /// services, whether or not the block is then admitted.
+  void RecordMiss(double bytes, Seconds seconds, Dollars get_dollars,
+                  BlockCacheStats* stats);
+
+  /// Drop an entry if present (compaction retires its blocks eagerly).
+  void Erase(const std::string& key);
+
+  size_t bytes_used() const;
+  size_t capacity_bytes() const { return capacity_; }
+  size_t entries() const;
+
+  /// Lifetime totals across all queries (the per-query stats passed to
+  /// Lookup/Insert only see their own traffic).
+  BlockCacheStats totals() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const DataChunk> chunk;
+    double bytes = 0.0;
+    Dollars miss_cost = 0.0;
+    int64_t hits = 0;
+    double priority = 0.0;
+  };
+
+  double PriorityOf(const Entry& e) const REQUIRES(mu_) {
+    const double density =
+        e.bytes > 0.0 ? e.miss_cost / e.bytes : e.miss_cost;
+    return clock_ + static_cast<double>(e.hits + 1) * density;
+  }
+  void EvictToFit(double incoming_bytes, BlockCacheStats* stats)
+      REQUIRES(mu_);
+
+  const size_t capacity_;
+  mutable Mutex mu_;
+  std::map<std::string, Entry> entries_ GUARDED_BY(mu_);
+  double used_bytes_ GUARDED_BY(mu_) = 0.0;
+  double clock_ GUARDED_BY(mu_) = 0.0;  // GDSF aging floor
+  BlockCacheStats totals_ GUARDED_BY(mu_);
+};
+
+}  // namespace costdb

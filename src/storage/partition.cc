@@ -83,6 +83,14 @@ Status PartitionTable(Table* table, const PartitionSpec& spec) {
   if (spec.partitions == 0) {
     return Status::InvalidArgument("partition count must be positive");
   }
+  if (table->persistent()) {
+    // Repartitioning would rewrite every cold run; persistent tables keep
+    // their LSM scan order and shard across workers by contiguous
+    // row-group shares instead.
+    return Status::NotSupported(
+        "PartitionTable: table '" + table->name() +
+        "' has persistent storage attached");
+  }
   size_t key_col = 0;
   COSTDB_ASSIGN_OR_RETURN(key_col, table->ColumnIndex(spec.column));
 

@@ -323,5 +323,50 @@ TEST_F(CostTest, ObserveFusedMovesOnlyTheFusedTerms) {
   EXPECT_LT(second.q_error_before, report.q_error_before);
 }
 
+TEST_F(CostTest, ObserveStorageMovesOnlyTheStorageTerms) {
+  HardwareCalibration hw;
+  const HardwareCalibration before = hw;
+  CalibrationUpdater updater(&hw);
+
+  // Cold-block reads run 3x slower than the seeded calibration claims:
+  // the storage tier must move by ~scale, nothing else may.
+  std::vector<StorageObservation> obs(4);
+  for (auto& o : obs) {
+    o.bytes = 8.0 * kMiB;
+    o.blocks = 16.0;
+    o.seconds = 3.0 * (o.bytes / (hw.storage_read_gibps * kGiB) +
+                       o.blocks * hw.storage_get_seconds);
+  }
+  CalibrationReport report = updater.ObserveStorage(obs);
+  EXPECT_EQ(report.pipelines_observed, 4);
+  EXPECT_GT(report.applied_scale, 1.0);
+  EXPECT_LT(report.q_error_after, report.q_error_before);
+  EXPECT_DOUBLE_EQ(updater.storage_total_scale(), report.applied_scale);
+
+  // Cold-read bandwidth slowed, per-GET latency grew...
+  EXPECT_LT(hw.storage_read_gibps, before.storage_read_gibps);
+  EXPECT_GT(hw.storage_get_seconds, before.storage_get_seconds);
+  // ...and every other tier stayed put, including the object-store scan
+  // bandwidth the storage terms deliberately sit below.
+  EXPECT_DOUBLE_EQ(hw.scan_gibps_per_node, before.scan_gibps_per_node);
+  EXPECT_DOUBLE_EQ(hw.filter_rows_per_sec, before.filter_rows_per_sec);
+  EXPECT_DOUBLE_EQ(hw.shuffle_gibps, before.shuffle_gibps);
+  EXPECT_DOUBLE_EQ(hw.fused_filter_rows_per_sec,
+                   before.fused_filter_rows_per_sec);
+
+  // The uniform pipeline loop moves the storage terms too, and the drift
+  // tracker records that movement.
+  std::vector<CalibrationObservation> pairs(2);
+  for (auto& p : pairs) {
+    p.predicted = 1.0;
+    p.actual = 2.0;
+  }
+  const double tracked = updater.storage_total_scale();
+  CalibrationReport uniform = updater.ObservePairs(pairs);
+  EXPECT_GT(uniform.applied_scale, 1.0);
+  EXPECT_DOUBLE_EQ(updater.storage_total_scale(),
+                   tracked * uniform.applied_scale);
+}
+
 }  // namespace
 }  // namespace costdb

@@ -1,0 +1,7 @@
+// Layering-linter fixture (never compiled): an execution engine talking
+// to the simulated object store directly. Engines scan through
+// TableStorage/BlockCache so every GET is priced, billed, and fed to the
+// storage-term calibration; the linter must reject the direct include.
+// pretend: src/exec/rogue_store_scan.cc
+// expect: engine-object-store
+#include "cloud/object_store.h"

@@ -1,0 +1,7 @@
+// Layering-linter fixture (never compiled): service code decoding blocks
+// itself instead of going through TableStorage. The block format under
+// src/storage/block/ is internal to the storage/catalog layer; the linter
+// must reject this include from anywhere else.
+// pretend: src/service/rogue_block_decode.cc
+// expect: storage-internal
+#include "storage/block/block_reader.h"

@@ -1,0 +1,8 @@
+// Layering-linter fixture (never compiled): the sanctioned storage
+// shapes — the storage layer itself using its block internals, and the
+// catalog consuming manifest summaries. Must be accepted.
+// pretend: src/storage/persistent_helper.cc
+// expect: none
+#include "storage/block/block_writer.h"
+#include "storage/block/manifest.h"
+#include "storage/persistent.h"
