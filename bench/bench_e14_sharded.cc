@@ -10,11 +10,10 @@
 //  (c) the shuffle-term calibration folds measured exchange times back in
 //      and the simulator's scaling prediction agrees with reality.
 //
-// `--smoke` runs a smaller configuration and gates (a) + (b) for CI.
-
-// bench-baseline: none — this bench emits no JSON snapshot; its
-// acceptance gates are its PASS/FAIL exit code, not a committed
-// ci/bench_baselines/ entry (see the drift guard in ci/build_and_test.sh).
+// `--smoke` runs a smaller configuration and gates (a) + (b) for CI;
+// `--json <path>` snapshots the gates plus the per-exchange-kind
+// breakdown (shuffle/broadcast/gather counts, rows, bytes) for the CI
+// baseline comparator.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -133,6 +132,7 @@ int Main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
   }
+  const std::string json_path = bench::JsonPathFromArgs(argc, argv);
   bench::PrintHeader(
       "E14: partitioned multi-worker execution (sharded engine)",
       "Co-partitioned joins move no join rows and win on bytes + estimate; "
@@ -176,20 +176,34 @@ int Main(int argc, char** argv) {
   std::printf("%-16s %12s %14s %12s %10s\n", "plan", "rows moved",
               "bytes moved", "exchanges", "wall");
   std::printf("%-16s %12zu %14.0f %12zu %9.1fms\n", "co-partitioned",
-              co_stats.rows_moved, co_stats.bytes_moved,
-              co_stats.shuffles + co_stats.broadcasts + co_stats.gathers,
-              co_secs * 1e3);
+              co_stats.rows_moved(), co_stats.bytes_moved(),
+              co_stats.exchanges(), co_secs * 1e3);
   std::printf("%-16s %12zu %14.0f %12zu %9.1fms\n", "shuffle",
-              sh_stats.rows_moved, sh_stats.bytes_moved,
-              sh_stats.shuffles + sh_stats.broadcasts + sh_stats.gathers,
-              sh_secs * 1e3);
+              sh_stats.rows_moved(), sh_stats.bytes_moved(),
+              sh_stats.exchanges(), sh_secs * 1e3);
+  // Per-kind breakdown: which exchange kinds each strategy paid for. The
+  // co-partitioned plan's movement is all partial-agg shuffle + the final
+  // gather; the repartition plan additionally shuffles the probe side.
+  std::printf("%-16s %-10s %8s %12s %14s\n", "plan", "kind", "count",
+              "rows", "bytes");
+  auto print_kind = [](const char* plan, const char* kind,
+                       const ExchangeKindStats& ks) {
+    std::printf("%-16s %-10s %8zu %12zu %14.0f\n", plan, kind, ks.count,
+                ks.rows_moved, ks.bytes_moved);
+  };
+  print_kind("co-partitioned", "shuffle", co_stats.shuffle);
+  print_kind("co-partitioned", "broadcast", co_stats.broadcast);
+  print_kind("co-partitioned", "gather", co_stats.gather);
+  print_kind("shuffle", "shuffle", sh_stats.shuffle);
+  print_kind("shuffle", "broadcast", sh_stats.broadcast);
+  print_kind("shuffle", "gather", sh_stats.gather);
   std::printf("optimizer picked co-partitioned plan: %s (estimate prefers: "
               "%s)\n",
               picked_local ? "yes" : "NO", estimate_prefers ? "yes" : "NO");
   const bool same_answer =
       ChunkFingerprint(co_rows) == ChunkFingerprint(sh_rows);
   const bool claim_a = picked_local && estimate_prefers && same_answer &&
-                       co_stats.bytes_moved < sh_stats.bytes_moved;
+                       co_stats.bytes_moved() < sh_stats.bytes_moved();
 
   // ---- (b) scaling curve on scan + aggregate --------------------------
   const std::string agg_sql =
@@ -283,6 +297,33 @@ int Main(int argc, char** argv) {
   std::printf("\nclaims: (a) co-partition wins bytes + picked: %s; "
               "(b) scaling + determinism: %s\n",
               claim_a ? "PASS" : "FAIL", claim_b ? "PASS" : "FAIL");
+
+  if (!json_path.empty()) {
+    bench::BenchJson json;
+    json.SetBool("gate_claim_a", claim_a);
+    json.SetBool("gate_claim_b_identical", identical);
+    // Exchange movement is deterministic for the fixed seed + worker
+    // count, so the per-kind breakdown gates; wall times only trend.
+    auto set_kind = [&json](const std::string& prefix,
+                            const ExchangeKindStats& ks) {
+      json.SetInt("gate_" + prefix + "_count",
+                  static_cast<long long>(ks.count));
+      json.SetInt("gate_" + prefix + "_rows",
+                  static_cast<long long>(ks.rows_moved));
+      json.Set("gate_" + prefix + "_bytes", ks.bytes_moved);
+    };
+    set_kind("co_shuffle", co_stats.shuffle);
+    set_kind("co_broadcast", co_stats.broadcast);
+    set_kind("co_gather", co_stats.gather);
+    set_kind("sh_shuffle", sh_stats.shuffle);
+    set_kind("sh_broadcast", sh_stats.broadcast);
+    set_kind("sh_gather", sh_stats.gather);
+    json.Set("co_wall_seconds", co_secs);
+    json.Set("sh_wall_seconds", sh_secs);
+    json.Set("agg_wall_1w_seconds", t1);
+    json.Set("agg_wall_4w_seconds", t4);
+    if (!json.WriteFile(json_path)) return 1;
+  }
   return claim_a && claim_b ? 0 : 1;
 }
 

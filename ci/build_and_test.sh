@@ -306,16 +306,22 @@ run_asan_stage() {
   # (checksum/truncation fixtures), the block cache hands shared_ptr chunks
   # to scans that outlive eviction, and compaction retires blocks while
   # readers may still pin them — all lifetime/bounds territory.
-  echo "== ASAN/UBSAN (exec + vectorized + sharded + elastic + tenant + storage) =="
+  # net_test rides along: the wire decoder walks untrusted frames (the
+  # corruption/truncation fixtures flip every byte), and the socket
+  # transport round-trips frames larger than kernel buffers through raw
+  # read/write loops — exactly ASAN's bounds/lifetime domain. sharded_test
+  # in turn drives the socket transport and forked worker processes through
+  # whole-query exchanges.
+  echo "== ASAN/UBSAN (exec + vectorized + sharded + elastic + tenant + storage + net) =="
   local build_dir="${ASAN_BUILD_DIR:-build-asan}"
   cmake -B "$build_dir" -S . -DCOSTDB_ASAN=ON -DCMAKE_BUILD_TYPE=Debug \
     "${CMAKE_LAUNCHER_ARGS[@]}"
   cmake --build "$build_dir" -j "$JOBS" \
     --target exec_test vectorized_test sharded_test elastic_test \
-    tenant_test storage_test
+    tenant_test storage_test net_test
   local t
   for t in exec_test vectorized_test sharded_test elastic_test tenant_test \
-           storage_test; do
+           storage_test net_test; do
     ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
       "$build_dir/$t"
   done

@@ -37,6 +37,16 @@ boundary the architecture forbids:
                       the priced cache path would escape both the billing
                       ledger and the storage-term calibration.
 
+  net-internal        The exchange transport and wire format under
+                      src/net/ are implementation details of the sharded
+                      engine's exchange seam. Only the net layer itself,
+                      the engine that owns the seam (src/exec/), the
+                      simulator that predicts it (src/sim/), and unit
+                      tests may include them; everyone else consumes the
+                      re-exported knobs on exec/sharded_engine.h or the
+                      service facade — a second direct consumer of the
+                      wire format would fork the serialization contract.
+
 Legitimate exceptions live in ci/layering_allowlist.txt as
 "includer -> included" lines; stale entries fail the check so the
 allowlist cannot rot.
@@ -81,8 +91,17 @@ CLIENT_FORBIDDEN_FILES = {"service/query_service.h"}
 NO_OWN_PLANNER_PREFIXES = ("src/tuning/", "src/stats/", "src/workload/")
 
 # Block-format internals: reachable only via the table/catalog layer.
+# src/net/ rides along: the wire format deliberately reuses the block
+# format's page primitives (PutU64/ByteCursor/Fnv1a64) so a chunk is laid
+# out the same way on the wire as at rest.
 STORAGE_INTERNAL_PREFIX = "storage/block/"
-STORAGE_INTERNAL_OK_PREFIXES = ("src/storage/", "src/catalog/", "tests/")
+STORAGE_INTERNAL_OK_PREFIXES = ("src/storage/", "src/catalog/", "src/net/",
+                                "tests/")
+
+# Exchange-transport internals: only the engine that owns the exchange
+# seam, the simulator that predicts it, and tests reach src/net/ directly.
+NET_INTERNAL_PREFIX = "net/"
+NET_INTERNAL_OK_PREFIXES = ("src/net/", "src/exec/", "src/sim/", "tests/")
 
 # Engines scan through TableStorage/BlockCache, never the store itself.
 ENGINE_PREFIXES = ("src/exec/",)
@@ -150,6 +169,16 @@ def check_file(path, includes, allowlist, used_allowlist):
                 f"{path}:{lineno}: includes block-format internal '{inc}' — "
                 "only src/storage/, src/catalog/, and tests/ may; consume "
                 "storage/persistent.h or the table/catalog layer"))
+
+        # Rule: net-internal
+        if (inc.startswith(NET_INTERNAL_PREFIX)
+                and not path.startswith(NET_INTERNAL_OK_PREFIXES)):
+            violations.append((
+                "net-internal", lineno, inc,
+                f"{path}:{lineno}: includes exchange-transport internal "
+                f"'{inc}' — only src/net/, src/exec/, src/sim/, and tests/ "
+                "may; consume the transport knobs re-exported by "
+                "exec/sharded_engine.h or the service facade"))
 
         # Rule: engine-object-store
         if (path.startswith(ENGINE_PREFIXES)

@@ -71,6 +71,12 @@ class PricingCatalog {
   Dollars per_1k_get_requests = 0.0004;
   Dollars per_1k_put_requests = 0.005;
 
+  /// Egress-style rate on bytes exchanges serialize over a real transport
+  /// (intra-cluster link fee, an order below internet egress). In-process
+  /// exchanges move no wire bytes and are free; the facade bills
+  /// wire_bytes/GiB x this per sharded run (ExecutionResult::egress_dollars).
+  Dollars egress_per_gib = 0.01;
+
  private:
   std::vector<InstanceType> types_;
 };

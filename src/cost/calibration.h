@@ -4,6 +4,15 @@
 
 namespace costdb {
 
+/// Exchange transport the calibration prices (cost-model twin of
+/// TransportKind in net/transport.h, duplicated so src/cost never includes
+/// the net layer). kInProcess pays no link terms; kSocket adds the
+/// serialize + link + RTT terms below to every exchange estimate.
+enum class LinkTransport {
+  kInProcess = 0,
+  kSocket = 1,
+};
+
 /// Hardware parameters the scalability models refer to, "calibrated before
 /// the service starts" (paper Section 3.1). Rates are per node of the
 /// default shape; the defaults below correspond to an 8-vCPU node and were
@@ -23,6 +32,21 @@ struct HardwareCalibration {
   // workers are worth paying for.
   double shuffle_gibps = 8.0;               // bytes/shuffle_bw copy rate
   Seconds shuffle_dispatch_seconds = 2e-4;  // per receiver partition
+
+  // Per-transport link terms: which transport the engine's exchanges run
+  // over (configuration — set by the facade, never calibrated) and what a
+  // serializing transport adds on top of the copy term above. A socket
+  // exchange pays wire_bytes/serialize_bw (encode+decode+checksum) plus
+  // wire_bytes/link_bw (kernel copy through the socket) plus one RTT per
+  // transfer. These three are what ObserveTransport recalibrates from the
+  // measured serialize+transfer share of exchange wall times, and
+  // ObserveShuffles subtracts that share — so the copy term and the link
+  // terms each track their own reality and DOP decisions price real
+  // serialization + link cost per transport.
+  LinkTransport exchange_transport = LinkTransport::kInProcess;
+  double wire_serialize_gibps = 4.0;  // encode+decode+verify bandwidth
+  double link_gibps = 2.0;            // socket/loopback payload bandwidth
+  Seconds link_rtt_seconds = 5e-5;    // fixed per-transfer latency
 
   // CPU rates, rows per second per node. Filter/project rates are
   // batch-at-a-time throughputs of the vectorized kernels (selection

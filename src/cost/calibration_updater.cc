@@ -91,9 +91,14 @@ CalibrationReport CalibrationUpdater::ObserveShuffles(
     const std::vector<ExchangeTiming>& timings) {
   std::vector<CalibrationObservation> pairs;
   for (const auto& t : timings) {
-    if (t.seconds <= 0.0) continue;
+    // The copy term must never chase link time: a serializing transport's
+    // serialize+transfer share is priced (and calibrated) separately by
+    // ObserveTransport, so subtract it from the measured wall time. A
+    // no-op for in-process exchanges, whose link_seconds is 0.
+    const double actual = t.seconds - t.link_seconds;
+    if (actual <= 0.0) continue;
     CalibrationObservation obs;
-    obs.actual = t.seconds;
+    obs.actual = actual;
     obs.predicted = t.bytes / (hw_->shuffle_gibps * kGiB) +
                     static_cast<double>(t.partitions) *
                         hw_->shuffle_dispatch_seconds;
@@ -111,6 +116,43 @@ CalibrationReport CalibrationUpdater::ObserveShuffles(
   hw_->shuffle_gibps /= scale;
   hw_->shuffle_dispatch_seconds *= scale;
   shuffle_total_scale_ *= scale;
+  ++rounds_;
+  report.applied_scale = scale;
+
+  std::vector<CalibrationObservation> after = pairs;
+  for (auto& p : after) p.predicted *= scale;
+  report.q_error_after = GeoMeanQError(after);
+  return report;
+}
+
+CalibrationReport CalibrationUpdater::ObserveTransport(
+    const std::vector<ExchangeTiming>& timings) {
+  std::vector<CalibrationObservation> pairs;
+  for (const auto& t : timings) {
+    // Only exchanges that actually serialized bytes over a link carry a
+    // signal for the link terms; in-process exchanges have neither.
+    if (t.wire_bytes <= 0.0 || t.link_seconds <= 0.0) continue;
+    CalibrationObservation obs;
+    obs.actual = t.link_seconds;
+    obs.predicted = t.wire_bytes / (hw_->wire_serialize_gibps * kGiB) +
+                    t.wire_bytes / (hw_->link_gibps * kGiB) +
+                    static_cast<double>(t.transfers) * hw_->link_rtt_seconds;
+    if (obs.predicted > 0.0) pairs.push_back(obs);
+  }
+  CalibrationReport report;
+  report.pipelines_observed = static_cast<int>(pairs.size());
+  if (pairs.empty()) return report;
+  report.q_error_before = GeoMeanQError(pairs);
+
+  double scale = ScaleFor(pairs, link_total_scale_);
+  // Scale only the link terms: both bandwidths divide and the fixed RTT
+  // multiplies, so every predicted serialize+transfer duration scales by
+  // exactly `scale` while the copy term (ObserveShuffles' territory) and
+  // the rest of the calibration stay put.
+  hw_->wire_serialize_gibps /= scale;
+  hw_->link_gibps /= scale;
+  hw_->link_rtt_seconds *= scale;
+  link_total_scale_ *= scale;
   ++rounds_;
   report.applied_scale = scale;
 
@@ -206,6 +248,10 @@ void CalibrationUpdater::ApplyScale(double scale) {
   // the shuffle drift tracker so ObserveShuffles' max_total_drift clamp
   // is measured against the term's true cumulative movement.
   shuffle_total_scale_ *= scale;
+  hw_->wire_serialize_gibps /= scale;
+  hw_->link_gibps /= scale;
+  hw_->link_rtt_seconds *= scale;
+  link_total_scale_ *= scale;  // same drift bookkeeping as the shuffle term
   hw_->fused_filter_rows_per_sec /= scale;
   hw_->fused_dispatch_seconds *= scale;
   fused_total_scale_ *= scale;  // same drift bookkeeping as the shuffle term

@@ -104,6 +104,21 @@ class CalibrationUpdater {
   /// the uniform pipeline scales (which move the shuffle term too).
   double shuffle_total_scale() const { return shuffle_total_scale_; }
 
+  /// Fold the serialize+transfer share of measured exchange wall times
+  /// (ExchangeTiming::wire_bytes / link_seconds, populated only when the
+  /// exchange ran over a serializing transport) into the calibration's
+  /// link terms: predictions use the current wire_bytes/serialize_bw +
+  /// wire_bytes/link_bw + transfers*rtt model and ONLY
+  /// wire_serialize_gibps / link_gibps / link_rtt_seconds are rescaled.
+  /// In-process timings carry no link share and are skipped, so the link
+  /// terms only ever learn from real serialized transfers.
+  CalibrationReport ObserveTransport(
+      const std::vector<ExchangeTiming>& timings);
+
+  /// Cumulative movement of the link terms (ObserveTransport scales plus
+  /// the uniform pipeline scales, which move them too).
+  double link_total_scale() const { return link_total_scale_; }
+
   /// Fold measured fused-kernel timings into the calibration's fused tier:
   /// predictions use the current rows/fused_rate + batches*fused_dispatch
   /// model and only fused_filter_rows_per_sec / fused_dispatch_seconds are
@@ -147,6 +162,7 @@ class CalibrationUpdater {
   CalibrationUpdaterOptions options_;
   double total_scale_ = 1.0;
   double shuffle_total_scale_ = 1.0;
+  double link_total_scale_ = 1.0;
   double fused_total_scale_ = 1.0;
   double storage_total_scale_ = 1.0;
   int rounds_ = 0;

@@ -155,6 +155,22 @@ Seconds ShuffleDispatch(const HardwareCalibration* hw, int partitions) {
   return static_cast<double>(partitions) * hw->shuffle_dispatch_seconds;
 }
 
+/// Per-transport link surcharge of the bytes an exchange moves: zero on
+/// the in-process transport (no serialization exists), and the calibrated
+/// serialize + link + RTT terms on a serializing transport. Additive on
+/// top of the copy/NIC max — serialization and the kernel copy genuinely
+/// happen in sequence with the repartition, they don't overlap it
+/// (measured as ExchangeTiming::link_seconds; calibrated by
+/// CalibrationUpdater::ObserveTransport).
+Seconds LinkTime(const HardwareCalibration* hw, double moved_bytes,
+                 int transfers) {
+  if (hw->exchange_transport != LinkTransport::kSocket) return 0.0;
+  if (moved_bytes <= 0.0 && transfers <= 0) return 0.0;
+  return moved_bytes / (hw->wire_serialize_gibps * kGiB) +
+         moved_bytes / (hw->link_gibps * kGiB) +
+         static_cast<double>(transfers) * hw->link_rtt_seconds;
+}
+
 class ShuffleModel : public OperatorModel {
  public:
   explicit ShuffleModel(const HardwareCalibration* hw) : hw_(hw) {}
@@ -170,7 +186,8 @@ class ShuffleModel : public OperatorModel {
     double moved = w.bytes_in * frac_remote;
     double net = moved / (hw_->network_gibps_per_node * kGiB * eff);
     return std::max({cpu, net, ShuffleCopyTime(hw_, moved)}) +
-           ShuffleDispatch(hw_, dop) + hw_->shuffle_sync_per_node * dop;
+           LinkTime(hw_, moved, dop) + ShuffleDispatch(hw_, dop) +
+           hw_->shuffle_sync_per_node * dop;
   }
   const char* name() const override { return "shuffle"; }
 
@@ -201,7 +218,11 @@ class BroadcastModel : public OperatorModel {
     double fanout_penalty =
         1.0 + 0.1 * std::log2(std::max(1.0, static_cast<double>(dop)));
     double moved = w.bytes_in * static_cast<double>(dop > 1 ? dop - 1 : 0);
+    // The transport serializes the broadcast payload once (consumers share
+    // the decoded copy), so the link surcharge is per-payload, not per
+    // consumer.
     return std::max(per_node * fanout_penalty, ShuffleCopyTime(hw_, moved)) +
+           LinkTime(hw_, dop > 1 ? w.bytes_in : 0.0, dop > 1 ? 1 : 0) +
            ShuffleDispatch(hw_, dop) + hw_->shuffle_sync_per_node * dop;
   }
   const char* name() const override { return "broadcast"; }
@@ -214,12 +235,16 @@ class GatherModel : public OperatorModel {
  public:
   explicit GatherModel(const HardwareCalibration* hw) : hw_(hw) {}
   Seconds StageTime(const StageWorkload& w, int dop) const override {
-    (void)dop;
     // Single receiver NIC is the bottleneck regardless of producer count,
     // and the receiver copies the full payload into its buffers either
-    // way — gather neither speeds up nor slows down with DOP.
+    // way — gather neither speeds up nor slows down with DOP. Over a
+    // serializing transport, the (dop-1)/dop share that leaves its
+    // producer pays the link terms, one transfer per remote producer.
+    const double frac_remote =
+        dop <= 1 ? 0.0 : static_cast<double>(dop - 1) / dop;
     return std::max(w.bytes_in / (hw_->network_gibps_per_node * kGiB),
                     ShuffleCopyTime(hw_, w.bytes_in)) +
+           LinkTime(hw_, w.bytes_in * frac_remote, dop > 1 ? dop - 1 : 0) +
            ShuffleDispatch(hw_, 1);
   }
   const char* name() const override { return "gather"; }

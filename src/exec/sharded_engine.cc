@@ -4,7 +4,12 @@
 #include <chrono>
 #include <numeric>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include "exec/evaluator.h"
+#include "net/wire.h"
+#include "storage/block/block_format.h"
 #include "storage/partition.h"
 
 namespace costdb {
@@ -241,7 +246,226 @@ std::shared_ptr<Table> MakeTempTable(const PhysicalPlan* exchange,
   return table;
 }
 
+/// Per-worker result of one fragment execution (thread slots and process
+/// children both land here).
+struct SlotResult {
+  Result<QueryResult> result{Status::Internal("not run")};
+  ScanStats scan_stats;
+  FusedExecStats fused_stats;
+  BlockCacheStats block_stats;
+};
+
+// -- Worker-process result protocol ----------------------------------------
+// A forked worker ships its fragment result back over a socketpair as one
+// length-prefixed frame: [body_len u64][body], where body is
+//   [ok u32]
+//   on error: [code u32][msg_len u32][msg]
+//   on ok:    ScanStats (4 u64) + FusedExecStats (5 u64 + double)
+//             + BlockCacheStats (4 u64 + 4 double) + wire::EncodeChunk
+// The chunk rides in the checksummed wire format, so a torn child write
+// surfaces as a decode Status, not silent row corruption.
+
+std::string EncodeSlotBody(const SlotResult& slot) {
+  std::string body;
+  if (!slot.result.ok()) {
+    block::PutU32(&body, 1);
+    const Status& st = slot.result.status();
+    block::PutU32(&body, static_cast<uint32_t>(st.code()));
+    block::PutU32(&body, static_cast<uint32_t>(st.message().size()));
+    body.append(st.message());
+    return body;
+  }
+  block::PutU32(&body, 0);
+  const ScanStats& sc = slot.scan_stats;
+  block::PutU64(&body, sc.morsels_total);
+  block::PutU64(&body, sc.morsels_pruned);
+  block::PutU64(&body, sc.rows_scanned);
+  block::PutU64(&body, sc.rows_pruned);
+  const FusedExecStats& fu = slot.fused_stats;
+  block::PutU64(&body, fu.fused_filter_morsels);
+  block::PutU64(&body, fu.fused_probe_morsels);
+  block::PutU64(&body, fu.fused_agg_morsels);
+  block::PutU64(&body, fu.fallback_morsels);
+  block::PutU64(&body, fu.fused_rows);
+  block::PutDouble(&body, fu.fused_seconds);
+  const BlockCacheStats& bc = slot.block_stats;
+  block::PutU64(&body, static_cast<uint64_t>(bc.hits));
+  block::PutU64(&body, static_cast<uint64_t>(bc.misses));
+  block::PutU64(&body, static_cast<uint64_t>(bc.evictions));
+  block::PutU64(&body, static_cast<uint64_t>(bc.rejected));
+  block::PutDouble(&body, bc.bytes_read);
+  block::PutDouble(&body, bc.bytes_hit);
+  block::PutDouble(&body, bc.miss_seconds);
+  block::PutDouble(&body, bc.miss_get_dollars);
+  wire::EncodeChunk(slot.result.value().chunk, &body);
+  return body;
+}
+
+Status RemakeStatus(uint32_t code, std::string msg) {
+  switch (static_cast<Status::Code>(code)) {
+    case Status::Code::kInvalidArgument:
+      return Status::InvalidArgument(std::move(msg));
+    case Status::Code::kNotFound:
+      return Status::NotFound(std::move(msg));
+    case Status::Code::kNotSupported:
+      return Status::NotSupported(std::move(msg));
+    case Status::Code::kOutOfRange:
+      return Status::OutOfRange(std::move(msg));
+    case Status::Code::kResourceExhausted:
+      return Status::ResourceExhausted(std::move(msg));
+    case Status::Code::kSlaViolation:
+      return Status::SlaViolation(std::move(msg));
+    case Status::Code::kCancelled:
+      return Status::Cancelled(std::move(msg));
+    default:
+      return Status::Internal(std::move(msg));
+  }
+}
+
+Status DecodeSlotBody(const std::string& body, SlotResult* slot) {
+  block::ByteCursor cur{body.data(), body.size(), 0, true};
+  const uint32_t failed = cur.GetU32();
+  if (failed != 0) {
+    const uint32_t code = cur.GetU32();
+    const uint32_t len = cur.GetU32();
+    std::string msg = cur.GetBytes(len);
+    if (!cur.ok) return Status::Internal("worker frame: malformed error body");
+    slot->result = RemakeStatus(code, std::move(msg));
+    return Status::OK();
+  }
+  ScanStats sc;
+  sc.morsels_total = cur.GetU64();
+  sc.morsels_pruned = cur.GetU64();
+  sc.rows_scanned = cur.GetU64();
+  sc.rows_pruned = cur.GetU64();
+  FusedExecStats fu;
+  fu.fused_filter_morsels = cur.GetU64();
+  fu.fused_probe_morsels = cur.GetU64();
+  fu.fused_agg_morsels = cur.GetU64();
+  fu.fallback_morsels = cur.GetU64();
+  fu.fused_rows = cur.GetU64();
+  fu.fused_seconds = cur.GetDouble();
+  BlockCacheStats bc;
+  bc.hits = static_cast<int64_t>(cur.GetU64());
+  bc.misses = static_cast<int64_t>(cur.GetU64());
+  bc.evictions = static_cast<int64_t>(cur.GetU64());
+  bc.rejected = static_cast<int64_t>(cur.GetU64());
+  bc.bytes_read = cur.GetDouble();
+  bc.bytes_hit = cur.GetDouble();
+  bc.miss_seconds = cur.GetDouble();
+  bc.miss_get_dollars = cur.GetDouble();
+  if (!cur.ok) return Status::Internal("worker frame: malformed stats body");
+  Result<DataChunk> chunk =
+      wire::DecodeChunk(body.data() + cur.pos, body.size() - cur.pos);
+  COSTDB_RETURN_NOT_OK(chunk.status());
+  QueryResult qr;
+  qr.chunk = std::move(chunk).value();
+  slot->result = std::move(qr);
+  slot->scan_stats = sc;
+  slot->fused_stats = fu;
+  slot->block_stats = bc;
+  return Status::OK();
+}
+
+/// Execute one fragment plan per worker, each in a forked child process.
+/// The parent (coordinator) is single-threaded in process mode, so fork()
+/// is safe; each child builds a fresh LocalEngine over the inherited
+/// (copy-on-write) tables, runs its plan, writes one result frame, and
+/// _exit()s without unwinding.
+Status RunPlansInProcesses(const std::vector<PhysicalPlanPtr>& plans,
+                           const std::vector<uint8_t>& skip,
+                           size_t threads_per_worker,
+                           std::vector<SlotResult>* slots) {
+  struct Child {
+    pid_t pid = -1;
+    int fd = -1;
+  };
+  std::vector<Child> children(plans.size());
+  Status status = Status::OK();
+  for (size_t w = 0; w < plans.size(); ++w) {
+    if (skip[w]) continue;
+    int fds[2];
+    Status sp = MakeSocketPair(fds);
+    if (!sp.ok()) {
+      status = sp;
+      break;
+    }
+    pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(fds[0]);
+      ::close(fds[1]);
+      status = Status::Internal("worker fork failed");
+      break;
+    }
+    if (pid == 0) {
+      // Child: run the fragment, ship one frame, exit without unwinding
+      // (skips atexit/leak-check machinery the parent owns).
+      ::close(fds[0]);
+      SlotResult slot;
+      {
+        LocalEngine engine(threads_per_worker);
+        slot.result = engine.Execute(plans[w].get());
+        if (slot.result.ok()) {
+          slot.scan_stats = engine.last_scan_stats();
+          slot.fused_stats = engine.last_fused_stats();
+          slot.block_stats = engine.last_block_stats();
+        }
+        std::string body = EncodeSlotBody(slot);
+        std::string frame;
+        block::PutU64(&frame, body.size());
+        frame.append(body);
+        (void)WriteFull(fds[1], frame.data(), frame.size());
+      }
+      ::_exit(0);
+    }
+    ::close(fds[1]);
+    children[w] = Child{pid, fds[0]};
+  }
+  // Drain results in worker order; on any failure keep draining so every
+  // child is still reaped below (no zombies, no blocked writers).
+  std::string body;
+  for (size_t w = 0; w < plans.size(); ++w) {
+    if (children[w].fd < 0) continue;
+    if (status.ok()) {
+      uint64_t len = 0;
+      Status rd = ReadFull(children[w].fd, &len, sizeof(len));
+      if (rd.ok() && len > (1ull << 40)) {
+        rd = Status::Internal("worker frame: implausible length");
+      }
+      if (rd.ok()) {
+        body.resize(len);
+        rd = ReadFull(children[w].fd, body.data(), len);
+      }
+      if (rd.ok()) rd = DecodeSlotBody(body, &(*slots)[w]);
+      if (!rd.ok()) status = rd.WithContext("worker " + std::to_string(w));
+    }
+    ::close(children[w].fd);
+  }
+  for (size_t w = 0; w < plans.size(); ++w) {
+    if (children[w].pid > 0) {
+      int wstatus = 0;
+      (void)::waitpid(children[w].pid, &wstatus, 0);
+      if (status.ok() &&
+          (!WIFEXITED(wstatus) || WEXITSTATUS(wstatus) != 0)) {
+        status = Status::Internal("worker " + std::to_string(w) +
+                                  " exited abnormally");
+      }
+    }
+  }
+  return status;
+}
+
 }  // namespace
+
+const char* WorkerModeName(WorkerMode mode) {
+  switch (mode) {
+    case WorkerMode::kThreads:
+      return "threads";
+    case WorkerMode::kProcesses:
+      return "processes";
+  }
+  return "unknown";
+}
 
 double ChunkPayloadBytes(const DataChunk& chunk) {
   double total = 0.0;
@@ -258,16 +482,21 @@ double ChunkPayloadBytes(const DataChunk& chunk) {
   return total;
 }
 
-ShardedEngine::ShardedEngine(size_t num_workers, size_t threads_per_worker)
-    : threads_per_worker_(std::max<size_t>(1, threads_per_worker)),
-      initial_workers_(std::max<size_t>(1, num_workers)),
+ShardedEngine::ShardedEngine(const ShardedEngineOptions& options)
+    : threads_per_worker_(std::max<size_t>(1, options.threads_per_worker)),
+      initial_workers_(std::max<size_t>(1, options.workers)),
+      worker_mode_(options.worker_mode),
       active_(initial_workers_),
-      pool_(std::make_unique<ThreadPool>(initial_workers_)) {
-  workers_.reserve(initial_workers_);
-  for (size_t w = 0; w < initial_workers_; ++w) {
-    Worker worker;
-    worker.engine = std::make_unique<LocalEngine>(threads_per_worker_);
-    workers_.push_back(std::move(worker));
+      transport_(MakeTransport(options.transport)) {
+  workers_.resize(initial_workers_);
+  if (worker_mode_ == WorkerMode::kThreads) {
+    // Process mode creates neither engines nor a fan-out pool in the
+    // coordinator: a single-threaded parent makes fork() race-free, and
+    // each child builds its own LocalEngine after the fork.
+    for (auto& worker : workers_) {
+      worker.engine = std::make_unique<LocalEngine>(threads_per_worker_);
+    }
+    pool_ = std::make_unique<ThreadPool>(initial_workers_);
   }
 }
 
@@ -275,14 +504,17 @@ void ShardedEngine::EnsureWorkers(size_t n) {
   if (n <= workers_.size()) return;
   const double start = NowSeconds();
   const size_t added = n - workers_.size();
-  while (workers_.size() < n) {
-    Worker worker;
-    worker.engine = std::make_unique<LocalEngine>(threads_per_worker_);
-    workers_.push_back(std::move(worker));
-  }
-  if (pool_->num_threads() < n) {
-    // Rebuild the fan-out pool wider; safe between fragments (WaitIdle'd).
-    pool_ = std::make_unique<ThreadPool>(n);
+  workers_.resize(n);
+  if (worker_mode_ == WorkerMode::kThreads) {
+    for (auto& worker : workers_) {
+      if (!worker.engine) {
+        worker.engine = std::make_unique<LocalEngine>(threads_per_worker_);
+      }
+    }
+    if (pool_->num_threads() < n) {
+      // Rebuild the fan-out pool wider; safe between fragments (WaitIdle'd).
+      pool_ = std::make_unique<ThreadPool>(n);
+    }
   }
   usage_.workers_spun_up += added;
   usage_.spinup_seconds += NowSeconds() - start;
@@ -334,12 +566,33 @@ Result<ShardedEngine::Shards> ShardedEngine::ApplyExchange(
   return in;
 }
 
+void ShardedEngine::RecordExchange(ExchangeTiming timing,
+                                   const TransportStats& before,
+                                   size_t rows_moved, double bytes_moved) {
+  const TransportStats& now = transport_->stats();
+  timing.transport = transport_->kind();
+  timing.wire_bytes = now.wire_bytes - before.wire_bytes;
+  timing.transfers = now.transfers - before.transfers;
+  timing.link_seconds =
+      (now.serialize_seconds - before.serialize_seconds) +
+      (now.transfer_seconds - before.transfer_seconds);
+  ExchangeKindStats& ks = exchange_stats_.ByKind(timing.kind);
+  ++ks.count;
+  ks.rows_moved += rows_moved;
+  ks.bytes_moved += bytes_moved;
+  ks.seconds += timing.seconds;
+  ks.wire_bytes += timing.wire_bytes;
+  ks.link_seconds += timing.link_seconds;
+  exchange_stats_.timings.push_back(timing);
+}
+
 Result<ShardedEngine::Shards> ShardedEngine::ShuffleShards(
     Shards in, const PhysicalPlan* exchange, size_t width) {
   if (exchange->partition_exprs.empty()) {
     return Status::Internal("shuffle exchange without partition keys");
   }
   const double start = NowSeconds();
+  const TransportStats tp_before = transport_->stats();
   const size_t W = std::max<size_t>(1, width);
   Shards out;
   out.chunks.assign(W, DataChunk(exchange->output_types));
@@ -378,8 +631,12 @@ Result<ShardedEngine::Shards> ShardedEngine::ShuffleShards(
       const double payload = ChunkPayloadBytes(moved);
       bytes_copied += payload;
       if (b != w) {
+        // Only partitions that leave their producing worker cross the
+        // transport; the b == w bucket never would on a real network.
         rows_moved += moved.num_rows();
         bytes_moved += payload;
+        COSTDB_ASSIGN_OR_RETURN(moved,
+                                transport_->Send(w, b, std::move(moved)));
       }
       out.chunks[b].Append(moved);
     }
@@ -391,17 +648,14 @@ Result<ShardedEngine::Shards> ShardedEngine::ShuffleShards(
   timing.bytes = bytes_copied;
   timing.partitions = W;
   timing.seconds = NowSeconds() - start;
-  exchange_stats_.timings.push_back(timing);
-  ++exchange_stats_.shuffles;
-  exchange_stats_.rows_moved += rows_moved;
-  exchange_stats_.bytes_moved += bytes_moved;
-  exchange_stats_.seconds += timing.seconds;
+  RecordExchange(timing, tp_before, rows_moved, bytes_moved);
   return out;
 }
 
-ShardedEngine::Shards ShardedEngine::BroadcastShards(
+Result<ShardedEngine::Shards> ShardedEngine::BroadcastShards(
     Shards in, const PhysicalPlan* exchange, size_t width) {
   const double start = NowSeconds();
+  const TransportStats tp_before = transport_->stats();
   const size_t W = std::max<size_t>(1, width);
   Shards out;
   out.shared = true;
@@ -410,9 +664,15 @@ ShardedEngine::Shards ShardedEngine::BroadcastShards(
   for (size_t w = 0; w < sources; ++w) {
     out.chunks[0].Append(in.chunks[w]);
   }
-  // Every other worker receives the full payload; in-process they borrow
-  // the one materialized copy, so the stats charge what a wire would but
-  // the calibration timing only what the measured append wrote.
+  // Every other worker receives the full payload; the consumers borrow the
+  // one materialized copy, so the stats charge what a fan-out wire would
+  // (payload x (W-1)) while the transport carries one serialized copy.
+  if (W > 1 && out.chunks[0].num_rows() > 0) {
+    DataChunk shipped;
+    COSTDB_ASSIGN_OR_RETURN(
+        shipped, transport_->Send(0, 1, std::move(out.chunks[0])));
+    out.chunks[0] = std::move(shipped);
+  }
   const double payload = ChunkPayloadBytes(out.chunks[0]);
   const double bytes = payload * static_cast<double>(W - 1);
 
@@ -421,17 +681,15 @@ ShardedEngine::Shards ShardedEngine::BroadcastShards(
   timing.bytes = payload;
   timing.partitions = W;
   timing.seconds = NowSeconds() - start;
-  exchange_stats_.timings.push_back(timing);
-  ++exchange_stats_.broadcasts;
-  exchange_stats_.rows_moved += out.chunks[0].num_rows() * (W - 1);
-  exchange_stats_.bytes_moved += bytes;
-  exchange_stats_.seconds += timing.seconds;
+  RecordExchange(timing, tp_before, out.chunks[0].num_rows() * (W - 1),
+                 bytes);
   return out;
 }
 
-ShardedEngine::Shards ShardedEngine::GatherShards(
+Result<ShardedEngine::Shards> ShardedEngine::GatherShards(
     Shards in, const PhysicalPlan* exchange) {
   const double start = NowSeconds();
+  const TransportStats tp_before = transport_->stats();
   double bytes = 0.0;   // logical: arrived from other workers
   double copied = 0.0;  // physical: everything the merge wrote
   size_t rows = 0;
@@ -443,6 +701,10 @@ ShardedEngine::Shards ShardedEngine::GatherShards(
       if (w > 0) {
         bytes += payload;
         rows += in.chunks[w].num_rows();
+        if (in.chunks[w].num_rows() > 0) {
+          COSTDB_ASSIGN_OR_RETURN(
+              in.chunks[w], transport_->Send(w, 0, std::move(in.chunks[w])));
+        }
       }
     }
   }
@@ -456,11 +718,7 @@ ShardedEngine::Shards ShardedEngine::GatherShards(
   timing.bytes = copied;
   timing.partitions = 1;
   timing.seconds = NowSeconds() - start;
-  exchange_stats_.timings.push_back(timing);
-  ++exchange_stats_.gathers;
-  exchange_stats_.rows_moved += rows;
-  exchange_stats_.bytes_moved += bytes;
-  exchange_stats_.seconds += timing.seconds;
+  RecordExchange(timing, tp_before, rows, bytes);
   return out;
 }
 
@@ -623,12 +881,13 @@ Result<ShardedEngine::Shards> ShardedEngine::RunFragment(
     }
     // Temp-table build is part of the exchange's dispatch cost; fold it
     // into the timing the calibration loop observes (the entry this cut
-    // appended last).
+    // appended last) and that entry's per-kind bucket.
     const double build_seconds = NowSeconds() - build_start;
     if (!exchange_stats_.timings.empty()) {
-      exchange_stats_.timings.back().seconds += build_seconds;
+      ExchangeTiming& t = exchange_stats_.timings.back();
+      t.seconds += build_seconds;
+      exchange_stats_.ByKind(t.kind).seconds += build_seconds;
     }
-    exchange_stats_.seconds += build_seconds;
     if (!s.single) all_inputs_single = false;
     inputs.emplace(cut, std::move(fi));
   }
@@ -662,28 +921,27 @@ Result<ShardedEngine::Shards> ShardedEngine::RunFragment(
     if (!single && rows_in == 0.0) skip[w] = 1;
   }
 
-  struct SlotResult {
-    Result<QueryResult> result{Status::Internal("not run")};
-    ScanStats scan_stats;
-    FusedExecStats fused_stats;
-    BlockCacheStats block_stats;
-  };
   const double frag_start = NowSeconds();
   std::vector<SlotResult> slots(dop);
-  auto run_one = [&](size_t w) {
-    LocalEngine* engine = workers_[w].engine.get();
-    slots[w].result = engine->Execute(plans[w].get());
-    slots[w].scan_stats = engine->last_scan_stats();
-    slots[w].fused_stats = engine->last_fused_stats();
-    slots[w].block_stats = engine->last_block_stats();
-  };
-  if (dop > 1) {
-    for (size_t w = 0; w < dop; ++w) {
-      if (!skip[w]) pool_->Submit([&run_one, w] { run_one(w); });
+  if (worker_mode_ == WorkerMode::kProcesses) {
+    COSTDB_RETURN_NOT_OK(
+        RunPlansInProcesses(plans, skip, threads_per_worker_, &slots));
+  } else {
+    auto run_one = [&](size_t w) {
+      LocalEngine* engine = workers_[w].engine.get();
+      slots[w].result = engine->Execute(plans[w].get());
+      slots[w].scan_stats = engine->last_scan_stats();
+      slots[w].fused_stats = engine->last_fused_stats();
+      slots[w].block_stats = engine->last_block_stats();
+    };
+    if (dop > 1) {
+      for (size_t w = 0; w < dop; ++w) {
+        if (!skip[w]) pool_->Submit([&run_one, w] { run_one(w); });
+      }
+      pool_->WaitIdle();
+    } else if (!skip.empty() && !skip[0]) {
+      run_one(0);
     }
-    pool_->WaitIdle();
-  } else if (!skip.empty() && !skip[0]) {
-    run_one(0);
   }
   usage_.fragments.push_back(
       FragmentUsage{dop, NowSeconds() - frag_start});
@@ -710,6 +968,8 @@ Result<QueryResult> ShardedEngine::Execute(const PhysicalPlan* root) {
   if (root == nullptr) return Status::InvalidArgument("null plan");
   COSTDB_RETURN_NOT_OK(ValidateCoPartitioning(root));
   exchange_stats_ = ExchangeStats();
+  exchange_stats_.transport = transport_->kind();
+  transport_->ResetStats();
   scan_stats_ = ScanStats();
   fused_stats_ = FusedExecStats();
   block_stats_ = BlockCacheStats();

@@ -7,8 +7,22 @@
 
 #include "common/thread_pool.h"
 #include "exec/engine.h"
+#include "net/transport.h"
 
 namespace costdb {
+
+/// How worker shards execute: on in-process LocalEngines fanned out over a
+/// thread pool (the historical mode), or in forked worker processes whose
+/// results travel back serialized in the wire format. Process mode is the
+/// configuration where the socket transport's link costs stop being a
+/// simulation: every byte a fragment returns genuinely crosses an address
+/// space.
+enum class WorkerMode {
+  kThreads = 0,
+  kProcesses = 1,
+};
+
+const char* WorkerModeName(WorkerMode mode);
 
 /// One observed exchange execution, in the cost model's vocabulary. The
 /// CalibrationUpdater folds these into the calibration's shuffle term
@@ -16,23 +30,72 @@ namespace costdb {
 /// `bytes` counts what the measured wall time actually processed — every
 /// payload byte the in-process movement copied (a broadcast materializes
 /// one shared copy, not W wire copies) — while the logical cross-worker
-/// charge lives in ExchangeStats::bytes_moved.
+/// charge lives in ExchangeStats::bytes_moved(). When the exchange ran
+/// over a serializing transport, `wire_bytes`/`link_seconds` isolate the
+/// serialization + link share of `seconds`; ObserveTransport calibrates
+/// the link terms from exactly these fields (and ObserveShuffles subtracts
+/// them, so the copy term never chases link time).
 struct ExchangeTiming {
   ExchangeKind kind = ExchangeKind::kShuffle;
   double bytes = 0.0;      // payload bytes the movement copied
   size_t partitions = 0;   // receiver partitions dispatched
   double seconds = 0.0;    // wall time of the repartition/copy step
+  TransportKind transport = TransportKind::kInProcess;
+  double wire_bytes = 0.0;    // serialized frame bytes (0 for in-process)
+  size_t transfers = 0;       // transport Send calls this exchange made
+  double link_seconds = 0.0;  // serialize+transfer share of `seconds`
 };
 
-/// Data-movement counters of one ShardedEngine::Execute call.
+/// Data-movement counters of one exchange kind within one Execute call.
+struct ExchangeKindStats {
+  size_t count = 0;
+  size_t rows_moved = 0;      // rows that left their producing worker
+  double bytes_moved = 0.0;   // payload bytes of those rows
+  double seconds = 0.0;       // wall time spent in this exchange kind
+  double wire_bytes = 0.0;    // serialized frame bytes over the transport
+  double link_seconds = 0.0;  // serialize+transfer share of `seconds`
+};
+
+/// Data-movement counters of one ShardedEngine::Execute call, broken down
+/// by exchange kind (shuffle vs broadcast vs gather move very different
+/// byte volumes; a single sum hid which one dominated).
 struct ExchangeStats {
-  size_t shuffles = 0;
-  size_t broadcasts = 0;
-  size_t gathers = 0;
-  size_t rows_moved = 0;     // rows that left their producing worker
-  double bytes_moved = 0.0;  // payload bytes of those rows
-  double seconds = 0.0;      // total wall time spent moving data
+  TransportKind transport = TransportKind::kInProcess;
+  ExchangeKindStats shuffle;
+  ExchangeKindStats broadcast;
+  ExchangeKindStats gather;
   std::vector<ExchangeTiming> timings;  // per executed exchange, plan order
+
+  size_t exchanges() const {
+    return shuffle.count + broadcast.count + gather.count;
+  }
+  size_t rows_moved() const {
+    return shuffle.rows_moved + broadcast.rows_moved + gather.rows_moved;
+  }
+  double bytes_moved() const {
+    return shuffle.bytes_moved + broadcast.bytes_moved + gather.bytes_moved;
+  }
+  double seconds() const {
+    return shuffle.seconds + broadcast.seconds + gather.seconds;
+  }
+  double wire_bytes() const {
+    return shuffle.wire_bytes + broadcast.wire_bytes + gather.wire_bytes;
+  }
+  double link_seconds() const {
+    return shuffle.link_seconds + broadcast.link_seconds +
+           gather.link_seconds;
+  }
+
+  ExchangeKindStats& ByKind(ExchangeKind kind) {
+    switch (kind) {
+      case ExchangeKind::kBroadcast:
+        return broadcast;
+      case ExchangeKind::kGather:
+        return gather;
+      default:
+        return shuffle;  // kShuffle; kLocal never records stats
+    }
+  }
 };
 
 /// What an elastic width decision can observe at one fragment boundary —
@@ -84,9 +147,21 @@ struct WorkerUsage {
 /// calibration account as "bytes on the wire".
 double ChunkPayloadBytes(const DataChunk& chunk);
 
+/// Construction knobs of a ShardedEngine — width, per-worker threading,
+/// and the two orthogonal distribution axes (how exchanged partitions
+/// travel, and where fragments execute). Any transport composes with any
+/// worker mode; results are bit-identical across all four combinations
+/// for order-stable plans (tested in sharded_test).
+struct ShardedEngineOptions {
+  size_t workers = 1;
+  size_t threads_per_worker = 1;
+  TransportKind transport = TransportKind::kInProcess;
+  WorkerMode worker_mode = WorkerMode::kThreads;
+};
+
 /// Partitioned multi-worker execution: runs a physical plan across N
-/// in-process workers, each a LocalEngine over a horizontal slice of the
-/// data, stitched together by real exchange operators.
+/// workers, each a LocalEngine over a horizontal slice of the data,
+/// stitched together by real exchange operators.
 ///
 /// The same distributed-shaped plans the optimizer already emits (two-phase
 /// aggregates, join-side shuffles/broadcasts, root gather) drive execution:
@@ -131,7 +206,11 @@ double ChunkPayloadBytes(const DataChunk& chunk);
 /// poison merged extrema.
 class ShardedEngine {
  public:
-  explicit ShardedEngine(size_t num_workers, size_t threads_per_worker = 1);
+  explicit ShardedEngine(const ShardedEngineOptions& options);
+  explicit ShardedEngine(size_t num_workers, size_t threads_per_worker = 1)
+      : ShardedEngine(ShardedEngineOptions{num_workers, threads_per_worker,
+                                           TransportKind::kInProcess,
+                                           WorkerMode::kThreads}) {}
 
   Result<QueryResult> Execute(const PhysicalPlan* root);
 
@@ -165,6 +244,18 @@ class ShardedEngine {
 
   /// Current execution width (the constructor's count until a resize).
   size_t num_workers() const { return active_; }
+
+  /// How exchanged partitions travel between workers.
+  TransportKind transport() const { return transport_->kind(); }
+
+  /// Where fragments execute (threads vs forked processes).
+  WorkerMode worker_mode() const { return worker_mode_; }
+
+  /// Transport counters accumulated since the previous Execute call began
+  /// (exchange-granular deltas live in last_exchange_stats().timings).
+  const TransportStats& transport_stats() const {
+    return transport_->stats();
+  }
 
  private:
   /// Per-worker chunks flowing between fragments and exchanges.
@@ -202,9 +293,15 @@ class ShardedEngine {
                                size_t width);
   Result<Shards> ShuffleShards(Shards in, const PhysicalPlan* exchange,
                                size_t width);
-  Shards BroadcastShards(Shards in, const PhysicalPlan* exchange,
-                         size_t width);
-  Shards GatherShards(Shards in, const PhysicalPlan* exchange);
+  Result<Shards> BroadcastShards(Shards in, const PhysicalPlan* exchange,
+                                 size_t width);
+  Result<Shards> GatherShards(Shards in, const PhysicalPlan* exchange);
+
+  /// Close one exchange's books: compute this exchange's transport delta
+  /// against `before`, record the timing, and fold it into the per-kind
+  /// stats bucket.
+  void RecordExchange(ExchangeTiming timing, const TransportStats& before,
+                      size_t rows_moved, double bytes_moved);
 
   /// Consult the resizer at a fragment boundary and switch the active
   /// width (spinning up workers as needed). Returns the width to run at.
@@ -233,16 +330,23 @@ class ShardedEngine {
       double* input_rows) const;
 
   struct Worker {
-    std::unique_ptr<LocalEngine> engine;
+    std::unique_ptr<LocalEngine> engine;  // null in process mode
   };
 
   size_t threads_per_worker_ = 1;
   size_t initial_workers_ = 1;  // width every Execute starts from
+  WorkerMode worker_mode_ = WorkerMode::kThreads;
   std::vector<Worker> workers_;
   size_t active_ = 1;  // current execution width (<= workers_.size())
   /// One slot per worker; fragments fan out across it. unique_ptr so a
-  /// mid-query grow can rebuild it wider between fragments.
+  /// mid-query grow can rebuild it wider between fragments. Null in
+  /// process mode: the coordinator stays single-threaded there so fork()
+  /// never races a pool thread, and fragment fan-out is one child process
+  /// per worker instead.
   std::unique_ptr<ThreadPool> pool_;
+  /// How exchanged partitions travel; owned per engine (the socketpair is
+  /// engine state). Never null.
+  std::unique_ptr<ExchangeTransport> transport_;
   WidthDecider resizer_;
 
   ExchangeStats exchange_stats_;

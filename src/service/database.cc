@@ -17,6 +17,12 @@ Database::Database(DatabaseOptions options)
   // honors the facade's limit.
   options_.optimizer.max_workers =
       static_cast<int>(std::max<size_t>(1, options_.max_workers));
+  // The cost model must price exchanges for the transport the engine will
+  // actually use: over a serializing transport, shuffle/broadcast/gather
+  // estimates gain the calibrated link terms (cost/calibration.h).
+  hw_.exchange_transport = options_.exchange_transport == TransportKind::kSocket
+                               ? LinkTransport::kSocket
+                               : LinkTransport::kInProcess;
   estimator_ = std::make_unique<CostEstimator>(&hw_, &node_);
   query_service_ = std::make_unique<QueryService>(&meta_, estimator_.get(),
                                                   options_.optimizer);
@@ -379,17 +385,21 @@ Result<ExecutionResult> Database::ExecuteSharded(
     return Status::OK();
   };
 
+  ShardedEngineOptions engine_options;
+  engine_options.workers = workers;
+  engine_options.threads_per_worker = options_.sharded_threads_per_worker;
+  engine_options.transport = options_.exchange_transport;
+  engine_options.worker_mode = options_.worker_mode;
   if (serial) {
     EngineShard& shard = ShardFor(tenant);
     MutexLock lock(shard.mu);
     auto& engine = shard.sharded[workers];
     if (engine == nullptr) {
-      engine = std::make_unique<ShardedEngine>(
-          workers, options_.sharded_threads_per_worker);
+      engine = std::make_unique<ShardedEngine>(engine_options);
     }
     COSTDB_RETURN_NOT_OK(run(engine.get()));
   } else {
-    ShardedEngine engine(workers, options_.sharded_threads_per_worker);
+    ShardedEngine engine(engine_options);
     COSTDB_RETURN_NOT_OK(run(&engine));
   }
   if (controller != nullptr) out.elastic = controller->decisions();
@@ -400,6 +410,12 @@ Result<ExecutionResult> Database::ExecuteSharded(
   // ledger settles its estimate against this.
   const Dollars price = node_.price_per_second();
   out.billed_dollars = out.usage.worker_seconds * price;
+  // Egress: wire bytes the run's exchanges serialized are billed at the
+  // catalog's egress rate (0 for in-process runs — nothing crosses a
+  // link). Conservation: egress_billed_.dollars tracks wire_bytes/GiB x
+  // rate exactly, the invariant bench_e18_transport gates.
+  const double wire_bytes = out.exchange.wire_bytes();
+  out.egress_dollars = wire_bytes / kGiB * pricing_.egress_per_gib;
   {
     MutexLock lock(billing_mu_);
     UsageRecord record;
@@ -410,8 +426,19 @@ Result<ExecutionResult> Database::ExecuteSharded(
     record.price_per_node_second = price;
     billing_.Charge(record);
     billing_clock_ += out.usage.wall_seconds;
+    if (wire_bytes > 0.0) {
+      billing_.ChargeFlat("exchange:egress", out.egress_dollars);
+      egress_billed_.wire_bytes += wire_bytes;
+      egress_billed_.dollars += out.egress_dollars;
+      ++egress_billed_.runs;
+    }
   }
   return out;
+}
+
+Database::EgressBilling Database::egress_billing() const {
+  MutexLock lock(billing_mu_);
+  return egress_billed_;
 }
 
 BillingMeter Database::billing_snapshot() const {
@@ -557,6 +584,7 @@ Result<ExecutionResult> Database::ExecutePlannedCached(
         // The calibration moved or a scanned table's layout changed since
         // these rows were produced; they may describe data that no longer
         // exists. Drop and re-execute.
+        result_cache_bytes_ -= it->second.payload_bytes;
         result_cache_.erase(it);
         ++result_cache_stats_.invalidations;
         break;
@@ -591,16 +619,35 @@ Result<ExecutionResult> Database::ExecutePlannedCached(
       entry.calibration_version = executed_under_version;
       CollectScanTables(plan->plan.get(), &entry.table_layouts);
       entry.last_used = ++result_cache_tick_;
-      result_cache_[result_key] = std::move(entry);
-      while (result_cache_.size() >
-             std::max<size_t>(1, options_.result_cache_max_entries)) {
+      entry.payload_bytes = ChunkPayloadBytes(entry.result->chunk);
+      auto [slot, inserted] = result_cache_.try_emplace(result_key);
+      if (!inserted) result_cache_bytes_ -= slot->second.payload_bytes;
+      result_cache_bytes_ += entry.payload_bytes;
+      slot->second = std::move(entry);
+      // LRU eviction under both budgets: the entry cap first, then the
+      // byte budget — a handful of huge results can no longer pin
+      // "max_entries worth" of arbitrary memory.
+      auto evict_lru = [&] {
         auto victim = result_cache_.begin();
         for (auto it = result_cache_.begin(); it != result_cache_.end();
              ++it) {
           if (it->second.last_used < victim->second.last_used) victim = it;
         }
+        result_cache_bytes_ -= victim->second.payload_bytes;
         result_cache_.erase(victim);
         ++result_cache_stats_.evictions;
+      };
+      while (result_cache_.size() >
+             std::max<size_t>(1, options_.result_cache_max_entries)) {
+        evict_lru();
+      }
+      while (options_.result_cache_max_bytes > 0 && result_cache_.size() > 1 &&
+             result_cache_bytes_ >
+                 static_cast<double>(options_.result_cache_max_bytes)) {
+        // size() > 1: the newest entry always stays — evicting the rows we
+        // just produced would make an over-budget result uncacheable *and*
+        // churn the rest of the cache.
+        evict_lru();
       }
     }
     // On failure the flight is simply abandoned — the next waiter wakes,
@@ -684,6 +731,7 @@ Database::ResultCacheStats Database::result_cache_stats() const {
   MutexLock lock(cache_mu_);
   ResultCacheStats stats = result_cache_stats_;
   stats.entries = result_cache_.size();
+  stats.bytes = static_cast<size_t>(result_cache_bytes_);
   return stats;
 }
 
@@ -691,6 +739,7 @@ void Database::ClearResultCache() {
   MutexLock lock(cache_mu_);
   result_cache_.clear();
   result_cache_stats_ = ResultCacheStats{};
+  result_cache_bytes_ = 0.0;
 }
 
 CalibrationReport Database::Calibrate(const ExecutionResult& executed) {
@@ -710,6 +759,18 @@ CalibrationReport Database::Calibrate(const ExecutionResult& executed) {
         calibration_->ObserveShuffles(executed.exchange.timings);
     if (executed.timings.empty()) report = shuffle;
     moved = moved || shuffle.changed(options_.recalibration_threshold);
+    // Over a serializing transport the same timings also carry a measured
+    // link share (serialize + socket transfer seconds per exchange): fold
+    // it into the link terms, which only transported runs may move.
+    bool any_link = false;
+    for (const ExchangeTiming& t : executed.exchange.timings) {
+      any_link = any_link || (t.wire_bytes > 0.0 && t.link_seconds > 0.0);
+    }
+    if (any_link) {
+      CalibrationReport link =
+          calibration_->ObserveTransport(executed.exchange.timings);
+      moved = moved || link.changed(options_.recalibration_threshold);
+    }
   }
   if (executed.fused.any_fused() && executed.fused.fused_seconds > 0.0) {
     // Fused morsels ran: fold the measured fused-kernel wall time into the

@@ -42,6 +42,18 @@ struct DatabaseOptions {
   /// Morsel threads inside each ShardedEngine worker (workers themselves
   /// come from the plan's resolved UserConstraint::workers knob).
   size_t sharded_threads_per_worker = 1;
+  /// How sharded exchanges move partitions between workers: the in-process
+  /// pass-through, or serialized through the checksummed wire format over
+  /// a real socketpair (docs/TRANSPORT.md). The socket transport makes
+  /// measured exchange times contain real serialization + link cost, the
+  /// calibration learns the link terms from them (ObserveTransport), and
+  /// moved wire bytes are billed at the egress rate.
+  TransportKind exchange_transport = TransportKind::kInProcess;
+  /// Where sharded fragments execute: LocalEngines on a thread pool, or
+  /// forked worker processes whose results return serialized over
+  /// sockets. Results are bit-identical across both for order-stable
+  /// plans.
+  WorkerMode worker_mode = WorkerMode::kThreads;
   /// Cap on UserConstraint::workers == 0 auto-resolution and on explicit
   /// worker requests routed to the sharded backend.
   size_t max_workers = 16;
@@ -69,6 +81,11 @@ struct DatabaseOptions {
   bool enable_result_cache = false;
   /// LRU capacity of the result cache (entries, not bytes).
   size_t result_cache_max_entries = 256;
+  /// Byte budget over the cached results' payloads (ChunkPayloadBytes);
+  /// 0 = unbounded. Evicts least-recently-used entries until under
+  /// budget, on top of the entry cap — a handful of huge results can no
+  /// longer pin the cache at "only 256 entries" of arbitrary memory.
+  size_t result_cache_max_bytes = 0;
   /// Lock shards of the facade's serial execution engines: tenants hash
   /// onto shards, so one tenant's serial query never queues behind
   /// another tenant's engine lock.
@@ -148,6 +165,11 @@ struct ExecutionResult {
   /// `billed_dollars` so elastic runs are billed what they actually held.
   WorkerUsage usage;
   Dollars billed_dollars = 0.0;
+  /// Sharded runs over a serializing transport only: the egress-style fee
+  /// on the wire bytes the run's exchanges serialized
+  /// (PricingCatalog::egress_per_gib; 0 for in-process runs, which move
+  /// no wire bytes).
+  Dollars egress_dollars = 0.0;
   /// Elastic runs only: every width decision the controller recorded.
   std::vector<ElasticController::Decision> elastic;
 };
@@ -356,6 +378,17 @@ class Database {
   StorageBilling SettleStorageRequests();
   StorageBilling storage_billing() const;
 
+  /// Egress-style fees charged for exchange wire bytes so far. Dollar
+  /// conservation: `dollars` always equals `wire_bytes / GiB x
+  /// pricing.egress_per_gib` of the runs it covers — the invariant
+  /// bench_e18_transport gates.
+  struct EgressBilling {
+    double wire_bytes = 0.0;
+    Dollars dollars = 0.0;
+    size_t runs = 0;  // sharded runs that moved wire bytes
+  };
+  EgressBilling egress_billing() const;
+
   /// Execute a batch concurrently through the admission controller, as a
   /// thin deterministic shim over the Session API. Planning stays serial
   /// and in request order (deterministic cache hit/miss pattern), the
@@ -416,6 +449,7 @@ class Database {
     size_t invalidations = 0;  // stale entries dropped on lookup
     size_t evictions = 0;      // LRU capacity evictions
     size_t entries = 0;
+    size_t bytes = 0;  // cached payload bytes (ChunkPayloadBytes sum)
   };
   ResultCacheStats result_cache_stats() const;
   void ClearResultCache();
@@ -525,6 +559,8 @@ class Database {
   /// Request counters already charged by SettleStorageRequests (the next
   /// settle bills only the delta).
   StorageBilling storage_billed_ GUARDED_BY(billing_mu_);
+  /// Egress fees charged for exchange wire bytes so far.
+  EgressBilling egress_billed_ GUARDED_BY(billing_mu_);
 
   /// Per-tenant cumulative bills; own lock so settling never contends
   /// with engines or caches.
@@ -544,7 +580,8 @@ class Database {
     std::shared_ptr<const QueryResult> result;
     int calibration_version = 0;
     std::vector<std::pair<std::shared_ptr<Table>, uint64_t>> table_layouts;
-    uint64_t last_used = 0;  // LRU tick
+    uint64_t last_used = 0;        // LRU tick
+    double payload_bytes = 0.0;    // ChunkPayloadBytes of the cached rows
   };
   /// Result cache + its single-flight markers; guarded by cache_mu_ like
   /// the plan cache (lookups are map probes, never executions).
@@ -553,6 +590,9 @@ class Database {
       GUARDED_BY(cache_mu_);
   ResultCacheStats result_cache_stats_ GUARDED_BY(cache_mu_);
   uint64_t result_cache_tick_ GUARDED_BY(cache_mu_) = 0;
+  /// Payload bytes currently held by result_cache_ (the byte-budget
+  /// eviction's ledger; mirrors the sum of entry payload_bytes).
+  double result_cache_bytes_ GUARDED_BY(cache_mu_) = 0.0;
 
   /// Readers (planning, simulation) take it shared; the calibration
   /// writer takes it exclusive — the estimator reads hw_ on every

@@ -1,5 +1,7 @@
 #include "sim/harness.h"
 
+#include <algorithm>
+
 #include "optimizer/passes.h"
 
 namespace costdb {
@@ -89,7 +91,27 @@ ShardedParity CheckShardedParity(const PreparedQuery& prepared,
   parity.measured_sharded = measured_sharded;
   parity.predicted_exchange_bytes = PredictedExchangeBytes(
       prepared.planned.plan.get(), prepared.truth, workers);
-  parity.measured_exchange_bytes = measured.bytes_moved;
+  parity.measured_exchange_bytes = measured.bytes_moved();
+  // Link-term parity: predict the serialize+transfer share of each executed
+  // exchange from the calibrated link terms and the bytes that actually
+  // crossed the transport, and compare against the measured share. All
+  // zero (q-error 1) for in-process runs — no link exists there.
+  parity.measured_wire_bytes = measured.wire_bytes();
+  parity.measured_link_seconds = measured.link_seconds();
+  const HardwareCalibration& hw = estimator.hardware();
+  for (const ExchangeTiming& t : measured.timings) {
+    if (t.wire_bytes <= 0.0) continue;
+    parity.predicted_link_seconds +=
+        t.wire_bytes / (hw.wire_serialize_gibps * kGiB) +
+        t.wire_bytes / (hw.link_gibps * kGiB) +
+        static_cast<double>(t.transfers) * hw.link_rtt_seconds;
+  }
+  if (parity.predicted_link_seconds > 0.0 &&
+      parity.measured_link_seconds > 0.0) {
+    parity.link_q_error =
+        std::max(parity.predicted_link_seconds / parity.measured_link_seconds,
+                 parity.measured_link_seconds / parity.predicted_link_seconds);
+  }
   parity.scaling_direction_agrees =
       (parity.predicted_sharded < parity.predicted_single) ==
       (parity.measured_sharded < parity.measured_single);

@@ -45,6 +45,13 @@ struct ShardedParity {
   Seconds measured_sharded = 0.0;
   double predicted_exchange_bytes = 0.0;  // model's moved bytes at `workers`
   double measured_exchange_bytes = 0.0;   // engine's ExchangeStats
+  /// Serialized-transport side (all zero for in-process runs): do the link
+  /// terms the estimator was calibrated with predict the serialize+transfer
+  /// share the engine actually measured?
+  double measured_wire_bytes = 0.0;       // serialized frame bytes
+  Seconds predicted_link_seconds = 0.0;   // estimator's link-term total
+  Seconds measured_link_seconds = 0.0;    // engine's link_seconds total
+  double link_q_error = 1.0;  // max(pred/meas, meas/pred); 1 when either is 0
   bool scaling_direction_agrees = false;
 };
 

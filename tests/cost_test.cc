@@ -6,6 +6,7 @@
 
 #include "common/stats_math.h"
 #include "cost/calibration_updater.h"
+#include "exec/sharded_engine.h"
 #include "cost/cost_model.h"
 #include "optimizer/optimizer.h"
 #include "workload/ssb.h"
@@ -320,6 +321,71 @@ TEST_F(CostTest, ObserveFusedMovesOnlyTheFusedTerms) {
 
   // Converges: repeated identical observations shrink the remaining gap.
   CalibrationReport second = updater.ObserveFused(obs);
+  EXPECT_LT(second.q_error_before, report.q_error_before);
+}
+
+TEST_F(CostTest, ObserveTransportMovesOnlyTheLinkTerms) {
+  HardwareCalibration hw;
+  const HardwareCalibration before = hw;
+  CalibrationUpdater updater(&hw);
+
+  // The measured serialize+transfer share of each exchange runs 3x slower
+  // than the seeded link terms predict: the three link terms must move by
+  // ~scale, every other tier — including the shuffle copy term the link
+  // share was subtracted from — must stay put.
+  std::vector<ExchangeTiming> timings(3);
+  for (auto& t : timings) {
+    t.transport = TransportKind::kSocket;
+    t.bytes = 4.0 * kMiB;
+    t.partitions = 4;
+    t.wire_bytes = 4.0 * kMiB;
+    t.transfers = 12;
+    t.link_seconds =
+        3.0 * (t.wire_bytes / (hw.wire_serialize_gibps * kGiB) +
+               t.wire_bytes / (hw.link_gibps * kGiB) +
+               static_cast<double>(t.transfers) * hw.link_rtt_seconds);
+    t.seconds = t.link_seconds + 0.002;
+  }
+  CalibrationReport report = updater.ObserveTransport(timings);
+  EXPECT_EQ(report.pipelines_observed, 3);
+  EXPECT_GT(report.applied_scale, 1.0);
+  EXPECT_LT(report.q_error_after, report.q_error_before);
+  EXPECT_DOUBLE_EQ(updater.link_total_scale(), report.applied_scale);
+
+  // Serialize and link bandwidth slowed, per-transfer RTT grew...
+  EXPECT_LT(hw.wire_serialize_gibps, before.wire_serialize_gibps);
+  EXPECT_LT(hw.link_gibps, before.link_gibps);
+  EXPECT_GT(hw.link_rtt_seconds, before.link_rtt_seconds);
+  // ...and everything else stayed put, most importantly the shuffle copy
+  // term that shares the same measured exchanges.
+  EXPECT_DOUBLE_EQ(hw.shuffle_gibps, before.shuffle_gibps);
+  EXPECT_DOUBLE_EQ(hw.shuffle_dispatch_seconds,
+                   before.shuffle_dispatch_seconds);
+  EXPECT_DOUBLE_EQ(hw.scan_gibps_per_node, before.scan_gibps_per_node);
+  EXPECT_DOUBLE_EQ(hw.filter_rows_per_sec, before.filter_rows_per_sec);
+  EXPECT_DOUBLE_EQ(hw.fused_filter_rows_per_sec,
+                   before.fused_filter_rows_per_sec);
+  EXPECT_DOUBLE_EQ(hw.storage_read_gibps, before.storage_read_gibps);
+  // The configuration knob is not a calibrated term.
+  EXPECT_EQ(hw.exchange_transport, before.exchange_transport);
+
+  // In-process timings (no wire bytes) are not link observations: the
+  // round is a no-op instead of dragging the link terms toward zero.
+  std::vector<ExchangeTiming> inproc(2);
+  for (auto& t : inproc) {
+    t.bytes = kMiB;
+    t.seconds = 0.01;
+  }
+  const double serialize_now = hw.wire_serialize_gibps;
+  CalibrationReport empty = updater.ObserveTransport(inproc);
+  EXPECT_EQ(empty.pipelines_observed, 0);
+  EXPECT_DOUBLE_EQ(hw.wire_serialize_gibps, serialize_now);
+
+  // ObserveShuffles on transported timings calibrates the copy term
+  // against seconds *minus* the link share — with the link share exactly
+  // excluded, a link slowdown alone cannot move shuffle_gibps upward into
+  // pretending the copy path got slower.
+  CalibrationReport second = updater.ObserveTransport(timings);
   EXPECT_LT(second.q_error_before, report.q_error_before);
 }
 

@@ -172,7 +172,7 @@ TEST_F(ElasticTest, CoPartitionedJoinSurvivesResizes) {
         << why;
     // Join rows never cross workers: only the handful of partial-agg rows
     // shuffle.
-    EXPECT_LT(elastic.last_exchange_stats().rows_moved, 2000u);
+    EXPECT_LT(elastic.last_exchange_stats().rows_moved(), 2000u);
   }
 }
 

@@ -1,0 +1,9 @@
+// Layering-linter fixture (never compiled): service code talking to the
+// exchange wire format directly instead of going through the sharded
+// engine's transport seam. src/net/ is internal to the exchange machinery
+// (src/exec/ owns the seam, src/sim/ predicts it, tests exercise it); a
+// second direct consumer would fork the serialization contract, so the
+// linter must reject this include from anywhere else.
+// pretend: src/service/rogue_wire_encode.cc
+// expect: net-internal
+#include "net/wire.h"

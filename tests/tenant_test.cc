@@ -379,6 +379,58 @@ TEST(ResultCacheTest, RepeatedPreparedStatementCostsOneExecution) {
   EXPECT_EQ(stats.entries, 2u);
 }
 
+TEST(ResultCacheTest, ByteBudgetEvictsLeastRecentlyUsed) {
+  DatabaseOptions opts = TenantDbOptions();
+  // Each cached result here is one int64 row = 8 payload bytes; a 20-byte
+  // budget holds two entries, and the entry cap stays out of the way.
+  opts.result_cache_max_entries = 256;
+  opts.result_cache_max_bytes = 20;
+  auto db = MakeSsbDatabase(opts);
+  Session session(db.get());
+  auto stmt = session.Prepare(
+      "SELECT count(*) AS n FROM lineorder WHERE lo_quantity < ?");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+
+  auto run = [&](int64_t q) {
+    auto r = session.Execute(*stmt, {Value(q)});
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r->result_cache_hit;
+  };
+
+  EXPECT_FALSE(run(10));  // cache: {10}, 8 bytes
+  EXPECT_FALSE(run(11));  // cache: {10, 11}, 16 bytes
+  auto stats = db->result_cache_stats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.bytes, 16u);
+  EXPECT_EQ(stats.evictions, 0u);
+
+  // Third entry pushes past the 20-byte budget: the least-recently-used
+  // (10) is evicted, the newer two stay.
+  EXPECT_FALSE(run(12));
+  stats = db->result_cache_stats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.bytes, 16u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_FALSE(run(10));  // evicted — a miss that re-executes (evicts 11)
+  EXPECT_TRUE(run(12));   // survived as the most recent at the time
+
+  // A hit refreshes recency: touch 12, then insert a new entry — the
+  // eviction must take 10, not the just-touched 12.
+  EXPECT_FALSE(run(13));
+  EXPECT_TRUE(run(12));
+  EXPECT_FALSE(run(14));
+  EXPECT_TRUE(run(12));
+  stats = db->result_cache_stats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_LE(stats.bytes, opts.result_cache_max_bytes);
+
+  // ClearResultCache resets the byte ledger with the entries.
+  db->ClearResultCache();
+  stats = db->result_cache_stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+}
+
 TEST(ResultCacheTest, LayoutVersionBumpInvalidates) {
   auto db = MakeSsbDatabase(TenantDbOptions());
   Session session(db.get());
